@@ -1,0 +1,33 @@
+// Extension experiment (beyond the paper's tables): genericity check.
+// The paper claims NeuTraj accommodates *any* trajectory measure; this
+// bench trains it on two measures outside the paper's evaluation — EDR and
+// LCSS (threshold-based edit measures) — and reports the same top-k quality
+// metrics. Expected shape: accuracies in the same band as the paper's four
+// measures; slightly lower is plausible since both measures are integer /
+// coarsely quantized, which flattens the guidance signal.
+
+#include <cstdio>
+
+#include "exp_common.h"
+
+int main() {
+  using namespace neutraj;
+  using namespace neutraj::bench;
+  PrintBanner("Extension — generic measures",
+              "NeuTraj trained on EDR and LCSS (not in the paper's tables)");
+
+  std::printf("\n%-8s %-10s %-8s %-8s %-8s\n", "measure", "method", "HR@10",
+              "HR@50", "R10@50");
+  for (Measure m : {Measure::kEdr, Measure::kLcss}) {
+    ExperimentContext ctx = MakeContext("porto", m);
+    const TopKWorkload workload = MakeWorkload(ctx);
+    for (const std::string variant : {"Siamese", "NeuTraj"}) {
+      TrainedModel tm = GetModel(ctx, VariantConfig(variant, m));
+      const TopKQuality q = workload.EvaluateModel(tm.model);
+      std::printf("%-8s %-10s %-8.4f %-8.4f %-8.4f\n",
+                  MeasureName(m).c_str(), variant.c_str(), q.hr10, q.hr50,
+                  q.r10_at_50);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Reproduces Fig. 8: HR@10 of NeuTraj as the SAM scan width w varies
+// (porto, all four measures reported; the paper highlights the same shape
+// per measure). Expected shape: HR rises from w = 0 (no spatial context
+// beyond the current cell) to an optimum around w = 2, then dips as the
+// window pulls in non-relevant trajectories.
+
+#include <cstdio>
+
+#include "exp_common.h"
+
+int main() {
+  using namespace neutraj;
+  using namespace neutraj::bench;
+  PrintBanner("Fig. 8 — sensitivity to SAM scan width w",
+              "HR@10 of NeuTraj vs w, porto");
+
+  const std::vector<int32_t> widths = {0, 1, 2, 3, 4};
+  for (Measure m : {Measure::kFrechet, Measure::kHausdorff}) {
+    ExperimentContext ctx = MakeContext("porto", m);
+    const TopKWorkload workload = MakeWorkload(ctx);
+    std::printf("\n--- %s ---\n", MeasureName(m).c_str());
+    std::printf("%-6s %-10s\n", "w", "NeuTraj");
+    for (int32_t w : widths) {
+      NeuTrajConfig cfg = VariantConfig("NeuTraj", m);
+      cfg.scan_width = w;
+      Stopwatch sw;
+      TrainedModel tm =
+          TrainOrLoadModel(cfg, ctx.grid, ctx.split.seeds, ctx.seed_dists);
+      std::printf("  [train w=%d: %s %.1fs]\n", w,
+                  tm.from_cache ? "cached" : "fresh", sw.ElapsedSeconds());
+      std::printf("%-6d %-10.4f\n", w, workload.EvaluateModel(tm.model).hr10);
+    }
+  }
+  return 0;
+}

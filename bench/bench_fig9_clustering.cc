@@ -1,0 +1,60 @@
+// Reproduces Fig. 9: trajectory clustering with DBSCAN under the Fréchet
+// distance (porto) — cluster counts for the exact vs embedding-based
+// distance as eps grows, plus the agreement metrics (homogeneity,
+// completeness, V-measure, ARI). Expected shape: the two cluster-count
+// curves track each other and the best agreement values exceed 0.8.
+
+#include <cstdio>
+
+#include "exp_common.h"
+
+int main() {
+  using namespace neutraj;
+  using namespace neutraj::bench;
+  PrintBanner("Fig. 9 — trajectory clustering",
+              "DBSCAN on exact vs embedding distance, porto / Frechet");
+
+  ExperimentContext ctx = MakeContext("porto", Measure::kFrechet);
+  TrainedModel tm = GetModel(ctx, VariantConfig("NeuTraj", Measure::kFrechet));
+
+  const auto& corpus = ctx.split.test;
+  std::printf("# computing exact pairwise distances over %zu trajectories\n",
+              corpus.size());
+  const DistanceMatrix exact =
+      CachedPairwiseDistances(corpus, Measure::kFrechet);
+
+  const auto embeds = tm.model.EmbedAll(corpus);
+  // Calibrate embedding distances to meters via the guidance alpha
+  // (training fits ||Ei - Ej|| ~ alpha * D_ij).
+  const double scale =
+      1.0 / SimilarityMatrix(ctx.seed_dists, VariantConfig("NeuTraj",
+                                                           Measure::kFrechet))
+                .alpha();
+  std::vector<double> approx(corpus.size() * corpus.size(), 0.0);
+  for (size_t i = 0; i < corpus.size(); ++i) {
+    for (size_t j = 0; j < corpus.size(); ++j) {
+      approx[i * corpus.size() + j] =
+          scale * nn::L2Distance(embeds[i], embeds[j]);
+    }
+  }
+
+  const size_t min_pts = 10;  // Paper fixes minimum points at 10.
+  std::printf("\n%-9s %-14s %-14s %-7s %-7s %-7s %-7s\n", "eps(m)",
+              "#clust(exact)", "#clust(embed)", "Homog", "Compl", "V-meas",
+              "ARI");
+  double best_v = 0.0, best_ari = 0.0;
+  for (double eps : {200.0, 300.0, 400.0, 600.0, 800.0, 1200.0, 1600.0}) {
+    const Clustering truth = Dbscan(exact, eps, min_pts);
+    const Clustering pred = Dbscan(approx, corpus.size(), eps, min_pts);
+    const ClusterAgreement a = CompareClusterings(truth.labels, pred.labels);
+    best_v = std::max(best_v, a.v_measure);
+    best_ari = std::max(best_ari, a.adjusted_rand_index);
+    std::printf("%-9.0f %-14d %-14d %.3f   %.3f   %.3f   %.3f\n", eps,
+                truth.num_clusters, pred.num_clusters, a.homogeneity,
+                a.completeness, a.v_measure, a.adjusted_rand_index);
+  }
+  std::printf("\nbest V-measure %.3f, best ARI %.3f (paper: best metric "
+              "values > 0.8)\n",
+              best_v, best_ari);
+  return 0;
+}

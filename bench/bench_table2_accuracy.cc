@@ -1,0 +1,43 @@
+// Reproduces Table II: top-k search accuracy of AP / Siamese / NeuTraj on
+// Fréchet, Hausdorff, ERP and DTW over both datasets.
+//
+// Metrics per method: HR@10, HR@50, R10@50 and (Fréchet/Hausdorff only in
+// the paper's layout) the distance distortions d_H10 / d_R10 in meters.
+// Expected shape: NeuTraj > Siamese > AP on every measure; ERP has no AP.
+
+#include <cstdio>
+
+#include "exp_common.h"
+
+int main() {
+  using namespace neutraj;
+  using namespace neutraj::bench;
+  PrintBanner("Table II — performance comparison",
+              "AP vs Siamese vs NeuTraj on Frechet/Hausdorff/ERP/DTW");
+
+  for (const std::string dataset : {"porto", "geolife"}) {
+    for (Measure m : AllMeasures()) {
+      ExperimentContext ctx = MakeContext(dataset, m);
+      const TopKWorkload workload = MakeWorkload(ctx);
+      const bool distortion =
+          m == Measure::kFrechet || m == Measure::kHausdorff;
+      std::printf("\n--- %s / %s (gt mean top-10 dist: see rows) ---\n",
+                  dataset.c_str(), MeasureName(m).c_str());
+
+      bool ap_ok = false;
+      const TopKQuality ap = EvaluateAp(ctx, workload, &ap_ok);
+      if (ap_ok) {
+        std::printf("%s\n", FormatAccuracyRow("AP", ap, distortion).c_str());
+      } else {
+        std::printf("%-10s  (no approximate algorithm exists)\n", "AP");
+      }
+
+      for (const std::string variant : {"Siamese", "NeuTraj"}) {
+        TrainedModel tm = GetModel(ctx, VariantConfig(variant, m));
+        const TopKQuality q = workload.EvaluateModel(tm.model);
+        std::printf("%s\n", FormatAccuracyRow(variant, q, distortion).c_str());
+      }
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,32 @@
+// Reproduces Table III: ablation study — NT-No-WS (random sampling),
+// NT-No-SAM (plain LSTM) versus the full NeuTraj, on all four measures and
+// both datasets. Expected shape: NeuTraj >= NT-No-SAM >= NT-No-WS on most
+// cells.
+
+#include <cstdio>
+
+#include "exp_common.h"
+
+int main() {
+  using namespace neutraj;
+  using namespace neutraj::bench;
+  PrintBanner("Table III — ablation study",
+              "NT-No-WS / NT-No-SAM / NeuTraj on all measures");
+
+  for (const std::string dataset : {"porto", "geolife"}) {
+    for (Measure m : AllMeasures()) {
+      ExperimentContext ctx = MakeContext(dataset, m);
+      const TopKWorkload workload = MakeWorkload(ctx);
+      const bool distortion =
+          m == Measure::kFrechet || m == Measure::kHausdorff;
+      std::printf("\n--- %s / %s ---\n", dataset.c_str(),
+                  MeasureName(m).c_str());
+      for (const std::string variant : {"NT-No-WS", "NT-No-SAM", "NeuTraj"}) {
+        TrainedModel tm = GetModel(ctx, VariantConfig(variant, m));
+        const TopKQuality q = workload.EvaluateModel(tm.model);
+        std::printf("%s\n", FormatAccuracyRow(variant, q, distortion).c_str());
+      }
+    }
+  }
+  return 0;
+}

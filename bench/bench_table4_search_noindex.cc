@@ -1,0 +1,172 @@
+// Reproduces Table IV: per-query time of online top-50 similarity search
+// without an index, over growing corpus sizes, for BruteForce / AP /
+// NT-No-SAM / NeuTraj on all four measures.
+//
+// Protocol (paper Sec. VII-C-1): corpus embeddings and AP sketches are
+// computed offline; a query pays the method's per-corpus-item work. The
+// neural methods return a top-50 candidate list that is re-ranked with the
+// exact measure. Expected shape: the neural methods' per-query time grows
+// only with the O(N*d) scan and sits 50x+ below BruteForce at the larger
+// sizes; AP falls in between. ERP has no AP row (no approximate algorithm).
+// Absolute numbers differ from the paper's hardware.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <map>
+#include <memory>
+
+#include "exp_common.h"
+
+namespace {
+
+using namespace neutraj;
+using namespace neutraj::bench;
+
+/// Corpus sizes of the scaled experiment (paper: 1k / 5k / 10k / 200k).
+const std::vector<int64_t> kSizes = {1000, 5000, 10000, 20000};
+
+/// Shared one-time state: corpus, queries, models, offline embeddings and
+/// AP sketches.
+struct SearchState {
+  std::vector<Trajectory> corpus;
+  std::vector<Trajectory> queries;
+  BoundingBox region = BoundingBox::Empty();
+  std::unique_ptr<NeuTrajModel> neutraj;
+  std::unique_ptr<NeuTrajModel> no_sam;
+  std::vector<nn::Vector> embeds_neutraj;
+  std::vector<nn::Vector> embeds_no_sam;
+  std::map<Measure, std::vector<std::unique_ptr<ApproxDistance::Sketch>>> sketches;
+  std::map<Measure, std::unique_ptr<ApproxDistance>> ap;
+
+  static SearchState& Get() {
+    static SearchState* s = Build();
+    return *s;
+  }
+
+ private:
+  static SearchState* Build() {
+    auto* s = new SearchState();
+    std::printf("# one-time setup: corpus, models, offline embeddings/sketches\n");
+    Stopwatch sw;
+    GeneratorConfig gen = PortoLikeConfig(1.0);
+    gen.num_trajectories = static_cast<size_t>(kSizes.back());
+    gen.num_popular_routes = 120;
+    gen.seed = 31337;
+    TrajectoryDataset big = GeneratePortoLike(gen);
+    s->corpus = std::move(big.trajectories);
+    s->region = big.region;
+
+    Rng rng(5150);
+    for (int i = 0; i < 16; ++i) {
+      s->queries.push_back(
+          s->corpus[static_cast<size_t>(rng.UniformInt(0, 999))]);
+    }
+
+    // Trained encoders from the standard porto/frechet cell; per-query cost
+    // does not depend on the guidance measure.
+    ExperimentContext ctx = MakeContext("porto", Measure::kFrechet);
+    s->neutraj = std::make_unique<NeuTrajModel>(
+        GetModel(ctx, VariantConfig("NeuTraj", Measure::kFrechet)).model);
+    s->no_sam = std::make_unique<NeuTrajModel>(
+        GetModel(ctx, VariantConfig("NT-No-SAM", Measure::kFrechet)).model);
+
+    s->embeds_neutraj = s->neutraj->EmbedAll(s->corpus);
+    s->embeds_no_sam = s->no_sam->EmbedAll(s->corpus);
+
+    const ApproxParams params = ApproxParams::ForRegion(s->region);
+    for (Measure m : AllMeasures()) {
+      auto ap = ApproxDistance::Create(m, params);
+      if (ap == nullptr) continue;
+      s->sketches[m] = ap->PrepareCorpus(s->corpus);
+      s->ap[m] = std::move(ap);
+    }
+    std::printf("# setup done in %.1fs\n", sw.ElapsedSeconds());
+    return s;
+  }
+};
+
+void BM_BruteForce(benchmark::State& state, Measure m) {
+  SearchState& s = SearchState::Get();
+  const size_t n = static_cast<size_t>(state.range(0));
+  const DistanceFn exact = ExactDistanceFn(m);
+  std::vector<double> dists(n);
+  size_t qi = 0;
+  for (auto _ : state) {
+    const Trajectory& q = s.queries[qi++ % s.queries.size()];
+    for (size_t i = 0; i < n; ++i) dists[i] = exact(q, s.corpus[i]);
+    benchmark::DoNotOptimize(TopKByDistance(dists, 50));
+  }
+}
+
+void BM_Ap(benchmark::State& state, Measure m) {
+  SearchState& s = SearchState::Get();
+  const size_t n = static_cast<size_t>(state.range(0));
+  const ApproxDistance& ap = *s.ap.at(m);
+  const auto& sketches = s.sketches.at(m);
+  std::vector<double> dists(n);
+  size_t qi = 0;
+  for (auto _ : state) {
+    const Trajectory& q = s.queries[qi++ % s.queries.size()];
+    const auto qs = ap.Prepare(q);
+    for (size_t i = 0; i < n; ++i) dists[i] = ap.Distance(*qs, *sketches[i]);
+    benchmark::DoNotOptimize(TopKByDistance(dists, 50));
+  }
+}
+
+void BM_Neural(benchmark::State& state, Measure m, bool sam) {
+  SearchState& s = SearchState::Get();
+  const size_t n = static_cast<size_t>(state.range(0));
+  const NeuTrajModel& model = sam ? *s.neutraj : *s.no_sam;
+  const auto& embeds = sam ? s.embeds_neutraj : s.embeds_no_sam;
+  const DistanceFn exact = ExactDistanceFn(m);
+  std::vector<double> dists(n);
+  size_t qi = 0;
+  for (auto _ : state) {
+    const Trajectory& q = s.queries[qi++ % s.queries.size()];
+    const nn::Vector qe = model.Embed(q);
+    for (size_t i = 0; i < n; ++i) dists[i] = nn::L2Distance(qe, embeds[i]);
+    const SearchResult top50 = TopKByDistance(dists, 50);
+    // Paper protocol: re-rank the 50 candidates with the exact measure.
+    benchmark::DoNotOptimize(
+        RerankByExact(s.corpus, q, top50.ids, exact, 50));
+  }
+}
+
+void RegisterAll() {
+  for (Measure m : AllMeasures()) {
+    const std::string mn = MeasureName(m);
+    for (int64_t size : kSizes) {
+      benchmark::RegisterBenchmark(("BruteForce/" + mn).c_str(), BM_BruteForce, m)
+          ->Arg(size)
+          ->Unit(benchmark::kMillisecond)
+          ->MinTime(0.2);
+      if (m != Measure::kErp) {
+        benchmark::RegisterBenchmark(("AP/" + mn).c_str(), BM_Ap, m)
+            ->Arg(size)
+            ->Unit(benchmark::kMillisecond)
+            ->MinTime(0.2);
+      }
+      benchmark::RegisterBenchmark(("NT-No-SAM/" + mn).c_str(), BM_Neural, m,
+                                   false)
+          ->Arg(size)
+          ->Unit(benchmark::kMillisecond)
+          ->MinTime(0.2);
+      benchmark::RegisterBenchmark(("NeuTraj/" + mn).c_str(), BM_Neural, m, true)
+          ->Arg(size)
+          ->Unit(benchmark::kMillisecond)
+          ->MinTime(0.2);
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("Table IV — online top-50 search time without index "
+              "(per-query, paper sizes 1k/5k/10k/200k scaled to 20k)\n");
+  RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,148 @@
+// Reproduces Table V: online similarity search *with* spatial indexes
+// (bounding-box R-tree and grid-based inverted index) under the Fréchet
+// distance. For each corpus size: mean per-query time of BruteForce / AP /
+// NeuTraj restricted to the index candidates, plus the number of involved
+// trajectories. Expected shape: every method gets faster; NeuTraj stays
+// 30x+ faster than AP on the candidates ("elastic" property).
+
+#include <cstdio>
+#include <memory>
+
+#include "exp_common.h"
+
+namespace {
+
+using namespace neutraj;
+using namespace neutraj::bench;
+
+const std::vector<size_t> kSizes = {1000, 5000, 10000, 20000};
+constexpr size_t kNumQueries = 24;
+constexpr double kQueryMargin = 2000.0;  // MBR inflation for candidates.
+
+struct Timings {
+  double brute_ms = 0.0;
+  double ap_ms = 0.0;
+  double neutraj_ms = 0.0;
+  double involved = 0.0;
+};
+
+Timings RunWithCandidates(
+    const std::vector<Trajectory>& corpus,
+    const std::vector<nn::Vector>& embeds, const NeuTrajModel& model,
+    const ApproxDistance& ap,
+    const std::vector<std::unique_ptr<ApproxDistance::Sketch>>& sketches,
+    const std::vector<Trajectory>& queries,
+    const std::function<std::vector<size_t>(const Trajectory&)>& candidates_fn) {
+  const DistanceFn exact = ExactDistanceFn(Measure::kFrechet);
+  Timings t;
+  Stopwatch sw;
+  for (const Trajectory& q : queries) {
+    const std::vector<size_t> cand = candidates_fn(q);
+    t.involved += static_cast<double>(cand.size());
+
+    sw.Restart();
+    {
+      std::vector<double> dists(cand.size());
+      for (size_t i = 0; i < cand.size(); ++i) {
+        dists[i] = exact(q, corpus[cand[i]]);
+      }
+      (void)TopKByDistance(dists, 50);
+    }
+    t.brute_ms += sw.ElapsedMillis();
+
+    sw.Restart();
+    {
+      const auto qs = ap.Prepare(q);
+      std::vector<double> dists(cand.size());
+      for (size_t i = 0; i < cand.size(); ++i) {
+        dists[i] = ap.Distance(*qs, *sketches[cand[i]]);
+      }
+      (void)TopKByDistance(dists, 50);
+    }
+    t.ap_ms += sw.ElapsedMillis();
+
+    sw.Restart();
+    {
+      const nn::Vector qe = model.Embed(q);
+      std::vector<double> dists(cand.size());
+      for (size_t i = 0; i < cand.size(); ++i) {
+        dists[i] = nn::L2Distance(qe, embeds[cand[i]]);
+      }
+      const SearchResult top50 = TopKByDistance(dists, 50);
+      std::vector<size_t> ids;
+      for (size_t k : top50.ids) ids.push_back(cand[k]);
+      (void)RerankByExact(corpus, q, ids, exact, 50);
+    }
+    t.neutraj_ms += sw.ElapsedMillis();
+  }
+  const double inv = 1.0 / static_cast<double>(queries.size());
+  t.brute_ms *= inv;
+  t.ap_ms *= inv;
+  t.neutraj_ms *= inv;
+  t.involved *= inv;
+  return t;
+}
+
+}  // namespace
+
+int main() {
+  PrintBanner("Table V — online similarity search with index",
+              "Frechet; bounding-box R-tree and grid inverted index");
+
+  // Corpus and models shared with the Table IV setup style.
+  GeneratorConfig gen = PortoLikeConfig(1.0);
+  gen.num_trajectories = kSizes.back();
+  gen.num_popular_routes = 120;
+  gen.seed = 31337;
+  TrajectoryDataset big = GeneratePortoLike(gen);
+
+  ExperimentContext ctx = MakeContext("porto", Measure::kFrechet);
+  NeuTrajModel model(
+      GetModel(ctx, VariantConfig("NeuTraj", Measure::kFrechet)).model);
+  std::printf("# embedding %zu trajectories offline...\n", big.size());
+  const std::vector<nn::Vector> embeds = model.EmbedAll(big.trajectories);
+  const ApproxParams params = ApproxParams::ForRegion(big.region);
+  const auto ap = ApproxDistance::Create(Measure::kFrechet, params);
+  const auto sketches = ap->PrepareCorpus(big.trajectories);
+
+  Rng rng(5151);
+  std::vector<Trajectory> queries;
+  for (size_t i = 0; i < kNumQueries; ++i) {
+    queries.push_back(big.trajectories[static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(kSizes.front()) - 1))]);
+  }
+
+  for (size_t n : kSizes) {
+    const std::vector<Trajectory> corpus(big.trajectories.begin(),
+                                         big.trajectories.begin() +
+                                             static_cast<long>(n));
+    const std::vector<nn::Vector> sub_embeds(embeds.begin(),
+                                             embeds.begin() + static_cast<long>(n));
+    std::vector<std::unique_ptr<ApproxDistance::Sketch>> sub_sketches;
+    for (size_t i = 0; i < n; ++i) sub_sketches.push_back(ap->Prepare(corpus[i]));
+
+    std::printf("\n--- corpus size %zu ---\n", n);
+    {
+      const RTree rtree = RTree::ForTrajectories(corpus);
+      const Timings t = RunWithCandidates(
+          corpus, sub_embeds, model, *ap, sub_sketches, queries,
+          [&](const Trajectory& q) {
+            return rtree.Query(q.Bounds().Inflated(kQueryMargin));
+          });
+      std::printf("[R-tree]        BruteForce %8.3fms  AP %8.3fms  NeuTraj %8.3fms"
+                  "  involved %.0f\n",
+                  t.brute_ms, t.ap_ms, t.neutraj_ms, t.involved);
+    }
+    {
+      const Grid big_grid(big.region.Inflated(50.0), 100.0);
+      const InvertedGridIndex inv(big_grid, corpus);
+      const Timings t = RunWithCandidates(
+          corpus, sub_embeds, model, *ap, sub_sketches, queries,
+          [&](const Trajectory& q) { return inv.Query(q, /*expand=*/3); });
+      std::printf("[InvertedGrid]  BruteForce %8.3fms  AP %8.3fms  NeuTraj %8.3fms"
+                  "  involved %.0f\n",
+                  t.brute_ms, t.ap_ms, t.neutraj_ms, t.involved);
+    }
+  }
+  return 0;
+}

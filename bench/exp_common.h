@@ -1,0 +1,79 @@
+// Shared experiment harness for the per-table / per-figure bench binaries.
+//
+// Centralizes the paper's experimental setup so every bench uses identical
+// datasets, splits, model configurations and caching:
+//   - datasets: PortoLike / GeolifeLike synthetic corpora (see DESIGN.md for
+//     the substitution rationale), fixed seeds, scaled by NEUTRAJ_SCALE
+//   - protocol: 20% seeds / 10% validation / 70% test (paper Sec. VII-A-2)
+//   - model: d = 32, w = 2, n = 10, batch 20 (paper values scaled for one
+//     CPU core; set NEUTRAJ_SCALE=paper for larger runs)
+//   - caching: trained models and distance matrices under ./neutraj_cache,
+//     shared across bench binaries.
+
+#ifndef NEUTRAJ_BENCH_EXP_COMMON_H_
+#define NEUTRAJ_BENCH_EXP_COMMON_H_
+
+#include <string>
+#include <vector>
+
+#include "neutraj.h"
+
+namespace neutraj::bench {
+
+/// Experiment scale selected by the NEUTRAJ_SCALE environment variable:
+/// "small" (default, minutes on one core) or "paper" (hours).
+struct Scale {
+  std::string name = "small";
+  double dataset = 1.0;   ///< Multiplier on corpus sizes.
+  size_t epochs = 25;     ///< Training epochs.
+  size_t queries = 60;    ///< Queries per top-k evaluation.
+  size_t embedding_dim = 32;
+};
+
+const Scale& GetScale();
+
+/// The two standard corpora, generated deterministically.
+TrajectoryDataset PortoDataset();
+TrajectoryDataset GeolifeDataset();
+
+/// Everything shared by one (dataset, measure) experiment cell.
+struct ExperimentContext {
+  std::string dataset_name;
+  Measure measure;
+  TrajectoryDataset db;
+  DatasetSplit split;
+  Grid grid;
+  DistanceMatrix seed_dists;
+
+  ExperimentContext(std::string name, Measure m, TrajectoryDataset dataset);
+};
+
+/// Builds the context for "porto" or "geolife" under `m`; seed distances
+/// come from the cache when available.
+ExperimentContext MakeContext(const std::string& dataset, Measure m);
+
+/// The standard model config of this repo's experiments for a given paper
+/// variant name ("NeuTraj", "NT-No-SAM", "NT-No-WS", "Siamese").
+NeuTrajConfig VariantConfig(const std::string& variant, Measure m);
+
+/// Trains or loads the variant's model for `ctx`.
+TrainedModel GetModel(const ExperimentContext& ctx, const NeuTrajConfig& cfg);
+
+/// Builds the standard top-k evaluation workload over ctx.split.test.
+TopKWorkload MakeWorkload(const ExperimentContext& ctx);
+
+/// Evaluates the AP (approximate-algorithm) baseline on a workload.
+/// Returns false into `ok` when no AP algorithm exists (ERP).
+TopKQuality EvaluateAp(const ExperimentContext& ctx, const TopKWorkload& workload,
+                       bool* ok);
+
+/// Formats one accuracy row in the paper's table layout.
+std::string FormatAccuracyRow(const std::string& method, const TopKQuality& q,
+                              bool with_distortion);
+
+/// Prints the standard table banner for a bench binary.
+void PrintBanner(const std::string& experiment, const std::string& detail);
+
+}  // namespace neutraj::bench
+
+#endif  // NEUTRAJ_BENCH_EXP_COMMON_H_

@@ -1,0 +1,88 @@
+// Quickstart: train NeuTraj on a small synthetic corpus and use it to
+// approximate the Fréchet distance in linear time.
+//
+//   $ ./quickstart
+//
+// Walks through the full pipeline: data -> seeds -> exact seed distances ->
+// training -> O(L) similarity queries, and prints approximation quality.
+
+#include <cstdio>
+
+#include "neutraj.h"
+
+int main() {
+  using namespace neutraj;
+
+  // 1. A city-like trajectory corpus (offline stand-in for Porto taxi data).
+  GeneratorConfig gen = PortoLikeConfig(/*scale=*/0.6);
+  gen.point_spacing = 40.0;  // Denser sampling: ~90-point trajectories.
+  gen.max_points = 96;
+  TrajectoryDataset db = GeneratePortoLike(gen);
+  std::printf("Corpus: %zu trajectories, mean length %.1f points\n",
+              db.size(), db.MeanLength());
+
+  // 2. Split: 20%% seeds (training guidance), 10%% validation, 70%% test.
+  DatasetSplit split = SplitDataset(db, 0.3, 0.1);
+  std::printf("Seeds: %zu, test: %zu\n", split.seeds.size(), split.test.size());
+
+  // 3. Exact pairwise distances of the seeds — the only quadratic-cost step,
+  //    paid once per database.
+  Stopwatch sw;
+  DistanceMatrix seed_dists =
+      ComputePairwiseDistances(split.seeds, Measure::kFrechet);
+  std::printf("Seed distance matrix (%zux%zu): %.2fs\n", seed_dists.size(),
+              seed_dists.size(), sw.ElapsedSeconds());
+
+  // 4. Train the model.
+  NeuTrajConfig cfg = NeuTrajConfig::NeuTraj();
+  cfg.measure = Measure::kFrechet;
+  cfg.embedding_dim = 32;
+  cfg.epochs = 20;
+  Grid grid(db.region.Inflated(50.0), /*cell_size=*/100.0);
+  sw.Restart();
+  Trainer trainer(cfg, grid, split.seeds, seed_dists);
+  trainer.Train([](const EpochStats& e, NeuTrajModel&) {
+    if (e.epoch % 5 == 0) {
+      std::printf("  epoch %2zu  loss %.4f  (%.1fs)\n", e.epoch, e.mean_loss,
+                  e.seconds);
+    }
+    return true;
+  });
+  NeuTrajModel model = trainer.TakeModel();
+  std::printf("Training: %.1fs, %zu parameters\n", sw.ElapsedSeconds(),
+              model.NumParameters());
+
+  // 5. Linear-time similarity for ad-hoc pairs, versus the exact measure.
+  std::printf("\n%-8s %-14s %-14s\n", "pair", "exact Frechet", "embed dist");
+  for (size_t i = 0; i + 1 < 12; i += 2) {
+    const Trajectory& a = split.test[i];
+    const Trajectory& b = split.test[i + 1];
+    std::printf("(%2zu,%2zu)  %10.1f m   %10.4f\n", i, i + 1,
+                FrechetDistance(a, b), model.Distance(a, b));
+  }
+
+  // 6. Search throughput, the paper's protocol: corpus embeddings are
+  //    computed once offline; a query costs one O(L) embedding plus an
+  //    O(N*d) scan, versus N quadratic-time exact computations.
+  const auto& corpus = split.test;
+  auto embeds = model.EmbedAll(corpus);  // Offline, once per corpus.
+  const size_t num_queries = 20;
+  double sink = 0;
+  sw.Restart();
+  for (size_t q = 0; q < num_queries; ++q) {
+    for (const Trajectory& t : corpus) sink += FrechetDistance(corpus[q], t);
+  }
+  const double exact_time = sw.ElapsedSeconds();
+  sw.Restart();
+  for (size_t q = 0; q < num_queries; ++q) {
+    const nn::Vector qe = model.Embed(corpus[q]);
+    for (const auto& e : embeds) sink += nn::L2Distance(qe, e);
+  }
+  const double neutraj_time = sw.ElapsedSeconds();
+  std::printf("\n%zu queries x %zu corpus: exact %.3fs vs NeuTraj %.3fs "
+              "(%.0fx speedup)\n",
+              num_queries, corpus.size(), exact_time, neutraj_time,
+              exact_time / neutraj_time);
+  (void)sink;
+  return 0;
+}

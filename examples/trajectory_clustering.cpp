@@ -1,0 +1,63 @@
+// Trajectory clustering with DBSCAN on NeuTraj embedding distances versus
+// exact distances — the paper's pair-wise-similarity application (Fig. 9).
+//
+//   $ ./trajectory_clustering
+
+#include <cstdio>
+
+#include "neutraj.h"
+
+int main() {
+  using namespace neutraj;
+  TrajectoryDataset db = GeneratePortoLike(PortoLikeConfig(0.6));
+  DatasetSplit split = SplitDataset(db, 0.3, 0.1);
+  const Measure measure = Measure::kFrechet;
+
+  // Train (cached) and embed the clustering corpus.
+  NeuTrajConfig cfg = NeuTrajConfig::NeuTraj();
+  cfg.measure = measure;
+  cfg.embedding_dim = 32;
+  cfg.epochs = 20;
+  Grid grid(db.region.Inflated(50.0), 100.0);
+  DistanceMatrix seed_dists = CachedPairwiseDistances(split.seeds, measure);
+  TrainedModel trained = TrainOrLoadModel(cfg, grid, split.seeds, seed_dists);
+
+  const auto& corpus = split.test;
+  std::printf("Clustering %zu trajectories under %s\n", corpus.size(),
+              MeasureName(measure).c_str());
+
+  // Exact pair-wise distances: the quadratic ground truth.
+  Stopwatch sw;
+  DistanceMatrix exact = CachedPairwiseDistances(corpus, measure);
+  std::printf("Exact pairwise distances: %.1fs\n", sw.ElapsedSeconds());
+
+  // Embedding distances: linear embedding + O(d) pairs.
+  sw.Restart();
+  const auto embeds = trained.model.EmbedAll(corpus);
+  std::vector<double> approx(corpus.size() * corpus.size(), 0.0);
+  // Calibrate the embedding scale to meters with the seed guidance alpha:
+  // ||E_i - E_j|| ~ alpha * D_ij by construction of the training target.
+  const double scale = 1.0 / SimilarityMatrix(seed_dists, cfg).alpha();
+  for (size_t i = 0; i < corpus.size(); ++i) {
+    for (size_t j = 0; j < corpus.size(); ++j) {
+      approx[i * corpus.size() + j] =
+          scale * nn::L2Distance(embeds[i], embeds[j]);
+    }
+  }
+  std::printf("Embedding-based distances: %.1fs\n", sw.ElapsedSeconds());
+
+  // Sweep DBSCAN eps and compare the clusterings.
+  std::printf("\n%-10s %-18s %-18s %-6s %-6s %-6s %-6s\n", "eps(m)",
+              "clusters(exact)", "clusters(embed)", "Homog", "Compl", "V-meas",
+              "ARI");
+  const size_t min_pts = 5;
+  for (double eps : {200.0, 400.0, 600.0, 800.0, 1200.0}) {
+    const Clustering truth = Dbscan(exact, eps, min_pts);
+    const Clustering pred = Dbscan(approx, corpus.size(), eps, min_pts);
+    const ClusterAgreement a = CompareClusterings(truth.labels, pred.labels);
+    std::printf("%-10.0f %-18d %-18d %.3f  %.3f  %.3f  %.3f\n", eps,
+                truth.num_clusters, pred.num_clusters, a.homogeneity,
+                a.completeness, a.v_measure, a.adjusted_rand_index);
+  }
+  return 0;
+}

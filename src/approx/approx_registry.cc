@@ -1,0 +1,154 @@
+#include "approx/approx_registry.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "approx/fast_dtw.h"
+#include "approx/grid_snap.h"
+#include "approx/hausdorff_embed.h"
+
+namespace neutraj {
+
+namespace {
+
+/// Sketch holding a (possibly simplified) trajectory.
+class TrajSketch : public ApproxDistance::Sketch {
+ public:
+  explicit TrajSketch(Trajectory t) : traj(std::move(t)) {}
+  Trajectory traj;
+};
+
+/// Sketch holding a distance-transform embedding vector.
+class VectorSketch : public ApproxDistance::Sketch {
+ public:
+  explicit VectorSketch(std::vector<double> v) : values(std::move(v)) {}
+  std::vector<double> values;
+};
+
+class FrechetSnapApprox : public ApproxDistance {
+ public:
+  explicit FrechetSnapApprox(double cell_size) : cell_size_(cell_size) {
+    if (cell_size <= 0.0) {
+      throw std::invalid_argument("FrechetSnapApprox: cell_size <= 0");
+    }
+  }
+
+  std::string name() const override { return "frechet-grid-snap"; }
+
+  std::unique_ptr<Sketch> Prepare(const Trajectory& t) const override {
+    return std::make_unique<TrajSketch>(SnapToGrid(t, cell_size_));
+  }
+
+  double Distance(const Sketch& a, const Sketch& b) const override {
+    return FrechetDistance(static_cast<const TrajSketch&>(a).traj,
+                           static_cast<const TrajSketch&>(b).traj);
+  }
+
+ private:
+  double cell_size_;
+};
+
+class FastDtwApprox : public ApproxDistance {
+ public:
+  explicit FastDtwApprox(int radius) : radius_(radius) {}
+
+  std::string name() const override { return "fast-dtw"; }
+
+  std::unique_ptr<Sketch> Prepare(const Trajectory& t) const override {
+    return std::make_unique<TrajSketch>(t);
+  }
+
+  double Distance(const Sketch& a, const Sketch& b) const override {
+    return FastDtwDistance(static_cast<const TrajSketch&>(a).traj,
+                           static_cast<const TrajSketch&>(b).traj, radius_);
+  }
+
+ private:
+  int radius_;
+};
+
+class HausdorffEmbedApprox : public ApproxDistance {
+ public:
+  HausdorffEmbedApprox(const BoundingBox& region, int32_t cols, int32_t rows)
+      : embedder_(Grid(region, cols, rows)) {}
+
+  std::string name() const override { return "hausdorff-dt-embedding"; }
+
+  std::unique_ptr<Sketch> Prepare(const Trajectory& t) const override {
+    return std::make_unique<VectorSketch>(embedder_.Embed(t));
+  }
+
+  double Distance(const Sketch& a, const Sketch& b) const override {
+    return HausdorffEmbedder::EmbeddingDistance(
+        static_cast<const VectorSketch&>(a).values,
+        static_cast<const VectorSketch&>(b).values);
+  }
+
+ private:
+  HausdorffEmbedder embedder_;
+};
+
+}  // namespace
+
+ApproxParams ApproxParams::ForRegion(const BoundingBox& region) {
+  ApproxParams p;
+  p.region = region;
+  const double diag = std::hypot(region.Width(), region.Height());
+  p.frechet_cell_size = diag > 0 ? diag / 64.0 : 1.0;
+  return p;
+}
+
+double ApproxDistance::Distance(const Trajectory& a, const Trajectory& b) const {
+  return Distance(*Prepare(a), *Prepare(b));
+}
+
+std::vector<std::unique_ptr<ApproxDistance::Sketch>> ApproxDistance::PrepareCorpus(
+    const std::vector<Trajectory>& corpus) const {
+  std::vector<std::unique_ptr<Sketch>> out;
+  out.reserve(corpus.size());
+  for (const Trajectory& t : corpus) out.push_back(Prepare(t));
+  return out;
+}
+
+SearchResult ApproxDistance::TopK(
+    const std::vector<std::unique_ptr<Sketch>>& corpus, const Trajectory& query,
+    size_t k, int64_t exclude) const {
+  const std::unique_ptr<Sketch> q = Prepare(query);
+  std::vector<double> dists(corpus.size(), 0.0);
+  for (size_t i = 0; i < corpus.size(); ++i) {
+    if (exclude >= 0 && i == static_cast<size_t>(exclude)) continue;
+    dists[i] = Distance(*q, *corpus[i]);
+  }
+  return TopKByDistance(dists, k, exclude);
+}
+
+std::unique_ptr<ApproxDistance> ApproxDistance::Create(Measure m,
+                                                       const ApproxParams& params) {
+  switch (m) {
+    case Measure::kFrechet: {
+      double cell = params.frechet_cell_size;
+      if (cell <= 0.0) {
+        const double diag =
+            std::hypot(params.region.Width(), params.region.Height());
+        cell = diag > 0 ? diag / 64.0 : 1.0;
+      }
+      return std::make_unique<FrechetSnapApprox>(cell);
+    }
+    case Measure::kDtw:
+      return std::make_unique<FastDtwApprox>(params.fastdtw_radius);
+    case Measure::kHausdorff:
+      if (params.region.IsEmpty()) {
+        throw std::invalid_argument(
+            "ApproxDistance::Create(Hausdorff): region required");
+      }
+      return std::make_unique<HausdorffEmbedApprox>(
+          params.region, params.hausdorff_grid_cols, params.hausdorff_grid_rows);
+    case Measure::kErp:
+    case Measure::kEdr:
+    case Measure::kLcss:
+      return nullptr;  // No approximate algorithm (paper Table II "-").
+  }
+  return nullptr;
+}
+
+}  // namespace neutraj

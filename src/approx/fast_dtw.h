@@ -1,0 +1,50 @@
+// FastDTW (Salvador & Chan, 2007): linear-time approximate dynamic time
+// warping by multilevel coarsening, path projection and radius-constrained
+// refinement.
+
+#ifndef NEUTRAJ_APPROX_FAST_DTW_H_
+#define NEUTRAJ_APPROX_FAST_DTW_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "geo/trajectory.h"
+
+namespace neutraj {
+
+/// A warp path: aligned index pairs (i into a, j into b), monotone
+/// non-decreasing in both coordinates, from (0,0) to (n-1, m-1).
+using WarpPath = std::vector<std::pair<size_t, size_t>>;
+
+/// Result of a (windowed) DTW evaluation.
+struct DtwResult {
+  double distance = 0.0;
+  WarpPath path;
+};
+
+/// Exact DTW restricted to a window of allowed cells; `window[i]` is the
+/// inclusive [lo, hi] column range of row i (must be non-empty per row and
+/// connected). Used by FastDTW's refinement step and directly testable.
+DtwResult WindowedDtw(const Trajectory& a, const Trajectory& b,
+                      const std::vector<std::pair<size_t, size_t>>& window);
+
+/// Full exact DTW with path recovery (O(n*m) time and memory).
+DtwResult DtwWithPath(const Trajectory& a, const Trajectory& b);
+
+/// FastDTW approximate distance. `radius` controls the refinement band
+/// (larger = more accurate, slower); the classic default is 1.
+/// Throws std::invalid_argument on empty inputs.
+double FastDtwDistance(const Trajectory& a, const Trajectory& b, int radius = 1);
+
+/// Sakoe–Chiba banded DTW: the DP is restricted to a diagonal band covering
+/// `band_fraction` of the shorter side (in [0, 1]; 1 = exact DTW). The
+/// classic O(n * band) constrained approximation; never underestimates the
+/// exact distance. Throws std::invalid_argument on empty inputs or a
+/// fraction outside [0, 1].
+double BandedDtwDistance(const Trajectory& a, const Trajectory& b,
+                         double band_fraction);
+
+}  // namespace neutraj
+
+#endif  // NEUTRAJ_APPROX_FAST_DTW_H_

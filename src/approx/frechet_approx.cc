@@ -1,0 +1,13 @@
+#include "approx/frechet_approx.h"
+
+#include "approx/grid_snap.h"
+#include "distance/measures.h"
+
+namespace neutraj {
+
+double ApproxFrechetDistance(const Trajectory& a, const Trajectory& b,
+                             double cell_size) {
+  return FrechetDistance(SnapToGrid(a, cell_size), SnapToGrid(b, cell_size));
+}
+
+}  // namespace neutraj

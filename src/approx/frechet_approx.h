@@ -1,0 +1,20 @@
+// Approximate Fréchet distance via grid-snapped curve simplification
+// (Driemel & Silvestri, SoCG'17 signature curves).
+
+#ifndef NEUTRAJ_APPROX_FRECHET_APPROX_H_
+#define NEUTRAJ_APPROX_FRECHET_APPROX_H_
+
+#include "geo/trajectory.h"
+
+namespace neutraj {
+
+/// Discrete Fréchet distance computed on `cell_size`-snapped signature
+/// curves; the signatures are typically much shorter than the originals, so
+/// the quadratic DP runs on small inputs. Additive error is bounded by
+/// sqrt(2) * cell_size.
+double ApproxFrechetDistance(const Trajectory& a, const Trajectory& b,
+                             double cell_size);
+
+}  // namespace neutraj
+
+#endif  // NEUTRAJ_APPROX_FRECHET_APPROX_H_

@@ -1,0 +1,24 @@
+#include "approx/grid_snap.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace neutraj {
+
+Trajectory SnapToGrid(const Trajectory& t, double cell_size, const Point& shift) {
+  if (cell_size <= 0.0) throw std::invalid_argument("SnapToGrid: cell_size <= 0");
+  Trajectory out;
+  for (const Point& p : t) {
+    const double cx =
+        (std::floor((p.x - shift.x) / cell_size) + 0.5) * cell_size + shift.x;
+    const double cy =
+        (std::floor((p.y - shift.y) / cell_size) + 0.5) * cell_size + shift.y;
+    const Point snapped(cx, cy);
+    if (out.empty() || !(out[out.size() - 1] == snapped)) {
+      out.Append(snapped);
+    }
+  }
+  return out;
+}
+
+}  // namespace neutraj

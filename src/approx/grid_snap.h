@@ -1,0 +1,24 @@
+// Grid-snapping curve simplification — the signature step of
+// Driemel & Silvestri's locality-sensitive hashing of curves (SoCG'17).
+//
+// Each point is snapped to the center of a randomly-shiftable uniform grid
+// and consecutive duplicate cells are collapsed. The snapped curve is within
+// Fréchet distance delta*sqrt(2)/2 of the original, so measures computed on
+// snapped curves approximate the originals while being much shorter.
+
+#ifndef NEUTRAJ_APPROX_GRID_SNAP_H_
+#define NEUTRAJ_APPROX_GRID_SNAP_H_
+
+#include "geo/trajectory.h"
+
+namespace neutraj {
+
+/// Snaps every point of `t` to the center of its `cell_size` grid cell
+/// (grid anchored at `shift`) and removes consecutive duplicates.
+/// The result is never empty for a non-empty input.
+Trajectory SnapToGrid(const Trajectory& t, double cell_size,
+                      const Point& shift = Point(0.0, 0.0));
+
+}  // namespace neutraj
+
+#endif  // NEUTRAJ_APPROX_GRID_SNAP_H_

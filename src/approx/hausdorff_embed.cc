@@ -1,0 +1,86 @@
+#include "approx/hausdorff_embed.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace neutraj {
+
+HausdorffEmbedder::HausdorffEmbedder(const Grid& grid, double cap)
+    : grid_(grid), cap_(cap) {
+  if (cap_ <= 0.0) {
+    const double diag = std::hypot(grid.region().Width(), grid.region().Height());
+    cap_ = diag / 2.0;
+  }
+}
+
+std::vector<double> HausdorffEmbedder::Embed(const Trajectory& t) const {
+  if (t.empty()) throw std::invalid_argument("HausdorffEmbedder: empty trajectory");
+  const int32_t cols = grid_.num_cols();
+  const int32_t rows = grid_.num_rows();
+  const size_t cells = static_cast<size_t>(cols) * rows;
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> dist(cells, kInf);
+
+  // Seed occupied cells with the exact distance from the cell center to the
+  // nearest seeding point (better than 0: keeps sub-cell information).
+  for (const Point& p : t) {
+    const GridCell c = grid_.CellOf(p);
+    const size_t idx = static_cast<size_t>(grid_.FlatIndex(c));
+    const double d = EuclideanDistance(grid_.CellCenter(c), p);
+    dist[idx] = std::min(dist[idx], d);
+  }
+
+  // Two-pass chamfer distance transform with 8-neighborhood step costs.
+  const double dx = grid_.cell_width();
+  const double dy = grid_.cell_height();
+  const double diag = std::hypot(dx, dy);
+  auto at = [&](int32_t col, int32_t row) -> double& {
+    return dist[static_cast<size_t>(row) * cols + col];
+  };
+  auto relax = [](double& target, double source, double step) {
+    if (source + step < target) target = source + step;
+  };
+  // Forward pass (top-left to bottom-right).
+  for (int32_t r = 0; r < rows; ++r) {
+    for (int32_t c = 0; c < cols; ++c) {
+      double& v = at(c, r);
+      if (c > 0) relax(v, at(c - 1, r), dx);
+      if (r > 0) relax(v, at(c, r - 1), dy);
+      if (c > 0 && r > 0) relax(v, at(c - 1, r - 1), diag);
+      if (c + 1 < cols && r > 0) relax(v, at(c + 1, r - 1), diag);
+    }
+  }
+  // Backward pass (bottom-right to top-left).
+  for (int32_t r = rows - 1; r >= 0; --r) {
+    for (int32_t c = cols - 1; c >= 0; --c) {
+      double& v = at(c, r);
+      if (c + 1 < cols) relax(v, at(c + 1, r), dx);
+      if (r + 1 < rows) relax(v, at(c, r + 1), dy);
+      if (c + 1 < cols && r + 1 < rows) relax(v, at(c + 1, r + 1), diag);
+      if (c > 0 && r + 1 < rows) relax(v, at(c - 1, r + 1), diag);
+    }
+  }
+  for (double& v : dist) v = std::min(v, cap_);
+  return dist;
+}
+
+double HausdorffEmbedder::EmbeddingDistance(const std::vector<double>& a,
+                                            const std::vector<double>& b) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("EmbeddingDistance: size mismatch");
+  }
+  double m = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    m = std::max(m, std::abs(a[i] - b[i]));
+  }
+  return m;
+}
+
+double HausdorffEmbedder::ApproxHausdorff(const Trajectory& a,
+                                          const Trajectory& b) const {
+  return EmbeddingDistance(Embed(a), Embed(b));
+}
+
+}  // namespace neutraj

@@ -1,0 +1,47 @@
+// Grid distance-transform embedding for the Hausdorff distance, in the
+// spirit of Farach-Colton & Indyk (FOCS'99) / Backurs & Sidiropoulos
+// (APPROX'16): each point set is embedded as the vector of (capped)
+// distances from every grid-cell center to the set, and
+//   Hausdorff(A, B) ~= Linf(embed(A), embed(B)).
+// The identity is exact in the continuous limit; the grid resolution and
+// the cap bound the distortion.
+
+#ifndef NEUTRAJ_APPROX_HAUSDORFF_EMBED_H_
+#define NEUTRAJ_APPROX_HAUSDORFF_EMBED_H_
+
+#include <vector>
+
+#include "geo/grid.h"
+#include "geo/trajectory.h"
+
+namespace neutraj {
+
+/// Embeds trajectories into R^{P*Q} distance-transform vectors.
+class HausdorffEmbedder {
+ public:
+  /// `grid` fixes the embedding cells; `cap` truncates cell-to-set distances
+  /// (<= 0 selects half the region diagonal).
+  explicit HausdorffEmbedder(const Grid& grid, double cap = 0.0);
+
+  /// The distance-transform vector of `t` (size grid cells), computed by a
+  /// two-pass chamfer sweep over the grid in O(points + cells) time.
+  std::vector<double> Embed(const Trajectory& t) const;
+
+  /// Linf distance between two embeddings — the Hausdorff approximation.
+  static double EmbeddingDistance(const std::vector<double>& a,
+                                  const std::vector<double>& b);
+
+  /// Convenience: embeds both sides and compares.
+  double ApproxHausdorff(const Trajectory& a, const Trajectory& b) const;
+
+  const Grid& grid() const { return grid_; }
+  double cap() const { return cap_; }
+
+ private:
+  Grid grid_;
+  double cap_;
+};
+
+}  // namespace neutraj
+
+#endif  // NEUTRAJ_APPROX_HAUSDORFF_EMBED_H_

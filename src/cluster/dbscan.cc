@@ -1,0 +1,76 @@
+#include "cluster/dbscan.h"
+
+#include <deque>
+#include <stdexcept>
+
+namespace neutraj {
+
+namespace {
+
+/// Shared DBSCAN core over an indexable distance accessor.
+template <typename DistAt>
+Clustering DbscanImpl(size_t n, double eps, size_t min_pts, DistAt dist) {
+  if (eps < 0.0) throw std::invalid_argument("Dbscan: eps < 0");
+  if (min_pts == 0) throw std::invalid_argument("Dbscan: min_pts == 0");
+
+  constexpr int kUnvisited = -2;
+  Clustering out;
+  out.labels.assign(n, kUnvisited);
+
+  auto neighbors = [&](size_t i) {
+    std::vector<size_t> nb;
+    for (size_t j = 0; j < n; ++j) {
+      if (dist(i, j) <= eps) nb.push_back(j);  // Includes i itself.
+    }
+    return nb;
+  };
+
+  int cluster = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (out.labels[i] != kUnvisited) continue;
+    std::vector<size_t> nb = neighbors(i);
+    if (nb.size() < min_pts) {
+      out.labels[i] = kNoise;
+      continue;
+    }
+    // Start a new cluster; classic expand-by-queue.
+    out.labels[i] = cluster;
+    std::deque<size_t> queue(nb.begin(), nb.end());
+    while (!queue.empty()) {
+      const size_t q = queue.front();
+      queue.pop_front();
+      if (out.labels[q] == kNoise) out.labels[q] = cluster;  // Border point.
+      if (out.labels[q] != kUnvisited) continue;
+      out.labels[q] = cluster;
+      const std::vector<size_t> qn = neighbors(q);
+      if (qn.size() >= min_pts) {
+        queue.insert(queue.end(), qn.begin(), qn.end());
+      }
+    }
+    ++cluster;
+  }
+  out.num_clusters = cluster;
+  for (int l : out.labels) {
+    if (l == kNoise) ++out.num_noise;
+  }
+  return out;
+}
+
+}  // namespace
+
+Clustering Dbscan(const DistanceMatrix& dists, double eps, size_t min_pts) {
+  return DbscanImpl(
+      dists.size(), eps, min_pts,
+      [&dists](size_t i, size_t j) { return dists.At(i, j); });
+}
+
+Clustering Dbscan(const std::vector<double>& dists, size_t n, double eps,
+                  size_t min_pts) {
+  if (dists.size() != n * n) {
+    throw std::invalid_argument("Dbscan: dists size != n*n");
+  }
+  return DbscanImpl(n, eps, min_pts,
+                    [&](size_t i, size_t j) { return dists[i * n + j]; });
+}
+
+}  // namespace neutraj

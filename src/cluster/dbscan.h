@@ -1,0 +1,38 @@
+// DBSCAN density-based clustering over a precomputed distance matrix —
+// the clustering algorithm of the paper's trajectory-clustering experiment
+// (Fig. 9), applied to both exact and embedding-based distances.
+
+#ifndef NEUTRAJ_CLUSTER_DBSCAN_H_
+#define NEUTRAJ_CLUSTER_DBSCAN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "distance/pairwise.h"
+
+namespace neutraj {
+
+/// Label assigned to noise points.
+inline constexpr int kNoise = -1;
+
+/// DBSCAN clustering result.
+struct Clustering {
+  /// Per-point cluster label in [0, num_clusters) or kNoise.
+  std::vector<int> labels;
+  int num_clusters = 0;
+  size_t num_noise = 0;
+};
+
+/// Runs DBSCAN with radius `eps` and density threshold `min_pts` (the point
+/// itself counts toward min_pts, as in the original formulation).
+Clustering Dbscan(const DistanceMatrix& dists, double eps, size_t min_pts);
+
+/// DBSCAN over generic pairwise distances supplied as a dense row-major
+/// n*n vector (used for embedding distances without materializing a
+/// DistanceMatrix).
+Clustering Dbscan(const std::vector<double>& dists, size_t n, double eps,
+                  size_t min_pts);
+
+}  // namespace neutraj
+
+#endif  // NEUTRAJ_CLUSTER_DBSCAN_H_

@@ -1,0 +1,110 @@
+#include "cluster/metrics.h"
+
+#include <cmath>
+#include <map>
+#include <stdexcept>
+#include <utility>
+
+namespace neutraj {
+
+namespace {
+
+/// Remaps labels so noise points (-1) become unique singleton clusters and
+/// labels are densely numbered from 0.
+std::vector<int> Densify(const std::vector<int>& labels) {
+  std::map<int, int> remap;
+  std::vector<int> out(labels.size());
+  int next = 0;
+  // First pass: real clusters.
+  for (int l : labels) {
+    if (l >= 0 && remap.find(l) == remap.end()) remap[l] = next++;
+  }
+  for (size_t i = 0; i < labels.size(); ++i) {
+    out[i] = labels[i] >= 0 ? remap[labels[i]] : next++;
+  }
+  return out;
+}
+
+double Entropy(const std::vector<double>& counts, double n) {
+  double h = 0.0;
+  for (double c : counts) {
+    if (c > 0.0) h -= (c / n) * std::log(c / n);
+  }
+  return h;
+}
+
+double LogBinomial2(double x) { return x * (x - 1.0) / 2.0; }
+
+}  // namespace
+
+ClusterAgreement CompareClusterings(const std::vector<int>& truth,
+                                    const std::vector<int>& predicted) {
+  if (truth.size() != predicted.size()) {
+    throw std::invalid_argument("CompareClusterings: length mismatch");
+  }
+  if (truth.empty()) {
+    throw std::invalid_argument("CompareClusterings: empty labelings");
+  }
+  const std::vector<int> t = Densify(truth);
+  const std::vector<int> p = Densify(predicted);
+  const double n = static_cast<double>(t.size());
+
+  // Contingency table.
+  std::map<std::pair<int, int>, double> joint;
+  std::map<int, double> t_count, p_count;
+  for (size_t i = 0; i < t.size(); ++i) {
+    joint[{t[i], p[i]}] += 1.0;
+    t_count[t[i]] += 1.0;
+    p_count[p[i]] += 1.0;
+  }
+
+  std::vector<double> t_sizes, p_sizes;
+  for (const auto& [k, v] : t_count) {
+    (void)k;
+    t_sizes.push_back(v);
+  }
+  for (const auto& [k, v] : p_count) {
+    (void)k;
+    p_sizes.push_back(v);
+  }
+
+  const double h_t = Entropy(t_sizes, n);
+  const double h_p = Entropy(p_sizes, n);
+  // Conditional entropies H(T|P) and H(P|T) from the contingency table.
+  double h_t_given_p = 0.0;
+  double h_p_given_t = 0.0;
+  for (const auto& [key, nij] : joint) {
+    const double nt = t_count[key.first];
+    const double np = p_count[key.second];
+    h_t_given_p -= (nij / n) * std::log(nij / np);
+    h_p_given_t -= (nij / n) * std::log(nij / nt);
+  }
+
+  ClusterAgreement a;
+  a.homogeneity = h_t > 0.0 ? 1.0 - h_t_given_p / h_t : 1.0;
+  a.completeness = h_p > 0.0 ? 1.0 - h_p_given_t / h_p : 1.0;
+  a.v_measure = (a.homogeneity + a.completeness) > 0.0
+                    ? 2.0 * a.homogeneity * a.completeness /
+                          (a.homogeneity + a.completeness)
+                    : 0.0;
+
+  // Adjusted Rand index.
+  double sum_comb_joint = 0.0;
+  for (const auto& [key, nij] : joint) {
+    (void)key;
+    sum_comb_joint += LogBinomial2(nij);
+  }
+  double sum_comb_t = 0.0, sum_comb_p = 0.0;
+  for (double c : t_sizes) sum_comb_t += LogBinomial2(c);
+  for (double c : p_sizes) sum_comb_p += LogBinomial2(c);
+  const double total_pairs = LogBinomial2(n);
+  const double expected = sum_comb_t * sum_comb_p / total_pairs;
+  const double max_index = (sum_comb_t + sum_comb_p) / 2.0;
+  a.adjusted_rand_index =
+      max_index - expected > 0.0
+          ? (sum_comb_joint - expected) / (max_index - expected)
+          : 1.0;
+  return a;
+}
+
+}  // namespace neutraj

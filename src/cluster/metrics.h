@@ -1,0 +1,30 @@
+// Clustering-agreement metrics used by the paper's Fig. 9: homogeneity,
+// completeness, V-measure (Rosenberg & Hirschberg, 2007) and the adjusted
+// Rand index (Hubert & Arabie, 1985).
+
+#ifndef NEUTRAJ_CLUSTER_METRICS_H_
+#define NEUTRAJ_CLUSTER_METRICS_H_
+
+#include <vector>
+
+namespace neutraj {
+
+/// The four agreement scores between a reference labeling ("truth", here
+/// the exact-distance clustering) and a predicted labeling (embedding-based
+/// clustering). Noise labels (-1) are treated as singleton clusters so that
+/// two identical clusterings always score 1.0.
+struct ClusterAgreement {
+  double homogeneity = 0.0;
+  double completeness = 0.0;
+  double v_measure = 0.0;
+  double adjusted_rand_index = 0.0;
+};
+
+/// Computes all four metrics. Throws std::invalid_argument on length
+/// mismatch or empty inputs.
+ClusterAgreement CompareClusterings(const std::vector<int>& truth,
+                                    const std::vector<int>& predicted);
+
+}  // namespace neutraj
+
+#endif  // NEUTRAJ_CLUSTER_METRICS_H_

@@ -1,0 +1,45 @@
+#include "common/file_util.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace neutraj {
+
+namespace fs = std::filesystem;
+
+bool FileExists(const std::string& path) {
+  std::error_code ec;
+  return fs::is_regular_file(path, ec);
+}
+
+bool EnsureDirectory(const std::string& path) {
+  std::error_code ec;
+  if (fs::is_directory(path, ec)) return true;
+  return fs::create_directories(path, ec);
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("ReadFile: cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+void WriteFileAtomic(const std::string& path, const std::string& content) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw std::runtime_error("WriteFileAtomic: cannot open " + tmp);
+    out.write(content.data(), static_cast<std::streamsize>(content.size()));
+    if (!out) throw std::runtime_error("WriteFileAtomic: write failed " + tmp);
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) throw std::runtime_error("WriteFileAtomic: rename failed " + path);
+}
+
+}  // namespace neutraj

@@ -1,0 +1,26 @@
+// Filesystem helpers for model serialization and the experiment cache.
+
+#ifndef NEUTRAJ_COMMON_FILE_UTIL_H_
+#define NEUTRAJ_COMMON_FILE_UTIL_H_
+
+#include <string>
+
+namespace neutraj {
+
+/// True if a regular file exists at `path`.
+bool FileExists(const std::string& path);
+
+/// Creates `path` (and parents) as a directory; no-op if it already exists.
+/// Returns false on failure.
+bool EnsureDirectory(const std::string& path);
+
+/// Reads a whole file into a string. Throws std::runtime_error on failure.
+std::string ReadFile(const std::string& path);
+
+/// Writes `content` to `path` atomically (write tmp + rename).
+/// Throws std::runtime_error on failure.
+void WriteFileAtomic(const std::string& path, const std::string& content);
+
+}  // namespace neutraj
+
+#endif  // NEUTRAJ_COMMON_FILE_UTIL_H_

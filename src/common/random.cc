@@ -1,0 +1,72 @@
+#include "common/random.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <queue>
+
+namespace neutraj {
+
+size_t Rng::Categorical(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) {
+    if (w < 0.0) throw std::invalid_argument("Categorical: negative weight");
+    total += w;
+  }
+  if (total <= 0.0) throw std::invalid_argument("Categorical: all weights zero");
+  double r = Uniform(0.0, total);
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (r < acc) return i;
+  }
+  return weights.size() - 1;  // Floating-point slack: land on last entry.
+}
+
+std::vector<size_t> Rng::WeightedSampleWithoutReplacement(
+    const std::vector<double>& weights, size_t k) {
+  // Efraimidis–Spirakis: key_i = u^(1/w_i); take the k largest keys.
+  // Equivalent and numerically safer in log space: key = log(u)/w.
+  using Entry = std::pair<double, size_t>;  // (key, index)
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    double w = weights[i];
+    if (w < 0.0) {
+      throw std::invalid_argument(
+          "WeightedSampleWithoutReplacement: negative weight");
+    }
+    if (w == 0.0) continue;
+    double u = Uniform(1e-300, 1.0);
+    double key = std::log(u) / w;
+    if (heap.size() < k) {
+      heap.emplace(key, i);
+    } else if (key > heap.top().first) {
+      heap.pop();
+      heap.emplace(key, i);
+    }
+  }
+  std::vector<size_t> result;
+  result.reserve(heap.size());
+  while (!heap.empty()) {
+    result.push_back(heap.top().second);
+    heap.pop();
+  }
+  std::reverse(result.begin(), result.end());  // Highest key (best) first.
+  return result;
+}
+
+std::vector<size_t> Rng::SampleIndices(size_t n, size_t k) {
+  if (k > n) throw std::invalid_argument("SampleIndices: k > n");
+  std::vector<size_t> all(n);
+  std::iota(all.begin(), all.end(), size_t{0});
+  // Partial Fisher-Yates: the first k slots are a uniform sample.
+  for (size_t i = 0; i < k; ++i) {
+    size_t j = static_cast<size_t>(
+        UniformInt(static_cast<int64_t>(i), static_cast<int64_t>(n) - 1));
+    std::swap(all[i], all[j]);
+  }
+  all.resize(k);
+  return all;
+}
+
+}  // namespace neutraj

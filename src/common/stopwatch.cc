@@ -1,0 +1,9 @@
+#include "common/stopwatch.h"
+
+namespace neutraj {
+
+double Stopwatch::ElapsedSeconds() const {
+  return std::chrono::duration<double>(Clock::now() - start_).count();
+}
+
+}  // namespace neutraj

@@ -1,0 +1,31 @@
+// Wall-clock stopwatch used by the experiment harness and benches.
+
+#ifndef NEUTRAJ_COMMON_STOPWATCH_H_
+#define NEUTRAJ_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace neutraj {
+
+/// Monotonic wall-clock stopwatch. Starts running on construction.
+class Stopwatch {
+ public:
+  Stopwatch() { Restart(); }
+
+  /// Resets the start point to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const;
+
+  /// Milliseconds elapsed since construction or the last Restart().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace neutraj
+
+#endif  // NEUTRAJ_COMMON_STOPWATCH_H_

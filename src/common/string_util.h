@@ -1,0 +1,29 @@
+// Small string helpers used by I/O, config hashing and the bench harness.
+
+#ifndef NEUTRAJ_COMMON_STRING_UTIL_H_
+#define NEUTRAJ_COMMON_STRING_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace neutraj {
+
+/// Splits `s` on `delim`, keeping empty fields.
+std::vector<std::string> Split(const std::string& s, char delim);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string Trim(const std::string& s);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Stable 64-bit FNV-1a hash of a byte string; used to key the model cache.
+uint64_t Fnv1aHash(const std::string& s);
+
+/// Lower-cases ASCII characters.
+std::string ToLower(const std::string& s);
+
+}  // namespace neutraj
+
+#endif  // NEUTRAJ_COMMON_STRING_UTIL_H_

@@ -1,0 +1,61 @@
+// Minimal fixed-size thread pool and a parallel-for helper.
+//
+// The quadratic seed-distance computation and corpus embedding are
+// embarrassingly parallel; this pool lets multi-core users amortize them
+// (the experiments in this repo run single-threaded for determinism of
+// timings, but the drivers below are used by the library API).
+
+#ifndef NEUTRAJ_COMMON_THREAD_POOL_H_
+#define NEUTRAJ_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace neutraj {
+
+/// Fixed-size worker pool executing void() tasks FIFO.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (>= 1 enforced).
+  explicit ThreadPool(size_t num_threads);
+
+  /// Drains outstanding tasks, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Enqueues a task. Must not be called after destruction begins.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished executing.
+  void Wait();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable task_ready_;
+  std::condition_variable all_done_;
+  std::queue<std::function<void()>> tasks_;
+  size_t in_flight_ = 0;
+  bool shutting_down_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Runs body(i) for i in [0, n), split across `num_threads` workers in
+/// contiguous chunks. `body` must be safe to call concurrently for distinct
+/// i. num_threads <= 1 runs inline.
+void ParallelFor(size_t n, size_t num_threads,
+                 const std::function<void(size_t)>& body);
+
+}  // namespace neutraj
+
+#endif  // NEUTRAJ_COMMON_THREAD_POOL_H_

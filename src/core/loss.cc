@@ -1,0 +1,38 @@
+#include "core/loss.h"
+
+#include <cmath>
+
+namespace neutraj {
+
+PairLoss SimilarPairLoss(double g, double f, double r) {
+  const double diff = g - f;
+  return PairLoss{r * diff * diff, 2.0 * r * diff};
+}
+
+PairLoss DissimilarPairLoss(double g, double f, double r) {
+  const double diff = g - f;
+  if (diff <= 0.0) return PairLoss{0.0, 0.0};
+  return PairLoss{r * diff * diff, 2.0 * r * diff};
+}
+
+PairLoss MsePairLoss(double g, double f, double w) {
+  const double diff = g - f;
+  return PairLoss{w * diff * diff, 2.0 * w * diff};
+}
+
+void BackpropPairSimilarity(const nn::Vector& e_a, const nn::Vector& e_b,
+                            double g, double dg, nn::Vector* de_a,
+                            nn::Vector* de_b) {
+  // g = exp(-dist), dist = ||e_a - e_b||.
+  // dL/de_a = dg * dg/ddist * ddist/de_a = dg * (-g) * (e_a - e_b) / dist.
+  const double dist = nn::L2Distance(e_a, e_b);
+  if (dist < 1e-12) return;  // Gradient direction undefined; skip.
+  const double scale = -dg * g / dist;
+  for (size_t k = 0; k < e_a.size(); ++k) {
+    const double diff = e_a[k] - e_b[k];
+    (*de_a)[k] += scale * diff;
+    (*de_b)[k] -= scale * diff;
+  }
+}
+
+}  // namespace neutraj

@@ -1,0 +1,36 @@
+// Pair-wise losses (paper Eqs. 8-9) and their derivatives w.r.t. the
+// predicted similarity g.
+
+#ifndef NEUTRAJ_CORE_LOSS_H_
+#define NEUTRAJ_CORE_LOSS_H_
+
+#include "nn/matrix.h"
+
+namespace neutraj {
+
+/// Loss value and its derivative dL/dg for one pair.
+struct PairLoss {
+  double loss = 0.0;
+  double dg = 0.0;
+};
+
+/// Similar-pair term (Eq. 8): r * (g - f)^2.
+PairLoss SimilarPairLoss(double g, double f, double r);
+
+/// Dissimilar-pair margin term (Eq. 9): r * ReLU(g - f)^2. Zero (and flat)
+/// when the predicted similarity is already below the ground truth.
+PairLoss DissimilarPairLoss(double g, double f, double r);
+
+/// Plain weighted MSE term for the Siamese baseline: w * (g - f)^2.
+PairLoss MsePairLoss(double g, double f, double w);
+
+/// Backpropagates a pair similarity: given g = exp(-||e_a - e_b||) and
+/// dL/dg, adds dL/de_a into `de_a` and dL/de_b into `de_b` (both pre-sized).
+/// Numerically safe at e_a == e_b (gradient treated as zero there).
+void BackpropPairSimilarity(const nn::Vector& e_a, const nn::Vector& e_b,
+                            double g, double dg, nn::Vector* de_a,
+                            nn::Vector* de_b);
+
+}  // namespace neutraj
+
+#endif  // NEUTRAJ_CORE_LOSS_H_

@@ -1,0 +1,161 @@
+#include "core/model.h"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "common/file_util.h"
+#include "common/thread_pool.h"
+
+namespace neutraj {
+
+NeuTrajModel::NeuTrajModel(const NeuTrajConfig& cfg, const Grid& grid)
+    : config_(cfg),
+      encoder_(std::make_unique<nn::Encoder>(cfg.backbone, grid,
+                                             cfg.embedding_dim, cfg.scan_width)) {
+  config_.Validate();
+}
+
+void NeuTrajModel::InitializeWeights(Rng* rng) { encoder_->Initialize(rng); }
+
+nn::Vector NeuTrajModel::Embed(const Trajectory& traj) const {
+  return encoder_->Encode(traj, config_.update_memory_at_inference);
+}
+
+std::vector<nn::Vector> NeuTrajModel::EmbedAll(
+    const std::vector<Trajectory>& corpus) const {
+  std::vector<nn::Vector> out;
+  out.reserve(corpus.size());
+  for (const Trajectory& t : corpus) out.push_back(Embed(t));
+  return out;
+}
+
+std::vector<nn::Vector> NeuTrajModel::EmbedAllParallel(
+    const std::vector<Trajectory>& corpus, size_t num_threads) const {
+  if (config_.update_memory_at_inference) {
+    throw std::logic_error(
+        "EmbedAllParallel: memory-updating inference cannot run in parallel");
+  }
+  std::vector<nn::Vector> out(corpus.size());
+  ParallelFor(corpus.size(), num_threads,
+              [&](size_t i) { out[i] = Embed(corpus[i]); });
+  return out;
+}
+
+double NeuTrajModel::Similarity(const Trajectory& t1, const Trajectory& t2) const {
+  return EmbeddingSimilarity(Embed(t1), Embed(t2));
+}
+
+double NeuTrajModel::Distance(const Trajectory& t1, const Trajectory& t2) const {
+  return EmbeddingDistance(Embed(t1), Embed(t2));
+}
+
+size_t NeuTrajModel::NumParameters() const {
+  size_t total = 0;
+  for (const nn::Param* p : const_cast<nn::Encoder&>(*encoder_).Params()) {
+    total += p->value.size();
+  }
+  return total;
+}
+
+void NeuTrajModel::Save(const std::string& path) const {
+  std::ostringstream out;
+  out.precision(17);
+  out << "NEUTRAJ-MODEL v1\n";
+  // Config fields needed to reconstruct the encoder and inference behavior.
+  out << MeasureName(config_.measure) << ' '
+      << static_cast<int>(config_.transform) << ' ' << config_.alpha << ' '
+      << config_.alpha_factor << ' ' << static_cast<int>(config_.backbone)
+      << ' ' << config_.embedding_dim << ' ' << config_.scan_width << ' '
+      << static_cast<int>(config_.sampling) << ' '
+      << static_cast<int>(config_.loss) << ' ' << config_.sampling_num << ' '
+      << config_.batch_size << ' ' << config_.epochs << ' '
+      << config_.learning_rate << ' ' << config_.clip_norm << ' '
+      << config_.early_stop_tol << ' ' << config_.patience << ' '
+      << config_.rng_seed << ' ' << config_.update_memory_at_inference << '\n';
+  const Grid& g = grid();
+  out << g.region().min_x << ' ' << g.region().min_y << ' '
+      << g.region().max_x << ' ' << g.region().max_y << ' ' << g.num_cols()
+      << ' ' << g.num_rows() << '\n';
+  std::vector<const nn::Param*> params;
+  for (nn::Param* p : const_cast<nn::Encoder&>(*encoder_).Params()) {
+    params.push_back(p);
+  }
+  out << nn::SerializeParams(params);
+  // SAM memory (inference reads it).
+  if (encoder_->has_memory()) {
+    const auto& mem = encoder_->memory().values();
+    out << "MEMORY " << mem.size() << '\n';
+    for (size_t i = 0; i < mem.size(); ++i) {
+      if (i > 0) out << ' ';
+      out << mem[i];
+    }
+    out << '\n';
+  } else {
+    out << "MEMORY 0\n\n";
+  }
+  WriteFileAtomic(path, out.str());
+}
+
+NeuTrajModel NeuTrajModel::Load(const std::string& path) {
+  std::istringstream in(ReadFile(path));
+  std::string line;
+  if (!std::getline(in, line) || line != "NEUTRAJ-MODEL v1") {
+    throw std::runtime_error("NeuTrajModel::Load: bad header in " + path);
+  }
+  NeuTrajConfig cfg;
+  std::string measure;
+  int transform = 0, backbone = 0, sampling = 0, loss = 0;
+  int update_inference = 0;
+  if (!(in >> measure >> transform >> cfg.alpha >> cfg.alpha_factor >>
+        backbone >> cfg.embedding_dim >> cfg.scan_width >> sampling >> loss >>
+        cfg.sampling_num >> cfg.batch_size >> cfg.epochs >>
+        cfg.learning_rate >> cfg.clip_norm >> cfg.early_stop_tol >>
+        cfg.patience >> cfg.rng_seed >> update_inference)) {
+    throw std::runtime_error("NeuTrajModel::Load: bad config in " + path);
+  }
+  cfg.measure = MeasureFromName(measure);
+  cfg.transform = static_cast<SimilarityTransform>(transform);
+  cfg.backbone = static_cast<nn::Backbone>(backbone);
+  cfg.sampling = static_cast<SamplingStrategy>(sampling);
+  cfg.loss = static_cast<LossKind>(loss);
+  cfg.update_memory_at_inference = update_inference != 0;
+
+  BoundingBox region;
+  int32_t cols = 0, rows = 0;
+  if (!(in >> region.min_x >> region.min_y >> region.max_x >> region.max_y >>
+        cols >> rows)) {
+    throw std::runtime_error("NeuTrajModel::Load: bad grid in " + path);
+  }
+  NeuTrajModel model(cfg, Grid(region, cols, rows));
+  // The remainder of the stream: params then memory.
+  std::string rest((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  const size_t mem_pos = rest.find("MEMORY ");
+  if (mem_pos == std::string::npos) {
+    throw std::runtime_error("NeuTrajModel::Load: missing memory block in " + path);
+  }
+  nn::DeserializeParams(rest.substr(0, mem_pos), model.encoder_->Params());
+  std::istringstream mem_in(rest.substr(mem_pos));
+  std::string tag;
+  size_t count = 0;
+  if (!(mem_in >> tag >> count) || tag != "MEMORY") {
+    throw std::runtime_error("NeuTrajModel::Load: bad memory header in " + path);
+  }
+  if (model.encoder_->has_memory()) {
+    auto& mem = model.encoder_->memory().values();
+    if (count != mem.size()) {
+      throw std::runtime_error("NeuTrajModel::Load: memory size mismatch in " + path);
+    }
+    for (double& v : mem) {
+      if (!(mem_in >> v)) {
+        throw std::runtime_error("NeuTrajModel::Load: truncated memory in " + path);
+      }
+    }
+    model.encoder_->memory().RecomputeWrittenFlags();
+  } else if (count != 0) {
+    throw std::runtime_error("NeuTrajModel::Load: unexpected memory block in " + path);
+  }
+  return model;
+}
+
+}  // namespace neutraj

@@ -1,0 +1,69 @@
+#include "core/sampler.h"
+
+#include <algorithm>
+
+namespace neutraj {
+
+namespace {
+
+/// Sorts `ids` by similarity to the anchor row; ascending if `ascending`.
+void SortBySimilarity(const SimilarityMatrix& s, size_t anchor,
+                      std::vector<size_t>* ids, bool ascending) {
+  const double* row = s.Row(anchor);
+  std::sort(ids->begin(), ids->end(), [&](size_t a, size_t b) {
+    return ascending ? row[a] < row[b] : row[a] > row[b];
+  });
+}
+
+}  // namespace
+
+AnchorSample SampleAnchorPairs(const SimilarityMatrix& s, size_t anchor,
+                               size_t n, SamplingStrategy strategy, Rng* rng) {
+  const size_t pool = s.size();
+  AnchorSample out;
+  out.anchor = anchor;
+  if (pool < 2 || n == 0) return out;
+
+  if (strategy == SamplingStrategy::kDistanceWeighted) {
+    // Importance weights I_a = S[a, .], anchor zeroed out.
+    std::vector<double> w_sim = s.RowVector(anchor);
+    w_sim[anchor] = 0.0;
+    out.similar = rng->WeightedSampleWithoutReplacement(w_sim, n);
+
+    // Dissimilar weights 1 - S[a, .]; exclude anchor and the similar picks.
+    std::vector<double> w_dis(pool);
+    const double* row = s.Row(anchor);
+    for (size_t j = 0; j < pool; ++j) w_dis[j] = std::max(0.0, 1.0 - row[j]);
+    w_dis[anchor] = 0.0;
+    for (size_t j : out.similar) w_dis[j] = 0.0;
+    out.dissimilar = rng->WeightedSampleWithoutReplacement(w_dis, n);
+  } else {
+    // Uniform: draw 2n distinct non-anchor indices, split in half.
+    const size_t want = std::min(2 * n, pool - 1);
+    std::vector<size_t> draw = rng->SampleIndices(pool - 1, want);
+    // Map [0, pool-2] onto [0, pool-1] \ {anchor}.
+    for (size_t& idx : draw) {
+      if (idx >= anchor) ++idx;
+    }
+    const size_t half = std::min(n, draw.size());
+    out.similar.assign(draw.begin(), draw.begin() + static_cast<long>(half));
+    out.dissimilar.assign(draw.begin() + static_cast<long>(half), draw.end());
+  }
+
+  SortBySimilarity(s, anchor, &out.similar, /*ascending=*/false);
+  SortBySimilarity(s, anchor, &out.dissimilar, /*ascending=*/true);
+  return out;
+}
+
+std::vector<double> RankingWeights(size_t n) {
+  std::vector<double> r(n);
+  double total = 0.0;
+  for (size_t l = 0; l < n; ++l) {
+    r[l] = 1.0 / static_cast<double>(l + 1);
+    total += r[l];
+  }
+  for (double& v : r) v /= total;
+  return r;
+}
+
+}  // namespace neutraj

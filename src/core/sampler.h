@@ -1,0 +1,43 @@
+// Training-pair sampling (paper Sec. V-B).
+//
+// For an anchor seed T_a, the distance-weighted sampler draws n similar
+// neighbors with probability proportional to S[a, .] and n dissimilar
+// neighbors with probability proportional to (1 - S[a, .]); both lists are
+// ranked (similar by decreasing similarity, dissimilar by increasing) so the
+// ranking loss can apply reciprocal-rank weights. The random sampler (used
+// by NT-No-WS and Siamese) draws both lists uniformly.
+
+#ifndef NEUTRAJ_CORE_SAMPLER_H_
+#define NEUTRAJ_CORE_SAMPLER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/random.h"
+#include "core/similarity.h"
+
+namespace neutraj {
+
+/// One anchor's sampled training lists. Both lists hold seed indices and
+/// are ranked as required by the ranking loss.
+struct AnchorSample {
+  size_t anchor = 0;
+  std::vector<size_t> similar;    ///< Decreasing S[a, j].
+  std::vector<size_t> dissimilar; ///< Increasing S[a, j].
+};
+
+/// Samples the training lists for `anchor`.
+///
+/// Draws up to `n` per list (fewer if the pool is small); the anchor itself
+/// is excluded, and the dissimilar list excludes indices already drawn as
+/// similar.
+AnchorSample SampleAnchorPairs(const SimilarityMatrix& s, size_t anchor,
+                               size_t n, SamplingStrategy strategy, Rng* rng);
+
+/// Reciprocal-rank weights r = (1, 1/2, ..., 1/n), normalized to sum to 1.
+/// Returns an empty vector for n == 0.
+std::vector<double> RankingWeights(size_t n);
+
+}  // namespace neutraj
+
+#endif  // NEUTRAJ_CORE_SAMPLER_H_

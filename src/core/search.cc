@@ -1,0 +1,87 @@
+#include "core/search.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/similarity.h"
+
+namespace neutraj {
+
+namespace {
+
+/// Shared partial-sort driver over (id, distance) pairs.
+SearchResult TopKImpl(size_t n, size_t k, int64_t exclude,
+                      const std::vector<double>& dists) {
+  std::vector<size_t> ids;
+  ids.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (exclude >= 0 && i == static_cast<size_t>(exclude)) continue;
+    ids.push_back(i);
+  }
+  const size_t kk = std::min(k, ids.size());
+  std::partial_sort(ids.begin(), ids.begin() + static_cast<long>(kk), ids.end(),
+                    [&](size_t a, size_t b) {
+                      if (dists[a] != dists[b]) return dists[a] < dists[b];
+                      return a < b;
+                    });
+  ids.resize(kk);
+  SearchResult r;
+  r.ids = std::move(ids);
+  r.dists.reserve(kk);
+  for (size_t id : r.ids) r.dists.push_back(dists[id]);
+  return r;
+}
+
+}  // namespace
+
+SearchResult TopKByDistance(const std::vector<double>& dists, size_t k,
+                            int64_t exclude) {
+  return TopKImpl(dists.size(), k, exclude, dists);
+}
+
+SearchResult EmbeddingTopK(const std::vector<nn::Vector>& corpus,
+                           const nn::Vector& query, size_t k, int64_t exclude) {
+  std::vector<double> dists(corpus.size());
+  for (size_t i = 0; i < corpus.size(); ++i) {
+    dists[i] = nn::L2Distance(corpus[i], query);
+  }
+  return TopKImpl(corpus.size(), k, exclude, dists);
+}
+
+SearchResult ExactTopK(const std::vector<Trajectory>& corpus,
+                       const Trajectory& query, const DistanceFn& fn, size_t k,
+                       int64_t exclude) {
+  std::vector<double> dists(corpus.size());
+  for (size_t i = 0; i < corpus.size(); ++i) {
+    if (exclude >= 0 && i == static_cast<size_t>(exclude)) {
+      dists[i] = 0.0;  // Excluded by TopKImpl anyway.
+      continue;
+    }
+    dists[i] = fn(corpus[i], query);
+  }
+  return TopKImpl(corpus.size(), k, exclude, dists);
+}
+
+SearchResult RerankByExact(const std::vector<Trajectory>& corpus,
+                           const Trajectory& query,
+                           const std::vector<size_t>& candidates,
+                           const DistanceFn& fn, size_t k) {
+  std::vector<std::pair<double, size_t>> scored;
+  scored.reserve(candidates.size());
+  for (size_t id : candidates) {
+    scored.emplace_back(fn(corpus[id], query), id);
+  }
+  const size_t kk = std::min(k, scored.size());
+  std::partial_sort(scored.begin(), scored.begin() + static_cast<long>(kk),
+                    scored.end());
+  SearchResult r;
+  r.ids.reserve(kk);
+  r.dists.reserve(kk);
+  for (size_t i = 0; i < kk; ++i) {
+    r.ids.push_back(scored[i].second);
+    r.dists.push_back(scored[i].first);
+  }
+  return r;
+}
+
+}  // namespace neutraj

@@ -1,0 +1,51 @@
+// Top-k similarity search primitives.
+//
+// The paper's online protocol: embed the corpus once, answer a query by a
+// linear scan in embedding space (O(|corpus| * d)), optionally re-rank the
+// top candidates with the exact measure.
+
+#ifndef NEUTRAJ_CORE_SEARCH_H_
+#define NEUTRAJ_CORE_SEARCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "distance/measures.h"
+#include "nn/matrix.h"
+
+namespace neutraj {
+
+/// Result of a top-k query: ids and their distances, ascending by distance.
+struct SearchResult {
+  std::vector<size_t> ids;
+  std::vector<double> dists;
+
+  size_t size() const { return ids.size(); }
+};
+
+/// Top-k smallest entries of a distance vector (ties broken by lower id).
+/// `exclude` (if >= 0) removes one id — typically the query itself.
+SearchResult TopKByDistance(const std::vector<double>& dists, size_t k,
+                            int64_t exclude = -1);
+
+/// Top-k nearest corpus embeddings to `query` under L2.
+SearchResult EmbeddingTopK(const std::vector<nn::Vector>& corpus,
+                           const nn::Vector& query, size_t k,
+                           int64_t exclude = -1);
+
+/// Top-k nearest corpus trajectories to `query` under the exact measure —
+/// the BruteForce baseline and the experiments' ground truth.
+SearchResult ExactTopK(const std::vector<Trajectory>& corpus,
+                       const Trajectory& query, const DistanceFn& fn, size_t k,
+                       int64_t exclude = -1);
+
+/// Computes exact distances for `candidates` only and returns their top-k —
+/// the re-ranking step applied after an embedding (or index) prefilter.
+SearchResult RerankByExact(const std::vector<Trajectory>& corpus,
+                           const Trajectory& query,
+                           const std::vector<size_t>& candidates,
+                           const DistanceFn& fn, size_t k);
+
+}  // namespace neutraj
+
+#endif  // NEUTRAJ_CORE_SEARCH_H_

@@ -1,0 +1,63 @@
+#include "core/similarity.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace neutraj {
+
+namespace {
+
+/// Mean k-th nearest-neighbor distance over the pool (0 if degenerate).
+double MeanKnnDistance(const DistanceMatrix& d, size_t k) {
+  if (d.size() < 2) return 0.0;
+  const size_t kk = std::min(k, d.size() - 1);
+  double total = 0.0;
+  std::vector<double> row;
+  for (size_t i = 0; i < d.size(); ++i) {
+    row.assign(d.Row(i), d.Row(i) + d.size());
+    row.erase(row.begin() + static_cast<long>(i));  // Drop self-distance.
+    std::nth_element(row.begin(), row.begin() + static_cast<long>(kk - 1),
+                     row.end());
+    total += row[kk - 1];
+  }
+  return total / static_cast<double>(d.size());
+}
+
+}  // namespace
+
+SimilarityMatrix::SimilarityMatrix(const DistanceMatrix& d,
+                                   const NeuTrajConfig& cfg) {
+  n_ = d.size();
+  data_.assign(n_ * n_, 0.0);
+  if (cfg.alpha > 0) {
+    alpha_ = cfg.alpha;
+  } else {
+    const double knn = MeanKnnDistance(d, cfg.sampling_num);
+    alpha_ = knn > 0 ? cfg.alpha_factor * std::log(2.0) / knn : 1.0;
+  }
+  for (size_t i = 0; i < n_; ++i) {
+    double row_sum = 0.0;
+    for (size_t j = 0; j < n_; ++j) {
+      const double s = std::exp(-alpha_ * d.At(i, j));
+      data_[i * n_ + j] = s;
+      row_sum += s;
+    }
+    if (cfg.transform == SimilarityTransform::kRowSoftmax && row_sum > 0.0) {
+      for (size_t j = 0; j < n_; ++j) data_[i * n_ + j] /= row_sum;
+    }
+  }
+}
+
+std::vector<double> SimilarityMatrix::RowVector(size_t i) const {
+  return std::vector<double>(Row(i), Row(i) + n_);
+}
+
+double EmbeddingSimilarity(const nn::Vector& e1, const nn::Vector& e2) {
+  return std::exp(-nn::L2Distance(e1, e2));
+}
+
+double EmbeddingDistance(const nn::Vector& e1, const nn::Vector& e2) {
+  return nn::L2Distance(e1, e2);
+}
+
+}  // namespace neutraj

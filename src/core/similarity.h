@@ -1,0 +1,58 @@
+// Distance-to-similarity guidance (paper Sec. V-B) and the embedding-space
+// similarity g(.,.).
+
+#ifndef NEUTRAJ_CORE_SIMILARITY_H_
+#define NEUTRAJ_CORE_SIMILARITY_H_
+
+#include <vector>
+
+#include "core/config.h"
+#include "distance/pairwise.h"
+#include "nn/matrix.h"
+
+namespace neutraj {
+
+/// Normalized similarity matrix S built from the seed distance matrix D.
+///
+/// The transform smooths the (often power-law) raw distance distribution
+/// into [0, 1]: S = exp(-alpha * D), optionally row-normalized.
+class SimilarityMatrix {
+ public:
+  SimilarityMatrix() = default;
+
+  /// Builds S from D. When `cfg.alpha <= 0`, alpha is calibrated from the
+  /// seed pool's neighborhood scale:
+  ///   alpha = cfg.alpha_factor * ln(2) / mean_i(d_i^(k)),
+  /// where d_i^(k) is seed i's k-th nearest-neighbor distance and
+  /// k = cfg.sampling_num. This places the similarity value 0.5 at the
+  /// typical k-NN radius, so the targets are informative exactly in the
+  /// distance range that top-k ranking must resolve.
+  SimilarityMatrix(const DistanceMatrix& d, const NeuTrajConfig& cfg);
+
+  size_t size() const { return n_; }
+  double alpha() const { return alpha_; }
+
+  double At(size_t i, size_t j) const { return data_[i * n_ + j]; }
+
+  /// Row i (length size()); the importance vector I_a of anchor a.
+  const double* Row(size_t i) const { return data_.data() + i * n_; }
+
+  /// Copies row i into a std::vector (convenience for samplers).
+  std::vector<double> RowVector(size_t i) const;
+
+ private:
+  size_t n_ = 0;
+  double alpha_ = 1.0;
+  std::vector<double> data_;
+};
+
+/// g(Ti, Tj) = exp(-||Ei - Ej||_2): the learned similarity (paper Eq. 7).
+double EmbeddingSimilarity(const nn::Vector& e1, const nn::Vector& e2);
+
+/// -log g = ||Ei - Ej||_2: the corresponding embedding-space distance used
+/// for ranking (monotone in g).
+double EmbeddingDistance(const nn::Vector& e1, const nn::Vector& e2);
+
+}  // namespace neutraj
+
+#endif  // NEUTRAJ_CORE_SIMILARITY_H_

@@ -1,0 +1,165 @@
+#include "core/trainer.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "common/stopwatch.h"
+#include "core/loss.h"
+
+namespace neutraj {
+
+namespace {
+
+nn::AdamOptions MakeAdamOptions(const NeuTrajConfig& cfg) {
+  nn::AdamOptions o;
+  o.learning_rate = cfg.learning_rate;
+  o.clip_norm = cfg.clip_norm;
+  return o;
+}
+
+}  // namespace
+
+Trainer::Trainer(const NeuTrajConfig& cfg, const Grid& grid,
+                 std::vector<Trajectory> seeds, const DistanceMatrix& seed_dists)
+    : cfg_(cfg),
+      seeds_(std::move(seeds)),
+      guidance_(seed_dists, cfg),
+      model_(cfg, grid),
+      rng_(cfg.rng_seed),
+      adam_(model_.encoder().Params(), MakeAdamOptions(cfg)) {
+  cfg_.Validate();
+  if (seeds_.size() < 2) {
+    throw std::invalid_argument("Trainer: need at least 2 seed trajectories");
+  }
+  if (seed_dists.size() != seeds_.size()) {
+    throw std::invalid_argument("Trainer: distance matrix size mismatch");
+  }
+  model_.InitializeWeights(&rng_);
+}
+
+double Trainer::ProcessAnchor(size_t anchor) {
+  const AnchorSample sample = SampleAnchorPairs(
+      guidance_, anchor, cfg_.sampling_num, cfg_.sampling, &rng_);
+
+  // Deduplicate the trajectories involved so each is encoded once.
+  std::vector<size_t> ids;
+  ids.push_back(anchor);
+  auto add_unique = [&ids](size_t id) {
+    if (std::find(ids.begin(), ids.end(), id) == ids.end()) ids.push_back(id);
+  };
+  for (size_t id : sample.similar) add_unique(id);
+  for (size_t id : sample.dissimilar) add_unique(id);
+  if (ids.size() < 2) return 0.0;
+
+  nn::Encoder& enc = model_.encoder();
+  std::unordered_map<size_t, size_t> slot;  // seed id -> local index
+  std::vector<nn::EncodeTape> tapes(ids.size());
+  std::vector<nn::Vector> embeds(ids.size());
+  std::vector<nn::Vector> grads(ids.size());
+  for (size_t k = 0; k < ids.size(); ++k) {
+    slot[ids[k]] = k;
+    embeds[k] = enc.Encode(seeds_[ids[k]], /*update_memory=*/true, &tapes[k]);
+    grads[k].assign(cfg_.embedding_dim, 0.0);
+  }
+
+  const nn::Vector& e_a = embeds[0];
+  double total_loss = 0.0;
+  auto apply_pair = [&](size_t other_id, double rank_weight, bool similar_pair) {
+    const size_t k = slot[other_id];
+    const double f = guidance_.At(anchor, other_id);
+    const double g = EmbeddingSimilarity(e_a, embeds[k]);
+    PairLoss pl;
+    if (cfg_.loss == LossKind::kMse) {
+      pl = MsePairLoss(g, f, rank_weight);
+    } else if (similar_pair) {
+      pl = SimilarPairLoss(g, f, rank_weight);
+    } else {
+      pl = DissimilarPairLoss(g, f, rank_weight);
+    }
+    total_loss += pl.loss;
+    if (pl.dg != 0.0) {
+      BackpropPairSimilarity(e_a, embeds[k], g, pl.dg, &grads[0], &grads[k]);
+    }
+  };
+
+  if (cfg_.loss == LossKind::kMse) {
+    // Siamese: every sampled pair weighted equally.
+    const size_t pairs = sample.similar.size() + sample.dissimilar.size();
+    const double w = pairs > 0 ? 1.0 / static_cast<double>(pairs) : 0.0;
+    for (size_t id : sample.similar) apply_pair(id, w, true);
+    for (size_t id : sample.dissimilar) apply_pair(id, w, false);
+  } else {
+    const std::vector<double> r_sim = RankingWeights(sample.similar.size());
+    const std::vector<double> r_dis = RankingWeights(sample.dissimilar.size());
+    for (size_t l = 0; l < sample.similar.size(); ++l) {
+      apply_pair(sample.similar[l], r_sim[l], true);
+    }
+    for (size_t l = 0; l < sample.dissimilar.size(); ++l) {
+      apply_pair(sample.dissimilar[l], r_dis[l], false);
+    }
+  }
+
+  for (size_t k = 0; k < ids.size(); ++k) {
+    if (nn::SquaredNorm(grads[k]) > 0.0) enc.Backward(tapes[k], grads[k]);
+  }
+  return total_loss;
+}
+
+TrainResult Trainer::Train(const EpochCallback& callback) {
+  TrainResult result;
+  Stopwatch total;
+  model_.encoder().ResetMemory();
+
+  std::vector<size_t> anchors(seeds_.size());
+  std::iota(anchors.begin(), anchors.end(), size_t{0});
+
+  double best_loss = std::numeric_limits<double>::infinity();
+  size_t stall = 0;
+  for (size_t epoch = 0; epoch < cfg_.epochs; ++epoch) {
+    Stopwatch sw;
+    rng_.Shuffle(&anchors);
+    double epoch_loss = 0.0;
+    size_t processed = 0;
+    for (size_t start = 0; start < anchors.size(); start += cfg_.batch_size) {
+      const size_t end = std::min(start + cfg_.batch_size, anchors.size());
+      nn::ZeroGrads(model_.encoder().Params());
+      for (size_t k = start; k < end; ++k) {
+        epoch_loss += ProcessAnchor(anchors[k]);
+        ++processed;
+      }
+      // Average gradients over the anchors in the batch.
+      const double inv = 1.0 / static_cast<double>(end - start);
+      for (nn::Param* p : model_.encoder().Params()) {
+        for (double& g : p->grad.values()) g *= inv;
+      }
+      adam_.Step();
+    }
+
+    EpochStats stats;
+    stats.epoch = epoch;
+    stats.mean_loss = processed > 0 ? epoch_loss / static_cast<double>(processed) : 0.0;
+    stats.seconds = sw.ElapsedSeconds();
+    result.epochs.push_back(stats);
+
+    if (callback && !callback(stats, model_)) {
+      result.early_stopped = true;
+      break;
+    }
+    if (cfg_.early_stop_tol > 0.0) {
+      if (stats.mean_loss < best_loss * (1.0 - cfg_.early_stop_tol)) {
+        best_loss = stats.mean_loss;
+        stall = 0;
+      } else if (++stall >= cfg_.patience) {
+        result.early_stopped = true;
+        break;
+      }
+    }
+    best_loss = std::min(best_loss, stats.mean_loss);
+  }
+  result.total_seconds = total.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace neutraj

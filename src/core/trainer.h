@@ -1,0 +1,73 @@
+// Seed-guided metric-learning trainer (paper Sec. V).
+//
+// Takes the seed pool, its exact distance matrix and a config; iterates
+// anchors with the configured sampling strategy and loss, backpropagates
+// through time, and optimizes with Adam. The same trainer realizes NeuTraj,
+// both ablations and the Siamese baseline via NeuTrajConfig presets.
+
+#ifndef NEUTRAJ_CORE_TRAINER_H_
+#define NEUTRAJ_CORE_TRAINER_H_
+
+#include <functional>
+#include <vector>
+
+#include "core/model.h"
+#include "core/sampler.h"
+#include "nn/adam.h"
+
+namespace neutraj {
+
+/// Per-epoch training telemetry.
+struct EpochStats {
+  size_t epoch = 0;        ///< 0-based epoch index.
+  double mean_loss = 0.0;  ///< Mean anchor loss over the epoch.
+  double seconds = 0.0;    ///< Wall-clock epoch time.
+};
+
+/// Full training run telemetry.
+struct TrainResult {
+  std::vector<EpochStats> epochs;
+  double total_seconds = 0.0;
+  bool early_stopped = false;
+};
+
+/// Called after every epoch with the stats and the in-training model (e.g.
+/// to compute validation HR for convergence curves). Returning false stops
+/// training.
+using EpochCallback = std::function<bool(const EpochStats&, NeuTrajModel&)>;
+
+/// Trains one model over a fixed seed pool.
+class Trainer {
+ public:
+  /// `seed_dists` must be the exact pairwise distances of `seeds` under
+  /// cfg.measure. Throws std::invalid_argument on size mismatch or a pool
+  /// smaller than 2.
+  Trainer(const NeuTrajConfig& cfg, const Grid& grid,
+          std::vector<Trajectory> seeds, const DistanceMatrix& seed_dists);
+
+  /// Runs up to cfg.epochs epochs (with optional early stopping).
+  TrainResult Train(const EpochCallback& callback = nullptr);
+
+  NeuTrajModel& model() { return model_; }
+  const std::vector<Trajectory>& seeds() const { return seeds_; }
+  const SimilarityMatrix& guidance() const { return guidance_; }
+
+  /// Releases the trained model (trainer is unusable afterwards).
+  NeuTrajModel TakeModel() { return std::move(model_); }
+
+ private:
+  /// Processes one anchor: samples pairs, encodes, computes the loss and
+  /// accumulates gradients. Returns the anchor's loss.
+  double ProcessAnchor(size_t anchor);
+
+  NeuTrajConfig cfg_;
+  std::vector<Trajectory> seeds_;
+  SimilarityMatrix guidance_;
+  NeuTrajModel model_;
+  Rng rng_;
+  nn::Adam adam_;
+};
+
+}  // namespace neutraj
+
+#endif  // NEUTRAJ_CORE_TRAINER_H_

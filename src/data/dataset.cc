@@ -1,0 +1,28 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+
+namespace neutraj {
+
+void TrajectoryDataset::RecomputeRegion() {
+  region = BoundingBox::Empty();
+  for (const Trajectory& t : trajectories) region.Extend(t.Bounds());
+}
+
+void TrajectoryDataset::FilterShort(size_t min_points) {
+  trajectories.erase(
+      std::remove_if(trajectories.begin(), trajectories.end(),
+                     [min_points](const Trajectory& t) {
+                       return t.size() < min_points;
+                     }),
+      trajectories.end());
+}
+
+double TrajectoryDataset::MeanLength() const {
+  if (trajectories.empty()) return 0.0;
+  size_t total = 0;
+  for (const Trajectory& t : trajectories) total += t.size();
+  return static_cast<double>(total) / static_cast<double>(trajectories.size());
+}
+
+}  // namespace neutraj

@@ -1,0 +1,35 @@
+// Trajectory corpus container shared by generators, experiments and
+// examples.
+
+#ifndef NEUTRAJ_DATA_DATASET_H_
+#define NEUTRAJ_DATA_DATASET_H_
+
+#include <string>
+#include <vector>
+
+#include "geo/trajectory.h"
+
+namespace neutraj {
+
+/// A named trajectory corpus plus the region it lives in.
+struct TrajectoryDataset {
+  std::string name;
+  std::vector<Trajectory> trajectories;
+  BoundingBox region = BoundingBox::Empty();
+
+  size_t size() const { return trajectories.size(); }
+
+  /// Recomputes `region` as the union of all trajectory bounds.
+  void RecomputeRegion();
+
+  /// Drops trajectories with fewer than `min_points` records (the paper
+  /// removes trajectories with < 10 records).
+  void FilterShort(size_t min_points);
+
+  /// Mean points per trajectory (0 when empty).
+  double MeanLength() const;
+};
+
+}  // namespace neutraj
+
+#endif  // NEUTRAJ_DATA_DATASET_H_

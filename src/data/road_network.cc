@@ -1,0 +1,108 @@
+#include "data/road_network.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace neutraj {
+
+RoadNetwork::RoadNetwork(const RoadNetworkConfig& cfg) {
+  if (cfg.grid_cols < 2 || cfg.grid_rows < 2) {
+    throw std::invalid_argument("RoadNetwork: lattice must be at least 2x2");
+  }
+  Rng rng(cfg.seed);
+  const size_t n = static_cast<size_t>(cfg.grid_cols) * cfg.grid_rows;
+  nodes_.reserve(n);
+  for (int32_t r = 0; r < cfg.grid_rows; ++r) {
+    for (int32_t c = 0; c < cfg.grid_cols; ++c) {
+      nodes_.emplace_back(
+          c * cfg.spacing + rng.Uniform(-cfg.jitter, cfg.jitter),
+          r * cfg.spacing + rng.Uniform(-cfg.jitter, cfg.jitter));
+    }
+  }
+  adj_.assign(n, {});
+  auto id = [&](int32_t c, int32_t r) {
+    return static_cast<size_t>(r) * cfg.grid_cols + c;
+  };
+  auto connect = [&](size_t a, size_t b) {
+    adj_[a].push_back(b);
+    adj_[b].push_back(a);
+  };
+  for (int32_t r = 0; r < cfg.grid_rows; ++r) {
+    for (int32_t c = 0; c < cfg.grid_cols; ++c) {
+      if (c + 1 < cfg.grid_cols && rng.Bernoulli(cfg.edge_keep_prob)) {
+        connect(id(c, r), id(c + 1, r));
+      }
+      if (r + 1 < cfg.grid_rows && rng.Bernoulli(cfg.edge_keep_prob)) {
+        connect(id(c, r), id(c, r + 1));
+      }
+    }
+  }
+}
+
+BoundingBox RoadNetwork::Bounds() const {
+  BoundingBox b = BoundingBox::Empty();
+  for (const Point& p : nodes_) b.Extend(p);
+  return b;
+}
+
+std::vector<size_t> RoadNetwork::RandomRoute(size_t hops, Rng* rng) const {
+  std::vector<size_t> route;
+  size_t current = static_cast<size_t>(
+      rng->UniformInt(0, static_cast<int64_t>(nodes_.size()) - 1));
+  // Restart from a connected node if the start is isolated.
+  for (int tries = 0; adj_[current].empty() && tries < 64; ++tries) {
+    current = static_cast<size_t>(
+        rng->UniformInt(0, static_cast<int64_t>(nodes_.size()) - 1));
+  }
+  route.push_back(current);
+  size_t prev = nodes_.size();  // Sentinel: no previous node yet.
+  for (size_t h = 0; h < hops; ++h) {
+    const auto& nb = adj_[current];
+    if (nb.empty()) break;
+    // Prefer not to backtrack.
+    std::vector<size_t> options;
+    for (size_t cand : nb) {
+      if (cand != prev) options.push_back(cand);
+    }
+    if (options.empty()) options = nb;
+    const size_t next = options[static_cast<size_t>(
+        rng->UniformInt(0, static_cast<int64_t>(options.size()) - 1))];
+    prev = current;
+    current = next;
+    route.push_back(current);
+  }
+  return route;
+}
+
+Trajectory RoadNetwork::RouteToTrajectory(const std::vector<size_t>& route,
+                                          double point_spacing,
+                                          double noise_std, Rng* rng) const {
+  if (route.empty()) return Trajectory();
+  if (point_spacing <= 0.0) {
+    throw std::invalid_argument("RouteToTrajectory: point_spacing <= 0");
+  }
+  Trajectory out;
+  auto emit = [&](const Point& p) {
+    out.Append(Point(p.x + rng->Gaussian(0.0, noise_std),
+                     p.y + rng->Gaussian(0.0, noise_std)));
+  };
+  emit(nodes_[route[0]]);
+  double carry = 0.0;  // Distance already covered toward the next sample.
+  for (size_t i = 1; i < route.size(); ++i) {
+    const Point& a = nodes_[route[i - 1]];
+    const Point& b = nodes_[route[i]];
+    const double seg = EuclideanDistance(a, b);
+    if (seg <= 0.0) continue;
+    double along = point_spacing - carry;
+    while (along < seg) {
+      const double frac = along / seg;
+      emit(Point(a.x + frac * (b.x - a.x), a.y + frac * (b.y - a.y)));
+      along += point_spacing;
+    }
+    carry = seg - (along - point_spacing);
+  }
+  emit(nodes_[route.back()]);
+  return out;
+}
+
+}  // namespace neutraj

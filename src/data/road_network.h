@@ -1,0 +1,61 @@
+// Synthetic road network: a jittered lattice graph with random missing
+// edges, plus random-walk route generation with coordinate interpolation.
+//
+// This substrate serves two purposes:
+//  1. generating realistic city-like trajectory corpora (the paper's
+//     Geolife/Porto datasets are not available offline; see DESIGN.md), and
+//  2. the zero-shot experiment (paper Sec. VII-G), which trains NeuTraj on
+//     trajectories simulated by "random walk on road node graph and
+//     interpolating coordinates between the nodes".
+
+#ifndef NEUTRAJ_DATA_ROAD_NETWORK_H_
+#define NEUTRAJ_DATA_ROAD_NETWORK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "geo/trajectory.h"
+
+namespace neutraj {
+
+/// Parameters of the synthetic road network.
+struct RoadNetworkConfig {
+  int32_t grid_cols = 20;      ///< Lattice intersections along x.
+  int32_t grid_rows = 20;      ///< Lattice intersections along y.
+  double spacing = 500.0;      ///< Average block size in meters.
+  double jitter = 120.0;       ///< Max node displacement from the lattice.
+  double edge_keep_prob = 0.9; ///< Probability a lattice edge exists.
+  uint64_t seed = 7;
+};
+
+/// An undirected planar road graph.
+class RoadNetwork {
+ public:
+  explicit RoadNetwork(const RoadNetworkConfig& cfg);
+
+  size_t NumNodes() const { return nodes_.size(); }
+  const Point& NodePosition(size_t id) const { return nodes_[id]; }
+  const std::vector<size_t>& Neighbors(size_t id) const { return adj_[id]; }
+  BoundingBox Bounds() const;
+
+  /// A random walk of `hops` edges starting at a random node, avoiding
+  /// immediate backtracking when possible. Returns node ids (hops+1 long,
+  /// shorter only if the walk gets stuck on an isolated node).
+  std::vector<size_t> RandomRoute(size_t hops, Rng* rng) const;
+
+  /// Converts a node route to a trajectory by placing points every
+  /// `point_spacing` meters along the polyline, with i.i.d. Gaussian GPS
+  /// noise of `noise_std` meters per coordinate.
+  Trajectory RouteToTrajectory(const std::vector<size_t>& route,
+                               double point_spacing, double noise_std,
+                               Rng* rng) const;
+
+ private:
+  std::vector<Point> nodes_;
+  std::vector<std::vector<size_t>> adj_;
+};
+
+}  // namespace neutraj
+
+#endif  // NEUTRAJ_DATA_ROAD_NETWORK_H_

@@ -1,0 +1,234 @@
+#include "distance/measures.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "common/string_util.h"
+
+namespace neutraj {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+void CheckNonEmpty(const Trajectory& a, const Trajectory& b, const char* who) {
+  if (a.empty() || b.empty()) {
+    throw std::invalid_argument(std::string(who) + ": empty trajectory");
+  }
+}
+
+}  // namespace
+
+std::string MeasureName(Measure m) {
+  switch (m) {
+    case Measure::kFrechet:
+      return "frechet";
+    case Measure::kHausdorff:
+      return "hausdorff";
+    case Measure::kErp:
+      return "erp";
+    case Measure::kDtw:
+      return "dtw";
+    case Measure::kEdr:
+      return "edr";
+    case Measure::kLcss:
+      return "lcss";
+  }
+  return "unknown";
+}
+
+Measure MeasureFromName(const std::string& name) {
+  const std::string n = ToLower(name);
+  if (n == "frechet") return Measure::kFrechet;
+  if (n == "hausdorff") return Measure::kHausdorff;
+  if (n == "erp") return Measure::kErp;
+  if (n == "dtw") return Measure::kDtw;
+  if (n == "edr") return Measure::kEdr;
+  if (n == "lcss") return Measure::kLcss;
+  throw std::invalid_argument("Unknown measure: " + name);
+}
+
+const std::vector<Measure>& AllMeasures() {
+  static const std::vector<Measure> kAll = {
+      Measure::kFrechet, Measure::kHausdorff, Measure::kErp, Measure::kDtw};
+  return kAll;
+}
+
+const std::vector<Measure>& ExtendedMeasures() {
+  static const std::vector<Measure> kAll = {
+      Measure::kFrechet, Measure::kHausdorff, Measure::kErp,
+      Measure::kDtw,     Measure::kEdr,       Measure::kLcss};
+  return kAll;
+}
+
+double DtwDistance(const Trajectory& a, const Trajectory& b) {
+  CheckNonEmpty(a, b, "DtwDistance");
+  const size_t n = a.size();
+  const size_t m = b.size();
+  // Rolling single-row DP: dp[j] = cost of aligning a[0..i] with b[0..j].
+  std::vector<double> prev(m + 1, kInf);
+  std::vector<double> curr(m + 1, kInf);
+  prev[0] = 0.0;
+  for (size_t i = 1; i <= n; ++i) {
+    curr[0] = kInf;
+    for (size_t j = 1; j <= m; ++j) {
+      const double cost = EuclideanDistance(a[i - 1], b[j - 1]);
+      curr[j] = cost + std::min({prev[j], curr[j - 1], prev[j - 1]});
+    }
+    std::swap(prev, curr);
+  }
+  return prev[m];
+}
+
+double FrechetDistance(const Trajectory& a, const Trajectory& b) {
+  CheckNonEmpty(a, b, "FrechetDistance");
+  const size_t n = a.size();
+  const size_t m = b.size();
+  // dp[j] for row i: max over the best coupling reaching (i, j).
+  std::vector<double> prev(m);
+  std::vector<double> curr(m);
+  prev[0] = EuclideanDistance(a[0], b[0]);
+  for (size_t j = 1; j < m; ++j) {
+    prev[j] = std::max(prev[j - 1], EuclideanDistance(a[0], b[j]));
+  }
+  for (size_t i = 1; i < n; ++i) {
+    curr[0] = std::max(prev[0], EuclideanDistance(a[i], b[0]));
+    for (size_t j = 1; j < m; ++j) {
+      const double reach = std::min({prev[j], curr[j - 1], prev[j - 1]});
+      curr[j] = std::max(reach, EuclideanDistance(a[i], b[j]));
+    }
+    std::swap(prev, curr);
+  }
+  return prev[m - 1];
+}
+
+double HausdorffDistance(const Trajectory& a, const Trajectory& b) {
+  CheckNonEmpty(a, b, "HausdorffDistance");
+  // Directed Hausdorff in both directions with early-break on the inner
+  // minimum (classic early-abandoning scan).
+  auto directed = [](const Trajectory& u, const Trajectory& v, double best) {
+    double h = best;
+    for (const Point& p : u) {
+      double min_d2 = kInf;
+      const double h2 = h * h;
+      for (const Point& q : v) {
+        const double d2 = SquaredDistance(p, q);
+        if (d2 < min_d2) {
+          min_d2 = d2;
+          if (min_d2 <= h2) break;  // Cannot raise the running max.
+        }
+      }
+      if (min_d2 > h2) h = std::sqrt(min_d2);
+    }
+    return h;
+  };
+  double h = directed(a, b, 0.0);
+  h = directed(b, a, h);
+  return h;
+}
+
+double ErpDistance(const Trajectory& a, const Trajectory& b, const Point& gap) {
+  CheckNonEmpty(a, b, "ErpDistance");
+  const size_t n = a.size();
+  const size_t m = b.size();
+  // Precompute gap penalties.
+  std::vector<double> gap_a(n), gap_b(m);
+  for (size_t i = 0; i < n; ++i) gap_a[i] = EuclideanDistance(a[i], gap);
+  for (size_t j = 0; j < m; ++j) gap_b[j] = EuclideanDistance(b[j], gap);
+
+  std::vector<double> prev(m + 1, 0.0);
+  std::vector<double> curr(m + 1, 0.0);
+  for (size_t j = 1; j <= m; ++j) prev[j] = prev[j - 1] + gap_b[j - 1];
+  for (size_t i = 1; i <= n; ++i) {
+    curr[0] = prev[0] + gap_a[i - 1];
+    for (size_t j = 1; j <= m; ++j) {
+      const double match = prev[j - 1] + EuclideanDistance(a[i - 1], b[j - 1]);
+      const double del_a = prev[j] + gap_a[i - 1];
+      const double del_b = curr[j - 1] + gap_b[j - 1];
+      curr[j] = std::min({match, del_a, del_b});
+    }
+    std::swap(prev, curr);
+  }
+  return prev[m];
+}
+
+double EdrDistance(const Trajectory& a, const Trajectory& b, double epsilon) {
+  CheckNonEmpty(a, b, "EdrDistance");
+  if (epsilon <= 0.0) throw std::invalid_argument("EdrDistance: epsilon <= 0");
+  const size_t n = a.size();
+  const size_t m = b.size();
+  auto match = [&](const Point& p, const Point& q) {
+    return std::abs(p.x - q.x) <= epsilon && std::abs(p.y - q.y) <= epsilon;
+  };
+  std::vector<double> prev(m + 1), curr(m + 1);
+  for (size_t j = 0; j <= m; ++j) prev[j] = static_cast<double>(j);
+  for (size_t i = 1; i <= n; ++i) {
+    curr[0] = static_cast<double>(i);
+    for (size_t j = 1; j <= m; ++j) {
+      const double subcost = match(a[i - 1], b[j - 1]) ? 0.0 : 1.0;
+      curr[j] = std::min({prev[j - 1] + subcost, prev[j] + 1.0, curr[j - 1] + 1.0});
+    }
+    std::swap(prev, curr);
+  }
+  return prev[m];
+}
+
+double LcssDistance(const Trajectory& a, const Trajectory& b, double epsilon) {
+  CheckNonEmpty(a, b, "LcssDistance");
+  if (epsilon <= 0.0) throw std::invalid_argument("LcssDistance: epsilon <= 0");
+  const size_t n = a.size();
+  const size_t m = b.size();
+  auto match = [&](const Point& p, const Point& q) {
+    return std::abs(p.x - q.x) <= epsilon && std::abs(p.y - q.y) <= epsilon;
+  };
+  std::vector<double> prev(m + 1, 0.0), curr(m + 1, 0.0);
+  for (size_t i = 1; i <= n; ++i) {
+    curr[0] = 0.0;
+    for (size_t j = 1; j <= m; ++j) {
+      if (match(a[i - 1], b[j - 1])) {
+        curr[j] = prev[j - 1] + 1.0;
+      } else {
+        curr[j] = std::max(prev[j], curr[j - 1]);
+      }
+    }
+    std::swap(prev, curr);
+  }
+  const double lcss = prev[m];
+  return 1.0 - lcss / static_cast<double>(std::min(n, m));
+}
+
+DistanceFn ExactDistanceFn(Measure m, const MeasureParams& params) {
+  switch (m) {
+    case Measure::kFrechet:
+      return [](const Trajectory& a, const Trajectory& b) {
+        return FrechetDistance(a, b);
+      };
+    case Measure::kHausdorff:
+      return [](const Trajectory& a, const Trajectory& b) {
+        return HausdorffDistance(a, b);
+      };
+    case Measure::kErp:
+      return [gap = params.erp_gap](const Trajectory& a, const Trajectory& b) {
+        return ErpDistance(a, b, gap);
+      };
+    case Measure::kDtw:
+      return [](const Trajectory& a, const Trajectory& b) {
+        return DtwDistance(a, b);
+      };
+    case Measure::kEdr:
+      return [eps = params.match_epsilon](const Trajectory& a,
+                                          const Trajectory& b) {
+        return EdrDistance(a, b, eps);
+      };
+    case Measure::kLcss:
+      return [eps = params.match_epsilon](const Trajectory& a,
+                                          const Trajectory& b) {
+        return LcssDistance(a, b, eps);
+      };
+  }
+  throw std::invalid_argument("ExactDistanceFn: bad measure");
+}
+
+}  // namespace neutraj

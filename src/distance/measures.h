@@ -1,0 +1,92 @@
+// Exact trajectory distance measures.
+//
+// These are the f(.,.) functions NeuTraj learns to approximate, and also the
+// "BruteForce" baseline of the paper's efficiency study. Each is the
+// textbook O(n*m) algorithm:
+//   - DTW:       Yi et al., ICDE'98 (dynamic time warping, L2 point cost)
+//   - Fréchet:   discrete Fréchet distance (Eiter & Mannila formulation of
+//                Alt & Godau's measure on sampled curves)
+//   - Hausdorff: symmetric point-set Hausdorff distance
+//   - ERP:       Chen & Ng, VLDB'04 (edit distance with real penalty; the
+//                gap point defaults to the origin of the normalized space)
+
+#ifndef NEUTRAJ_DISTANCE_MEASURES_H_
+#define NEUTRAJ_DISTANCE_MEASURES_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "geo/trajectory.h"
+
+namespace neutraj {
+
+/// Trajectory distance measures. The first four are the ones evaluated in
+/// the paper; EDR and LCSS are classic threshold-based measures included to
+/// exercise NeuTraj's genericity claim ("accommodates any existing
+/// measure") beyond the paper's selection.
+enum class Measure {
+  kFrechet,
+  kHausdorff,
+  kErp,
+  kDtw,
+  kEdr,   ///< Edit Distance on Real sequences (Chen et al., SIGMOD'05).
+  kLcss,  ///< Longest Common Subsequence distance (Vlachos et al., ICDE'02).
+};
+
+/// Short lower-case name ("frechet", "hausdorff", "erp", "dtw").
+std::string MeasureName(Measure m);
+
+/// Parses a measure name; throws std::invalid_argument on unknown names.
+Measure MeasureFromName(const std::string& name);
+
+/// The paper's four measures, in its reporting order.
+const std::vector<Measure>& AllMeasures();
+
+/// All supported measures (the paper's four plus EDR and LCSS).
+const std::vector<Measure>& ExtendedMeasures();
+
+/// Dynamic time warping distance with Euclidean point cost.
+/// Throws std::invalid_argument if either trajectory is empty.
+double DtwDistance(const Trajectory& a, const Trajectory& b);
+
+/// Discrete Fréchet distance.
+/// Throws std::invalid_argument if either trajectory is empty.
+double FrechetDistance(const Trajectory& a, const Trajectory& b);
+
+/// Symmetric Hausdorff distance between the two point sets.
+/// Throws std::invalid_argument if either trajectory is empty.
+double HausdorffDistance(const Trajectory& a, const Trajectory& b);
+
+/// Edit distance with real penalty; `gap` is the constant reference point g.
+/// Throws std::invalid_argument if either trajectory is empty.
+double ErpDistance(const Trajectory& a, const Trajectory& b,
+                   const Point& gap = Point(0.0, 0.0));
+
+/// Edit Distance on Real sequences: the minimum number of point
+/// insert/delete/replace edits, where two points "match" (free) when both
+/// coordinate gaps are within `epsilon`. Integer-valued, returned as double.
+/// Throws std::invalid_argument on empty inputs or epsilon <= 0.
+double EdrDistance(const Trajectory& a, const Trajectory& b, double epsilon);
+
+/// LCSS distance: 1 - |LCSS(a, b)| / min(|a|, |b|), where points match when
+/// both coordinate gaps are within `epsilon` (no temporal window, matching
+/// the paper's shape-only setting). In [0, 1].
+/// Throws std::invalid_argument on empty inputs or epsilon <= 0.
+double LcssDistance(const Trajectory& a, const Trajectory& b, double epsilon);
+
+/// Type-erased distance function over a trajectory pair.
+using DistanceFn = std::function<double(const Trajectory&, const Trajectory&)>;
+
+/// Per-measure parameters of the exact functions.
+struct MeasureParams {
+  Point erp_gap = Point(0.0, 0.0);  ///< ERP reference point g.
+  double match_epsilon = 100.0;     ///< EDR/LCSS matching threshold (meters).
+};
+
+/// Returns the exact distance function for `m`.
+DistanceFn ExactDistanceFn(Measure m, const MeasureParams& params = {});
+
+}  // namespace neutraj
+
+#endif  // NEUTRAJ_DISTANCE_MEASURES_H_

@@ -1,0 +1,83 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "core/search.h"
+
+namespace neutraj {
+
+double HittingRatio(const std::vector<size_t>& result_topk,
+                    const std::vector<size_t>& truth_topk) {
+  if (truth_topk.empty()) return 0.0;
+  const std::unordered_set<size_t> truth(truth_topk.begin(), truth_topk.end());
+  size_t hits = 0;
+  for (size_t id : result_topk) {
+    if (truth.count(id) > 0) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(truth_topk.size());
+}
+
+double RecallOfTruth(const std::vector<size_t>& result_topk,
+                     const std::vector<size_t>& truth_topm) {
+  if (truth_topm.empty()) return 0.0;
+  const std::unordered_set<size_t> result(result_topk.begin(), result_topk.end());
+  size_t hits = 0;
+  for (size_t id : truth_topm) {
+    if (result.count(id) > 0) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(truth_topm.size());
+}
+
+double MeanDistanceOf(const std::vector<size_t>& ids,
+                      const std::vector<double>& dists) {
+  if (ids.empty()) return 0.0;
+  double total = 0.0;
+  for (size_t id : ids) total += dists[id];
+  return total / static_cast<double>(ids.size());
+}
+
+TopKQuality EvaluateTopKQuality(const std::vector<QueryJudgement>& queries) {
+  TopKQuality q;
+  for (const QueryJudgement& query : queries) {
+    const std::vector<double>& exact = *query.exact_dists;
+    const SearchResult gt10 = TopKByDistance(exact, 10, query.exclude);
+    const SearchResult gt50 = TopKByDistance(exact, 50, query.exclude);
+
+    std::vector<size_t> pred10(query.ranked_ids.begin(),
+                               query.ranked_ids.begin() +
+                                   std::min<size_t>(10, query.ranked_ids.size()));
+    std::vector<size_t> pred50(query.ranked_ids.begin(),
+                               query.ranked_ids.begin() +
+                                   std::min<size_t>(50, query.ranked_ids.size()));
+
+    q.hr10 += HittingRatio(pred10, gt10.ids);
+    q.hr50 += HittingRatio(pred50, gt50.ids);
+    q.r10_at_50 += RecallOfTruth(pred50, gt10.ids);
+
+    const double gt_mean10 = MeanDistanceOf(gt10.ids, exact);
+    q.gt_h10 += gt_mean10;
+    q.delta_h10 += std::abs(MeanDistanceOf(pred10, exact) - gt_mean10);
+
+    // Best 10 (by exact distance) among the predicted top-50.
+    std::vector<size_t> best10 = pred50;
+    std::sort(best10.begin(), best10.end(),
+              [&](size_t a, size_t b) { return exact[a] < exact[b]; });
+    if (best10.size() > 10) best10.resize(10);
+    q.delta_r10 += std::abs(MeanDistanceOf(best10, exact) - gt_mean10);
+    ++q.num_queries;
+  }
+  if (q.num_queries > 0) {
+    const double inv = 1.0 / static_cast<double>(q.num_queries);
+    q.hr10 *= inv;
+    q.hr50 *= inv;
+    q.r10_at_50 *= inv;
+    q.delta_h10 *= inv;
+    q.delta_r10 *= inv;
+    q.gt_h10 *= inv;
+  }
+  return q;
+}
+
+}  // namespace neutraj

@@ -1,0 +1,54 @@
+// Top-k search quality metrics of the paper's evaluation (Sec. VII-A-4):
+// hitting ratio HR@k, recall R10@50, and distance distortions
+// delta_H10 / delta_R10.
+
+#ifndef NEUTRAJ_EVAL_METRICS_H_
+#define NEUTRAJ_EVAL_METRICS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace neutraj {
+
+/// |top-k(result) intersect top-k(truth)| / k. Both lists must already be
+/// truncated to their respective k.
+double HittingRatio(const std::vector<size_t>& result_topk,
+                    const std::vector<size_t>& truth_topk);
+
+/// Fraction of `truth_topm` ids recovered anywhere in `result_topk`
+/// (R10@50: m = 10 ground truth, k = 50 results).
+double RecallOfTruth(const std::vector<size_t>& result_topk,
+                     const std::vector<size_t>& truth_topm);
+
+/// Mean of `dists[id]` over `ids` (0 for an empty list).
+double MeanDistanceOf(const std::vector<size_t>& ids,
+                      const std::vector<double>& dists);
+
+/// Aggregated top-k search quality over a query workload.
+struct TopKQuality {
+  double hr10 = 0.0;      ///< HR@10.
+  double hr50 = 0.0;      ///< HR@50.
+  double r10_at_50 = 0.0; ///< R10@50.
+  double delta_h10 = 0.0; ///< Distortion of mean exact distance, top-10 list.
+  double delta_r10 = 0.0; ///< Same for the best-10 (by exact distance) of top-50.
+  double gt_h10 = 0.0;    ///< Ground-truth mean top-10 distance (context row).
+  size_t num_queries = 0;
+};
+
+/// Per-query inputs to the aggregate evaluation: the method's ranked ids
+/// (at least 50, best first) and the exact distances from the query to
+/// every corpus item.
+struct QueryJudgement {
+  std::vector<size_t> ranked_ids;
+  const std::vector<double>* exact_dists = nullptr;
+  /// Id to exclude from the ground truth (the query itself), or -1.
+  int64_t exclude = -1;
+};
+
+/// Computes all metrics averaged over the workload.
+TopKQuality EvaluateTopKQuality(const std::vector<QueryJudgement>& queries);
+
+}  // namespace neutraj
+
+#endif  // NEUTRAJ_EVAL_METRICS_H_

@@ -1,0 +1,64 @@
+// The paper's experimental protocol (Sec. VII-A-2): split a corpus into
+// seed / validation / test sets, compute exact ground truth, and evaluate
+// top-k search quality of a method's rankings.
+
+#ifndef NEUTRAJ_EVAL_PROTOCOL_H_
+#define NEUTRAJ_EVAL_PROTOCOL_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/model.h"
+#include "data/dataset.h"
+#include "eval/metrics.h"
+
+namespace neutraj {
+
+/// Random split of a corpus: 20% seeds (training), 10% validation, 70% test
+/// by default, mirroring the paper.
+struct DatasetSplit {
+  std::vector<Trajectory> seeds;
+  std::vector<Trajectory> val;
+  std::vector<Trajectory> test;
+};
+
+DatasetSplit SplitDataset(const TrajectoryDataset& dataset,
+                          double seed_fraction = 0.2,
+                          double val_fraction = 0.1, uint64_t rng_seed = 1234);
+
+/// A top-k evaluation workload over a fixed search corpus: queries are
+/// corpus members, and the exact distances from each query to the whole
+/// corpus are precomputed once (the expensive ground-truth step).
+class TopKWorkload {
+ public:
+  /// Selects `num_queries` query ids at random (all items if 0 or larger
+  /// than the corpus) and precomputes their exact distance rows.
+  TopKWorkload(std::vector<Trajectory> corpus, const DistanceFn& exact,
+               size_t num_queries, uint64_t rng_seed = 99);
+
+  const std::vector<Trajectory>& corpus() const { return corpus_; }
+  const std::vector<size_t>& query_ids() const { return query_ids_; }
+  const std::vector<double>& ExactRow(size_t query_pos) const {
+    return exact_rows_[query_pos];
+  }
+
+  /// A ranking function: given the query position (index into query_ids())
+  /// returns at least 50 corpus ids, best first, excluding the query.
+  using RankFn = std::function<std::vector<size_t>(size_t query_pos)>;
+
+  /// Evaluates a method over all queries.
+  TopKQuality Evaluate(const RankFn& rank) const;
+
+  /// Convenience: ranking by model-embedding distance (corpus embedded once).
+  TopKQuality EvaluateModel(const NeuTrajModel& model, size_t k = 50) const;
+
+ private:
+  std::vector<Trajectory> corpus_;
+  std::vector<size_t> query_ids_;
+  std::vector<std::vector<double>> exact_rows_;
+};
+
+}  // namespace neutraj
+
+#endif  // NEUTRAJ_EVAL_PROTOCOL_H_

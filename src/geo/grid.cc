@@ -1,0 +1,71 @@
+#include "geo/grid.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace neutraj {
+
+Grid::Grid(const BoundingBox& region, double cell_size) : region_(region) {
+  if (region.IsEmpty()) throw std::invalid_argument("Grid: empty region");
+  if (cell_size <= 0.0) throw std::invalid_argument("Grid: cell_size <= 0");
+  num_cols_ = std::max<int32_t>(
+      1, static_cast<int32_t>(std::ceil(region.Width() / cell_size)));
+  num_rows_ = std::max<int32_t>(
+      1, static_cast<int32_t>(std::ceil(region.Height() / cell_size)));
+  cell_w_ = region.Width() > 0 ? region.Width() / num_cols_ : cell_size;
+  cell_h_ = region.Height() > 0 ? region.Height() / num_rows_ : cell_size;
+}
+
+Grid::Grid(const BoundingBox& region, int32_t num_cols, int32_t num_rows)
+    : region_(region), num_cols_(num_cols), num_rows_(num_rows) {
+  if (region.IsEmpty()) throw std::invalid_argument("Grid: empty region");
+  if (num_cols <= 0 || num_rows <= 0) {
+    throw std::invalid_argument("Grid: non-positive cell counts");
+  }
+  cell_w_ = region.Width() > 0 ? region.Width() / num_cols_ : 1.0;
+  cell_h_ = region.Height() > 0 ? region.Height() / num_rows_ : 1.0;
+}
+
+GridCell Grid::CellOf(const Point& p) const {
+  auto clamp = [](int64_t v, int64_t hi) {
+    return static_cast<int32_t>(std::clamp<int64_t>(v, 0, hi));
+  };
+  const int64_t px = static_cast<int64_t>((p.x - region_.min_x) / cell_w_);
+  const int64_t qy = static_cast<int64_t>((p.y - region_.min_y) / cell_h_);
+  return GridCell{clamp(px, num_cols_ - 1), clamp(qy, num_rows_ - 1)};
+}
+
+Point Grid::CellCenter(const GridCell& c) const {
+  return Point(region_.min_x + (c.px + 0.5) * cell_w_,
+               region_.min_y + (c.qy + 0.5) * cell_h_);
+}
+
+GridSequence Grid::Discretize(const Trajectory& t) const {
+  GridSequence seq;
+  seq.reserve(t.size());
+  for (const Point& p : t) seq.push_back(CellOf(p));
+  return seq;
+}
+
+Point Grid::Normalize(const Point& p) const {
+  const double w = region_.Width() > 0 ? region_.Width() : 1.0;
+  const double h = region_.Height() > 0 ? region_.Height() : 1.0;
+  return Point((p.x - region_.min_x) / w, (p.y - region_.min_y) / h);
+}
+
+std::vector<GridCell> Grid::ScanWindow(const GridCell& c, int32_t w) const {
+  std::vector<GridCell> cells;
+  const int32_t side = 2 * w + 1;
+  cells.reserve(static_cast<size_t>(side) * side);
+  for (int32_t dy = -w; dy <= w; ++dy) {
+    for (int32_t dx = -w; dx <= w; ++dx) {
+      GridCell g{std::clamp(c.px + dx, 0, num_cols_ - 1),
+                 std::clamp(c.qy + dy, 0, num_rows_ - 1)};
+      cells.push_back(g);
+    }
+  }
+  return cells;
+}
+
+}  // namespace neutraj

@@ -1,0 +1,42 @@
+// 2-D point primitives.
+//
+// The paper works on two-dimensional trajectories (time ignored); all
+// coordinates in this library are planar doubles. When simulating city-scale
+// data we interpret one coordinate unit as one meter, matching the paper's
+// reporting of distortions in meters.
+
+#ifndef NEUTRAJ_GEO_POINT_H_
+#define NEUTRAJ_GEO_POINT_H_
+
+#include <cmath>
+
+namespace neutraj {
+
+/// A planar point (x, y) in meters.
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  Point() = default;
+  Point(double x_in, double y_in) : x(x_in), y(y_in) {}
+
+  friend bool operator==(const Point& a, const Point& b) {
+    return a.x == b.x && a.y == b.y;
+  }
+};
+
+/// Squared Euclidean distance between two points.
+inline double SquaredDistance(const Point& a, const Point& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+/// Euclidean distance between two points.
+inline double EuclideanDistance(const Point& a, const Point& b) {
+  return std::sqrt(SquaredDistance(a, b));
+}
+
+}  // namespace neutraj
+
+#endif  // NEUTRAJ_GEO_POINT_H_

@@ -1,0 +1,102 @@
+#include "geo/preprocess.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace neutraj {
+
+double PointToSegmentDistance(const Point& p, const Point& a, const Point& b) {
+  const double dx = b.x - a.x;
+  const double dy = b.y - a.y;
+  const double len2 = dx * dx + dy * dy;
+  if (len2 <= 0.0) return EuclideanDistance(p, a);
+  // Projection parameter clamped to the segment.
+  double t = ((p.x - a.x) * dx + (p.y - a.y) * dy) / len2;
+  t = std::clamp(t, 0.0, 1.0);
+  return EuclideanDistance(p, Point(a.x + t * dx, a.y + t * dy));
+}
+
+namespace {
+
+void DouglasPeuckerRecurse(const Trajectory& t, size_t lo, size_t hi,
+                           double tolerance, std::vector<char>* keep) {
+  if (hi <= lo + 1) return;
+  double max_d = -1.0;
+  size_t max_i = lo;
+  for (size_t i = lo + 1; i < hi; ++i) {
+    const double d = PointToSegmentDistance(t[i], t[lo], t[hi]);
+    if (d > max_d) {
+      max_d = d;
+      max_i = i;
+    }
+  }
+  if (max_d > tolerance) {
+    (*keep)[max_i] = 1;
+    DouglasPeuckerRecurse(t, lo, max_i, tolerance, keep);
+    DouglasPeuckerRecurse(t, max_i, hi, tolerance, keep);
+  }
+}
+
+}  // namespace
+
+Trajectory DouglasPeucker(const Trajectory& t, double tolerance) {
+  if (tolerance < 0.0) throw std::invalid_argument("DouglasPeucker: tolerance < 0");
+  if (t.size() <= 2) return t;
+  std::vector<char> keep(t.size(), 0);
+  keep.front() = 1;
+  keep.back() = 1;
+  DouglasPeuckerRecurse(t, 0, t.size() - 1, tolerance, &keep);
+  Trajectory out;
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (keep[i]) out.Append(t[i]);
+  }
+  return out;
+}
+
+Trajectory ResampleUniform(const Trajectory& t, double spacing) {
+  if (spacing <= 0.0) throw std::invalid_argument("ResampleUniform: spacing <= 0");
+  if (t.empty()) throw std::invalid_argument("ResampleUniform: empty input");
+  Trajectory out;
+  out.Append(t[0]);
+  if (t.size() == 1) return out;
+  double carry = 0.0;  // Arc length already covered toward the next sample.
+  for (size_t i = 1; i < t.size(); ++i) {
+    const Point& a = t[i - 1];
+    const Point& b = t[i];
+    const double seg = EuclideanDistance(a, b);
+    if (seg <= 0.0) continue;
+    double along = spacing - carry;
+    while (along < seg) {
+      const double frac = along / seg;
+      out.Append(Point(a.x + frac * (b.x - a.x), a.y + frac * (b.y - a.y)));
+      along += spacing;
+    }
+    carry = seg - (along - spacing);
+  }
+  // Always keep the final point (unless it coincides with the last sample).
+  const Point& last = t[t.size() - 1];
+  if (!(out[out.size() - 1] == last)) out.Append(last);
+  return out;
+}
+
+Trajectory MovingAverageSmooth(const Trajectory& t, size_t w) {
+  if (w == 0 || t.size() <= 2) return t;
+  Trajectory out;
+  const int64_t n = static_cast<int64_t>(t.size());
+  const int64_t hw = static_cast<int64_t>(w);
+  for (int64_t i = 0; i < n; ++i) {
+    const int64_t lo = std::max<int64_t>(0, i - hw);
+    const int64_t hi = std::min<int64_t>(n - 1, i + hw);
+    Point mean;
+    for (int64_t k = lo; k <= hi; ++k) {
+      mean.x += t[static_cast<size_t>(k)].x;
+      mean.y += t[static_cast<size_t>(k)].y;
+    }
+    const double count = static_cast<double>(hi - lo + 1);
+    out.Append(Point(mean.x / count, mean.y / count));
+  }
+  return out;
+}
+
+}  // namespace neutraj

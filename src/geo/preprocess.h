@@ -1,0 +1,32 @@
+// Trajectory preprocessing utilities: simplification, resampling and
+// smoothing. Standard tools of trajectory pipelines — used here to prepare
+// corpora (the paper's datasets are cleaned similarly) and as alternative
+// sketch builders for the approximate baselines.
+
+#ifndef NEUTRAJ_GEO_PREPROCESS_H_
+#define NEUTRAJ_GEO_PREPROCESS_H_
+
+#include "geo/trajectory.h"
+
+namespace neutraj {
+
+/// Distance from point `p` to the segment [a, b].
+double PointToSegmentDistance(const Point& p, const Point& a, const Point& b);
+
+/// Douglas–Peucker polyline simplification: keeps the subset of points such
+/// that the dropped ones are within `tolerance` of the simplified polyline.
+/// Endpoints are always kept. Throws std::invalid_argument on tolerance < 0.
+Trajectory DouglasPeucker(const Trajectory& t, double tolerance);
+
+/// Resamples the polyline at (approximately) uniform arc-length `spacing`,
+/// by linear interpolation; the first and last points are preserved.
+/// Throws std::invalid_argument on spacing <= 0 or an empty input.
+Trajectory ResampleUniform(const Trajectory& t, double spacing);
+
+/// Centered moving-average smoothing with window half-width `w` points
+/// (window size 2w+1, truncated at the ends). w = 0 is a copy.
+Trajectory MovingAverageSmooth(const Trajectory& t, size_t w);
+
+}  // namespace neutraj
+
+#endif  // NEUTRAJ_GEO_PREPROCESS_H_

@@ -1,0 +1,63 @@
+#include "geo/traj_io.h"
+
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/file_util.h"
+#include "common/string_util.h"
+
+namespace neutraj {
+
+std::string SerializeTrajectories(const std::vector<Trajectory>& trajs) {
+  std::ostringstream out;
+  char buf[64];
+  for (const Trajectory& t : trajs) {
+    for (size_t i = 0; i < t.size(); ++i) {
+      std::snprintf(buf, sizeof(buf), "%.6f,%.6f", t[i].x, t[i].y);
+      if (i > 0) out << ';';
+      out << buf;
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+std::vector<Trajectory> ParseTrajectories(const std::string& text) {
+  std::vector<Trajectory> trajs;
+  std::istringstream in(text);
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    line = Trim(line);
+    if (line.empty()) continue;
+    Trajectory t;
+    for (const std::string& pair : Split(line, ';')) {
+      const auto fields = Split(pair, ',');
+      if (fields.size() != 2) {
+        throw std::runtime_error("ParseTrajectories: bad point on line " +
+                                 std::to_string(line_no));
+      }
+      try {
+        t.Append(Point(std::stod(fields[0]), std::stod(fields[1])));
+      } catch (const std::exception&) {
+        throw std::runtime_error("ParseTrajectories: bad number on line " +
+                                 std::to_string(line_no));
+      }
+    }
+    trajs.push_back(std::move(t));
+  }
+  return trajs;
+}
+
+void SaveTrajectories(const std::string& path,
+                      const std::vector<Trajectory>& trajs) {
+  WriteFileAtomic(path, SerializeTrajectories(trajs));
+}
+
+std::vector<Trajectory> LoadTrajectories(const std::string& path) {
+  return ParseTrajectories(ReadFile(path));
+}
+
+}  // namespace neutraj

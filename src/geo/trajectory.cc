@@ -1,0 +1,94 @@
+#include "geo/trajectory.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace neutraj {
+
+BoundingBox BoundingBox::Empty() {
+  BoundingBox b;
+  b.min_x = b.min_y = std::numeric_limits<double>::infinity();
+  b.max_x = b.max_y = -std::numeric_limits<double>::infinity();
+  return b;
+}
+
+void BoundingBox::Extend(const Point& p) {
+  min_x = std::min(min_x, p.x);
+  min_y = std::min(min_y, p.y);
+  max_x = std::max(max_x, p.x);
+  max_y = std::max(max_y, p.y);
+}
+
+void BoundingBox::Extend(const BoundingBox& other) {
+  if (other.IsEmpty()) return;
+  min_x = std::min(min_x, other.min_x);
+  min_y = std::min(min_y, other.min_y);
+  max_x = std::max(max_x, other.max_x);
+  max_y = std::max(max_y, other.max_y);
+}
+
+BoundingBox BoundingBox::Inflated(double margin) const {
+  BoundingBox b = *this;
+  b.min_x -= margin;
+  b.min_y -= margin;
+  b.max_x += margin;
+  b.max_y += margin;
+  return b;
+}
+
+bool BoundingBox::Contains(const Point& p) const {
+  return p.x >= min_x && p.x <= max_x && p.y >= min_y && p.y <= max_y;
+}
+
+bool BoundingBox::Intersects(const BoundingBox& other) const {
+  return !(other.min_x > max_x || other.max_x < min_x || other.min_y > max_y ||
+           other.max_y < min_y);
+}
+
+double BoundingBox::MinDistance(const Point& p) const {
+  const double dx = std::max({min_x - p.x, 0.0, p.x - max_x});
+  const double dy = std::max({min_y - p.y, 0.0, p.y - max_y});
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+BoundingBox Trajectory::Bounds() const {
+  BoundingBox b = BoundingBox::Empty();
+  for (const Point& p : points_) b.Extend(p);
+  return b;
+}
+
+double Trajectory::PathLength() const {
+  double total = 0.0;
+  for (size_t i = 1; i < points_.size(); ++i) {
+    total += EuclideanDistance(points_[i - 1], points_[i]);
+  }
+  return total;
+}
+
+Point Trajectory::Centroid() const {
+  Point c;
+  if (points_.empty()) return c;
+  for (const Point& p : points_) {
+    c.x += p.x;
+    c.y += p.y;
+  }
+  c.x /= static_cast<double>(points_.size());
+  c.y /= static_cast<double>(points_.size());
+  return c;
+}
+
+Trajectory Trajectory::Downsampled(size_t max_points) const {
+  if (max_points < 2 || points_.size() <= max_points) return *this;
+  std::vector<Point> out;
+  out.reserve(max_points);
+  const double step = static_cast<double>(points_.size() - 1) /
+                      static_cast<double>(max_points - 1);
+  for (size_t i = 0; i < max_points; ++i) {
+    size_t idx = static_cast<size_t>(std::llround(step * static_cast<double>(i)));
+    idx = std::min(idx, points_.size() - 1);
+    out.push_back(points_[idx]);
+  }
+  return Trajectory(std::move(out));
+}
+
+}  // namespace neutraj

@@ -1,0 +1,87 @@
+// Trajectory container and basic geometric summaries.
+
+#ifndef NEUTRAJ_GEO_TRAJECTORY_H_
+#define NEUTRAJ_GEO_TRAJECTORY_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "geo/point.h"
+
+namespace neutraj {
+
+/// Axis-aligned bounding box.
+struct BoundingBox {
+  double min_x = 0.0, min_y = 0.0, max_x = 0.0, max_y = 0.0;
+
+  /// An "empty" box that any Extend() call will snap onto.
+  static BoundingBox Empty();
+
+  bool IsEmpty() const { return min_x > max_x || min_y > max_y; }
+
+  /// Grows the box to include `p`.
+  void Extend(const Point& p);
+
+  /// Grows the box to include another box.
+  void Extend(const BoundingBox& other);
+
+  /// Grows the box by `margin` on every side.
+  BoundingBox Inflated(double margin) const;
+
+  bool Contains(const Point& p) const;
+  bool Intersects(const BoundingBox& other) const;
+
+  /// Minimum distance from `p` to the box (0 if inside).
+  double MinDistance(const Point& p) const;
+
+  double Width() const { return max_x - min_x; }
+  double Height() const { return max_y - min_y; }
+  double Area() const { return IsEmpty() ? 0.0 : Width() * Height(); }
+  Point Center() const { return Point((min_x + max_x) / 2, (min_y + max_y) / 2); }
+};
+
+/// A trajectory: an ordered polyline of 2-D sample points.
+///
+/// Thin wrapper over std::vector<Point> adding geometric summaries used by
+/// the distance measures and spatial indexes.
+class Trajectory {
+ public:
+  Trajectory() = default;
+  explicit Trajectory(std::vector<Point> points) : points_(std::move(points)) {}
+
+  size_t size() const { return points_.size(); }
+  bool empty() const { return points_.empty(); }
+  const Point& operator[](size_t i) const { return points_[i]; }
+  Point& operator[](size_t i) { return points_[i]; }
+  const std::vector<Point>& points() const { return points_; }
+
+  void Append(const Point& p) { points_.push_back(p); }
+  void Clear() { points_.clear(); }
+
+  auto begin() const { return points_.begin(); }
+  auto end() const { return points_.end(); }
+
+  /// Axis-aligned bounding box of all points (Empty() if no points).
+  BoundingBox Bounds() const;
+
+  /// Total polyline length (sum of segment lengths).
+  double PathLength() const;
+
+  /// Arithmetic mean of the points; undefined when empty.
+  Point Centroid() const;
+
+  /// Returns a copy downsampled to at most `max_points` points, always
+  /// keeping the first and last point. No-op copy if already short enough.
+  Trajectory Downsampled(size_t max_points) const;
+
+  friend bool operator==(const Trajectory& a, const Trajectory& b) {
+    return a.points_ == b.points_;
+  }
+
+ private:
+  std::vector<Point> points_;
+};
+
+}  // namespace neutraj
+
+#endif  // NEUTRAJ_GEO_TRAJECTORY_H_

@@ -1,0 +1,64 @@
+#include "index/frechet_lsh.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "approx/grid_snap.h"
+#include "common/string_util.h"
+
+namespace neutraj {
+
+FrechetLshIndex::FrechetLshIndex(const std::vector<Trajectory>& corpus,
+                                 double delta, size_t num_tables,
+                                 uint64_t seed)
+    : delta_(delta), num_items_(corpus.size()) {
+  if (delta <= 0.0) throw std::invalid_argument("FrechetLshIndex: delta <= 0");
+  if (num_tables == 0) {
+    throw std::invalid_argument("FrechetLshIndex: num_tables == 0");
+  }
+  Rng rng(seed);
+  tables_.resize(num_tables);
+  for (Table& table : tables_) {
+    table.shift = Point(rng.Uniform(0.0, delta), rng.Uniform(0.0, delta));
+    for (size_t id = 0; id < corpus.size(); ++id) {
+      table.buckets[Signature(corpus[id], table.shift)].push_back(id);
+    }
+  }
+}
+
+uint64_t FrechetLshIndex::Signature(const Trajectory& t, const Point& shift) const {
+  // The signature is the deduplicated snapped cell sequence, hashed as a
+  // byte string of cell indices (FNV over the raw integer pairs).
+  const Trajectory snapped = SnapToGrid(t, delta_, shift);
+  std::string bytes;
+  bytes.reserve(snapped.size() * 16);
+  for (const Point& p : snapped) {
+    const int64_t cx = static_cast<int64_t>(std::floor((p.x - shift.x) / delta_));
+    const int64_t cy = static_cast<int64_t>(std::floor((p.y - shift.y) / delta_));
+    bytes.append(reinterpret_cast<const char*>(&cx), sizeof(cx));
+    bytes.append(reinterpret_cast<const char*>(&cy), sizeof(cy));
+  }
+  return Fnv1aHash(bytes);
+}
+
+std::vector<size_t> FrechetLshIndex::Candidates(const Trajectory& query) const {
+  std::vector<size_t> out;
+  for (const Table& table : tables_) {
+    const auto it = table.buckets.find(Signature(query, table.shift));
+    if (it != table.buckets.end()) {
+      out.insert(out.end(), it->second.begin(), it->second.end());
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+size_t FrechetLshIndex::NumBuckets() const {
+  size_t total = 0;
+  for (const Table& table : tables_) total += table.buckets.size();
+  return total;
+}
+
+}  // namespace neutraj

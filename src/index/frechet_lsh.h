@@ -1,0 +1,58 @@
+// Locality-sensitive hashing of curves under the Fréchet distance
+// (Driemel & Silvestri, SoCG'17).
+//
+// Each of L tables snaps curves to a randomly-shifted grid of resolution
+// delta and uses the deduplicated cell sequence (the curve's "signature")
+// as the hash key. Curves within Fréchet distance ~delta/4 collide with
+// constant probability per table; curves far apart almost never do. The
+// index returns the union of colliding curves over the tables — a candidate
+// set for exact (or learned) re-ranking, and the third indexing option of
+// the paper's "elastic" story next to the R-tree and the inverted grid.
+
+#ifndef NEUTRAJ_INDEX_FRECHET_LSH_H_
+#define NEUTRAJ_INDEX_FRECHET_LSH_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/random.h"
+#include "geo/trajectory.h"
+
+namespace neutraj {
+
+/// Multi-table curve LSH index.
+class FrechetLshIndex {
+ public:
+  /// Builds `num_tables` tables of resolution `delta` over `corpus`.
+  /// Each table uses an independent uniform grid shift in [0, delta)^2.
+  FrechetLshIndex(const std::vector<Trajectory>& corpus, double delta,
+                  size_t num_tables = 4, uint64_t seed = 99);
+
+  size_t size() const { return num_items_; }
+  double delta() const { return delta_; }
+  size_t num_tables() const { return tables_.size(); }
+
+  /// Ids of corpus curves sharing a signature with `query` in at least one
+  /// table, ascending and deduplicated.
+  std::vector<size_t> Candidates(const Trajectory& query) const;
+
+  /// Number of distinct buckets over all tables (diagnostics).
+  size_t NumBuckets() const;
+
+ private:
+  struct Table {
+    Point shift;
+    std::unordered_map<uint64_t, std::vector<size_t>> buckets;
+  };
+
+  uint64_t Signature(const Trajectory& t, const Point& shift) const;
+
+  double delta_ = 0.0;
+  size_t num_items_ = 0;
+  std::vector<Table> tables_;
+};
+
+}  // namespace neutraj
+
+#endif  // NEUTRAJ_INDEX_FRECHET_LSH_H_

@@ -1,0 +1,51 @@
+#include "index/inverted_grid.h"
+
+#include <algorithm>
+
+namespace neutraj {
+
+InvertedGridIndex::InvertedGridIndex(const Grid& grid,
+                                     const std::vector<Trajectory>& corpus)
+    : grid_(grid), num_items_(corpus.size()) {
+  postings_.resize(static_cast<size_t>(grid_.NumCells()));
+  for (size_t id = 0; id < corpus.size(); ++id) {
+    GridCell last{-1, -1};
+    for (const Point& p : corpus[id]) {
+      const GridCell c = grid_.CellOf(p);
+      if (c == last) continue;  // Skip runs within the same cell.
+      last = c;
+      auto& list = postings_[static_cast<size_t>(grid_.FlatIndex(c))];
+      if (list.empty() || list.back() != id) list.push_back(id);
+    }
+  }
+}
+
+std::vector<size_t> InvertedGridIndex::Query(const Trajectory& query,
+                                             int32_t expand) const {
+  std::vector<char> cell_seen(postings_.size(), 0);
+  std::vector<char> id_seen(num_items_, 0);
+  std::vector<size_t> result;
+  for (const Point& p : query) {
+    const GridCell center = grid_.CellOf(p);
+    for (const GridCell& c : grid_.ScanWindow(center, expand)) {
+      const size_t flat = static_cast<size_t>(grid_.FlatIndex(c));
+      if (cell_seen[flat]) continue;
+      cell_seen[flat] = 1;
+      for (size_t id : postings_[flat]) {
+        if (!id_seen[id]) {
+          id_seen[id] = 1;
+          result.push_back(id);
+        }
+      }
+    }
+  }
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+const std::vector<size_t>& InvertedGridIndex::CellPostings(
+    const GridCell& cell) const {
+  return postings_[static_cast<size_t>(grid_.FlatIndex(cell))];
+}
+
+}  // namespace neutraj

@@ -1,0 +1,40 @@
+// Grid-based inverted index: cell -> trajectory ids passing through it.
+// The second indexing structure of the paper's "search with index"
+// experiment; candidates are trajectories sharing at least one (window-
+// expanded) cell with the query.
+
+#ifndef NEUTRAJ_INDEX_INVERTED_GRID_H_
+#define NEUTRAJ_INDEX_INVERTED_GRID_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/grid.h"
+
+namespace neutraj {
+
+/// Static inverted index from grid cells to trajectory ids.
+class InvertedGridIndex {
+ public:
+  /// Indexes `corpus` over `grid`.
+  InvertedGridIndex(const Grid& grid, const std::vector<Trajectory>& corpus);
+
+  size_t size() const { return num_items_; }
+  const Grid& grid() const { return grid_; }
+
+  /// Ids of trajectories touching any cell within `expand` cells (Chebyshev
+  /// radius) of any cell of `query`, ascending and deduplicated.
+  std::vector<size_t> Query(const Trajectory& query, int32_t expand = 1) const;
+
+  /// Ids in one exact cell (no expansion), ascending.
+  const std::vector<size_t>& CellPostings(const GridCell& cell) const;
+
+ private:
+  Grid grid_;
+  size_t num_items_ = 0;
+  std::vector<std::vector<size_t>> postings_;  // One list per flat cell index.
+};
+
+}  // namespace neutraj
+
+#endif  // NEUTRAJ_INDEX_INVERTED_GRID_H_

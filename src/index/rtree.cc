@@ -1,0 +1,117 @@
+#include "index/rtree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace neutraj {
+
+RTree::RTree(const std::vector<BoundingBox>& boxes) { Build(boxes); }
+
+RTree RTree::ForTrajectories(const std::vector<Trajectory>& corpus) {
+  std::vector<BoundingBox> boxes;
+  boxes.reserve(corpus.size());
+  for (const Trajectory& t : corpus) boxes.push_back(t.Bounds());
+  return RTree(boxes);
+}
+
+void RTree::Build(const std::vector<BoundingBox>& boxes) {
+  nodes_.clear();
+  item_boxes_ = boxes;
+  num_items_ = boxes.size();
+  height_ = 0;
+  if (boxes.empty()) return;
+
+  // --- Leaf level: Sort-Tile-Recursive packing. ---
+  std::vector<size_t> order(boxes.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return boxes[a].Center().x < boxes[b].Center().x;
+  });
+  const size_t num_leaves =
+      (boxes.size() + kFanout - 1) / kFanout;
+  const size_t num_slices =
+      static_cast<size_t>(std::ceil(std::sqrt(static_cast<double>(num_leaves))));
+  const size_t slice_size =
+      (boxes.size() + num_slices - 1) / num_slices;
+  std::vector<size_t> level;  // Node indices of the level being built.
+  for (size_t s = 0; s < boxes.size(); s += slice_size) {
+    const size_t slice_end = std::min(s + slice_size, boxes.size());
+    std::sort(order.begin() + static_cast<long>(s),
+              order.begin() + static_cast<long>(slice_end),
+              [&](size_t a, size_t b) {
+                return boxes[a].Center().y < boxes[b].Center().y;
+              });
+    for (size_t i = s; i < slice_end; i += kFanout) {
+      Node leaf;
+      leaf.leaf = true;
+      const size_t end = std::min(i + kFanout, slice_end);
+      for (size_t k = i; k < end; ++k) {
+        leaf.children.push_back(order[k]);
+        leaf.box.Extend(boxes[order[k]]);
+      }
+      level.push_back(nodes_.size());
+      nodes_.push_back(std::move(leaf));
+    }
+  }
+  height_ = 1;
+
+  // --- Internal levels: pack upward until a single root remains. ---
+  while (level.size() > 1) {
+    std::vector<size_t> next;
+    // Re-tile by center-x then center-y of the child boxes.
+    std::sort(level.begin(), level.end(), [&](size_t a, size_t b) {
+      return nodes_[a].box.Center().x < nodes_[b].box.Center().x;
+    });
+    const size_t parents = (level.size() + kFanout - 1) / kFanout;
+    const size_t slices =
+        static_cast<size_t>(std::ceil(std::sqrt(static_cast<double>(parents))));
+    const size_t ssize = (level.size() + slices - 1) / slices;
+    for (size_t s = 0; s < level.size(); s += ssize) {
+      const size_t slice_end = std::min(s + ssize, level.size());
+      std::sort(level.begin() + static_cast<long>(s),
+                level.begin() + static_cast<long>(slice_end),
+                [&](size_t a, size_t b) {
+                  return nodes_[a].box.Center().y < nodes_[b].box.Center().y;
+                });
+      for (size_t i = s; i < slice_end; i += kFanout) {
+        Node parent;
+        parent.leaf = false;
+        const size_t end = std::min(i + kFanout, slice_end);
+        for (size_t k = i; k < end; ++k) {
+          parent.children.push_back(level[k]);
+          parent.box.Extend(nodes_[level[k]].box);
+        }
+        next.push_back(nodes_.size());
+        nodes_.push_back(std::move(parent));
+      }
+    }
+    level = std::move(next);
+    ++height_;
+  }
+  root_ = level[0];
+}
+
+std::vector<size_t> RTree::Query(const BoundingBox& query) const {
+  std::vector<size_t> result;
+  if (nodes_.empty()) return result;
+  std::vector<size_t> stack = {root_};
+  while (!stack.empty()) {
+    const Node& node = nodes_[stack.back()];
+    stack.pop_back();
+    if (!node.box.Intersects(query)) continue;
+    if (node.leaf) {
+      // Leaf MBR intersection does not imply every item intersects;
+      // re-check each item's own box.
+      for (size_t id : node.children) {
+        if (item_boxes_[id].Intersects(query)) result.push_back(id);
+      }
+    } else {
+      for (size_t child : node.children) stack.push_back(child);
+    }
+  }
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+}  // namespace neutraj

@@ -1,0 +1,61 @@
+// Bounding-box R-tree over trajectory MBRs (STR bulk loading, Leutenegger
+// et al.), used by the paper's "similarity search with index" experiment to
+// prune the candidate set before any distance computation.
+
+#ifndef NEUTRAJ_INDEX_RTREE_H_
+#define NEUTRAJ_INDEX_RTREE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "geo/trajectory.h"
+
+namespace neutraj {
+
+/// Static R-tree built once over a set of rectangles (Sort-Tile-Recursive
+/// packing). Query returns the ids of all rectangles intersecting a box.
+class RTree {
+ public:
+  /// Maximum children per node.
+  static constexpr size_t kFanout = 16;
+
+  RTree() = default;
+
+  /// Bulk-loads the tree from `boxes`; ids are the input positions.
+  explicit RTree(const std::vector<BoundingBox>& boxes);
+
+  /// Builds the MBRs of `corpus` and bulk-loads.
+  static RTree ForTrajectories(const std::vector<Trajectory>& corpus);
+
+  size_t size() const { return num_items_; }
+  bool empty() const { return num_items_ == 0; }
+
+  /// Ids of all indexed boxes intersecting `query`, in ascending id order.
+  std::vector<size_t> Query(const BoundingBox& query) const;
+
+  /// Number of nodes (diagnostics/tests).
+  size_t NumNodes() const { return nodes_.size(); }
+
+  /// Tree height (0 for an empty tree, 1 for a single leaf level).
+  size_t Height() const { return height_; }
+
+ private:
+  struct Node {
+    BoundingBox box = BoundingBox::Empty();
+    bool leaf = false;
+    /// Children node indices (internal) or item ids (leaf).
+    std::vector<size_t> children;
+  };
+
+  void Build(const std::vector<BoundingBox>& boxes);
+
+  std::vector<BoundingBox> item_boxes_;
+  std::vector<Node> nodes_;
+  size_t root_ = 0;
+  size_t height_ = 0;
+  size_t num_items_ = 0;
+};
+
+}  // namespace neutraj
+
+#endif  // NEUTRAJ_INDEX_RTREE_H_

@@ -1,0 +1,151 @@
+#include "index/vp_tree.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "common/random.h"
+
+namespace neutraj {
+
+namespace {
+
+/// Max-heap of the k best (distance, id), keeping lowest ids on ties so the
+/// result matches the linear-scan tie-breaking of TopKByDistance.
+class BestK {
+ public:
+  explicit BestK(size_t capacity) : capacity_(capacity) {}
+
+  void Offer(double d, size_t id) {
+    if (heap_.size() < capacity_) {
+      heap_.emplace(d, id);
+    } else if (!heap_.empty() &&
+               (d < heap_.top().first ||
+                (d == heap_.top().first && id < heap_.top().second))) {
+      heap_.pop();
+      heap_.emplace(d, id);
+    }
+  }
+
+  /// Current pruning radius: distance of the worst kept candidate, or
+  /// +infinity while the heap is not full.
+  double Tau() const {
+    return heap_.size() < capacity_ ? std::numeric_limits<double>::infinity()
+                                    : heap_.top().first;
+  }
+
+  std::vector<std::pair<double, size_t>> SortedAscending() {
+    std::vector<std::pair<double, size_t>> out;
+    out.reserve(heap_.size());
+    while (!heap_.empty()) {
+      out.push_back(heap_.top());
+      heap_.pop();
+    }
+    std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+      if (a.first != b.first) return a.first < b.first;
+      return a.second < b.second;
+    });
+    return out;
+  }
+
+ private:
+  size_t capacity_;
+  // Lexicographic pair order: the max element is the worst distance (and,
+  // among equals, the highest id) — exactly what Offer should evict.
+  std::priority_queue<std::pair<double, size_t>> heap_;
+};
+
+}  // namespace
+
+VpTree::VpTree(std::vector<nn::Vector> points, uint64_t seed)
+    : points_(std::move(points)) {
+  if (points_.empty()) return;
+  std::vector<size_t> ids(points_.size());
+  for (size_t i = 0; i < ids.size(); ++i) ids[i] = i;
+  nodes_.reserve(points_.size());
+  Rng rng(seed);
+  root_ = Build(&ids, 0, ids.size(), &rng);
+}
+
+int32_t VpTree::Build(std::vector<size_t>* ids, size_t lo, size_t hi, Rng* rng) {
+  if (lo >= hi) return -1;
+  // Pick a random vantage point and swap it to the front of the range.
+  const size_t pick = lo + static_cast<size_t>(rng->UniformInt(
+                               0, static_cast<int64_t>(hi - lo) - 1));
+  std::swap((*ids)[lo], (*ids)[pick]);
+  const size_t vp = (*ids)[lo];
+
+  const int32_t node_idx = static_cast<int32_t>(nodes_.size());
+  nodes_.push_back(Node{vp, 0.0, -1, -1});
+  if (hi - lo == 1) return node_idx;
+
+  // Partition the remaining points by the median distance to the vantage.
+  const size_t mid = lo + 1 + (hi - lo - 1) / 2;
+  std::nth_element(ids->begin() + static_cast<long>(lo + 1),
+                   ids->begin() + static_cast<long>(mid),
+                   ids->begin() + static_cast<long>(hi),
+                   [&](size_t a, size_t b) {
+                     return nn::L2Distance(points_[vp], points_[a]) <
+                            nn::L2Distance(points_[vp], points_[b]);
+                   });
+  nodes_[node_idx].radius = nn::L2Distance(points_[vp], points_[(*ids)[mid]]);
+  const int32_t inside = Build(ids, lo + 1, mid + 1, rng);
+  const int32_t outside = Build(ids, mid + 1, hi, rng);
+  nodes_[node_idx].inside = inside;
+  nodes_[node_idx].outside = outside;
+  return node_idx;
+}
+
+namespace {
+
+struct SearchCtx {
+  const nn::Vector* query;
+  int64_t exclude;
+  size_t visits = 0;
+};
+
+}  // namespace
+
+SearchResult VpTree::TopK(const nn::Vector& query, size_t k,
+                          int64_t exclude) const {
+  last_visits_ = 0;
+  SearchResult result;
+  if (points_.empty() || k == 0) return result;
+  const size_t capacity =
+      std::min(k, exclude >= 0 && static_cast<size_t>(exclude) < points_.size()
+                      ? points_.size() - 1
+                      : points_.size());
+  BestK best(capacity);
+
+  // Recursive descent with ball-intersection pruning; tau tightens as better
+  // candidates are found, so conditions are evaluated at visit time.
+  size_t visits = 0;
+  auto search = [&](auto&& self, int32_t idx) -> void {
+    if (idx < 0) return;
+    const Node& node = nodes_[static_cast<size_t>(idx)];
+    const double d = nn::L2Distance(query, points_[node.point]);
+    ++visits;
+    if (exclude < 0 || node.point != static_cast<size_t>(exclude)) {
+      best.Offer(d, node.point);
+    }
+    if (d <= node.radius) {
+      // Query lies in (or on) the vantage ball: matches can always be
+      // inside; the outside region is reachable only across the boundary.
+      self(self, node.inside);
+      if (d + best.Tau() >= node.radius) self(self, node.outside);
+    } else {
+      self(self, node.outside);
+      if (d - best.Tau() <= node.radius) self(self, node.inside);
+    }
+  };
+  search(search, root_);
+  last_visits_ = visits;
+
+  for (const auto& [d, id] : best.SortedAscending()) {
+    result.ids.push_back(id);
+    result.dists.push_back(d);
+  }
+  return result;
+}
+
+}  // namespace neutraj

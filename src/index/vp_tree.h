@@ -1,0 +1,60 @@
+// Vantage-point tree over embedding vectors.
+//
+// NeuTraj's embedding distance is a metric (L2), so after the corpus is
+// embedded once, top-k queries can be answered in sub-linear expected time
+// with a metric tree instead of the flat O(N*d) scan. This extends the
+// paper's "elastic" property (Sec. I): NeuTraj composes with indexing
+// structures on either side — spatial indexes over raw trajectories, or
+// metric indexes over the learned embeddings.
+
+#ifndef NEUTRAJ_INDEX_VP_TREE_H_
+#define NEUTRAJ_INDEX_VP_TREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "core/search.h"
+#include "nn/matrix.h"
+
+namespace neutraj {
+
+/// Static vantage-point tree on a set of equal-length vectors under L2.
+class VpTree {
+ public:
+  VpTree() = default;
+
+  /// Builds the tree over `points` (ids are input positions). The build is
+  /// deterministic given `seed` (vantage points are drawn randomly).
+  explicit VpTree(std::vector<nn::Vector> points, uint64_t seed = 17);
+
+  size_t size() const { return points_.size(); }
+  bool empty() const { return points_.empty(); }
+
+  /// Exact k-nearest-neighbor query (ascending by distance). `exclude`
+  /// (if >= 0) removes one id — typically the query itself.
+  SearchResult TopK(const nn::Vector& query, size_t k, int64_t exclude = -1) const;
+
+  /// Number of distance evaluations spent on the last TopK call
+  /// (diagnostics; shows the pruning win over a flat scan).
+  size_t last_visit_count() const { return last_visits_; }
+
+ private:
+  struct Node {
+    size_t point = 0;        ///< Id of the vantage point.
+    double radius = 0.0;     ///< Median distance to the subtree points.
+    int32_t inside = -1;     ///< Child with dist <= radius.
+    int32_t outside = -1;    ///< Child with dist > radius.
+  };
+
+  int32_t Build(std::vector<size_t>* ids, size_t lo, size_t hi, Rng* rng);
+
+  std::vector<nn::Vector> points_;
+  std::vector<Node> nodes_;
+  int32_t root_ = -1;
+  mutable size_t last_visits_ = 0;
+};
+
+}  // namespace neutraj
+
+#endif  // NEUTRAJ_INDEX_VP_TREE_H_

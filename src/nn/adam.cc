@@ -1,0 +1,42 @@
+#include "nn/adam.h"
+
+#include <cmath>
+
+namespace neutraj::nn {
+
+Adam::Adam(std::vector<Param*> params, const AdamOptions& opts)
+    : params_(std::move(params)), opts_(opts) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const Param* p : params_) {
+    m_.emplace_back(p->value.rows(), p->value.cols());
+    v_.emplace_back(p->value.rows(), p->value.cols());
+  }
+}
+
+double Adam::Step() {
+  double norm = GradNorm(params_);
+  if (opts_.clip_norm > 0.0) {
+    ClipGradNorm(params_, opts_.clip_norm);
+  }
+  ++step_;
+  const double bc1 = 1.0 - std::pow(opts_.beta1, static_cast<double>(step_));
+  const double bc2 = 1.0 - std::pow(opts_.beta2, static_cast<double>(step_));
+  for (size_t i = 0; i < params_.size(); ++i) {
+    auto& value = params_[i]->value.values();
+    const auto& grad = params_[i]->grad.values();
+    auto& m = m_[i].values();
+    auto& v = v_[i].values();
+    for (size_t k = 0; k < value.size(); ++k) {
+      const double g = grad[k];
+      m[k] = opts_.beta1 * m[k] + (1.0 - opts_.beta1) * g;
+      v[k] = opts_.beta2 * v[k] + (1.0 - opts_.beta2) * g * g;
+      const double mhat = m[k] / bc1;
+      const double vhat = v[k] / bc2;
+      value[k] -= opts_.learning_rate * mhat / (std::sqrt(vhat) + opts_.epsilon);
+    }
+  }
+  return norm;
+}
+
+}  // namespace neutraj::nn

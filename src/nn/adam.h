@@ -1,0 +1,50 @@
+// Adam stochastic optimizer (Kingma & Ba, 2015) — the optimizer the paper
+// uses for NeuTraj training.
+
+#ifndef NEUTRAJ_NN_ADAM_H_
+#define NEUTRAJ_NN_ADAM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/parameter.h"
+
+namespace neutraj::nn {
+
+/// Adam hyperparameters.
+struct AdamOptions {
+  double learning_rate = 1e-3;
+  double beta1 = 0.9;
+  double beta2 = 0.999;
+  double epsilon = 1e-8;
+  /// Global gradient-norm clip applied before each step (<= 0 disables).
+  double clip_norm = 5.0;
+};
+
+/// Adam over a fixed set of parameters. The parameter set is captured at
+/// construction; the caller guarantees the Param objects outlive the
+/// optimizer.
+class Adam {
+ public:
+  Adam(std::vector<Param*> params, const AdamOptions& opts = {});
+
+  /// Applies one update from the currently-accumulated gradients, then
+  /// leaves gradients untouched (call ZeroGrads separately).
+  /// Returns the pre-clip global gradient norm.
+  double Step();
+
+  int64_t step_count() const { return step_; }
+  const AdamOptions& options() const { return opts_; }
+  void set_learning_rate(double lr) { opts_.learning_rate = lr; }
+
+ private:
+  std::vector<Param*> params_;
+  AdamOptions opts_;
+  std::vector<Matrix> m_;  // First-moment estimates, aligned with params_.
+  std::vector<Matrix> v_;  // Second-moment estimates.
+  int64_t step_ = 0;
+};
+
+}  // namespace neutraj::nn
+
+#endif  // NEUTRAJ_NN_ADAM_H_

@@ -1,0 +1,55 @@
+#include "nn/attention.h"
+
+#include <limits>
+
+namespace neutraj::nn {
+
+namespace {
+
+constexpr double kMaskedLogit = -std::numeric_limits<double>::infinity();
+
+}  // namespace
+
+void AttentionForward(const Matrix& g, const Vector& q, AttentionTape* tape,
+                      const std::vector<char>* mask) {
+  tape->g = g;
+  MatVec(g, q, &tape->a);
+  tape->all_masked = false;
+  if (mask != nullptr) {
+    bool any = false;
+    for (size_t i = 0; i < tape->a.size(); ++i) {
+      if ((*mask)[i]) {
+        any = true;
+      } else {
+        tape->a[i] = kMaskedLogit;
+      }
+    }
+    if (!any) {
+      tape->all_masked = true;
+      tape->a.assign(tape->a.size(), 0.0);
+      tape->mix.assign(g.cols(), 0.0);
+      return;
+    }
+  }
+  SoftmaxInPlace(&tape->a);
+  MatTVec(g, tape->a, &tape->mix);
+}
+
+void AttentionBackward(const AttentionTape& tape, const Vector& dmix,
+                       const Vector* da_direct, Vector* dq_accum) {
+  if (tape.all_masked) return;  // mix was constant zero; no query gradient.
+  // mix = G^T A  =>  dA = G * dmix.
+  Vector da;
+  MatVec(tape.g, dmix, &da);
+  if (da_direct != nullptr) {
+    AxpyInPlace(1.0, *da_direct, &da);
+  }
+  // A = softmax(u): du = A (*) (dA - <A, dA>).
+  const double inner = Dot(tape.a, da);
+  Vector du(da.size());
+  for (size_t i = 0; i < da.size(); ++i) du[i] = tape.a[i] * (da[i] - inner);
+  // u = G q  =>  dq += G^T du.
+  MatTVecAccum(tape.g, du, dq_accum);
+}
+
+}  // namespace neutraj::nn

@@ -1,0 +1,156 @@
+#include "nn/encoder.h"
+
+#include <stdexcept>
+
+namespace neutraj::nn {
+
+namespace {
+
+bool IsGru(Backbone b) { return b == Backbone::kGru || b == Backbone::kSamGru; }
+bool HasSam(Backbone b) {
+  return b == Backbone::kSamLstm || b == Backbone::kSamGru;
+}
+
+}  // namespace
+
+Encoder::Encoder(Backbone backbone, const Grid& grid, size_t hidden_dim,
+                 int32_t scan_width)
+    : backbone_(backbone),
+      grid_(grid),
+      hidden_(hidden_dim),
+      scan_width_(scan_width) {
+  if (hidden_dim == 0) throw std::invalid_argument("Encoder: hidden_dim == 0");
+  if (scan_width < 0) throw std::invalid_argument("Encoder: scan_width < 0");
+  switch (backbone) {
+    case Backbone::kLstm:
+      lstm_.emplace("encoder.lstm", /*input_dim=*/2, hidden_dim);
+      break;
+    case Backbone::kSamLstm:
+      sam_.emplace("encoder.sam", /*input_dim=*/2, hidden_dim);
+      break;
+    case Backbone::kGru:
+    case Backbone::kSamGru:
+      gru_.emplace("encoder.gru", /*input_dim=*/2, hidden_dim);
+      break;
+  }
+  if (HasSam(backbone)) {
+    memory_.emplace(grid_.num_cols(), grid_.num_rows(), hidden_dim);
+  }
+}
+
+void Encoder::Initialize(Rng* rng) {
+  if (lstm_) lstm_->Initialize(rng);
+  if (sam_) sam_->Initialize(rng);
+  if (gru_) gru_->Initialize(rng);
+  ResetMemory();
+}
+
+Vector Encoder::Encode(const Trajectory& traj, bool update_memory,
+                       EncodeTape* tape) {
+  if (traj.empty()) throw std::invalid_argument("Encode: empty trajectory");
+  const size_t len = traj.size();
+  if (tape != nullptr) {
+    tape->length = len;
+    tape->lstm_steps.clear();
+    tape->sam_steps.clear();
+    tape->gru_steps.clear();
+    if (backbone_ == Backbone::kLstm) {
+      tape->lstm_steps.resize(len);
+    } else if (backbone_ == Backbone::kSamLstm) {
+      tape->sam_steps.resize(len);
+    } else {
+      tape->gru_steps.resize(len);
+    }
+  }
+
+  const bool use_sam = HasSam(backbone_);
+  Vector h(hidden_, 0.0);
+  Vector c(hidden_, 0.0);
+  Vector h_next, c_next;
+  LstmTape scratch_lstm;
+  SamTape scratch_sam;
+  GruTape scratch_gru;
+  for (size_t t = 0; t < len; ++t) {
+    const Point norm = grid_.Normalize(traj[t]);
+    const Vector x = {norm.x, norm.y};
+    GridCell center{0, 0};
+    std::vector<GridCell> window;
+    if (use_sam) {
+      center = grid_.CellOf(traj[t]);
+      window = grid_.ScanWindow(center, scan_width_);
+    }
+    switch (backbone_) {
+      case Backbone::kLstm: {
+        LstmTape* step = tape ? &tape->lstm_steps[t] : &scratch_lstm;
+        lstm_->Forward(x, h, c, step, &h_next, &c_next);
+        c.swap(c_next);
+        break;
+      }
+      case Backbone::kSamLstm: {
+        SamTape* step = tape ? &tape->sam_steps[t] : &scratch_sam;
+        sam_->Forward(x, h, c, window, center, &*memory_, /*use_memory=*/true,
+                      update_memory, step, &h_next, &c_next);
+        c.swap(c_next);
+        break;
+      }
+      case Backbone::kGru:
+      case Backbone::kSamGru: {
+        GruTape* step = tape ? &tape->gru_steps[t] : &scratch_gru;
+        gru_->Forward(x, h, window, center, memory_ ? &*memory_ : nullptr,
+                      /*use_memory=*/backbone_ == Backbone::kSamGru,
+                      update_memory, step, &h_next);
+        break;
+      }
+    }
+    h.swap(h_next);
+  }
+  return h;
+}
+
+void Encoder::Backward(const EncodeTape& tape, const Vector& d_embedding) {
+  if (d_embedding.size() != hidden_) {
+    throw std::invalid_argument("Backward: gradient dimension mismatch");
+  }
+  Vector dh = d_embedding;
+  Vector dc(hidden_, 0.0);
+  Vector dh_prev(hidden_, 0.0);
+  Vector dc_prev(hidden_, 0.0);
+  for (size_t t = tape.length; t-- > 0;) {
+    std::fill(dh_prev.begin(), dh_prev.end(), 0.0);
+    std::fill(dc_prev.begin(), dc_prev.end(), 0.0);
+    switch (backbone_) {
+      case Backbone::kLstm:
+        lstm_->Backward(tape.lstm_steps[t], dh, dc, &dh_prev, &dc_prev, nullptr);
+        dc.swap(dc_prev);
+        break;
+      case Backbone::kSamLstm:
+        sam_->Backward(tape.sam_steps[t], dh, dc, &dh_prev, &dc_prev, nullptr);
+        dc.swap(dc_prev);
+        break;
+      case Backbone::kGru:
+      case Backbone::kSamGru:
+        gru_->Backward(tape.gru_steps[t], dh, &dh_prev, nullptr);
+        break;
+    }
+    dh.swap(dh_prev);
+  }
+}
+
+std::vector<Param*> Encoder::Params() {
+  switch (backbone_) {
+    case Backbone::kLstm:
+      return lstm_->Params();
+    case Backbone::kSamLstm:
+      return sam_->Params();
+    case Backbone::kGru:
+    case Backbone::kSamGru:
+      return gru_->Params();
+  }
+  return {};
+}
+
+void Encoder::ResetMemory() {
+  if (memory_) memory_->Clear();
+}
+
+}  // namespace neutraj::nn

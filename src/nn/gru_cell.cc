@@ -1,0 +1,193 @@
+#include "nn/gru_cell.h"
+
+#include <cmath>
+
+#include "nn/init.h"
+
+namespace neutraj::nn {
+
+namespace {
+
+inline double Sigmoid(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+
+}  // namespace
+
+SamGruCell::SamGruCell(const std::string& name, size_t input_dim,
+                       size_t hidden_dim)
+    : hidden_(hidden_dim),
+      wg_(name + ".Wg", 3 * hidden_dim, input_dim),
+      ug_(name + ".Ug", 3 * hidden_dim, hidden_dim),
+      bg_(name + ".bg", 3 * hidden_dim, 1),
+      wn_(name + ".Wn", hidden_dim, input_dim),
+      un_(name + ".Un", hidden_dim, hidden_dim),
+      bn_(name + ".bn", hidden_dim, 1),
+      whis_(name + ".Whis", hidden_dim, 2 * hidden_dim),
+      bhis_(name + ".bhis", hidden_dim, 1) {}
+
+void SamGruCell::Initialize(Rng* rng) {
+  XavierUniform(&wg_.value, rng);
+  XavierUniform(&wn_.value, rng);
+  XavierUniform(&whis_.value, rng);
+  for (int block = 0; block < 3; ++block) {
+    Matrix sub(hidden_, hidden_);
+    OrthogonalInit(&sub, rng);
+    for (size_t r = 0; r < hidden_; ++r) {
+      for (size_t c = 0; c < hidden_; ++c) {
+        ug_.value(block * hidden_ + r, c) = sub(r, c);
+      }
+    }
+  }
+  {
+    Matrix sub(hidden_, hidden_);
+    OrthogonalInit(&sub, rng);
+    for (size_t r = 0; r < hidden_; ++r) {
+      for (size_t c = 0; c < hidden_; ++c) un_.value(r, c) = sub(r, c);
+    }
+  }
+  ZeroInit(&bg_.value);
+  ZeroInit(&bn_.value);
+  ZeroInit(&bhis_.value);
+  // Spatial-gate warm start (block 2 holds s): see SamLstmCell.
+  for (size_t k = 0; k < hidden_; ++k) bg_.value(2 * hidden_ + k, 0) = -2.0;
+}
+
+void SamGruCell::Forward(const Vector& x, const Vector& h_prev,
+                         const std::vector<GridCell>& window_cells,
+                         const GridCell& center, MemoryTensor* memory,
+                         bool use_memory, bool update_memory, GruTape* tape,
+                         Vector* h) const {
+  const size_t d = hidden_;
+  Vector pre(3 * d);
+  for (size_t k = 0; k < 3 * d; ++k) pre[k] = bg_.value(k, 0);
+  MatVecAccum(wg_.value, x, &pre);
+  MatVecAccum(ug_.value, h_prev, &pre);
+
+  tape->x = x;
+  tape->h_prev = h_prev;
+  tape->r.resize(d);
+  tape->z.resize(d);
+  tape->s.resize(d);
+  for (size_t k = 0; k < d; ++k) {
+    tape->r[k] = Sigmoid(pre[k]);
+    tape->z[k] = Sigmoid(pre[d + k]);
+    tape->s[k] = Sigmoid(pre[2 * d + k]);
+  }
+
+  tape->rh.resize(d);
+  for (size_t k = 0; k < d; ++k) tape->rh[k] = tape->r[k] * h_prev[k];
+  Vector cand_pre(d);
+  for (size_t k = 0; k < d; ++k) cand_pre[k] = bn_.value(k, 0);
+  MatVecAccum(wn_.value, x, &cand_pre);
+  MatVecAccum(un_.value, tape->rh, &cand_pre);
+  TanhInto(cand_pre, &tape->n_tilde);
+
+  tape->used_memory = use_memory;
+  tape->n_prime.resize(d);
+  if (use_memory) {
+    Matrix g;
+    std::vector<char> mask;
+    memory->GatherWindow(window_cells, &g, &mask);
+    AttentionForward(g, tape->n_tilde, &tape->att, &mask);
+    if (tape->att.all_masked) {
+      tape->used_memory = false;
+      tape->n_prime = tape->n_tilde;
+    } else {
+      Vector ccat(2 * d);
+      for (size_t k = 0; k < d; ++k) {
+        ccat[k] = tape->n_tilde[k];
+        ccat[d + k] = tape->att.mix[k];
+      }
+      Vector his_pre(d);
+      for (size_t k = 0; k < d; ++k) his_pre[k] = bhis_.value(k, 0);
+      MatVecAccum(whis_.value, ccat, &his_pre);
+      TanhInto(his_pre, &tape->c_his);
+      for (size_t k = 0; k < d; ++k) {
+        tape->n_prime[k] = tape->n_tilde[k] + tape->s[k] * tape->c_his[k];
+      }
+    }
+  } else {
+    tape->n_prime = tape->n_tilde;
+  }
+
+  h->resize(d);
+  for (size_t k = 0; k < d; ++k) {
+    (*h)[k] = (1.0 - tape->z[k]) * tape->n_prime[k] + tape->z[k] * h_prev[k];
+  }
+  if (use_memory && update_memory) {
+    memory->BlendWrite(center, tape->s, *h);
+  }
+}
+
+void SamGruCell::Backward(const GruTape& tape, const Vector& dh,
+                          Vector* dh_prev_accum, Vector* dx_accum) {
+  const size_t d = hidden_;
+  // h = (1-z) (*) n' + z (*) h_prev.
+  Vector dn_prime(d);
+  Vector dz_post(d);
+  for (size_t k = 0; k < d; ++k) {
+    dn_prime[k] = dh[k] * (1.0 - tape.z[k]);
+    dz_post[k] = dh[k] * (tape.h_prev[k] - tape.n_prime[k]);
+    (*dh_prev_accum)[k] += dh[k] * tape.z[k];
+  }
+
+  Vector dn_tilde(d, 0.0);
+  Vector ds_post(d, 0.0);
+  if (tape.used_memory) {
+    for (size_t k = 0; k < d; ++k) {
+      dn_tilde[k] = dn_prime[k];
+      ds_post[k] = dn_prime[k] * tape.c_his[k];
+    }
+    Vector dz_his(d);
+    for (size_t k = 0; k < d; ++k) {
+      dz_his[k] =
+          dn_prime[k] * tape.s[k] * (1.0 - tape.c_his[k] * tape.c_his[k]);
+    }
+    Vector ccat(2 * d);
+    for (size_t k = 0; k < d; ++k) {
+      ccat[k] = tape.n_tilde[k];
+      ccat[d + k] = tape.att.mix[k];
+    }
+    AddOuterProduct(&whis_.grad, dz_his, ccat);
+    for (size_t k = 0; k < d; ++k) bhis_.grad(k, 0) += dz_his[k];
+    Vector dccat(2 * d, 0.0);
+    MatTVecAccum(whis_.value, dz_his, &dccat);
+    Vector dmix(d);
+    for (size_t k = 0; k < d; ++k) {
+      dn_tilde[k] += dccat[k];
+      dmix[k] = dccat[d + k];
+    }
+    AttentionBackward(tape.att, dmix, nullptr, &dn_tilde);
+  } else {
+    dn_tilde = dn_prime;
+  }
+
+  // n~ = tanh(Wn x + Un (r (*) h_prev) + bn).
+  Vector dcand_pre(d);
+  for (size_t k = 0; k < d; ++k) {
+    dcand_pre[k] = dn_tilde[k] * (1.0 - tape.n_tilde[k] * tape.n_tilde[k]);
+  }
+  AddOuterProduct(&wn_.grad, dcand_pre, tape.x);
+  AddOuterProduct(&un_.grad, dcand_pre, tape.rh);
+  for (size_t k = 0; k < d; ++k) bn_.grad(k, 0) += dcand_pre[k];
+  Vector drh(d, 0.0);
+  MatTVecAccum(un_.value, dcand_pre, &drh);
+
+  Vector dpre(3 * d);
+  for (size_t k = 0; k < d; ++k) {
+    const double dr_post = drh[k] * tape.h_prev[k];
+    (*dh_prev_accum)[k] += drh[k] * tape.r[k];
+    dpre[k] = dr_post * tape.r[k] * (1.0 - tape.r[k]);
+    dpre[d + k] = dz_post[k] * tape.z[k] * (1.0 - tape.z[k]);
+    dpre[2 * d + k] = ds_post[k] * tape.s[k] * (1.0 - tape.s[k]);
+  }
+  AddOuterProduct(&wg_.grad, dpre, tape.x);
+  AddOuterProduct(&ug_.grad, dpre, tape.h_prev);
+  for (size_t k = 0; k < 3 * d; ++k) bg_.grad(k, 0) += dpre[k];
+  MatTVecAccum(ug_.value, dpre, dh_prev_accum);
+  if (dx_accum != nullptr) {
+    MatTVecAccum(wg_.value, dpre, dx_accum);
+    MatTVecAccum(wn_.value, dcand_pre, dx_accum);
+  }
+}
+
+}  // namespace neutraj::nn

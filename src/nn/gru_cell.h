@@ -1,0 +1,88 @@
+// GRU cell, optionally augmented with the spatial attention memory.
+//
+// The paper presents SAM on an LSTM backbone but states the module
+// "augments existing recurrent neural networks (GRU, LSTM)". This cell
+// realizes the GRU instantiation. The GRU has no separate cell state, so
+// the SAM read attaches to the candidate state n~ (the natural analog of
+// the LSTM's intermediate cell state c^):
+//
+//   (r, z, s) = sigmoid(Wg x + Ug h_{t-1} + bg)
+//   n~        = tanh(Wn x + Un (r (*) h_{t-1}) + bn)
+//   c_his     = tanh(W_his [n~, mix] + b_his),
+//                 A = softmax(G_t n~), mix = G_t^T A       (read)
+//   n'        = n~ + s (*) c_his
+//   h_t       = (1 - z) (*) n' + z (*) h_{t-1}
+//   M(cell)   = s (*) h_t + (1 - s) (*) M(cell)            (write)
+//
+// With use_memory == false this is a standard GRU with an inert s gate.
+// Memory semantics follow SamLstmCell: reads treat G_t as constant, writes
+// are non-differentiable state updates, never-written cells are masked.
+
+#ifndef NEUTRAJ_NN_GRU_CELL_H_
+#define NEUTRAJ_NN_GRU_CELL_H_
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "geo/grid.h"
+#include "nn/attention.h"
+#include "nn/memory_tensor.h"
+#include "nn/parameter.h"
+
+namespace neutraj::nn {
+
+/// Per-step activations saved by Forward for the backward pass.
+struct GruTape {
+  Vector x;          ///< Step input.
+  Vector h_prev;     ///< Previous hidden state.
+  Vector r, z, s;    ///< Post-activation gates.
+  Vector rh;         ///< r (*) h_prev (input of the candidate).
+  Vector n_tilde;    ///< Candidate state.
+  bool used_memory = false;
+  AttentionTape att;
+  Vector c_his;
+  Vector n_prime;    ///< Candidate after the memory injection.
+};
+
+/// GRU recurrence with optional SAM augmentation.
+class SamGruCell {
+ public:
+  SamGruCell(const std::string& name, size_t input_dim, size_t hidden_dim);
+
+  /// Xavier input weights, orthogonal recurrent blocks, spatial-gate bias
+  /// -2 (same warm-start as SamLstmCell).
+  void Initialize(Rng* rng);
+
+  /// One recurrent step; see SamLstmCell::Forward for the contract.
+  void Forward(const Vector& x, const Vector& h_prev,
+               const std::vector<GridCell>& window_cells, const GridCell& center,
+               MemoryTensor* memory, bool use_memory, bool update_memory,
+               GruTape* tape, Vector* h) const;
+
+  /// Backward through one step: accumulates parameter gradients, adds
+  /// dL/dh_{t-1} into `dh_prev_accum` and optionally dL/dx into `dx_accum`.
+  void Backward(const GruTape& tape, const Vector& dh, Vector* dh_prev_accum,
+                Vector* dx_accum);
+
+  size_t input_dim() const { return wg_.value.cols(); }
+  size_t hidden_dim() const { return hidden_; }
+  std::vector<Param*> Params() {
+    return {&wg_, &ug_, &bg_, &wn_, &un_, &bn_, &whis_, &bhis_};
+  }
+
+ private:
+  size_t hidden_;
+  Param wg_;    // 3h x input: stacked (r, z, s) input weights.
+  Param ug_;    // 3h x h.
+  Param bg_;    // 3h x 1.
+  Param wn_;    // h x input: candidate input weights.
+  Param un_;    // h x h.
+  Param bn_;    // h x 1.
+  Param whis_;  // h x 2h: attention fusion layer.
+  Param bhis_;  // h x 1.
+};
+
+}  // namespace neutraj::nn
+
+#endif  // NEUTRAJ_NN_GRU_CELL_H_

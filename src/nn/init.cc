@@ -1,0 +1,52 @@
+#include "nn/init.h"
+
+#include <cmath>
+
+namespace neutraj::nn {
+
+void XavierUniform(Matrix* m, Rng* rng) {
+  const double bound = std::sqrt(6.0 / static_cast<double>(m->rows() + m->cols()));
+  for (double& v : m->values()) v = rng->Uniform(-bound, bound);
+}
+
+void GaussianInit(Matrix* m, double stddev, Rng* rng) {
+  for (double& v : m->values()) v = rng->Gaussian(0.0, stddev);
+}
+
+void OrthogonalInit(Matrix* m, Rng* rng) {
+  // Work on the transposed view if cols > rows so the rows being
+  // orthonormalized are the short side.
+  const bool transpose = m->cols() > m->rows();
+  const size_t r = transpose ? m->cols() : m->rows();
+  const size_t c = transpose ? m->rows() : m->cols();
+  Matrix a(r, c);
+  GaussianInit(&a, 1.0, rng);
+  // Modified Gram-Schmidt on the columns of a (c <= r so they can be
+  // orthonormalized).
+  for (size_t j = 0; j < c; ++j) {
+    for (size_t k = 0; k < j; ++k) {
+      double dot = 0.0;
+      for (size_t i = 0; i < r; ++i) dot += a(i, j) * a(i, k);
+      for (size_t i = 0; i < r; ++i) a(i, j) -= dot * a(i, k);
+    }
+    double norm = 0.0;
+    for (size_t i = 0; i < r; ++i) norm += a(i, j) * a(i, j);
+    norm = std::sqrt(norm);
+    if (norm < 1e-12) {
+      // Degenerate column (essentially impossible with Gaussian draws);
+      // re-seed it with a unit basis vector.
+      for (size_t i = 0; i < r; ++i) a(i, j) = (i == j % r) ? 1.0 : 0.0;
+    } else {
+      for (size_t i = 0; i < r; ++i) a(i, j) /= norm;
+    }
+  }
+  for (size_t i = 0; i < m->rows(); ++i) {
+    for (size_t j = 0; j < m->cols(); ++j) {
+      (*m)(i, j) = transpose ? a(j, i) : a(i, j);
+    }
+  }
+}
+
+void ZeroInit(Matrix* m) { m->Zero(); }
+
+}  // namespace neutraj::nn

@@ -1,0 +1,27 @@
+// Weight initialization schemes.
+
+#ifndef NEUTRAJ_NN_INIT_H_
+#define NEUTRAJ_NN_INIT_H_
+
+#include "common/random.h"
+#include "nn/matrix.h"
+
+namespace neutraj::nn {
+
+/// Xavier/Glorot uniform: U(-b, b) with b = sqrt(6 / (fan_in + fan_out)).
+void XavierUniform(Matrix* m, Rng* rng);
+
+/// Gaussian N(0, stddev^2).
+void GaussianInit(Matrix* m, double stddev, Rng* rng);
+
+/// Orthogonal initialization (Gram-Schmidt on a Gaussian matrix); commonly
+/// used for recurrent weights to keep gradients well-conditioned.
+/// Requires rows >= cols or cols >= rows; the smaller side is orthonormal.
+void OrthogonalInit(Matrix* m, Rng* rng);
+
+/// All zeros (biases).
+void ZeroInit(Matrix* m);
+
+}  // namespace neutraj::nn
+
+#endif  // NEUTRAJ_NN_INIT_H_

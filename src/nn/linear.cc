@@ -1,0 +1,28 @@
+#include "nn/linear.h"
+
+#include "nn/init.h"
+
+namespace neutraj::nn {
+
+Linear::Linear(const std::string& name, size_t out_dim, size_t in_dim)
+    : weight_(name + ".W", out_dim, in_dim), bias_(name + ".b", out_dim, 1) {}
+
+void Linear::Initialize(Rng* rng) {
+  XavierUniform(&weight_.value, rng);
+  ZeroInit(&bias_.value);
+}
+
+void Linear::Forward(const Vector& x, Vector* y) const {
+  MatVec(weight_.value, x, y);
+  for (size_t i = 0; i < y->size(); ++i) (*y)[i] += bias_.value(i, 0);
+}
+
+void Linear::Backward(const Vector& x, const Vector& dy, Vector* dx_accum) {
+  AddOuterProduct(&weight_.grad, dy, x);
+  for (size_t i = 0; i < dy.size(); ++i) bias_.grad(i, 0) += dy[i];
+  if (dx_accum != nullptr) {
+    MatTVecAccum(weight_.value, dy, dx_accum);
+  }
+}
+
+}  // namespace neutraj::nn

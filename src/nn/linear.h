@@ -1,0 +1,45 @@
+// Fully-connected layer with manual backward pass.
+
+#ifndef NEUTRAJ_NN_LINEAR_H_
+#define NEUTRAJ_NN_LINEAR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "nn/parameter.h"
+
+namespace neutraj::nn {
+
+/// y = W x + b. Stateless between calls: the caller keeps the inputs it
+/// needs for the backward pass (tape style), which keeps recurrent unrolling
+/// explicit and testable.
+class Linear {
+ public:
+  Linear(const std::string& name, size_t out_dim, size_t in_dim);
+
+  /// Xavier-initializes W and zeroes b.
+  void Initialize(Rng* rng);
+
+  /// y = W x + b.
+  void Forward(const Vector& x, Vector* y) const;
+
+  /// Given dL/dy and the forward input x, accumulates dL/dW and dL/db, and
+  /// adds dL/dx into `dx_accum` (which must be pre-sized to in_dim).
+  void Backward(const Vector& x, const Vector& dy, Vector* dx_accum);
+
+  size_t in_dim() const { return weight_.value.cols(); }
+  size_t out_dim() const { return weight_.value.rows(); }
+
+  Param& weight() { return weight_; }
+  Param& bias() { return bias_; }
+  std::vector<Param*> Params() { return {&weight_, &bias_}; }
+
+ private:
+  Param weight_;  // out_dim x in_dim
+  Param bias_;    // out_dim x 1
+};
+
+}  // namespace neutraj::nn
+
+#endif  // NEUTRAJ_NN_LINEAR_H_

@@ -1,0 +1,128 @@
+#include "nn/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace neutraj::nn {
+
+namespace {
+
+void CheckDim(bool ok, const char* what) {
+  if (!ok) throw std::invalid_argument(std::string("nn shape mismatch: ") + what);
+}
+
+}  // namespace
+
+void Matrix::Zero() { std::fill(data_.begin(), data_.end(), 0.0); }
+
+double Matrix::SquaredNorm() const {
+  double s = 0.0;
+  for (double v : data_) s += v * v;
+  return s;
+}
+
+void MatVec(const Matrix& a, const Vector& x, Vector* y) {
+  CheckDim(a.cols() == x.size(), "MatVec x");
+  y->assign(a.rows(), 0.0);
+  MatVecAccum(a, x, y);
+}
+
+void MatVecAccum(const Matrix& a, const Vector& x, Vector* y) {
+  CheckDim(a.cols() == x.size() && a.rows() == y->size(), "MatVecAccum");
+  for (size_t r = 0; r < a.rows(); ++r) {
+    const double* row = a.Row(r);
+    double acc = 0.0;
+    for (size_t c = 0; c < a.cols(); ++c) acc += row[c] * x[c];
+    (*y)[r] += acc;
+  }
+}
+
+void MatTVec(const Matrix& a, const Vector& x, Vector* y) {
+  CheckDim(a.rows() == x.size(), "MatTVec x");
+  y->assign(a.cols(), 0.0);
+  MatTVecAccum(a, x, y);
+}
+
+void MatTVecAccum(const Matrix& a, const Vector& x, Vector* y) {
+  CheckDim(a.rows() == x.size() && a.cols() == y->size(), "MatTVecAccum");
+  for (size_t r = 0; r < a.rows(); ++r) {
+    const double* row = a.Row(r);
+    const double xr = x[r];
+    if (xr == 0.0) continue;
+    for (size_t c = 0; c < a.cols(); ++c) (*y)[c] += row[c] * xr;
+  }
+}
+
+void AddOuterProduct(Matrix* a, const Vector& u, const Vector& v) {
+  CheckDim(a->rows() == u.size() && a->cols() == v.size(), "AddOuterProduct");
+  for (size_t r = 0; r < u.size(); ++r) {
+    double* row = a->Row(r);
+    const double ur = u[r];
+    if (ur == 0.0) continue;
+    for (size_t c = 0; c < v.size(); ++c) row[c] += ur * v[c];
+  }
+}
+
+void AxpyInPlace(double alpha, const Vector& x, Vector* y) {
+  CheckDim(x.size() == y->size(), "AxpyInPlace");
+  for (size_t i = 0; i < x.size(); ++i) (*y)[i] += alpha * x[i];
+}
+
+void Hadamard(const Vector& a, const Vector& b, Vector* out) {
+  CheckDim(a.size() == b.size(), "Hadamard");
+  out->resize(a.size());
+  for (size_t i = 0; i < a.size(); ++i) (*out)[i] = a[i] * b[i];
+}
+
+void HadamardAccum(const Vector& a, const Vector& b, Vector* out) {
+  CheckDim(a.size() == b.size() && a.size() == out->size(), "HadamardAccum");
+  for (size_t i = 0; i < a.size(); ++i) (*out)[i] += a[i] * b[i];
+}
+
+double Dot(const Vector& a, const Vector& b) {
+  CheckDim(a.size() == b.size(), "Dot");
+  double s = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+double SquaredNorm(const Vector& v) {
+  double s = 0.0;
+  for (double x : v) s += x * x;
+  return s;
+}
+
+double L2Norm(const Vector& v) { return std::sqrt(SquaredNorm(v)); }
+
+double L2Distance(const Vector& a, const Vector& b) {
+  CheckDim(a.size() == b.size(), "L2Distance");
+  double s = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    s += d * d;
+  }
+  return std::sqrt(s);
+}
+
+void SoftmaxInPlace(Vector* v) {
+  if (v->empty()) return;
+  const double m = *std::max_element(v->begin(), v->end());
+  double total = 0.0;
+  for (double& x : *v) {
+    x = std::exp(x - m);
+    total += x;
+  }
+  for (double& x : *v) x /= total;
+}
+
+void SigmoidInto(const Vector& x, Vector* out) {
+  out->resize(x.size());
+  for (size_t i = 0; i < x.size(); ++i) (*out)[i] = 1.0 / (1.0 + std::exp(-x[i]));
+}
+
+void TanhInto(const Vector& x, Vector* out) {
+  out->resize(x.size());
+  for (size_t i = 0; i < x.size(); ++i) (*out)[i] = std::tanh(x[i]);
+}
+
+}  // namespace neutraj::nn

@@ -1,0 +1,103 @@
+// Dense matrix/vector kernels for the hand-written neural substrate.
+//
+// The library deliberately avoids external BLAS/ML dependencies: all
+// embedding models in this repo train on modest CPU-scale corpora, and the
+// simple row-major kernels below auto-vectorize well under -O3. We use
+// double precision so the backward passes can be validated against central
+// finite differences to tight tolerances.
+
+#ifndef NEUTRAJ_NN_MATRIX_H_
+#define NEUTRAJ_NN_MATRIX_H_
+
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+namespace neutraj::nn {
+
+using Vector = std::vector<double>;
+
+/// Row-major dense matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(size_t rows, size_t cols) : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t size() const { return data_.size(); }
+
+  double& operator()(size_t r, size_t c) { return data_[r * cols_ + c]; }
+  double operator()(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+
+  double* Row(size_t r) { return data_.data() + r * cols_; }
+  const double* Row(size_t r) const { return data_.data() + r * cols_; }
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+  const std::vector<double>& values() const { return data_; }
+  std::vector<double>& values() { return data_; }
+
+  /// Sets every entry to zero.
+  void Zero();
+
+  /// Frobenius norm squared.
+  double SquaredNorm() const;
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+// ---- Matrix-vector kernels ------------------------------------------------
+// All kernels check shapes and throw std::invalid_argument on mismatch.
+
+/// y = A * x.
+void MatVec(const Matrix& a, const Vector& x, Vector* y);
+
+/// y += A * x.
+void MatVecAccum(const Matrix& a, const Vector& x, Vector* y);
+
+/// y = A^T * x.
+void MatTVec(const Matrix& a, const Vector& x, Vector* y);
+
+/// y += A^T * x.
+void MatTVecAccum(const Matrix& a, const Vector& x, Vector* y);
+
+/// A += u * v^T (rank-1 update; used for weight gradients).
+void AddOuterProduct(Matrix* a, const Vector& u, const Vector& v);
+
+// ---- Vector kernels -------------------------------------------------------
+
+/// y += x.
+void AxpyInPlace(double alpha, const Vector& x, Vector* y);
+
+/// out = a (elementwise*) b.
+void Hadamard(const Vector& a, const Vector& b, Vector* out);
+
+/// out += a (elementwise*) b.
+void HadamardAccum(const Vector& a, const Vector& b, Vector* out);
+
+/// Dot product.
+double Dot(const Vector& a, const Vector& b);
+
+/// Squared L2 norm.
+double SquaredNorm(const Vector& v);
+
+/// Euclidean (L2) norm.
+double L2Norm(const Vector& v);
+
+/// Euclidean distance between two equal-length vectors.
+double L2Distance(const Vector& a, const Vector& b);
+
+/// In-place numerically-stable softmax.
+void SoftmaxInPlace(Vector* v);
+
+/// Elementwise sigmoid / tanh applied out-of-place.
+void SigmoidInto(const Vector& x, Vector* out);
+void TanhInto(const Vector& x, Vector* out);
+
+}  // namespace neutraj::nn
+
+#endif  // NEUTRAJ_NN_MATRIX_H_

@@ -1,0 +1,67 @@
+#include "nn/parameter.h"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace neutraj::nn {
+
+void ZeroGrads(const std::vector<Param*>& params) {
+  for (Param* p : params) p->ZeroGrad();
+}
+
+double GradNorm(const std::vector<Param*>& params) {
+  double s = 0.0;
+  for (const Param* p : params) s += p->grad.SquaredNorm();
+  return std::sqrt(s);
+}
+
+double ClipGradNorm(const std::vector<Param*>& params, double max_norm) {
+  const double norm = GradNorm(params);
+  if (norm > max_norm && norm > 0.0) {
+    const double scale = max_norm / norm;
+    for (Param* p : params) {
+      for (double& g : p->grad.values()) g *= scale;
+    }
+  }
+  return norm;
+}
+
+std::string SerializeParams(const std::vector<const Param*>& params) {
+  std::ostringstream out;
+  out.precision(17);
+  for (const Param* p : params) {
+    out << p->name << ' ' << p->value.rows() << ' ' << p->value.cols() << '\n';
+    const auto& v = p->value.values();
+    for (size_t i = 0; i < v.size(); ++i) {
+      if (i > 0) out << ' ';
+      out << v[i];
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+void DeserializeParams(const std::string& text,
+                       const std::vector<Param*>& params) {
+  std::istringstream in(text);
+  for (Param* p : params) {
+    std::string name;
+    size_t rows = 0, cols = 0;
+    if (!(in >> name >> rows >> cols)) {
+      throw std::runtime_error("DeserializeParams: truncated header for " + p->name);
+    }
+    if (name != p->name || rows != p->value.rows() || cols != p->value.cols()) {
+      throw std::runtime_error("DeserializeParams: mismatch, expected " + p->name +
+                               " got " + name);
+    }
+    for (double& v : p->value.values()) {
+      if (!(in >> v)) {
+        throw std::runtime_error("DeserializeParams: truncated values for " + p->name);
+      }
+    }
+  }
+}
+
+}  // namespace neutraj::nn

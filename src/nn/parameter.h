@@ -1,0 +1,47 @@
+// Trainable parameter container and serialization.
+
+#ifndef NEUTRAJ_NN_PARAMETER_H_
+#define NEUTRAJ_NN_PARAMETER_H_
+
+#include <string>
+#include <vector>
+
+#include "nn/matrix.h"
+
+namespace neutraj::nn {
+
+/// A named trainable tensor (matrix or, with cols == 1, a bias vector)
+/// paired with its gradient accumulator.
+struct Param {
+  std::string name;
+  Matrix value;
+  Matrix grad;
+
+  Param() = default;
+  Param(std::string n, size_t rows, size_t cols)
+      : name(std::move(n)), value(rows, cols), grad(rows, cols) {}
+
+  void ZeroGrad() { grad.Zero(); }
+};
+
+/// Zeroes the gradients of all `params`.
+void ZeroGrads(const std::vector<Param*>& params);
+
+/// Global L2 norm of all gradients (for clipping diagnostics).
+double GradNorm(const std::vector<Param*>& params);
+
+/// Scales all gradients so their global norm is at most `max_norm`.
+/// Returns the pre-clip norm.
+double ClipGradNorm(const std::vector<Param*>& params, double max_norm);
+
+/// Serializes parameter values (not grads) to a text block:
+///   name rows cols\n v v v ...\n per param.
+std::string SerializeParams(const std::vector<const Param*>& params);
+
+/// Restores values into `params` (matched by order; names/shapes verified).
+/// Throws std::runtime_error on mismatch or parse failure.
+void DeserializeParams(const std::string& text, const std::vector<Param*>& params);
+
+}  // namespace neutraj::nn
+
+#endif  // NEUTRAJ_NN_PARAMETER_H_

@@ -1,0 +1,230 @@
+#include "nn/sam_cell.h"
+
+#include <cmath>
+
+#include "nn/init.h"
+
+namespace neutraj::nn {
+
+namespace {
+
+inline double Sigmoid(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+
+}  // namespace
+
+SamLstmCell::SamLstmCell(const std::string& name, size_t input_dim,
+                         size_t hidden_dim)
+    : hidden_(hidden_dim),
+      wg_(name + ".Wg", 4 * hidden_dim, input_dim),
+      ug_(name + ".Ug", 4 * hidden_dim, hidden_dim),
+      bg_(name + ".bg", 4 * hidden_dim, 1),
+      wc_(name + ".Wc", hidden_dim, input_dim),
+      uc_(name + ".Uc", hidden_dim, hidden_dim),
+      bc_(name + ".bc", hidden_dim, 1),
+      whis_(name + ".Whis", hidden_dim, 2 * hidden_dim),
+      bhis_(name + ".bhis", hidden_dim, 1) {}
+
+void SamLstmCell::Initialize(Rng* rng) {
+  XavierUniform(&wg_.value, rng);
+  XavierUniform(&wc_.value, rng);
+  XavierUniform(&whis_.value, rng);
+  for (int block = 0; block < 4; ++block) {
+    Matrix sub(hidden_, hidden_);
+    OrthogonalInit(&sub, rng);
+    for (size_t r = 0; r < hidden_; ++r) {
+      for (size_t c = 0; c < hidden_; ++c) {
+        ug_.value(block * hidden_ + r, c) = sub(r, c);
+      }
+    }
+  }
+  {
+    Matrix sub(hidden_, hidden_);
+    OrthogonalInit(&sub, rng);
+    for (size_t r = 0; r < hidden_; ++r) {
+      for (size_t c = 0; c < hidden_; ++c) uc_.value(r, c) = sub(r, c);
+    }
+  }
+  ZeroInit(&bg_.value);
+  ZeroInit(&bc_.value);
+  ZeroInit(&bhis_.value);
+  // Forget-gate bias 1.0 (block 0 holds f in the paper's order).
+  for (size_t k = 0; k < hidden_; ++k) bg_.value(k, 0) = 1.0;
+  // Spatial-gate bias -2.0: the cell starts close to a plain LSTM
+  // (sigma(-2) ~ 0.12 of the memory read injected) and learns where the
+  // memory is actually useful. Without this, half of the early-training
+  // memory noise enters every cell state and optimization degrades — the
+  // same transform-gate trick as highway networks. See DESIGN.md.
+  for (size_t k = 0; k < hidden_; ++k) bg_.value(2 * hidden_ + k, 0) = -2.0;
+}
+
+void SamLstmCell::Forward(const Vector& x, const Vector& h_prev,
+                          const Vector& c_prev,
+                          const std::vector<GridCell>& window_cells,
+                          const GridCell& center, MemoryTensor* memory,
+                          bool use_memory, bool update_memory, SamTape* tape,
+                          Vector* h, Vector* c) const {
+  const size_t d = hidden_;
+  // Gate pre-activations (Eq. 1).
+  Vector pre(4 * d);
+  for (size_t k = 0; k < 4 * d; ++k) pre[k] = bg_.value(k, 0);
+  MatVecAccum(wg_.value, x, &pre);
+  MatVecAccum(ug_.value, h_prev, &pre);
+
+  tape->x = x;
+  tape->h_prev = h_prev;
+  tape->c_prev = c_prev;
+  tape->f.resize(d);
+  tape->i.resize(d);
+  tape->s.resize(d);
+  tape->o.resize(d);
+  for (size_t k = 0; k < d; ++k) {
+    tape->f[k] = Sigmoid(pre[k]);
+    tape->i[k] = Sigmoid(pre[d + k]);
+    tape->s[k] = Sigmoid(pre[2 * d + k]);
+    tape->o[k] = Sigmoid(pre[3 * d + k]);
+  }
+
+  // Candidate (Eq. 2).
+  Vector cand_pre(d);
+  for (size_t k = 0; k < d; ++k) cand_pre[k] = bc_.value(k, 0);
+  MatVecAccum(wc_.value, x, &cand_pre);
+  MatVecAccum(uc_.value, h_prev, &cand_pre);
+  TanhInto(cand_pre, &tape->c_tilde);
+
+  // Intermediate cell state (Eq. 3).
+  tape->c_hat.resize(d);
+  for (size_t k = 0; k < d; ++k) {
+    tape->c_hat[k] = tape->f[k] * c_prev[k] + tape->i[k] * tape->c_tilde[k];
+  }
+
+  tape->used_memory = use_memory;
+  tape->c.resize(d);
+  if (use_memory) {
+    // Attention read (Sec. IV-C-1): G_t is snapshotted into the tape.
+    // Never-written cells are masked out of the softmax; if the whole
+    // window is unvisited the step degenerates to a plain LSTM step.
+    Matrix g;
+    std::vector<char> mask;
+    memory->GatherWindow(window_cells, &g, &mask);
+    AttentionForward(g, tape->c_hat, &tape->att, &mask);
+    if (tape->att.all_masked) {
+      tape->used_memory = false;
+      tape->c = tape->c_hat;
+      if (update_memory) {
+        memory->BlendWrite(center, tape->s, tape->c);
+      }
+      tape->tanh_c.resize(d);
+      h->resize(d);
+      for (size_t k = 0; k < d; ++k) {
+        tape->tanh_c[k] = std::tanh(tape->c[k]);
+        (*h)[k] = tape->o[k] * tape->tanh_c[k];
+      }
+      *c = tape->c;
+      return;
+    }
+    Vector ccat(2 * d);
+    for (size_t k = 0; k < d; ++k) {
+      ccat[k] = tape->c_hat[k];
+      ccat[d + k] = tape->att.mix[k];
+    }
+    Vector his_pre(d);
+    for (size_t k = 0; k < d; ++k) his_pre[k] = bhis_.value(k, 0);
+    MatVecAccum(whis_.value, ccat, &his_pre);
+    TanhInto(his_pre, &tape->c_his);
+    // Final cell state (Eq. 4).
+    for (size_t k = 0; k < d; ++k) {
+      tape->c[k] = tape->c_hat[k] + tape->s[k] * tape->c_his[k];
+    }
+    // Memory write (Eq. 5) — persistent-state update, no gradient.
+    if (update_memory) {
+      memory->BlendWrite(center, tape->s, tape->c);
+    }
+  } else {
+    tape->c = tape->c_hat;
+  }
+
+  // Output (Eq. 6).
+  tape->tanh_c.resize(d);
+  h->resize(d);
+  for (size_t k = 0; k < d; ++k) {
+    tape->tanh_c[k] = std::tanh(tape->c[k]);
+    (*h)[k] = tape->o[k] * tape->tanh_c[k];
+  }
+  *c = tape->c;
+}
+
+void SamLstmCell::Backward(const SamTape& tape, const Vector& dh,
+                           const Vector& dc_in, Vector* dh_prev_accum,
+                           Vector* dc_prev_accum, Vector* dx_accum) {
+  const size_t d = hidden_;
+  // dL/dc through h = o (*) tanh(c).
+  Vector dc(d);
+  for (size_t k = 0; k < d; ++k) {
+    dc[k] = dc_in[k] + dh[k] * tape.o[k] * (1.0 - tape.tanh_c[k] * tape.tanh_c[k]);
+  }
+
+  Vector dc_hat(d, 0.0);
+  Vector ds_post(d, 0.0);
+  if (tape.used_memory) {
+    // c = c_hat + s (*) c_his.
+    for (size_t k = 0; k < d; ++k) {
+      dc_hat[k] = dc[k];
+      ds_post[k] = dc[k] * tape.c_his[k];
+    }
+    // c_his = tanh(Whis [c_hat, mix] + bhis).
+    Vector dz(d);
+    for (size_t k = 0; k < d; ++k) {
+      dz[k] = dc[k] * tape.s[k] * (1.0 - tape.c_his[k] * tape.c_his[k]);
+    }
+    Vector ccat(2 * d);
+    for (size_t k = 0; k < d; ++k) {
+      ccat[k] = tape.c_hat[k];
+      ccat[d + k] = tape.att.mix[k];
+    }
+    AddOuterProduct(&whis_.grad, dz, ccat);
+    for (size_t k = 0; k < d; ++k) bhis_.grad(k, 0) += dz[k];
+    Vector dccat(2 * d, 0.0);
+    MatTVecAccum(whis_.value, dz, &dccat);
+    Vector dmix(d);
+    for (size_t k = 0; k < d; ++k) {
+      dc_hat[k] += dccat[k];
+      dmix[k] = dccat[d + k];
+    }
+    // Attention path: adds the gradient of q = c_hat.
+    AttentionBackward(tape.att, dmix, nullptr, &dc_hat);
+  } else {
+    dc_hat = dc;
+  }
+
+  // c_hat = f (*) c_prev + i (*) c_tilde.
+  Vector dpre(4 * d);
+  Vector dcand_pre(d);
+  for (size_t k = 0; k < d; ++k) {
+    const double df_post = dc_hat[k] * tape.c_prev[k];
+    const double di_post = dc_hat[k] * tape.c_tilde[k];
+    const double dctilde = dc_hat[k] * tape.i[k];
+    const double do_post = dh[k] * tape.tanh_c[k];
+    dpre[k] = df_post * tape.f[k] * (1.0 - tape.f[k]);
+    dpre[d + k] = di_post * tape.i[k] * (1.0 - tape.i[k]);
+    dpre[2 * d + k] = ds_post[k] * tape.s[k] * (1.0 - tape.s[k]);
+    dpre[3 * d + k] = do_post * tape.o[k] * (1.0 - tape.o[k]);
+    dcand_pre[k] = dctilde * (1.0 - tape.c_tilde[k] * tape.c_tilde[k]);
+    (*dc_prev_accum)[k] += dc_hat[k] * tape.f[k];
+  }
+
+  AddOuterProduct(&wg_.grad, dpre, tape.x);
+  AddOuterProduct(&ug_.grad, dpre, tape.h_prev);
+  for (size_t k = 0; k < 4 * d; ++k) bg_.grad(k, 0) += dpre[k];
+  AddOuterProduct(&wc_.grad, dcand_pre, tape.x);
+  AddOuterProduct(&uc_.grad, dcand_pre, tape.h_prev);
+  for (size_t k = 0; k < d; ++k) bc_.grad(k, 0) += dcand_pre[k];
+
+  MatTVecAccum(ug_.value, dpre, dh_prev_accum);
+  MatTVecAccum(uc_.value, dcand_pre, dh_prev_accum);
+  if (dx_accum != nullptr) {
+    MatTVecAccum(wg_.value, dpre, dx_accum);
+    MatTVecAccum(wc_.value, dcand_pre, dx_accum);
+  }
+}
+
+}  // namespace neutraj::nn

@@ -1,0 +1,99 @@
+// SAM-augmented LSTM cell (paper Sec. IV-B / IV-C).
+//
+// Extends the LSTM recurrence with a spatial gate s_t and a grid-based
+// external memory M:
+//
+//   (f, i, s, o) = sigmoid(Wg x + Ug h_{t-1} + bg)          (Eq. 1)
+//   c~           = tanh(Wc x + Uc h_{t-1} + bc)             (Eq. 2)
+//   c^           = f (*) c_{t-1} + i (*) c~                 (Eq. 3)
+//   c_his        = tanh(W_his [c^, mix] + b_his)  with
+//                  A = softmax(G_t c^), mix = G_t^T A        (read)
+//   c            = c^ + s (*) c_his                         (Eq. 4)
+//   M(cell)      = s (*) c + (1 - s) (*) M(cell)            (Eq. 5, write)
+//   h            = o (*) tanh(c)                            (Eq. 6)
+//
+// `G_t` holds the (2w+1)^2 scan-window slices of M around the current grid
+// cell. As in the reference implementation, M is persistent state: reads
+// treat G_t as a constant (gradients flow through the attention weights and
+// c^, not into M) and writes are non-differentiable in-place blends. The
+// paper's write equation applies sigma() to the already-sigmoid gate; we use
+// the gate directly (see DESIGN.md, "Deviations").
+//
+// With `use_memory == false` the cell degenerates to a standard LSTM whose
+// spatial-gate weights are inert — this is exactly the NT-No-SAM ablation.
+
+#ifndef NEUTRAJ_NN_SAM_CELL_H_
+#define NEUTRAJ_NN_SAM_CELL_H_
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "geo/grid.h"
+#include "nn/attention.h"
+#include "nn/memory_tensor.h"
+#include "nn/parameter.h"
+
+namespace neutraj::nn {
+
+/// Per-step activations saved by Forward for the backward pass.
+struct SamTape {
+  Vector x;           ///< Coordinate input X_t^c (normalized).
+  Vector h_prev;      ///< Previous hidden state.
+  Vector c_prev;      ///< Previous cell state.
+  Vector f, i, s, o;  ///< Post-activation gates (paper order).
+  Vector c_tilde;     ///< Candidate state.
+  Vector c_hat;       ///< Intermediate cell state (Eq. 3).
+  bool used_memory = false;
+  AttentionTape att;  ///< Read tape (G_t snapshot, A, mix).
+  Vector c_his;       ///< Spatial attention cell state.
+  Vector c;           ///< Final cell state.
+  Vector tanh_c;      ///< tanh(c).
+};
+
+/// The SAM-augmented LSTM cell of NeuTraj.
+class SamLstmCell {
+ public:
+  /// `input_dim` is 2 (normalized coordinates) in NeuTraj, kept generic for
+  /// reuse/testing.
+  SamLstmCell(const std::string& name, size_t input_dim, size_t hidden_dim);
+
+  /// Xavier input weights, orthogonal recurrent blocks, forget bias = 1.
+  void Initialize(Rng* rng);
+
+  /// One recurrent step.
+  ///
+  /// `window_cells` is the scan window around the current grid cell (from
+  /// Grid::ScanWindow) and `center` is the cell being visited; they are
+  /// ignored when `use_memory` is false. When `update_memory` is true the
+  /// writer blends the new cell state into `memory` at `center`.
+  void Forward(const Vector& x, const Vector& h_prev, const Vector& c_prev,
+               const std::vector<GridCell>& window_cells, const GridCell& center,
+               MemoryTensor* memory, bool use_memory, bool update_memory,
+               SamTape* tape, Vector* h, Vector* c) const;
+
+  /// Backward through one step; mirror of LstmCell::Backward.
+  void Backward(const SamTape& tape, const Vector& dh, const Vector& dc_in,
+                Vector* dh_prev_accum, Vector* dc_prev_accum, Vector* dx_accum);
+
+  size_t input_dim() const { return wg_.value.cols(); }
+  size_t hidden_dim() const { return hidden_; }
+  std::vector<Param*> Params() {
+    return {&wg_, &ug_, &bg_, &wc_, &uc_, &bc_, &whis_, &bhis_};
+  }
+
+ private:
+  size_t hidden_;
+  Param wg_;    // 4h x input: stacked (f, i, s, o) input weights.
+  Param ug_;    // 4h x h: stacked recurrent weights.
+  Param bg_;    // 4h x 1.
+  Param wc_;    // h x input: candidate input weights.
+  Param uc_;    // h x h.
+  Param bc_;    // h x 1.
+  Param whis_;  // h x 2h: attention fusion layer.
+  Param bhis_;  // h x 1.
+};
+
+}  // namespace neutraj::nn
+
+#endif  // NEUTRAJ_NN_SAM_CELL_H_

@@ -1,0 +1,269 @@
+// Tests for the approximate-algorithm baselines: grid snapping, FastDTW,
+// the Hausdorff distance-transform embedding and the AP registry.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "approx/approx_registry.h"
+#include "approx/fast_dtw.h"
+#include "approx/frechet_approx.h"
+#include "approx/grid_snap.h"
+#include "approx/hausdorff_embed.h"
+#include "distance/measures.h"
+#include "test_util.h"
+
+namespace neutraj {
+namespace {
+
+TEST(GridSnapTest, SnapsToCellCentersAndDedupes) {
+  Trajectory t({{0.1, 0.1}, {0.2, 0.3}, {0.4, 0.1}, {5.5, 5.5}});
+  const Trajectory s = SnapToGrid(t, 1.0);
+  // First three points share cell (0,0) -> center (0.5, 0.5); last is (5.5, 5.5).
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_DOUBLE_EQ(s[0].x, 0.5);
+  EXPECT_DOUBLE_EQ(s[0].y, 0.5);
+  EXPECT_DOUBLE_EQ(s[1].x, 5.5);
+  EXPECT_DOUBLE_EQ(s[1].y, 5.5);
+}
+
+TEST(GridSnapTest, ShiftMovesTheGrid) {
+  Trajectory t({{0.9, 0.9}});
+  const Trajectory a = SnapToGrid(t, 1.0);
+  const Trajectory b = SnapToGrid(t, 1.0, Point(0.5, 0.5));
+  EXPECT_DOUBLE_EQ(a[0].x, 0.5);
+  EXPECT_DOUBLE_EQ(b[0].x, 1.0);  // Cell [0.5, 1.5) centered at 1.0.
+}
+
+TEST(GridSnapTest, SnapErrorBounded) {
+  Rng rng(81);
+  const double cell = 10.0;
+  for (int i = 0; i < 20; ++i) {
+    const Trajectory t = testing::RandomTrajectory(15, 500.0, &rng);
+    const Trajectory s = SnapToGrid(t, cell);
+    // Every original point is within half a cell diagonal of some snapped point.
+    const double bound = cell * std::sqrt(2.0) / 2.0 + 1e-9;
+    EXPECT_LE(HausdorffDistance(t, s), bound);
+  }
+  EXPECT_THROW(SnapToGrid(Trajectory({{0, 0}}), 0.0), std::invalid_argument);
+}
+
+TEST(ApproxFrechetTest, ErrorBoundedBySnapResolution) {
+  Rng rng(82);
+  const double cell = 15.0;
+  for (int i = 0; i < 20; ++i) {
+    const Trajectory a = testing::RandomTrajectory(20, 600.0, &rng);
+    const Trajectory b = testing::RandomTrajectory(25, 600.0, &rng);
+    const double exact = FrechetDistance(a, b);
+    const double approx = ApproxFrechetDistance(a, b, cell);
+    // Snapping moves each point by at most cell*sqrt(2)/2, so the Fréchet
+    // value changes by at most cell*sqrt(2).
+    EXPECT_NEAR(approx, exact, cell * std::sqrt(2.0) + 1e-9);
+  }
+}
+
+TEST(FastDtwTest, FullWindowEqualsExactDtw) {
+  Rng rng(83);
+  for (int i = 0; i < 10; ++i) {
+    const Trajectory a = testing::RandomTrajectory(12, 400.0, &rng);
+    const Trajectory b = testing::RandomTrajectory(9, 400.0, &rng);
+    const DtwResult full = DtwWithPath(a, b);
+    EXPECT_NEAR(full.distance, DtwDistance(a, b), 1e-9);
+    // Path endpoints and monotonicity.
+    ASSERT_FALSE(full.path.empty());
+    const auto expected_front = std::make_pair<size_t, size_t>(0, 0);
+    const auto expected_back = std::make_pair(a.size() - 1, b.size() - 1);
+    EXPECT_EQ(full.path.front(), expected_front);
+    EXPECT_EQ(full.path.back(), expected_back);
+    for (size_t k = 1; k < full.path.size(); ++k) {
+      EXPECT_GE(full.path[k].first, full.path[k - 1].first);
+      EXPECT_GE(full.path[k].second, full.path[k - 1].second);
+      EXPECT_LE(full.path[k].first - full.path[k - 1].first, 1u);
+      EXPECT_LE(full.path[k].second - full.path[k - 1].second, 1u);
+    }
+  }
+}
+
+TEST(FastDtwTest, NeverUnderestimatesAndConvergesWithRadius) {
+  Rng rng(84);
+  for (int i = 0; i < 15; ++i) {
+    const Trajectory a = testing::RandomTrajectory(40, 500.0, &rng);
+    const Trajectory b = testing::RandomTrajectory(35, 500.0, &rng);
+    const double exact = DtwDistance(a, b);
+    double prev = std::numeric_limits<double>::infinity();
+    for (int radius : {0, 1, 2, 6}) {
+      const double approx = FastDtwDistance(a, b, radius);
+      // The refinement window restricts the DP, so FastDTW >= exact DTW.
+      EXPECT_GE(approx, exact - 1e-9) << "radius " << radius;
+      prev = approx;
+    }
+    // A generous radius on short inputs recovers the exact value.
+    EXPECT_NEAR(FastDtwDistance(a, b, 40), exact, 1e-9);
+    (void)prev;
+  }
+}
+
+TEST(FastDtwTest, ApproximationIsUsuallyTight) {
+  Rng rng(85);
+  int tight = 0;
+  const int reps = 30;
+  for (int i = 0; i < reps; ++i) {
+    const Trajectory a = testing::RandomTrajectory(50, 500.0, &rng);
+    const Trajectory b = testing::RandomTrajectory(45, 500.0, &rng);
+    const double exact = DtwDistance(a, b);
+    const double approx = FastDtwDistance(a, b, 1);
+    if (approx <= exact * 1.1 + 1e-9) ++tight;
+  }
+  EXPECT_GE(tight, reps * 2 / 3)
+      << "FastDTW radius 1 should be within 10% on most random pairs";
+}
+
+TEST(BandedDtwTest, FullBandEqualsExactDtw) {
+  Rng rng(90);
+  for (int i = 0; i < 10; ++i) {
+    const Trajectory a = testing::RandomTrajectory(20, 400.0, &rng);
+    const Trajectory b = testing::RandomTrajectory(14, 400.0, &rng);
+    EXPECT_NEAR(BandedDtwDistance(a, b, 1.0), DtwDistance(a, b), 1e-9);
+  }
+}
+
+TEST(BandedDtwTest, NarrowBandNeverUnderestimates) {
+  Rng rng(91);
+  for (int i = 0; i < 15; ++i) {
+    const Trajectory a = testing::RandomTrajectory(30, 400.0, &rng);
+    const Trajectory b = testing::RandomTrajectory(25, 400.0, &rng);
+    const double exact = DtwDistance(a, b);
+    double prev = std::numeric_limits<double>::infinity();
+    for (double band : {0.05, 0.2, 0.5, 1.0}) {
+      const double v = BandedDtwDistance(a, b, band);
+      EXPECT_GE(v, exact - 1e-9) << "band " << band;
+      EXPECT_LE(v, prev + 1e-9) << "wider bands can only improve";
+      prev = v;
+    }
+  }
+}
+
+TEST(BandedDtwTest, ValidatesArguments) {
+  const Trajectory ok({{0, 0}, {1, 1}});
+  EXPECT_THROW(BandedDtwDistance(Trajectory(), ok, 0.5), std::invalid_argument);
+  EXPECT_THROW(BandedDtwDistance(ok, ok, -0.1), std::invalid_argument);
+  EXPECT_THROW(BandedDtwDistance(ok, ok, 1.5), std::invalid_argument);
+}
+
+TEST(FastDtwTest, RejectsBadInputs) {
+  const Trajectory ok({{0, 0}, {1, 1}});
+  EXPECT_THROW(FastDtwDistance(Trajectory(), ok, 1), std::invalid_argument);
+  EXPECT_THROW(FastDtwDistance(ok, ok, -1), std::invalid_argument);
+  std::vector<std::pair<size_t, size_t>> bad_window(1, {0, 5});
+  EXPECT_THROW(WindowedDtw(ok, ok, bad_window), std::invalid_argument);
+}
+
+Grid EmbedGrid() {
+  BoundingBox region = BoundingBox::Empty();
+  region.Extend(Point(0, 0));
+  region.Extend(Point(600, 600));
+  return Grid(region, 25.0);
+}
+
+TEST(HausdorffEmbedTest, IdenticalTrajectoriesEmbedIdentically) {
+  Rng rng(86);
+  const HausdorffEmbedder embedder(EmbedGrid());
+  const Trajectory t = testing::RandomTrajectory(15, 600.0, &rng);
+  EXPECT_DOUBLE_EQ(embedder.ApproxHausdorff(t, t), 0.0);
+}
+
+TEST(HausdorffEmbedTest, EmbeddingIsDistanceTransform) {
+  const HausdorffEmbedder embedder(EmbedGrid());
+  const Trajectory t({{300, 300}});
+  const auto e = embedder.Embed(t);
+  const Grid& g = embedder.grid();
+  ASSERT_EQ(e.size(), static_cast<size_t>(g.NumCells()));
+  // The cell containing the point has (near-)zero value; distant cells grow.
+  const GridCell at = g.CellOf(Point(300, 300));
+  const double near = e[static_cast<size_t>(g.FlatIndex(at))];
+  EXPECT_LT(near, g.cell_width());
+  const double far = e[static_cast<size_t>(g.FlatIndex(GridCell{0, 0}))];
+  EXPECT_GT(far, 10 * near - 1e-9);
+  // Values are capped.
+  for (double v : e) EXPECT_LE(v, embedder.cap() + 1e-9);
+}
+
+TEST(HausdorffEmbedTest, ChamferApproximatesTrueDistances) {
+  // Distance-transform values should approximate true point distances
+  // within the chamfer metric's known ~8% overestimate plus grid effects.
+  const HausdorffEmbedder embedder(EmbedGrid());
+  const Trajectory t({{100, 100}});
+  const auto e = embedder.Embed(t);
+  const Grid& g = embedder.grid();
+  for (int32_t qy = 0; qy < g.num_rows(); qy += 5) {
+    for (int32_t px = 0; px < g.num_cols(); px += 5) {
+      const Point center = g.CellCenter(GridCell{px, qy});
+      const double truth = EuclideanDistance(center, Point(100, 100));
+      const double approx = e[static_cast<size_t>(g.FlatIndex(GridCell{px, qy}))];
+      if (truth < embedder.cap() * 0.9) {
+        EXPECT_NEAR(approx, truth, 0.09 * truth + g.cell_width())
+            << "cell " << px << "," << qy;
+      }
+    }
+  }
+}
+
+TEST(HausdorffEmbedTest, ApproximatesHausdorffOnRandomPairs) {
+  Rng rng(87);
+  const HausdorffEmbedder embedder(EmbedGrid());
+  for (int i = 0; i < 15; ++i) {
+    const Trajectory a = testing::RandomTrajectory(20, 600.0, &rng);
+    const Trajectory b = testing::RandomTrajectory(15, 600.0, &rng);
+    const double exact = HausdorffDistance(a, b);
+    const double approx = embedder.ApproxHausdorff(a, b);
+    // Linf of distance transforms lower-bounds Hausdorff (up to grid
+    // discretization); it must stay in the right ballpark.
+    EXPECT_LE(approx, 1.1 * exact + 2 * embedder.grid().cell_width());
+    EXPECT_GE(approx, 0.2 * exact - 2 * embedder.grid().cell_width());
+  }
+}
+
+TEST(ApproxRegistryTest, FactoryCoversMeasures) {
+  ApproxParams params = ApproxParams::ForRegion(EmbedGrid().region());
+  EXPECT_NE(ApproxDistance::Create(Measure::kFrechet, params), nullptr);
+  EXPECT_NE(ApproxDistance::Create(Measure::kDtw, params), nullptr);
+  EXPECT_NE(ApproxDistance::Create(Measure::kHausdorff, params), nullptr);
+  EXPECT_EQ(ApproxDistance::Create(Measure::kErp, params), nullptr)
+      << "no approximate algorithm exists for ERP (paper Table II)";
+  EXPECT_GT(params.frechet_cell_size, 0.0);
+}
+
+TEST(ApproxRegistryTest, SketchDistanceMatchesOneShot) {
+  Rng rng(88);
+  ApproxParams params = ApproxParams::ForRegion(EmbedGrid().region());
+  for (Measure m : {Measure::kFrechet, Measure::kDtw, Measure::kHausdorff}) {
+    const auto ap = ApproxDistance::Create(m, params);
+    const Trajectory a = testing::RandomTrajectory(12, 600.0, &rng);
+    const Trajectory b = testing::RandomTrajectory(14, 600.0, &rng);
+    const auto sa = ap->Prepare(a);
+    const auto sb = ap->Prepare(b);
+    EXPECT_DOUBLE_EQ(ap->Distance(*sa, *sb), ap->Distance(a, b))
+        << ap->name();
+    EXPECT_NEAR(ap->Distance(*sa, *sb), ap->Distance(*sb, *sa), 1e-9)
+        << ap->name() << " should be symmetric";
+    EXPECT_NEAR(ap->Distance(*sa, *sa), 0.0, 1e-9) << ap->name();
+  }
+}
+
+TEST(ApproxRegistryTest, TopKReturnsOrderedCandidates) {
+  Rng rng(89);
+  ApproxParams params = ApproxParams::ForRegion(EmbedGrid().region());
+  const auto ap = ApproxDistance::Create(Measure::kFrechet, params);
+  const auto corpus = testing::RandomCorpus(25, 8, 16, 600.0, &rng);
+  const auto sketches = ap->PrepareCorpus(corpus);
+  ASSERT_EQ(sketches.size(), corpus.size());
+  const SearchResult r = ap->TopK(sketches, corpus[0], 5, /*exclude=*/0);
+  ASSERT_EQ(r.ids.size(), 5u);
+  for (size_t i = 1; i < r.dists.size(); ++i) {
+    EXPECT_LE(r.dists[i - 1], r.dists[i]);
+  }
+  for (size_t id : r.ids) EXPECT_NE(id, 0u);
+}
+
+}  // namespace
+}  // namespace neutraj

@@ -1,0 +1,162 @@
+// Tests for DBSCAN and the clustering-agreement metrics.
+
+#include <gtest/gtest.h>
+
+#include "cluster/dbscan.h"
+#include "cluster/metrics.h"
+
+#include <cmath>
+#include <set>
+
+namespace neutraj {
+namespace {
+
+/// Distance matrix with two tight blobs {0,1,2} and {3,4,5} plus an outlier 6.
+DistanceMatrix TwoBlobs() {
+  DistanceMatrix d(7);
+  auto far = 100.0;
+  for (size_t i = 0; i < 7; ++i) {
+    for (size_t j = i + 1; j < 7; ++j) d.Set(i, j, far);
+  }
+  d.Set(0, 1, 1.0);
+  d.Set(0, 2, 1.0);
+  d.Set(1, 2, 1.0);
+  d.Set(3, 4, 1.0);
+  d.Set(3, 5, 1.0);
+  d.Set(4, 5, 1.0);
+  return d;
+}
+
+TEST(DbscanTest, FindsTwoBlobsAndNoise) {
+  const Clustering c = Dbscan(TwoBlobs(), /*eps=*/2.0, /*min_pts=*/3);
+  EXPECT_EQ(c.num_clusters, 2);
+  EXPECT_EQ(c.num_noise, 1u);
+  EXPECT_EQ(c.labels[6], kNoise);
+  EXPECT_EQ(c.labels[0], c.labels[1]);
+  EXPECT_EQ(c.labels[1], c.labels[2]);
+  EXPECT_EQ(c.labels[3], c.labels[4]);
+  EXPECT_NE(c.labels[0], c.labels[3]);
+}
+
+TEST(DbscanTest, EpsControlsMerging) {
+  // With a huge eps everything is one cluster.
+  const Clustering all = Dbscan(TwoBlobs(), 1000.0, 3);
+  EXPECT_EQ(all.num_clusters, 1);
+  EXPECT_EQ(all.num_noise, 0u);
+  // With a tiny eps everything is noise.
+  const Clustering none = Dbscan(TwoBlobs(), 0.1, 3);
+  EXPECT_EQ(none.num_clusters, 0);
+  EXPECT_EQ(none.num_noise, 7u);
+}
+
+TEST(DbscanTest, MinPtsControlsDensity) {
+  // min_pts = 4 is denser than either 3-point blob supports.
+  const Clustering c = Dbscan(TwoBlobs(), 2.0, 4);
+  EXPECT_EQ(c.num_clusters, 0);
+}
+
+TEST(DbscanTest, BorderPointsJoinFirstCluster) {
+  // Chain: 0-1-2 with 2 close to 1 but not to 0; min_pts 2 makes a chain
+  // cluster through density-reachability.
+  DistanceMatrix d(3);
+  d.Set(0, 1, 1.0);
+  d.Set(1, 2, 1.0);
+  d.Set(0, 2, 2.0);
+  const Clustering c = Dbscan(d, 1.5, 2);
+  EXPECT_EQ(c.num_clusters, 1);
+  EXPECT_EQ(c.num_noise, 0u);
+}
+
+TEST(DbscanTest, GenericVectorOverloadAndValidation) {
+  const std::vector<double> dists = {0, 1, 1, 0};  // 2 points, distance 1.
+  const Clustering c = Dbscan(dists, 2, 1.5, 2);
+  EXPECT_EQ(c.num_clusters, 1);
+  EXPECT_THROW(Dbscan(dists, 3, 1.0, 2), std::invalid_argument);
+  EXPECT_THROW(Dbscan(TwoBlobs(), -1.0, 2), std::invalid_argument);
+  EXPECT_THROW(Dbscan(TwoBlobs(), 1.0, 0), std::invalid_argument);
+}
+
+TEST(DbscanTest, LabelsAreCompact) {
+  // Cluster labels must be exactly 0..num_clusters-1 with no gaps.
+  const Clustering c = Dbscan(TwoBlobs(), 2.0, 3);
+  std::set<int> labels;
+  for (int l : c.labels) {
+    if (l != kNoise) labels.insert(l);
+  }
+  ASSERT_EQ(static_cast<int>(labels.size()), c.num_clusters);
+  int expected = 0;
+  for (int l : labels) EXPECT_EQ(l, expected++);
+}
+
+TEST(ClusterMetricsTest, IdenticalLabelingsScorePerfect) {
+  const std::vector<int> labels = {0, 0, 1, 1, 2, -1};
+  const ClusterAgreement a = CompareClusterings(labels, labels);
+  EXPECT_DOUBLE_EQ(a.homogeneity, 1.0);
+  EXPECT_DOUBLE_EQ(a.completeness, 1.0);
+  EXPECT_DOUBLE_EQ(a.v_measure, 1.0);
+  EXPECT_DOUBLE_EQ(a.adjusted_rand_index, 1.0);
+}
+
+TEST(ClusterMetricsTest, LabelPermutationInvariance) {
+  const std::vector<int> truth = {0, 0, 1, 1, 2, 2};
+  const std::vector<int> renamed = {5, 5, 9, 9, 0, 0};
+  const ClusterAgreement a = CompareClusterings(truth, renamed);
+  EXPECT_NEAR(a.v_measure, 1.0, 1e-12);
+  EXPECT_NEAR(a.adjusted_rand_index, 1.0, 1e-12);
+}
+
+TEST(ClusterMetricsTest, SplitClusterIsHomogeneousNotComplete) {
+  const std::vector<int> truth = {0, 0, 0, 0, 1, 1, 1, 1};
+  const std::vector<int> split = {0, 0, 1, 1, 2, 2, 3, 3};
+  const ClusterAgreement a = CompareClusterings(truth, split);
+  EXPECT_NEAR(a.homogeneity, 1.0, 1e-12)
+      << "every predicted cluster is pure";
+  EXPECT_LT(a.completeness, 1.0) << "true clusters are fragmented";
+  EXPECT_LT(a.v_measure, 1.0);
+}
+
+TEST(ClusterMetricsTest, MergedClusterIsCompleteNotHomogeneous) {
+  const std::vector<int> truth = {0, 0, 1, 1, 2, 2};
+  const std::vector<int> merged = {0, 0, 0, 0, 0, 0};
+  const ClusterAgreement a = CompareClusterings(truth, merged);
+  EXPECT_NEAR(a.completeness, 1.0, 1e-12);
+  EXPECT_LT(a.homogeneity, 1.0);
+}
+
+TEST(ClusterMetricsTest, RandomLookingDisagreementScoresLow) {
+  const std::vector<int> truth = {0, 0, 0, 1, 1, 1, 2, 2, 2};
+  const std::vector<int> scrambled = {0, 1, 2, 0, 1, 2, 0, 1, 2};
+  const ClusterAgreement a = CompareClusterings(truth, scrambled);
+  EXPECT_LT(a.v_measure, 0.2);
+  EXPECT_LT(a.adjusted_rand_index, 0.1);
+}
+
+TEST(ClusterMetricsTest, KnownAriFixture) {
+  // Classic fixture: truth {0,0,1,1}, pred {0,1,1,1}.
+  // Contingency: n00=1, n01=1, n11=2. sum_comb_joint = 0+0+1 = 1.
+  // a-sums: comb(2)+comb(2) = 1+1 = 2; b-sums: comb(1)+comb(3) = 0+3 = 3.
+  // total pairs comb(4) = 6. expected = 2*3/6 = 1. max = 2.5.
+  // ARI = (1-1)/(2.5-1) = 0.
+  const ClusterAgreement a = CompareClusterings({0, 0, 1, 1}, {0, 1, 1, 1});
+  EXPECT_NEAR(a.adjusted_rand_index, 0.0, 1e-12);
+}
+
+TEST(ClusterMetricsTest, ValidatesInput) {
+  EXPECT_THROW(CompareClusterings({0, 1}, {0}), std::invalid_argument);
+  EXPECT_THROW(CompareClusterings({}, {}), std::invalid_argument);
+}
+
+TEST(ClusterMetricsTest, NoiseTreatedAsSingletons) {
+  // All-noise predicted labeling: perfectly homogeneous (every singleton is
+  // pure) but incomplete. Completeness = 1 - H(P|T)/H(P) = 1 - ln3/ln6 here
+  // (knowing the true 3-cluster still leaves 3 equally-likely singletons).
+  const std::vector<int> truth = {0, 0, 0, 1, 1, 1};
+  const std::vector<int> noise = {-1, -1, -1, -1, -1, -1};
+  const ClusterAgreement a = CompareClusterings(truth, noise);
+  EXPECT_NEAR(a.homogeneity, 1.0, 1e-12);
+  EXPECT_NEAR(a.completeness, 1.0 - std::log(3.0) / std::log(6.0), 1e-12);
+  EXPECT_LT(a.completeness, 0.5);
+}
+
+}  // namespace
+}  // namespace neutraj

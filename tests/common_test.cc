@@ -1,0 +1,209 @@
+// Tests for common/ utilities: Rng, string helpers, file helpers.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <numeric>
+#include <set>
+
+#include "common/file_util.h"
+#include "common/random.h"
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+
+namespace neutraj {
+namespace {
+
+TEST(RngTest, UniformStaysInRange) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.Uniform(-2.0, 3.0);
+    EXPECT_GE(v, -2.0);
+    EXPECT_LT(v, 3.0);
+  }
+}
+
+TEST(RngTest, UniformIntInclusiveBounds) {
+  Rng rng(2);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const int64_t v = rng.UniformInt(0, 4);
+    ASSERT_GE(v, 0);
+    ASSERT_LE(v, 4);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u) << "all values of a small range should appear";
+}
+
+TEST(RngTest, GaussianMeanAndSpread) {
+  Rng rng(3);
+  double sum = 0.0, sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.Gaussian(5.0, 2.0);
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 5.0, 0.1);
+  EXPECT_NEAR(var, 4.0, 0.3);
+}
+
+TEST(RngTest, DeterministicAcrossInstances) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.Uniform(), b.Uniform());
+  }
+}
+
+TEST(RngTest, CategoricalRespectsWeights) {
+  Rng rng(4);
+  std::vector<double> w = {0.0, 1.0, 3.0};
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 12000; ++i) ++counts[rng.Categorical(w)];
+  EXPECT_EQ(counts[0], 0) << "zero-weight index must never be drawn";
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[1], 3.0, 0.4);
+}
+
+TEST(RngTest, CategoricalRejectsDegenerateInput) {
+  Rng rng(5);
+  EXPECT_THROW(rng.Categorical({0.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW(rng.Categorical({1.0, -1.0}), std::invalid_argument);
+}
+
+TEST(RngTest, WeightedSampleWithoutReplacementIsDistinct) {
+  Rng rng(6);
+  std::vector<double> w(50, 1.0);
+  for (int rep = 0; rep < 20; ++rep) {
+    const auto sample = rng.WeightedSampleWithoutReplacement(w, 10);
+    ASSERT_EQ(sample.size(), 10u);
+    std::set<size_t> uniq(sample.begin(), sample.end());
+    EXPECT_EQ(uniq.size(), sample.size());
+  }
+}
+
+TEST(RngTest, WeightedSampleSkipsZeroWeights) {
+  Rng rng(7);
+  std::vector<double> w(20, 0.0);
+  w[3] = 1.0;
+  w[8] = 1.0;
+  const auto sample = rng.WeightedSampleWithoutReplacement(w, 5);
+  ASSERT_EQ(sample.size(), 2u) << "only positive-weight items are available";
+  EXPECT_TRUE((sample[0] == 3 && sample[1] == 8) ||
+              (sample[0] == 8 && sample[1] == 3));
+}
+
+TEST(RngTest, WeightedSampleFavorsHeavyItems) {
+  Rng rng(8);
+  std::vector<double> w(10, 1.0);
+  w[0] = 50.0;
+  int first_count = 0;
+  for (int rep = 0; rep < 500; ++rep) {
+    const auto s = rng.WeightedSampleWithoutReplacement(w, 1);
+    if (s[0] == 0) ++first_count;
+  }
+  EXPECT_GT(first_count, 350) << "heavy item should dominate single draws";
+}
+
+TEST(RngTest, ShuffleIsAPermutation) {
+  Rng rng(9);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  std::vector<int> orig = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(RngTest, SampleIndicesDistinctAndBounded) {
+  Rng rng(10);
+  const auto s = rng.SampleIndices(30, 12);
+  ASSERT_EQ(s.size(), 12u);
+  std::set<size_t> uniq(s.begin(), s.end());
+  EXPECT_EQ(uniq.size(), 12u);
+  for (size_t idx : s) EXPECT_LT(idx, 30u);
+  EXPECT_THROW(rng.SampleIndices(3, 4), std::invalid_argument);
+}
+
+TEST(StringUtilTest, SplitKeepsEmptyFields) {
+  const auto parts = Split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(StringUtilTest, TrimRemovesSurroundingWhitespace) {
+  EXPECT_EQ(Trim("  x y \t\n"), "x y");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim(" \t "), "");
+}
+
+TEST(StringUtilTest, StrFormatFormats) {
+  EXPECT_EQ(StrFormat("%d-%s-%.2f", 7, "x", 1.5), "7-x-1.50");
+  EXPECT_EQ(StrFormat("plain"), "plain");
+}
+
+TEST(StringUtilTest, Fnv1aHashStableAndDiscriminating) {
+  EXPECT_EQ(Fnv1aHash("abc"), Fnv1aHash("abc"));
+  EXPECT_NE(Fnv1aHash("abc"), Fnv1aHash("abd"));
+  EXPECT_NE(Fnv1aHash(""), Fnv1aHash("a"));
+}
+
+TEST(StringUtilTest, ToLower) {
+  EXPECT_EQ(ToLower("FrEcHeT"), "frechet");
+}
+
+class FileUtilTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("neutraj_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::filesystem::path dir_;
+};
+
+TEST_F(FileUtilTest, WriteReadRoundtrip) {
+  const std::string path = (dir_ / "f.txt").string();
+  WriteFileAtomic(path, "hello\nworld");
+  EXPECT_TRUE(FileExists(path));
+  EXPECT_EQ(ReadFile(path), "hello\nworld");
+}
+
+TEST_F(FileUtilTest, AtomicWriteLeavesNoTempFile) {
+  const std::string path = (dir_ / "g.txt").string();
+  WriteFileAtomic(path, "data");
+  EXPECT_FALSE(FileExists(path + ".tmp"));
+}
+
+TEST_F(FileUtilTest, ReadMissingFileThrows) {
+  EXPECT_THROW(ReadFile((dir_ / "missing").string()), std::runtime_error);
+}
+
+TEST_F(FileUtilTest, EnsureDirectoryCreatesNested) {
+  const std::string nested = (dir_ / "a" / "b" / "c").string();
+  EXPECT_TRUE(EnsureDirectory(nested));
+  EXPECT_TRUE(std::filesystem::is_directory(nested));
+  EXPECT_TRUE(EnsureDirectory(nested)) << "idempotent on existing dirs";
+}
+
+TEST(StopwatchTest, MeasuresElapsedTime) {
+  Stopwatch sw;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink += i * 0.5;
+  EXPECT_GE(sw.ElapsedSeconds(), 0.0);
+  const double first = sw.ElapsedMillis();
+  EXPECT_GE(sw.ElapsedMillis(), first);  // Monotone.
+  sw.Restart();
+  EXPECT_LE(sw.ElapsedSeconds(), first / 1e3 + 1.0);
+  (void)sink;
+}
+
+}  // namespace
+}  // namespace neutraj

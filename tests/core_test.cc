@@ -1,0 +1,293 @@
+// Tests for core/: config presets, similarity guidance, sampling and loss.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "core/config.h"
+#include "core/loss.h"
+#include "core/sampler.h"
+#include "core/similarity.h"
+#include "test_util.h"
+
+namespace neutraj {
+namespace {
+
+DistanceMatrix MakeDistances() {
+  // 4 seeds: 0 and 1 close; 2 mid; 3 far from everyone.
+  DistanceMatrix d(4);
+  d.Set(0, 1, 1.0);
+  d.Set(0, 2, 5.0);
+  d.Set(0, 3, 20.0);
+  d.Set(1, 2, 5.0);
+  d.Set(1, 3, 20.0);
+  d.Set(2, 3, 18.0);
+  return d;
+}
+
+TEST(ConfigTest, PresetVariantNames) {
+  EXPECT_EQ(NeuTrajConfig::NeuTraj().VariantName(), "NeuTraj");
+  EXPECT_EQ(NeuTrajConfig::NoSam().VariantName(), "NT-No-SAM");
+  EXPECT_EQ(NeuTrajConfig::NoWs().VariantName(), "NT-No-WS");
+  EXPECT_EQ(NeuTrajConfig::Siamese().VariantName(), "Siamese");
+}
+
+TEST(ConfigTest, FingerprintDiscriminates) {
+  NeuTrajConfig a = NeuTrajConfig::NeuTraj();
+  NeuTrajConfig b = a;
+  EXPECT_EQ(a.Fingerprint(), b.Fingerprint());
+  b.embedding_dim = 99;
+  EXPECT_NE(a.Fingerprint(), b.Fingerprint());
+  b = a;
+  b.measure = Measure::kDtw;
+  EXPECT_NE(a.Fingerprint(), b.Fingerprint());
+}
+
+TEST(ConfigTest, ValidateCatchesNonsense) {
+  NeuTrajConfig c;
+  c.embedding_dim = 0;
+  EXPECT_THROW(c.Validate(), std::invalid_argument);
+  c = NeuTrajConfig();
+  c.scan_width = -1;
+  EXPECT_THROW(c.Validate(), std::invalid_argument);
+  c = NeuTrajConfig();
+  c.learning_rate = 0;
+  EXPECT_THROW(c.Validate(), std::invalid_argument);
+  c = NeuTrajConfig();
+  EXPECT_NO_THROW(c.Validate());
+}
+
+TEST(SimilarityMatrixTest, ExpTransformRangeAndMonotonicity) {
+  NeuTrajConfig cfg;
+  cfg.transform = SimilarityTransform::kExp;
+  const SimilarityMatrix s(MakeDistances(), cfg);
+  ASSERT_EQ(s.size(), 4u);
+  // Diagonal: exp(0) = 1.
+  for (size_t i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(s.At(i, i), 1.0);
+  // Monotone decreasing in distance.
+  EXPECT_GT(s.At(0, 1), s.At(0, 2));
+  EXPECT_GT(s.At(0, 2), s.At(0, 3));
+  // Symmetric for the unnormalized transform.
+  for (size_t i = 0; i < 4; ++i) {
+    for (size_t j = 0; j < 4; ++j) {
+      EXPECT_DOUBLE_EQ(s.At(i, j), s.At(j, i));
+      EXPECT_GT(s.At(i, j), 0.0);
+      EXPECT_LE(s.At(i, j), 1.0);
+    }
+  }
+}
+
+TEST(SimilarityMatrixTest, AutoAlphaCalibratesToKnnScale) {
+  NeuTrajConfig cfg;
+  cfg.alpha = 0.0;
+  cfg.alpha_factor = 1.0;
+  cfg.sampling_num = 10;  // Clamped to pool-1 = 3 neighbors.
+  // 3rd-NN distances per row: 20, 20, 18, 20 -> mean 19.5.
+  const SimilarityMatrix s(MakeDistances(), cfg);
+  EXPECT_NEAR(s.alpha(), std::log(2.0) / 19.5, 1e-12);
+  // The calibration point: similarity at the mean kNN radius is 0.5.
+  EXPECT_NEAR(std::exp(-s.alpha() * 19.5), 0.5, 1e-12);
+  // Explicit alpha wins.
+  cfg.alpha = 2.0;
+  const SimilarityMatrix s2(MakeDistances(), cfg);
+  EXPECT_DOUBLE_EQ(s2.alpha(), 2.0);
+  EXPECT_NEAR(s2.At(0, 1), std::exp(-2.0), 1e-12);
+}
+
+TEST(SimilarityMatrixTest, RowSoftmaxRowsSumToOne) {
+  NeuTrajConfig cfg;
+  cfg.transform = SimilarityTransform::kRowSoftmax;
+  const SimilarityMatrix s(MakeDistances(), cfg);
+  for (size_t i = 0; i < 4; ++i) {
+    double total = 0.0;
+    for (size_t j = 0; j < 4; ++j) total += s.At(i, j);
+    EXPECT_NEAR(total, 1.0, 1e-12);
+  }
+}
+
+TEST(SamplerTest, RankingWeightsNormalizedAndDecreasing) {
+  const auto r = RankingWeights(5);
+  ASSERT_EQ(r.size(), 5u);
+  double total = 0.0;
+  for (size_t i = 0; i < 5; ++i) {
+    total += r[i];
+    if (i > 0) EXPECT_LT(r[i], r[i - 1]);
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  // Reciprocal shape: r[1]/r[0] = 1/2.
+  EXPECT_NEAR(r[1] / r[0], 0.5, 1e-12);
+  EXPECT_TRUE(RankingWeights(0).empty());
+}
+
+class SamplerStrategyTest : public ::testing::TestWithParam<SamplingStrategy> {};
+
+TEST_P(SamplerStrategyTest, ExcludesAnchorAndIsDistinct) {
+  NeuTrajConfig cfg;
+  const SimilarityMatrix s(MakeDistances(), cfg);
+  Rng rng(61);
+  for (int rep = 0; rep < 50; ++rep) {
+    const AnchorSample a = SampleAnchorPairs(s, 0, 2, GetParam(), &rng);
+    std::set<size_t> seen;
+    for (size_t id : a.similar) {
+      EXPECT_NE(id, 0u);
+      EXPECT_TRUE(seen.insert(id).second);
+    }
+    for (size_t id : a.dissimilar) {
+      EXPECT_NE(id, 0u);
+      EXPECT_TRUE(seen.insert(id).second) << "similar/dissimilar overlap";
+    }
+  }
+}
+
+TEST_P(SamplerStrategyTest, ListsAreRankOrdered) {
+  NeuTrajConfig cfg;
+  const SimilarityMatrix s(MakeDistances(), cfg);
+  Rng rng(62);
+  for (int rep = 0; rep < 50; ++rep) {
+    const AnchorSample a = SampleAnchorPairs(s, 1, 3, GetParam(), &rng);
+    for (size_t i = 1; i < a.similar.size(); ++i) {
+      EXPECT_GE(s.At(1, a.similar[i - 1]), s.At(1, a.similar[i]))
+          << "similar list must be in decreasing similarity";
+    }
+    for (size_t i = 1; i < a.dissimilar.size(); ++i) {
+      EXPECT_LE(s.At(1, a.dissimilar[i - 1]), s.At(1, a.dissimilar[i]))
+          << "dissimilar list must be in increasing similarity";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BothStrategies, SamplerStrategyTest,
+    ::testing::Values(SamplingStrategy::kDistanceWeighted,
+                      SamplingStrategy::kRandom),
+    [](const ::testing::TestParamInfo<SamplingStrategy>& info) {
+      return info.param == SamplingStrategy::kDistanceWeighted ? "weighted"
+                                                               : "random";
+    });
+
+TEST(SamplerTest, WeightedSamplingPrefersNearNeighbors) {
+  // With a strongly peaked similarity row, the top similar pick should be
+  // the true nearest neighbor most of the time.
+  DistanceMatrix d(5);
+  d.Set(0, 1, 0.1);
+  d.Set(0, 2, 10.0);
+  d.Set(0, 3, 10.0);
+  d.Set(0, 4, 10.0);
+  d.Set(1, 2, 10.0);
+  d.Set(1, 3, 10.0);
+  d.Set(1, 4, 10.0);
+  d.Set(2, 3, 10.0);
+  d.Set(2, 4, 10.0);
+  d.Set(3, 4, 10.0);
+  NeuTrajConfig cfg;
+  cfg.alpha = 1.0;
+  const SimilarityMatrix s(d, cfg);
+  Rng rng(63);
+  int nearest_first = 0;
+  const int reps = 300;
+  for (int rep = 0; rep < reps; ++rep) {
+    const AnchorSample a =
+        SampleAnchorPairs(s, 0, 1, SamplingStrategy::kDistanceWeighted, &rng);
+    ASSERT_EQ(a.similar.size(), 1u);
+    if (a.similar[0] == 1) ++nearest_first;
+  }
+  EXPECT_GT(nearest_first, reps / 2)
+      << "importance sampling should pick the near-duplicate most often";
+}
+
+TEST(SamplerTest, DissimilarSamplingPrefersFarItems) {
+  // Mirror of the similar-sampling test: with one far outlier, the top
+  // dissimilar pick should usually be that outlier.
+  DistanceMatrix d(5);
+  for (size_t i = 0; i < 5; ++i) {
+    for (size_t j = i + 1; j < 5; ++j) d.Set(i, j, 0.5);
+  }
+  d.Set(0, 4, 50.0);
+  NeuTrajConfig cfg;
+  cfg.alpha = 1.0;
+  const SimilarityMatrix s(d, cfg);
+  Rng rng(65);
+  int outlier_first = 0;
+  const int reps = 300;
+  for (int rep = 0; rep < reps; ++rep) {
+    const AnchorSample a =
+        SampleAnchorPairs(s, 0, 1, SamplingStrategy::kDistanceWeighted, &rng);
+    ASSERT_EQ(a.dissimilar.size(), 1u);
+    if (a.dissimilar[0] == 4) ++outlier_first;
+  }
+  // Weights 1 - S: outlier ~1.0, others ~0.39 -> outlier picked ~46%.
+  EXPECT_GT(outlier_first, reps / 3);
+}
+
+TEST(SamplerTest, DegeneratePoolsHandled) {
+  NeuTrajConfig cfg;
+  DistanceMatrix d(1);
+  const SimilarityMatrix s(d, cfg);
+  Rng rng(64);
+  const AnchorSample a =
+      SampleAnchorPairs(s, 0, 5, SamplingStrategy::kDistanceWeighted, &rng);
+  EXPECT_TRUE(a.similar.empty());
+  EXPECT_TRUE(a.dissimilar.empty());
+}
+
+TEST(SamplerTest, RowSoftmaxGuidanceAlsoSamples) {
+  // The row-normalized transform produces tiny values; the sampler must
+  // still function (weights are relative).
+  NeuTrajConfig cfg;
+  cfg.transform = SimilarityTransform::kRowSoftmax;
+  const SimilarityMatrix s(MakeDistances(), cfg);
+  Rng rng(66);
+  const AnchorSample a =
+      SampleAnchorPairs(s, 0, 2, SamplingStrategy::kDistanceWeighted, &rng);
+  EXPECT_EQ(a.similar.size(), 2u);
+  EXPECT_FALSE(a.dissimilar.empty());
+}
+
+TEST(LossTest, SimilarPairLossQuadratic) {
+  const PairLoss pl = SimilarPairLoss(0.8, 0.5, 2.0);
+  EXPECT_NEAR(pl.loss, 2.0 * 0.09, 1e-12);
+  EXPECT_NEAR(pl.dg, 2.0 * 2.0 * 0.3, 1e-12);
+  // Symmetric in sign of the error for the loss, antisymmetric for dg.
+  const PairLoss pl2 = SimilarPairLoss(0.2, 0.5, 2.0);
+  EXPECT_NEAR(pl2.loss, pl.loss, 1e-12);
+  EXPECT_NEAR(pl2.dg, -pl.dg, 1e-12);
+}
+
+TEST(LossTest, DissimilarPairLossIsOneSided) {
+  // Predicted less similar than truth: no loss, no gradient.
+  const PairLoss ok = DissimilarPairLoss(0.2, 0.5, 1.0);
+  EXPECT_DOUBLE_EQ(ok.loss, 0.0);
+  EXPECT_DOUBLE_EQ(ok.dg, 0.0);
+  // Predicted too similar: quadratic penalty.
+  const PairLoss bad = DissimilarPairLoss(0.9, 0.5, 1.0);
+  EXPECT_NEAR(bad.loss, 0.16, 1e-12);
+  EXPECT_NEAR(bad.dg, 0.8, 1e-12);
+}
+
+TEST(LossTest, MsePairLoss) {
+  const PairLoss pl = MsePairLoss(0.3, 0.7, 0.5);
+  EXPECT_NEAR(pl.loss, 0.5 * 0.16, 1e-12);
+  EXPECT_NEAR(pl.dg, -0.4, 1e-12);
+}
+
+TEST(LossTest, BackpropSkipsCoincidentEmbeddings) {
+  nn::Vector e = {1.0, 2.0};
+  nn::Vector de_a(2, 0.0), de_b(2, 0.0);
+  BackpropPairSimilarity(e, e, 1.0, 5.0, &de_a, &de_b);
+  EXPECT_DOUBLE_EQ(de_a[0], 0.0);
+  EXPECT_DOUBLE_EQ(de_b[1], 0.0);
+}
+
+TEST(EmbeddingSimilarityTest, RangeAndMonotonicity) {
+  const nn::Vector a = {0.0, 0.0};
+  const nn::Vector b = {1.0, 0.0};
+  const nn::Vector c = {5.0, 0.0};
+  EXPECT_DOUBLE_EQ(EmbeddingSimilarity(a, a), 1.0);
+  EXPECT_GT(EmbeddingSimilarity(a, b), EmbeddingSimilarity(a, c));
+  EXPECT_NEAR(EmbeddingSimilarity(a, b), std::exp(-1.0), 1e-12);
+  EXPECT_DOUBLE_EQ(EmbeddingDistance(a, c), 5.0);
+}
+
+}  // namespace
+}  // namespace neutraj

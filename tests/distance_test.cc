@@ -1,0 +1,321 @@
+// Tests for the exact distance measures: closed-form fixtures plus
+// property sweeps (metric axioms, known inter-measure inequalities).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "distance/measures.h"
+#include "distance/pairwise.h"
+#include "test_util.h"
+
+namespace neutraj {
+namespace {
+
+Trajectory Line(std::initializer_list<std::pair<double, double>> pts) {
+  Trajectory t;
+  for (const auto& [x, y] : pts) t.Append(Point(x, y));
+  return t;
+}
+
+// ---- Closed-form fixtures ---------------------------------------------------
+
+TEST(DtwTest, SinglePointPairs) {
+  EXPECT_DOUBLE_EQ(DtwDistance(Line({{0, 0}}), Line({{3, 4}})), 5.0);
+}
+
+TEST(DtwTest, IdenticalTrajectoriesAreZero) {
+  const Trajectory t = Line({{0, 0}, {1, 1}, {2, 0}});
+  EXPECT_DOUBLE_EQ(DtwDistance(t, t), 0.0);
+}
+
+TEST(DtwTest, KnownAlignment) {
+  // a = [(0,0), (1,0)], b = [(0,0), (1,0), (2,0)].
+  // Best warp aligns (0,0)->(0,0), (1,0)->(1,0), (1,0)->(2,0): cost 1.
+  EXPECT_DOUBLE_EQ(
+      DtwDistance(Line({{0, 0}, {1, 0}}), Line({{0, 0}, {1, 0}, {2, 0}})), 1.0);
+}
+
+TEST(DtwTest, StretchingToleratesRepetition) {
+  // DTW should ignore repeated samples of the same location.
+  const Trajectory a = Line({{0, 0}, {1, 0}, {2, 0}});
+  const Trajectory b = Line({{0, 0}, {0, 0}, {1, 0}, {1, 0}, {2, 0}});
+  EXPECT_DOUBLE_EQ(DtwDistance(a, b), 0.0);
+}
+
+TEST(FrechetTest, SinglePointPairs) {
+  EXPECT_DOUBLE_EQ(FrechetDistance(Line({{0, 0}}), Line({{3, 4}})), 5.0);
+}
+
+TEST(FrechetTest, ParallelSegments) {
+  // Two parallel horizontal 3-point lines 2 apart: Fréchet = 2.
+  const Trajectory a = Line({{0, 0}, {1, 0}, {2, 0}});
+  const Trajectory b = Line({{0, 2}, {1, 2}, {2, 2}});
+  EXPECT_DOUBLE_EQ(FrechetDistance(a, b), 2.0);
+}
+
+TEST(FrechetTest, ManWalksDogAsymmetricLengths) {
+  // One curve pauses in the middle; discrete Fréchet stays the endpoint gap.
+  const Trajectory a = Line({{0, 0}, {4, 0}});
+  const Trajectory b = Line({{0, 1}, {2, 1}, {4, 1}});
+  EXPECT_DOUBLE_EQ(FrechetDistance(a, b), std::sqrt(4.0 + 1.0))
+      << "a's first point must also cover b's middle point";
+}
+
+TEST(FrechetTest, OrderSensitivityVersusHausdorff) {
+  // Same point sets, opposite directions: Hausdorff 0-ish, Fréchet large.
+  const Trajectory a = Line({{0, 0}, {1, 0}, {2, 0}, {3, 0}});
+  Trajectory b;
+  for (size_t i = a.size(); i-- > 0;) b.Append(a[i]);
+  EXPECT_DOUBLE_EQ(HausdorffDistance(a, b), 0.0);
+  EXPECT_DOUBLE_EQ(FrechetDistance(a, b), 3.0);
+}
+
+TEST(HausdorffTest, KnownAsymmetricSets) {
+  // a inside b's span: directed a->b small, b->a large; symmetric = max.
+  const Trajectory a = Line({{0, 0}});
+  const Trajectory b = Line({{0, 0}, {5, 0}});
+  EXPECT_DOUBLE_EQ(HausdorffDistance(a, b), 5.0);
+  EXPECT_DOUBLE_EQ(HausdorffDistance(b, a), 5.0);
+}
+
+TEST(HausdorffTest, ParallelSegments) {
+  const Trajectory a = Line({{0, 0}, {1, 0}, {2, 0}});
+  const Trajectory b = Line({{0, 1}, {1, 1}, {2, 1}});
+  EXPECT_DOUBLE_EQ(HausdorffDistance(a, b), 1.0);
+}
+
+TEST(ErpTest, EqualLengthReducesToPointSum) {
+  const Trajectory a = Line({{0, 0}, {1, 0}});
+  const Trajectory b = Line({{0, 1}, {1, 1}});
+  // Matching both pairs costs 1 + 1 = 2; any gap is at least as expensive
+  // with the default origin gap for these coordinates.
+  EXPECT_DOUBLE_EQ(ErpDistance(a, b), 2.0);
+}
+
+TEST(ErpTest, GapPenaltyAppliedForExtraPoints) {
+  const Trajectory a = Line({{1, 0}});
+  const Trajectory b = Line({{1, 0}, {2, 0}});
+  // Align (1,0) with (1,0) free, delete (2,0) at gap cost |(2,0)-g| = 2.
+  EXPECT_DOUBLE_EQ(ErpDistance(a, b), 2.0);
+  // With a custom gap point at (2,0) the deletion is free.
+  EXPECT_DOUBLE_EQ(ErpDistance(a, b, Point(2, 0)), 0.0);
+}
+
+TEST(ErpTest, IdenticalTrajectoriesAreZero) {
+  Rng rng(13);
+  const Trajectory t = testing::RandomTrajectory(20, 100.0, &rng);
+  EXPECT_DOUBLE_EQ(ErpDistance(t, t), 0.0);
+}
+
+TEST(EdrTest, CountsNonMatchingEdits) {
+  // Identical up to epsilon: zero edits.
+  const Trajectory a = Line({{0, 0}, {10, 0}, {20, 0}});
+  const Trajectory b = Line({{1, 1}, {11, -1}, {19, 0}});
+  EXPECT_DOUBLE_EQ(EdrDistance(a, b, 2.0), 0.0);
+  // One extra point costs one edit.
+  const Trajectory c = Line({{0, 0}, {10, 0}, {15, 50}, {20, 0}});
+  EXPECT_DOUBLE_EQ(EdrDistance(a, c, 2.0), 1.0);
+  // Completely disjoint sequences: every point replaced.
+  const Trajectory d = Line({{100, 100}, {110, 100}, {120, 100}});
+  EXPECT_DOUBLE_EQ(EdrDistance(a, d, 2.0), 3.0);
+}
+
+TEST(EdrTest, EpsilonControlsMatching) {
+  const Trajectory a = Line({{0, 0}});
+  const Trajectory b = Line({{5, 5}});
+  EXPECT_DOUBLE_EQ(EdrDistance(a, b, 4.0), 1.0);
+  EXPECT_DOUBLE_EQ(EdrDistance(a, b, 5.0), 0.0);
+  EXPECT_THROW(EdrDistance(a, b, 0.0), std::invalid_argument);
+}
+
+TEST(LcssTest, DistanceIsOneMinusNormalizedLcss) {
+  const Trajectory a = Line({{0, 0}, {10, 0}, {20, 0}, {30, 0}});
+  const Trajectory b = Line({{0, 0}, {500, 0}, {20, 0}});
+  // Matches: (0,0) and (20,0) -> LCSS = 2, min length 3.
+  EXPECT_NEAR(LcssDistance(a, b, 1.0), 1.0 - 2.0 / 3.0, 1e-12);
+  // Identical trajectories: distance 0.
+  EXPECT_DOUBLE_EQ(LcssDistance(a, a, 1.0), 0.0);
+  // No matches at all: distance 1.
+  const Trajectory c = Line({{1000, 1000}});
+  EXPECT_DOUBLE_EQ(LcssDistance(a, c, 1.0), 1.0);
+}
+
+TEST(LcssTest, RangeAndValidation) {
+  Rng rng(22);
+  for (int i = 0; i < 10; ++i) {
+    const Trajectory a = testing::RandomTrajectory(10, 300.0, &rng);
+    const Trajectory b = testing::RandomTrajectory(14, 300.0, &rng);
+    const double d = LcssDistance(a, b, 50.0);
+    EXPECT_GE(d, 0.0);
+    EXPECT_LE(d, 1.0);
+  }
+  EXPECT_THROW(LcssDistance(Trajectory(), Trajectory({{0, 0}}), 1.0),
+               std::invalid_argument);
+}
+
+TEST(ExtendedMeasuresTest, RegistryAndNames) {
+  EXPECT_EQ(ExtendedMeasures().size(), 6u);
+  EXPECT_EQ(MeasureFromName("edr"), Measure::kEdr);
+  EXPECT_EQ(MeasureFromName("lcss"), Measure::kLcss);
+  MeasureParams params;
+  params.match_epsilon = 10.0;
+  const DistanceFn edr = ExactDistanceFn(Measure::kEdr, params);
+  const Trajectory a = Line({{0, 0}});
+  const Trajectory b = Line({{5, 5}});
+  EXPECT_DOUBLE_EQ(edr(a, b), 0.0) << "params.match_epsilon must be honored";
+}
+
+TEST(ExtendedMeasuresTest, EdrLcssAreSymmetric) {
+  Rng rng(23);
+  for (int i = 0; i < 10; ++i) {
+    const Trajectory a = testing::RandomTrajectory(9, 300.0, &rng);
+    const Trajectory b = testing::RandomTrajectory(13, 300.0, &rng);
+    EXPECT_DOUBLE_EQ(EdrDistance(a, b, 40.0), EdrDistance(b, a, 40.0));
+    EXPECT_DOUBLE_EQ(LcssDistance(a, b, 40.0), LcssDistance(b, a, 40.0));
+  }
+}
+
+TEST(MeasuresTest, EmptyInputsThrow) {
+  const Trajectory empty;
+  const Trajectory ok = Line({{0, 0}});
+  EXPECT_THROW(DtwDistance(empty, ok), std::invalid_argument);
+  EXPECT_THROW(FrechetDistance(ok, empty), std::invalid_argument);
+  EXPECT_THROW(HausdorffDistance(empty, empty), std::invalid_argument);
+  EXPECT_THROW(ErpDistance(empty, ok), std::invalid_argument);
+}
+
+TEST(MeasuresTest, NameRoundtrip) {
+  for (Measure m : AllMeasures()) {
+    EXPECT_EQ(MeasureFromName(MeasureName(m)), m);
+  }
+  EXPECT_EQ(MeasureFromName("FRECHET"), Measure::kFrechet);
+  EXPECT_THROW(MeasureFromName("nope"), std::invalid_argument);
+}
+
+// ---- Property sweeps over random trajectories -------------------------------
+
+class MeasurePropertyTest : public ::testing::TestWithParam<Measure> {};
+
+TEST_P(MeasurePropertyTest, IdentityOfIndiscernibles) {
+  Rng rng(14);
+  const DistanceFn fn = ExactDistanceFn(GetParam());
+  for (int i = 0; i < 10; ++i) {
+    const Trajectory t = testing::RandomTrajectory(15, 500.0, &rng);
+    EXPECT_NEAR(fn(t, t), 0.0, 1e-9);
+  }
+}
+
+TEST_P(MeasurePropertyTest, Symmetry) {
+  Rng rng(15);
+  const DistanceFn fn = ExactDistanceFn(GetParam());
+  for (int i = 0; i < 10; ++i) {
+    const Trajectory a = testing::RandomTrajectory(12, 500.0, &rng);
+    const Trajectory b = testing::RandomTrajectory(17, 500.0, &rng);
+    EXPECT_NEAR(fn(a, b), fn(b, a), 1e-9);
+  }
+}
+
+TEST_P(MeasurePropertyTest, NonNegativity) {
+  Rng rng(16);
+  const DistanceFn fn = ExactDistanceFn(GetParam());
+  for (int i = 0; i < 10; ++i) {
+    const Trajectory a = testing::RandomTrajectory(9, 500.0, &rng);
+    const Trajectory b = testing::RandomTrajectory(14, 500.0, &rng);
+    EXPECT_GE(fn(a, b), 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMeasures, MeasurePropertyTest,
+                         ::testing::ValuesIn(ExtendedMeasures()),
+                         [](const ::testing::TestParamInfo<Measure>& info) {
+                           return MeasureName(info.param);
+                         });
+
+/// The three metric measures must satisfy the triangle inequality
+/// (the paper relies on this; DTW is explicitly excluded).
+class MetricTriangleTest : public ::testing::TestWithParam<Measure> {};
+
+TEST_P(MetricTriangleTest, TriangleInequality) {
+  Rng rng(17);
+  const DistanceFn fn = ExactDistanceFn(GetParam());
+  for (int i = 0; i < 30; ++i) {
+    const Trajectory a = testing::RandomTrajectory(8, 300.0, &rng);
+    const Trajectory b = testing::RandomTrajectory(11, 300.0, &rng);
+    const Trajectory c = testing::RandomTrajectory(14, 300.0, &rng);
+    EXPECT_LE(fn(a, c), fn(a, b) + fn(b, c) + 1e-9);
+  }
+}
+
+// Only the paper's three metric measures: DTW, EDR and LCSS all violate the
+// triangle inequality (the threshold-based matching of EDR/LCSS is not
+// transitive — a property this suite demonstrated empirically).
+INSTANTIATE_TEST_SUITE_P(MetricMeasures, MetricTriangleTest,
+                         ::testing::Values(Measure::kFrechet,
+                                           Measure::kHausdorff, Measure::kErp),
+                         [](const ::testing::TestParamInfo<Measure>& info) {
+                           return MeasureName(info.param);
+                         });
+
+TEST(MeasureRelationsTest, HausdorffLowerBoundsFrechet) {
+  // Any coupling realizing the Fréchet distance covers all points of both
+  // curves, so Hausdorff <= discrete Fréchet.
+  Rng rng(18);
+  for (int i = 0; i < 25; ++i) {
+    const Trajectory a = testing::RandomTrajectory(10, 400.0, &rng);
+    const Trajectory b = testing::RandomTrajectory(13, 400.0, &rng);
+    EXPECT_LE(HausdorffDistance(a, b), FrechetDistance(a, b) + 1e-9);
+  }
+}
+
+TEST(MeasureRelationsTest, FrechetLowerBoundsDtw) {
+  // DTW minimizes a sum over a warping path; the max along the optimal DTW
+  // path is at least the Fréchet min-max, and the sum dominates the max.
+  Rng rng(19);
+  for (int i = 0; i < 25; ++i) {
+    const Trajectory a = testing::RandomTrajectory(10, 400.0, &rng);
+    const Trajectory b = testing::RandomTrajectory(13, 400.0, &rng);
+    EXPECT_LE(FrechetDistance(a, b), DtwDistance(a, b) + 1e-9);
+  }
+}
+
+// ---- Pairwise matrices -------------------------------------------------------
+
+TEST(PairwiseTest, MatrixIsSymmetricWithZeroDiagonal) {
+  Rng rng(20);
+  const auto corpus = testing::RandomCorpus(12, 5, 15, 300.0, &rng);
+  const DistanceMatrix d = ComputePairwiseDistances(corpus, Measure::kFrechet);
+  ASSERT_EQ(d.size(), corpus.size());
+  for (size_t i = 0; i < d.size(); ++i) {
+    EXPECT_DOUBLE_EQ(d.At(i, i), 0.0);
+    for (size_t j = 0; j < d.size(); ++j) {
+      EXPECT_DOUBLE_EQ(d.At(i, j), d.At(j, i));
+    }
+  }
+}
+
+TEST(PairwiseTest, MatchesDirectComputation) {
+  Rng rng(21);
+  const auto corpus = testing::RandomCorpus(8, 5, 12, 300.0, &rng);
+  const DistanceMatrix d = ComputePairwiseDistances(corpus, Measure::kDtw);
+  for (size_t i = 0; i < corpus.size(); ++i) {
+    for (size_t j = i + 1; j < corpus.size(); ++j) {
+      EXPECT_DOUBLE_EQ(d.At(i, j), DtwDistance(corpus[i], corpus[j]));
+    }
+  }
+}
+
+TEST(PairwiseTest, Statistics) {
+  DistanceMatrix d(3);
+  d.Set(0, 1, 2.0);
+  d.Set(0, 2, 4.0);
+  d.Set(1, 2, 6.0);
+  EXPECT_DOUBLE_EQ(d.Max(), 6.0);
+  EXPECT_DOUBLE_EQ(d.MeanOffDiagonal(), 4.0);
+  EXPECT_DOUBLE_EQ(DistanceMatrix(1).MeanOffDiagonal(), 0.0);
+  EXPECT_DOUBLE_EQ(DistanceMatrix().Max(), 0.0);
+}
+
+}  // namespace
+}  // namespace neutraj

@@ -1,0 +1,269 @@
+// Tests for the evaluation harness: metrics, the split protocol, the top-k
+// workload and the disk caches.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <numeric>
+#include <set>
+
+#include "core/search.h"
+#include "data/generators.h"
+#include "eval/metrics.h"
+#include "eval/model_cache.h"
+#include "eval/protocol.h"
+#include "test_util.h"
+
+namespace neutraj {
+namespace {
+
+TEST(EvalMetricsTest, HittingRatioCountsOverlap) {
+  EXPECT_DOUBLE_EQ(HittingRatio({1, 2, 3}, {3, 4, 5}), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(HittingRatio({1, 2}, {1, 2}), 1.0);
+  EXPECT_DOUBLE_EQ(HittingRatio({9, 8}, {1, 2}), 0.0);
+  EXPECT_DOUBLE_EQ(HittingRatio({1}, {}), 0.0);
+}
+
+TEST(EvalMetricsTest, RecallOfTruth) {
+  // 2 of 3 truth items anywhere in the (larger) result list.
+  EXPECT_DOUBLE_EQ(RecallOfTruth({1, 2, 3, 4, 5}, {2, 5, 9}), 2.0 / 3.0);
+}
+
+TEST(EvalMetricsTest, MeanDistanceOf) {
+  const std::vector<double> d = {10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(MeanDistanceOf({0, 3}, d), 25.0);
+  EXPECT_DOUBLE_EQ(MeanDistanceOf({}, d), 0.0);
+}
+
+TEST(EvalMetricsTest, PerfectRankingScoresPerfect) {
+  // Corpus of 60 items with exact distances = id (query excluded is 0).
+  std::vector<double> exact(60);
+  std::iota(exact.begin(), exact.end(), 0.0);
+  QueryJudgement j;
+  j.exact_dists = &exact;
+  j.exclude = 0;
+  for (size_t i = 1; i < 60; ++i) j.ranked_ids.push_back(i);
+  const TopKQuality q = EvaluateTopKQuality({j});
+  EXPECT_DOUBLE_EQ(q.hr10, 1.0);
+  EXPECT_DOUBLE_EQ(q.hr50, 1.0);
+  EXPECT_DOUBLE_EQ(q.r10_at_50, 1.0);
+  EXPECT_DOUBLE_EQ(q.delta_h10, 0.0);
+  EXPECT_DOUBLE_EQ(q.delta_r10, 0.0);
+  EXPECT_EQ(q.num_queries, 1u);
+}
+
+TEST(EvalMetricsTest, ReversedRankingScoresPoorly) {
+  std::vector<double> exact(60);
+  std::iota(exact.begin(), exact.end(), 0.0);
+  QueryJudgement j;
+  j.exact_dists = &exact;
+  j.exclude = 0;
+  for (size_t i = 59; i >= 1; --i) j.ranked_ids.push_back(i);
+  const TopKQuality q = EvaluateTopKQuality({j});
+  EXPECT_DOUBLE_EQ(q.hr10, 0.0);
+  EXPECT_GT(q.delta_h10, 0.0);
+  // delta_r10: the best-10 of the (worst) 50 candidates are ids 10..19, so
+  // the distortion is exactly mean(10..19) - mean(1..10) = 9.
+  EXPECT_DOUBLE_EQ(q.delta_r10, 9.0);
+}
+
+TEST(EvalMetricsTest, R10At50RewardsLateHits) {
+  // Truth top-10 = ids 1..10; ranking puts them at positions 41..50.
+  std::vector<double> exact(60);
+  std::iota(exact.begin(), exact.end(), 0.0);
+  QueryJudgement j;
+  j.exact_dists = &exact;
+  j.exclude = 0;
+  for (size_t i = 11; i <= 50; ++i) j.ranked_ids.push_back(i);
+  for (size_t i = 1; i <= 10; ++i) j.ranked_ids.push_back(i);
+  const TopKQuality q = EvaluateTopKQuality({j});
+  EXPECT_DOUBLE_EQ(q.hr10, 0.0) << "no truth in the top-10 positions";
+  EXPECT_DOUBLE_EQ(q.r10_at_50, 1.0) << "all truth recovered within top-50";
+  EXPECT_DOUBLE_EQ(q.delta_r10, 0.0) << "re-ranking the 50 recovers truth";
+}
+
+TEST(SplitTest, FractionsRespectedAndDisjoint) {
+  GeneratorConfig cfg = PortoLikeConfig(0.2);
+  const TrajectoryDataset db = GeneratePortoLike(cfg);
+  const DatasetSplit split = SplitDataset(db, 0.2, 0.1, 7);
+  EXPECT_EQ(split.seeds.size(), db.size() / 5);
+  EXPECT_EQ(split.val.size(), db.size() / 10);
+  EXPECT_EQ(split.seeds.size() + split.val.size() + split.test.size(), db.size());
+  EXPECT_THROW(SplitDataset(db, 0.8, 0.5), std::invalid_argument);
+}
+
+TEST(SplitTest, DeterministicPerSeed) {
+  GeneratorConfig cfg = PortoLikeConfig(0.1);
+  const TrajectoryDataset db = GeneratePortoLike(cfg);
+  const DatasetSplit a = SplitDataset(db, 0.2, 0.1, 7);
+  const DatasetSplit b = SplitDataset(db, 0.2, 0.1, 7);
+  ASSERT_EQ(a.seeds.size(), b.seeds.size());
+  for (size_t i = 0; i < a.seeds.size(); ++i) {
+    EXPECT_EQ(a.seeds[i], b.seeds[i]);
+  }
+  const DatasetSplit c = SplitDataset(db, 0.2, 0.1, 8);
+  bool same = a.seeds.size() == c.seeds.size();
+  if (same) {
+    same = std::equal(a.seeds.begin(), a.seeds.end(), c.seeds.begin());
+  }
+  EXPECT_FALSE(same) << "different split seed should shuffle differently";
+}
+
+TEST(WorkloadTest, ExactRowsMatchDirectComputation) {
+  Rng rng(111);
+  const auto corpus = testing::RandomCorpus(20, 5, 12, 400.0, &rng);
+  const DistanceFn fn = ExactDistanceFn(Measure::kHausdorff);
+  const TopKWorkload w(corpus, fn, /*num_queries=*/5, 1);
+  ASSERT_EQ(w.query_ids().size(), 5u);
+  for (size_t q = 0; q < w.query_ids().size(); ++q) {
+    const size_t qid = w.query_ids()[q];
+    for (size_t j = 0; j < corpus.size(); ++j) {
+      const double expected = j == qid ? 0.0 : fn(corpus[qid], corpus[j]);
+      EXPECT_DOUBLE_EQ(w.ExactRow(q)[j], expected);
+    }
+  }
+}
+
+TEST(WorkloadTest, OracleRankingScoresPerfect) {
+  Rng rng(112);
+  const auto corpus = testing::RandomCorpus(70, 5, 12, 400.0, &rng);
+  const TopKWorkload w(corpus, ExactDistanceFn(Measure::kDtw), 10, 2);
+  const TopKQuality q = w.Evaluate([&](size_t pos) {
+    const SearchResult r =
+        TopKByDistance(w.ExactRow(pos), 50,
+                       static_cast<int64_t>(w.query_ids()[pos]));
+    return r.ids;
+  });
+  EXPECT_DOUBLE_EQ(q.hr10, 1.0);
+  EXPECT_DOUBLE_EQ(q.hr50, 1.0);
+  EXPECT_DOUBLE_EQ(q.delta_h10, 0.0);
+  EXPECT_GT(q.gt_h10, 0.0);
+}
+
+class CacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (std::filesystem::temp_directory_path() /
+            ("neutraj_cache_test_" + std::to_string(::getpid())))
+               .string();
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::string dir_;
+};
+
+TEST_F(CacheTest, PairwiseDistancesRoundtrip) {
+  Rng rng(113);
+  const auto corpus = testing::RandomCorpus(15, 5, 10, 300.0, &rng);
+  const DistanceMatrix fresh =
+      CachedPairwiseDistances(corpus, Measure::kFrechet, dir_);
+  const DistanceMatrix cached =
+      CachedPairwiseDistances(corpus, Measure::kFrechet, dir_);
+  ASSERT_EQ(cached.size(), fresh.size());
+  for (size_t i = 0; i < fresh.size(); ++i) {
+    for (size_t j = 0; j < fresh.size(); ++j) {
+      EXPECT_DOUBLE_EQ(cached.At(i, j), fresh.At(i, j));
+    }
+  }
+  // Different measure gets a different cache entry.
+  const DistanceMatrix dtw = CachedPairwiseDistances(corpus, Measure::kDtw, dir_);
+  EXPECT_NE(dtw.At(0, 1), fresh.At(0, 1));
+}
+
+TEST_F(CacheTest, ModelTrainingIsCached) {
+  Rng rng(114);
+  const auto corpus = testing::RandomCorpus(16, 5, 10, 300.0, &rng);
+  BoundingBox region = BoundingBox::Empty();
+  for (const auto& t : corpus) region.Extend(t.Bounds());
+  const Grid grid(region.Inflated(5.0), 50.0);
+  const DistanceMatrix d = ComputePairwiseDistances(corpus, Measure::kFrechet);
+  NeuTrajConfig cfg = NeuTrajConfig::NeuTraj();
+  cfg.embedding_dim = 8;
+  cfg.scan_width = 1;
+  cfg.sampling_num = 3;
+  cfg.epochs = 2;
+
+  const TrainedModel first = TrainOrLoadModel(cfg, grid, corpus, d, dir_);
+  EXPECT_FALSE(first.from_cache);
+  ASSERT_EQ(first.stats.epochs.size(), 2u);
+
+  const TrainedModel second = TrainOrLoadModel(cfg, grid, corpus, d, dir_);
+  EXPECT_TRUE(second.from_cache);
+  ASSERT_EQ(second.stats.epochs.size(), 2u);
+  EXPECT_DOUBLE_EQ(second.stats.epochs[1].mean_loss,
+                   first.stats.epochs[1].mean_loss);
+  // Same embeddings from the cached model.
+  for (const auto& t : corpus) {
+    const nn::Vector a = first.model.Embed(t);
+    const nn::Vector b = second.model.Embed(t);
+    for (size_t k = 0; k < a.size(); ++k) EXPECT_DOUBLE_EQ(a[k], b[k]);
+  }
+  // A different config trains fresh.
+  cfg.embedding_dim = 10;
+  const TrainedModel third = TrainOrLoadModel(cfg, grid, corpus, d, dir_);
+  EXPECT_FALSE(third.from_cache);
+}
+
+TEST_F(CacheTest, CorruptDistanceCacheIsRecomputed) {
+  Rng rng(116);
+  const auto corpus = testing::RandomCorpus(8, 5, 8, 200.0, &rng);
+  const DistanceMatrix fresh =
+      CachedPairwiseDistances(corpus, Measure::kDtw, dir_);
+  // Vandalize every cache file, then reload: values must be recomputed
+  // (not propagated from the corrupt file).
+  for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
+    std::ofstream out(entry.path(), std::ios::trunc);
+    out << "999 garbage";
+  }
+  const DistanceMatrix again =
+      CachedPairwiseDistances(corpus, Measure::kDtw, dir_);
+  for (size_t i = 0; i < fresh.size(); ++i) {
+    for (size_t j = 0; j < fresh.size(); ++j) {
+      EXPECT_DOUBLE_EQ(again.At(i, j), fresh.At(i, j));
+    }
+  }
+}
+
+TEST_F(CacheTest, CorruptModelCacheRetrains) {
+  Rng rng(117);
+  const auto corpus = testing::RandomCorpus(12, 5, 8, 200.0, &rng);
+  BoundingBox region = BoundingBox::Empty();
+  for (const auto& t : corpus) region.Extend(t.Bounds());
+  const Grid grid(region.Inflated(5.0), 50.0);
+  const DistanceMatrix d = ComputePairwiseDistances(corpus, Measure::kFrechet);
+  NeuTrajConfig cfg = NeuTrajConfig::NeuTraj();
+  cfg.embedding_dim = 6;
+  cfg.scan_width = 1;
+  cfg.sampling_num = 3;
+  cfg.epochs = 1;
+
+  const TrainedModel first = TrainOrLoadModel(cfg, grid, corpus, d, dir_);
+  ASSERT_FALSE(first.from_cache);
+  // Corrupt every cached model file.
+  for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
+    if (entry.path().extension() == ".model") {
+      std::ofstream out(entry.path(), std::ios::trunc);
+      out << "NOT-A-MODEL";
+    }
+  }
+  const TrainedModel second = TrainOrLoadModel(cfg, grid, corpus, d, dir_);
+  EXPECT_FALSE(second.from_cache) << "corrupt entries must trigger retraining";
+  // Deterministic training: the retrained model matches the original.
+  for (const auto& t : corpus) {
+    const nn::Vector a = first.model.Embed(t);
+    const nn::Vector b = second.model.Embed(t);
+    for (size_t k = 0; k < a.size(); ++k) EXPECT_DOUBLE_EQ(a[k], b[k]);
+  }
+}
+
+TEST(CorpusFingerprintTest, SensitiveToContent) {
+  Rng rng(115);
+  const auto a = testing::RandomCorpus(5, 5, 8, 100.0, &rng);
+  auto b = a;
+  EXPECT_EQ(CorpusFingerprint(a), CorpusFingerprint(b));
+  b[0][0].x += 1.0;
+  EXPECT_NE(CorpusFingerprint(a), CorpusFingerprint(b));
+}
+
+}  // namespace
+}  // namespace neutraj

@@ -1,0 +1,158 @@
+// Tests for the dense kernels in nn/matrix.h.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/matrix.h"
+
+namespace neutraj::nn {
+namespace {
+
+Matrix Make2x3() {
+  Matrix a(2, 3);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(0, 2) = 3;
+  a(1, 0) = 4;
+  a(1, 1) = 5;
+  a(1, 2) = 6;
+  return a;
+}
+
+TEST(MatrixTest, BasicAccessors) {
+  Matrix a = Make2x3();
+  EXPECT_EQ(a.rows(), 2u);
+  EXPECT_EQ(a.cols(), 3u);
+  EXPECT_EQ(a.size(), 6u);
+  EXPECT_DOUBLE_EQ(a(1, 2), 6);
+  EXPECT_DOUBLE_EQ(a.Row(1)[0], 4);
+  a.Zero();
+  EXPECT_DOUBLE_EQ(a.SquaredNorm(), 0.0);
+}
+
+TEST(MatrixTest, SquaredNorm) {
+  Matrix a(1, 2);
+  a(0, 0) = 3;
+  a(0, 1) = 4;
+  EXPECT_DOUBLE_EQ(a.SquaredNorm(), 25.0);
+}
+
+TEST(MatVecTest, ComputesProduct) {
+  const Matrix a = Make2x3();
+  Vector y;
+  MatVec(a, {1, 0, -1}, &y);
+  ASSERT_EQ(y.size(), 2u);
+  EXPECT_DOUBLE_EQ(y[0], -2);
+  EXPECT_DOUBLE_EQ(y[1], -2);
+}
+
+TEST(MatVecTest, AccumAddsToExisting) {
+  const Matrix a = Make2x3();
+  Vector y = {10, 20};
+  MatVecAccum(a, {1, 1, 1}, &y);
+  EXPECT_DOUBLE_EQ(y[0], 16);
+  EXPECT_DOUBLE_EQ(y[1], 35);
+}
+
+TEST(MatVecTest, ShapeMismatchThrows) {
+  const Matrix a = Make2x3();
+  Vector y;
+  EXPECT_THROW(MatVec(a, {1, 2}, &y), std::invalid_argument);
+  Vector bad(3);
+  EXPECT_THROW(MatVecAccum(a, {1, 2, 3}, &bad), std::invalid_argument);
+}
+
+TEST(MatTVecTest, ComputesTransposedProduct) {
+  const Matrix a = Make2x3();
+  Vector y;
+  MatTVec(a, {1, -1}, &y);
+  ASSERT_EQ(y.size(), 3u);
+  EXPECT_DOUBLE_EQ(y[0], -3);
+  EXPECT_DOUBLE_EQ(y[1], -3);
+  EXPECT_DOUBLE_EQ(y[2], -3);
+}
+
+TEST(MatTVecTest, TransposeConsistency) {
+  // (A^T x) . y == x . (A y) for all x, y.
+  const Matrix a = Make2x3();
+  const Vector x = {0.5, -1.5};
+  const Vector y = {2, 3, -1};
+  Vector atx, ay;
+  MatTVec(a, x, &atx);
+  MatVec(a, y, &ay);
+  EXPECT_NEAR(Dot(atx, y), Dot(x, ay), 1e-12);
+}
+
+TEST(OuterProductTest, RankOneUpdate) {
+  Matrix a(2, 2);
+  AddOuterProduct(&a, {1, 2}, {3, 4});
+  EXPECT_DOUBLE_EQ(a(0, 0), 3);
+  EXPECT_DOUBLE_EQ(a(0, 1), 4);
+  EXPECT_DOUBLE_EQ(a(1, 0), 6);
+  EXPECT_DOUBLE_EQ(a(1, 1), 8);
+  AddOuterProduct(&a, {1, 0}, {1, 1});  // Accumulates.
+  EXPECT_DOUBLE_EQ(a(0, 0), 4);
+  EXPECT_DOUBLE_EQ(a(1, 1), 8);
+}
+
+TEST(VectorKernelsTest, AxpyHadamardDot) {
+  Vector y = {1, 2};
+  AxpyInPlace(2.0, {3, -1}, &y);
+  EXPECT_DOUBLE_EQ(y[0], 7);
+  EXPECT_DOUBLE_EQ(y[1], 0);
+
+  Vector h;
+  Hadamard({2, 3}, {4, 5}, &h);
+  EXPECT_DOUBLE_EQ(h[0], 8);
+  EXPECT_DOUBLE_EQ(h[1], 15);
+  HadamardAccum({1, 1}, {1, 1}, &h);
+  EXPECT_DOUBLE_EQ(h[0], 9);
+
+  EXPECT_DOUBLE_EQ(Dot({1, 2, 3}, {4, 5, 6}), 32.0);
+  EXPECT_THROW(Dot({1}, {1, 2}), std::invalid_argument);
+}
+
+TEST(VectorKernelsTest, Norms) {
+  EXPECT_DOUBLE_EQ(SquaredNorm({3, 4}), 25.0);
+  EXPECT_DOUBLE_EQ(L2Norm({3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(L2Distance({0, 0}, {3, 4}), 5.0);
+  EXPECT_THROW(L2Distance({1}, {1, 2}), std::invalid_argument);
+}
+
+TEST(SoftmaxTest, NormalizesAndOrders) {
+  Vector v = {1.0, 2.0, 3.0};
+  SoftmaxInPlace(&v);
+  double total = 0.0;
+  for (double x : v) total += x;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  EXPECT_LT(v[0], v[1]);
+  EXPECT_LT(v[1], v[2]);
+}
+
+TEST(SoftmaxTest, StableUnderLargeInputs) {
+  Vector v = {1000.0, 1000.0};
+  SoftmaxInPlace(&v);
+  EXPECT_NEAR(v[0], 0.5, 1e-12);
+  EXPECT_NEAR(v[1], 0.5, 1e-12);
+  Vector single = {-500.0};
+  SoftmaxInPlace(&single);
+  EXPECT_DOUBLE_EQ(single[0], 1.0);
+  Vector empty;
+  SoftmaxInPlace(&empty);  // Must not crash.
+  EXPECT_TRUE(empty.empty());
+}
+
+TEST(ActivationTest, SigmoidAndTanh) {
+  Vector s, t;
+  SigmoidInto({0.0, 100.0, -100.0}, &s);
+  EXPECT_NEAR(s[0], 0.5, 1e-12);
+  EXPECT_NEAR(s[1], 1.0, 1e-12);
+  EXPECT_NEAR(s[2], 0.0, 1e-12);
+  TanhInto({0.0, 1.0}, &t);
+  EXPECT_NEAR(t[0], 0.0, 1e-12);
+  EXPECT_NEAR(t[1], std::tanh(1.0), 1e-12);
+}
+
+}  // namespace
+}  // namespace neutraj::nn

@@ -1,0 +1,136 @@
+// Tests for trajectory preprocessing: point-segment distance,
+// Douglas-Peucker simplification, uniform resampling and smoothing.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "distance/measures.h"
+#include "geo/preprocess.h"
+#include "test_util.h"
+
+namespace neutraj {
+namespace {
+
+TEST(PointToSegmentTest, ProjectionCases) {
+  const Point a(0, 0), b(10, 0);
+  // Perpendicular foot inside the segment.
+  EXPECT_DOUBLE_EQ(PointToSegmentDistance(Point(5, 3), a, b), 3.0);
+  // Beyond either endpoint: distance to the endpoint.
+  EXPECT_DOUBLE_EQ(PointToSegmentDistance(Point(-3, 4), a, b), 5.0);
+  EXPECT_DOUBLE_EQ(PointToSegmentDistance(Point(13, 4), a, b), 5.0);
+  // Degenerate zero-length segment.
+  EXPECT_DOUBLE_EQ(PointToSegmentDistance(Point(3, 4), a, a), 5.0);
+  // On the segment.
+  EXPECT_DOUBLE_EQ(PointToSegmentDistance(Point(7, 0), a, b), 0.0);
+}
+
+TEST(DouglasPeuckerTest, CollinearPointsCollapse) {
+  Trajectory t;
+  for (int i = 0; i <= 10; ++i) t.Append(Point(i, 0));
+  const Trajectory s = DouglasPeucker(t, 0.01);
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_EQ(s[0], t[0]);
+  EXPECT_EQ(s[1], t[10]);
+}
+
+TEST(DouglasPeuckerTest, KeepsSalientCorner) {
+  Trajectory t({{0, 0}, {5, 0}, {5, 5}, {10, 5}});
+  const Trajectory s = DouglasPeucker(t, 0.5);
+  EXPECT_EQ(s.size(), 4u) << "right-angle corners are all salient";
+  // A huge tolerance keeps only the endpoints.
+  const Trajectory loose = DouglasPeucker(t, 100.0);
+  EXPECT_EQ(loose.size(), 2u);
+}
+
+TEST(DouglasPeuckerTest, ErrorBoundedByTolerance) {
+  Rng rng(121);
+  const double tol = 20.0;
+  for (int rep = 0; rep < 15; ++rep) {
+    const Trajectory t = testing::RandomTrajectory(40, 800.0, &rng);
+    const Trajectory s = DouglasPeucker(t, tol);
+    ASSERT_GE(s.size(), 2u);
+    EXPECT_LE(s.size(), t.size());
+    // Every original point is within tol of the simplified polyline.
+    for (size_t i = 0; i < t.size(); ++i) {
+      double best = std::numeric_limits<double>::infinity();
+      for (size_t j = 0; j + 1 < s.size(); ++j) {
+        best = std::min(best, PointToSegmentDistance(t[i], s[j], s[j + 1]));
+      }
+      EXPECT_LE(best, tol + 1e-9);
+    }
+  }
+}
+
+TEST(DouglasPeuckerTest, ValidationAndShortInputs) {
+  EXPECT_THROW(DouglasPeucker(Trajectory({{0, 0}}), -1.0), std::invalid_argument);
+  const Trajectory two({{0, 0}, {1, 1}});
+  EXPECT_EQ(DouglasPeucker(two, 10.0).size(), 2u);
+  const Trajectory one({{0, 0}});
+  EXPECT_EQ(DouglasPeucker(one, 10.0).size(), 1u);
+}
+
+TEST(ResampleTest, UniformSpacingRespected) {
+  Trajectory t({{0, 0}, {100, 0}});
+  const Trajectory r = ResampleUniform(t, 10.0);
+  // 0, 10, ..., 90, 100 -> 11 points.
+  ASSERT_EQ(r.size(), 11u);
+  for (size_t i = 1; i < r.size(); ++i) {
+    EXPECT_NEAR(EuclideanDistance(r[i - 1], r[i]), 10.0, 1e-9);
+  }
+  EXPECT_EQ(r[0], t[0]);
+  EXPECT_EQ(r[10], t[1]);
+}
+
+TEST(ResampleTest, CrossesSegmentBoundaries) {
+  // Two 15-length segments with spacing 10: samples at 0, 10, 20, 30.
+  Trajectory t({{0, 0}, {15, 0}, {30, 0}});
+  const Trajectory r = ResampleUniform(t, 10.0);
+  ASSERT_EQ(r.size(), 4u);
+  EXPECT_NEAR(r[1].x, 10.0, 1e-9);
+  EXPECT_NEAR(r[2].x, 20.0, 1e-9);
+  EXPECT_NEAR(r[3].x, 30.0, 1e-9);
+}
+
+TEST(ResampleTest, ShapePreservedWithinSpacing) {
+  Rng rng(122);
+  for (int rep = 0; rep < 10; ++rep) {
+    const Trajectory t = testing::RandomTrajectory(30, 500.0, &rng);
+    const Trajectory r = ResampleUniform(t, 25.0);
+    EXPECT_LE(HausdorffDistance(t, r), 25.0 + 1e-9)
+        << "resampling cannot move the curve by more than the spacing";
+  }
+}
+
+TEST(ResampleTest, Validation) {
+  EXPECT_THROW(ResampleUniform(Trajectory(), 1.0), std::invalid_argument);
+  EXPECT_THROW(ResampleUniform(Trajectory({{0, 0}}), 0.0), std::invalid_argument);
+  const Trajectory single({{3, 4}});
+  EXPECT_EQ(ResampleUniform(single, 5.0).size(), 1u);
+}
+
+TEST(SmoothTest, ReducesNoiseKeepsLength) {
+  Rng rng(123);
+  // A straight line with noise: smoothing must cut the mean deviation.
+  Trajectory noisy;
+  for (int i = 0; i < 60; ++i) {
+    noisy.Append(Point(i * 10.0, rng.Gaussian(0.0, 8.0)));
+  }
+  const Trajectory smooth = MovingAverageSmooth(noisy, 3);
+  ASSERT_EQ(smooth.size(), noisy.size());
+  auto mean_abs_y = [](const Trajectory& t) {
+    double total = 0.0;
+    for (const Point& p : t) total += std::abs(p.y);
+    return total / static_cast<double>(t.size());
+  };
+  EXPECT_LT(mean_abs_y(smooth), mean_abs_y(noisy) * 0.7);
+}
+
+TEST(SmoothTest, ZeroWindowIsCopy) {
+  const Trajectory t({{0, 0}, {5, 5}, {10, 0}});
+  EXPECT_EQ(MovingAverageSmooth(t, 0), t);
+}
+
+}  // namespace
+}  // namespace neutraj

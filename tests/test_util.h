@@ -1,0 +1,43 @@
+// Shared helpers for the test suite: random trajectory generation and
+// gradient-check utilities.
+
+#ifndef NEUTRAJ_TESTS_TEST_UTIL_H_
+#define NEUTRAJ_TESTS_TEST_UTIL_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "geo/trajectory.h"
+
+namespace neutraj::testing {
+
+/// A random walk trajectory of `len` points inside [0, extent]^2.
+inline Trajectory RandomTrajectory(size_t len, double extent, Rng* rng) {
+  Trajectory t;
+  double x = rng->Uniform(0.2 * extent, 0.8 * extent);
+  double y = rng->Uniform(0.2 * extent, 0.8 * extent);
+  for (size_t i = 0; i < len; ++i) {
+    t.Append(Point(x, y));
+    x += rng->Gaussian(0.0, extent * 0.03);
+    y += rng->Gaussian(0.0, extent * 0.03);
+  }
+  return t;
+}
+
+/// A corpus of random trajectories with lengths in [min_len, max_len].
+inline std::vector<Trajectory> RandomCorpus(size_t n, size_t min_len,
+                                            size_t max_len, double extent,
+                                            Rng* rng) {
+  std::vector<Trajectory> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const size_t len = static_cast<size_t>(rng->UniformInt(
+        static_cast<int64_t>(min_len), static_cast<int64_t>(max_len)));
+    out.push_back(RandomTrajectory(len, extent, rng));
+  }
+  return out;
+}
+
+}  // namespace neutraj::testing
+
+#endif  // NEUTRAJ_TESTS_TEST_UTIL_H_

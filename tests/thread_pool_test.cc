@@ -1,0 +1,132 @@
+// Tests for the thread pool and the parallel drivers built on it.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "common/thread_pool.h"
+#include "core/trainer.h"
+#include "distance/pairwise.h"
+#include "test_util.h"
+
+namespace neutraj {
+namespace {
+
+TEST(ThreadPoolTest, ExecutesAllTasks) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4u);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 1);
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 3);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsOutstandingWork) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+    // No Wait(): the destructor must still run everything.
+  }
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPoolTest, ClampsToAtLeastOneWorker) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  std::atomic<bool> ran{false};
+  pool.Submit([&ran] { ran = true; });
+  pool.Wait();
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  for (size_t threads : {1u, 2u, 4u, 9u}) {
+    std::vector<std::atomic<int>> hits(257);
+    ParallelFor(hits.size(), threads,
+                [&](size_t i) { hits[i].fetch_add(1); });
+    for (size_t i = 0; i < hits.size(); ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "threads=" << threads << " i=" << i;
+    }
+  }
+}
+
+TEST(ParallelForTest, ZeroIterationsIsNoOp) {
+  bool ran = false;
+  ParallelFor(0, 4, [&](size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ParallelPairwiseTest, MatchesSerialDriver) {
+  Rng rng(131);
+  const auto corpus = testing::RandomCorpus(25, 5, 15, 400.0, &rng);
+  const DistanceFn fn = ExactDistanceFn(Measure::kFrechet);
+  const DistanceMatrix serial = ComputePairwiseDistances(corpus, fn);
+  for (size_t threads : {1u, 3u, 8u}) {
+    const DistanceMatrix parallel =
+        ComputePairwiseDistancesParallel(corpus, fn, threads);
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (size_t i = 0; i < serial.size(); ++i) {
+      for (size_t j = 0; j < serial.size(); ++j) {
+        EXPECT_DOUBLE_EQ(parallel.At(i, j), serial.At(i, j))
+            << "threads=" << threads;
+      }
+    }
+  }
+}
+
+TEST(ParallelEmbedTest, MatchesSerialEmbedding) {
+  Rng rng(132);
+  const auto corpus = testing::RandomCorpus(20, 5, 15, 800.0, &rng);
+  BoundingBox region = BoundingBox::Empty();
+  for (const auto& t : corpus) region.Extend(t.Bounds());
+  NeuTrajConfig cfg = NeuTrajConfig::NeuTraj();
+  cfg.embedding_dim = 8;
+  cfg.scan_width = 1;
+  NeuTrajModel model(cfg, Grid(region.Inflated(5.0), 100.0));
+  Rng wr(1);
+  model.InitializeWeights(&wr);
+
+  const auto serial = model.EmbedAll(corpus);
+  const auto parallel = model.EmbedAllParallel(corpus, 4);
+  ASSERT_EQ(parallel.size(), serial.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    for (size_t k = 0; k < serial[i].size(); ++k) {
+      EXPECT_DOUBLE_EQ(parallel[i][k], serial[i][k]);
+    }
+  }
+}
+
+TEST(ParallelEmbedTest, RejectsMemoryUpdatingInference) {
+  Rng rng(133);
+  const auto corpus = testing::RandomCorpus(4, 5, 8, 800.0, &rng);
+  BoundingBox region = BoundingBox::Empty();
+  for (const auto& t : corpus) region.Extend(t.Bounds());
+  NeuTrajConfig cfg = NeuTrajConfig::NeuTraj();
+  cfg.embedding_dim = 8;
+  cfg.update_memory_at_inference = true;
+  NeuTrajModel model(cfg, Grid(region.Inflated(5.0), 100.0));
+  Rng wr(1);
+  model.InitializeWeights(&wr);
+  EXPECT_THROW(model.EmbedAllParallel(corpus, 2), std::logic_error);
+}
+
+}  // namespace
+}  // namespace neutraj
