@@ -1,0 +1,20 @@
+// CRC32 checksums for on-disk integrity checks.
+
+#ifndef NEUTRAJ_COMMON_CHECKSUM_H_
+#define NEUTRAJ_COMMON_CHECKSUM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace neutraj {
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) of `size` bytes.
+/// The standard check value holds: Crc32("123456789") == 0xCBF43926.
+uint32_t Crc32(const void* data, size_t size);
+
+inline uint32_t Crc32(const std::string& s) { return Crc32(s.data(), s.size()); }
+
+}  // namespace neutraj
+
+#endif  // NEUTRAJ_COMMON_CHECKSUM_H_

@@ -1,6 +1,12 @@
 #include "common/file_util.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -30,16 +36,66 @@ std::string ReadFile(const std::string& path) {
 }
 
 void WriteFileAtomic(const std::string& path, const std::string& content) {
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) throw std::runtime_error("WriteFileAtomic: cannot open " + tmp);
-    out.write(content.data(), static_cast<std::streamsize>(content.size()));
-    if (!out) throw std::runtime_error("WriteFileAtomic: write failed " + tmp);
+  // Per-call unique temp name: concurrent writers of the same path (e.g.
+  // parallel bench runs sharing a cache directory) must not clobber each
+  // other's in-flight temp file; whoever renames last wins, and both renames
+  // install a complete file.
+  static std::atomic<uint64_t> counter{0};
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid())) + "." +
+      std::to_string(counter.fetch_add(1, std::memory_order_relaxed));
+
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    throw std::runtime_error("WriteFileAtomic: cannot open " + tmp + ": " +
+                             std::strerror(errno));
   }
+  size_t written = 0;
+  while (written < content.size()) {
+    const ssize_t n =
+        ::write(fd, content.data() + written, content.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const int err = errno;
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      throw std::runtime_error("WriteFileAtomic: write failed " + tmp + ": " +
+                               std::strerror(err));
+    }
+    written += static_cast<size_t>(n);
+  }
+  // fsync before rename: otherwise a crash after the rename can leave the
+  // *destination* pointing at a zero-length or partial file.
+  if (::fsync(fd) != 0) {
+    const int err = errno;
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    throw std::runtime_error("WriteFileAtomic: fsync failed " + tmp + ": " +
+                             std::strerror(err));
+  }
+  if (::close(fd) != 0) {
+    const int err = errno;
+    ::unlink(tmp.c_str());
+    throw std::runtime_error("WriteFileAtomic: close failed " + tmp + ": " +
+                             std::strerror(err));
+  }
+
   std::error_code ec;
   fs::rename(tmp, path, ec);
-  if (ec) throw std::runtime_error("WriteFileAtomic: rename failed " + path);
+  if (ec) {
+    ::unlink(tmp.c_str());
+    throw std::runtime_error("WriteFileAtomic: rename failed " + path + ": " +
+                             ec.message());
+  }
+
+  // Best-effort durability of the rename itself: fsync the parent directory.
+  const fs::path parent = fs::path(path).parent_path();
+  const std::string dir = parent.empty() ? "." : parent.string();
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd >= 0) {
+    ::fsync(dfd);
+    ::close(dfd);
+  }
 }
 
 }  // namespace neutraj

@@ -1,0 +1,125 @@
+#include "common/framing.h"
+
+#include <stdexcept>
+
+#include "common/checksum.h"
+#include "common/string_util.h"
+
+namespace neutraj {
+
+namespace {
+
+constexpr char kMagic[] = "NEUTRAJ-FILE v1 ";
+constexpr char kEnd[] = "END";
+
+}  // namespace
+
+void SectionWriter::Add(const std::string& name, const std::string& payload) {
+  if (name.empty() || name.find_first_of(" \n") != std::string::npos) {
+    throw std::invalid_argument("SectionWriter: bad section name '" + name + "'");
+  }
+  sections_.emplace_back(name, payload);
+}
+
+std::string SectionWriter::Finish() const {
+  std::string out = kMagic + kind_ + "\n";
+  for (const auto& [name, payload] : sections_) {
+    out += StrFormat("SECTION %s %zu %08x\n", name.c_str(), payload.size(),
+                     Crc32(payload));
+    out += payload;
+    out += '\n';
+  }
+  out += kEnd;
+  out += '\n';
+  return out;
+}
+
+SectionReader::SectionReader(const std::string& contents,
+                             const std::string& expected_kind,
+                             const std::string& source)
+    : source_(source) {
+  size_t pos = 0;
+  auto next_line = [&](std::string* line) -> bool {
+    if (pos >= contents.size()) return false;
+    const size_t nl = contents.find('\n', pos);
+    if (nl == std::string::npos) {
+      *line = contents.substr(pos);
+      pos = contents.size();
+    } else {
+      *line = contents.substr(pos, nl - pos);
+      pos = nl + 1;
+    }
+    return true;
+  };
+
+  std::string line;
+  if (!next_line(&line) || line.rfind(kMagic, 0) != 0) {
+    throw std::runtime_error(source_ + ": not a NEUTRAJ-FILE (bad or missing header)");
+  }
+  const std::string kind = line.substr(sizeof(kMagic) - 1);
+  if (kind != expected_kind) {
+    throw std::runtime_error(source_ + ": wrong artifact kind '" + kind +
+                             "' (expected '" + expected_kind + "')");
+  }
+
+  bool saw_end = false;
+  while (next_line(&line)) {
+    if (line == kEnd) {
+      saw_end = true;
+      break;
+    }
+    const auto fields = Split(line, ' ');
+    if (fields.size() != 4 || fields[0] != "SECTION") {
+      throw std::runtime_error(source_ + ": malformed section header '" + line + "'");
+    }
+    const std::string& name = fields[1];
+    size_t size = 0;
+    unsigned long stored_crc = 0;
+    try {
+      size = std::stoull(fields[2]);
+      stored_crc = std::stoul(fields[3], nullptr, 16);
+    } catch (const std::exception&) {
+      throw std::runtime_error(source_ + ": malformed section header '" + line + "'");
+    }
+    if (pos + size > contents.size()) {
+      throw std::runtime_error(
+          source_ + ": section '" + name + "' truncated (need " +
+          std::to_string(size) + " bytes, have " +
+          std::to_string(contents.size() - pos) + ")");
+    }
+    std::string payload = contents.substr(pos, size);
+    pos += size;
+    if (pos >= contents.size() || contents[pos] != '\n') {
+      throw std::runtime_error(source_ + ": section '" + name +
+                               "' framing error (missing terminator)");
+    }
+    ++pos;
+    const uint32_t crc = Crc32(payload);
+    if (crc != static_cast<uint32_t>(stored_crc)) {
+      throw std::runtime_error(
+          source_ + ": checksum mismatch in section '" + name + "' (stored " +
+          StrFormat("%08lx", stored_crc) + ", computed " +
+          StrFormat("%08x", crc) + ") — file is corrupt");
+    }
+    sections_.emplace_back(name, std::move(payload));
+  }
+  if (!saw_end) {
+    throw std::runtime_error(source_ + ": missing END marker (file truncated)");
+  }
+}
+
+bool SectionReader::Has(const std::string& name) const {
+  for (const auto& [n, p] : sections_) {
+    if (n == name) return true;
+  }
+  return false;
+}
+
+const std::string& SectionReader::Get(const std::string& name) const {
+  for (const auto& [n, p] : sections_) {
+    if (n == name) return p;
+  }
+  throw std::runtime_error(source_ + ": missing section '" + name + "'");
+}
+
+}  // namespace neutraj

@@ -1,0 +1,65 @@
+// Length-prefixed, checksummed section framing for on-disk artifacts.
+//
+// Model files and training checkpoints share this container format so a
+// truncated or bit-flipped file is rejected with a precise error instead of
+// being half-parsed into a corrupt in-memory object:
+//
+//   NEUTRAJ-FILE v1 <kind>\n
+//   SECTION <name> <size-bytes> <crc32-hex>\n
+//   <exactly size-bytes payload bytes>\n
+//   ... more sections ...
+//   END\n
+//
+// Payloads are opaque byte strings (in practice, the text encodings the
+// callers already use). Every section is CRC32-verified at parse time.
+
+#ifndef NEUTRAJ_COMMON_FRAMING_H_
+#define NEUTRAJ_COMMON_FRAMING_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace neutraj {
+
+/// Accumulates named sections and renders the framed file contents.
+class SectionWriter {
+ public:
+  /// `kind` tags the artifact type ("model", "checkpoint", ...); readers
+  /// verify it so a checkpoint cannot be loaded where a model is expected.
+  explicit SectionWriter(std::string kind) : kind_(std::move(kind)) {}
+
+  /// Appends one section. Names must be non-empty and space-free.
+  void Add(const std::string& name, const std::string& payload);
+
+  /// Full file contents (header + sections + END marker).
+  std::string Finish() const;
+
+ private:
+  std::string kind_;
+  std::vector<std::pair<std::string, std::string>> sections_;
+};
+
+/// Parses and verifies a framed file in one pass.
+///
+/// Throws std::runtime_error naming `source` on a bad header, a kind
+/// mismatch, a truncated section, a checksum mismatch, or a missing END
+/// marker. After construction every section is verified.
+class SectionReader {
+ public:
+  SectionReader(const std::string& contents, const std::string& expected_kind,
+                const std::string& source);
+
+  bool Has(const std::string& name) const;
+
+  /// Payload of section `name`; throws std::runtime_error if absent.
+  const std::string& Get(const std::string& name) const;
+
+ private:
+  std::string source_;
+  std::vector<std::pair<std::string, std::string>> sections_;
+};
+
+}  // namespace neutraj
+
+#endif  // NEUTRAJ_COMMON_FRAMING_H_

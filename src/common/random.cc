@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numeric>
 #include <queue>
+#include <sstream>
 
 namespace neutraj {
 
@@ -67,6 +68,20 @@ std::vector<size_t> Rng::SampleIndices(size_t n, size_t k) {
   }
   all.resize(k);
   return all;
+}
+
+std::string Rng::SaveState() const {
+  std::ostringstream ss;
+  ss << engine_;
+  return ss.str();
+}
+
+void Rng::LoadState(const std::string& state) {
+  std::istringstream ss(state);
+  std::mt19937_64 restored;
+  ss >> restored;
+  if (!ss) throw std::runtime_error("Rng::LoadState: malformed engine state");
+  engine_ = restored;
 }
 
 }  // namespace neutraj

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <random>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 namespace neutraj {
@@ -68,6 +69,16 @@ class Rng {
 
   /// Samples `k` distinct indices uniformly from [0, n) (k <= n).
   std::vector<size_t> SampleIndices(size_t n, size_t k);
+
+  /// Serializes the full engine state (for training checkpoints). The helper
+  /// methods above construct fresh distribution objects per draw, so the
+  /// engine state is the *complete* stream state: LoadState followed by the
+  /// same draw sequence reproduces it bit-for-bit.
+  std::string SaveState() const;
+
+  /// Restores a state produced by SaveState. Throws std::runtime_error on a
+  /// malformed state string.
+  void LoadState(const std::string& state);
 
   std::mt19937_64& engine() { return engine_; }
 

@@ -52,6 +52,12 @@ std::string NeuTrajConfig::Fingerprint() const {
       << ";estop=" << early_stop_tol << ";patience=" << patience
       << ";seed=" << rng_seed
       << ";memo_inf=" << update_memory_at_inference;
+  // Watchdog knobs can change the training trajectory (rollbacks decay the
+  // learning rate), so they key the cache; checkpoint_dir/checkpoint_every
+  // are pure side effects and deliberately excluded.
+  out << ";wd=" << watchdog << ";wd_thresh=" << divergence_loss_threshold
+      << ";wd_decay=" << divergence_lr_decay
+      << ";wd_max=" << max_divergence_rollbacks;
   return out.str();
 }
 
@@ -63,6 +69,12 @@ void NeuTrajConfig::Validate() const {
   if (learning_rate <= 0) throw std::invalid_argument("config: learning_rate <= 0");
   if (alpha <= 0 && alpha_factor <= 0) {
     throw std::invalid_argument("config: need alpha > 0 or alpha_factor > 0");
+  }
+  if (checkpoint_every == 0) {
+    throw std::invalid_argument("config: checkpoint_every == 0");
+  }
+  if (divergence_lr_decay <= 0.0 || divergence_lr_decay > 1.0) {
+    throw std::invalid_argument("config: divergence_lr_decay outside (0, 1]");
   }
 }
 

@@ -79,6 +79,27 @@ struct NeuTrajConfig {
   /// The default (false) keeps the model deterministic after training.
   bool update_memory_at_inference = false;
 
+  // -- Fault tolerance --------------------------------------------------------
+  /// Directory for crash-safe training checkpoints; empty disables them.
+  /// When set, the Trainer writes `checkpoint_dir`/neutraj.ckpt atomically
+  /// after every `checkpoint_every`-th completed epoch, and ResumeFrom()
+  /// continues an interrupted run bit-for-bit.
+  std::string checkpoint_dir;
+  /// Epochs between checkpoint writes (>= 1).
+  size_t checkpoint_every = 1;
+  /// Divergence watchdog: scan per-anchor losses and post-step parameters
+  /// for NaN/Inf; on trip, roll back to the last good epoch state, decay the
+  /// learning rate and retry instead of training on garbage.
+  bool watchdog = true;
+  /// Anchor-loss explosion threshold; a finite anchor loss above it also
+  /// trips the watchdog. <= 0 disables the explosion check (NaN/Inf is
+  /// always checked while the watchdog is on).
+  double divergence_loss_threshold = 0.0;
+  /// Learning-rate multiplier applied on each watchdog rollback, in (0, 1].
+  double divergence_lr_decay = 0.5;
+  /// Rollbacks before the watchdog gives up and aborts the run.
+  size_t max_divergence_rollbacks = 3;
+
   // -- Presets for the paper's methods ---------------------------------------
   /// Full NeuTraj: SAM backbone + weighted sampling + ranking loss.
   static NeuTrajConfig NeuTraj();

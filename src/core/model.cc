@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "common/file_util.h"
+#include "common/framing.h"
 #include "common/thread_pool.h"
 
 namespace neutraj {
@@ -58,50 +59,63 @@ size_t NeuTrajModel::NumParameters() const {
 }
 
 void NeuTrajModel::Save(const std::string& path) const {
-  std::ostringstream out;
-  out.precision(17);
-  out << "NEUTRAJ-MODEL v1\n";
+  // Model files use the shared length-prefixed, CRC-checksummed section
+  // framing (common/framing.h) so truncation and bit flips are detected at
+  // load time instead of being half-parsed.
+  SectionWriter w("model");
+
+  std::ostringstream cfg_out;
+  cfg_out.precision(17);
   // Config fields needed to reconstruct the encoder and inference behavior.
-  out << MeasureName(config_.measure) << ' '
-      << static_cast<int>(config_.transform) << ' ' << config_.alpha << ' '
-      << config_.alpha_factor << ' ' << static_cast<int>(config_.backbone)
-      << ' ' << config_.embedding_dim << ' ' << config_.scan_width << ' '
-      << static_cast<int>(config_.sampling) << ' '
-      << static_cast<int>(config_.loss) << ' ' << config_.sampling_num << ' '
-      << config_.batch_size << ' ' << config_.epochs << ' '
-      << config_.learning_rate << ' ' << config_.clip_norm << ' '
-      << config_.early_stop_tol << ' ' << config_.patience << ' '
-      << config_.rng_seed << ' ' << config_.update_memory_at_inference << '\n';
+  cfg_out << MeasureName(config_.measure) << ' '
+          << static_cast<int>(config_.transform) << ' ' << config_.alpha << ' '
+          << config_.alpha_factor << ' ' << static_cast<int>(config_.backbone)
+          << ' ' << config_.embedding_dim << ' ' << config_.scan_width << ' '
+          << static_cast<int>(config_.sampling) << ' '
+          << static_cast<int>(config_.loss) << ' ' << config_.sampling_num
+          << ' ' << config_.batch_size << ' ' << config_.epochs << ' '
+          << config_.learning_rate << ' ' << config_.clip_norm << ' '
+          << config_.early_stop_tol << ' ' << config_.patience << ' '
+          << config_.rng_seed << ' ' << config_.update_memory_at_inference;
+  w.Add("config", cfg_out.str());
+
   const Grid& g = grid();
-  out << g.region().min_x << ' ' << g.region().min_y << ' '
-      << g.region().max_x << ' ' << g.region().max_y << ' ' << g.num_cols()
-      << ' ' << g.num_rows() << '\n';
+  std::ostringstream grid_out;
+  grid_out.precision(17);
+  grid_out << g.region().min_x << ' ' << g.region().min_y << ' '
+           << g.region().max_x << ' ' << g.region().max_y << ' '
+           << g.num_cols() << ' ' << g.num_rows();
+  w.Add("grid", grid_out.str());
+
   std::vector<const nn::Param*> params;
   for (nn::Param* p : const_cast<nn::Encoder&>(*encoder_).Params()) {
     params.push_back(p);
   }
-  out << nn::SerializeParams(params);
+  w.Add("params", nn::SerializeParams(params));
+
   // SAM memory (inference reads it).
+  std::ostringstream mem_out;
+  mem_out.precision(17);
   if (encoder_->has_memory()) {
     const auto& mem = encoder_->memory().values();
-    out << "MEMORY " << mem.size() << '\n';
+    mem_out << mem.size() << '\n';
     for (size_t i = 0; i < mem.size(); ++i) {
-      if (i > 0) out << ' ';
-      out << mem[i];
+      if (i > 0) mem_out << ' ';
+      mem_out << mem[i];
     }
-    out << '\n';
   } else {
-    out << "MEMORY 0\n\n";
+    mem_out << 0 << '\n';
   }
-  WriteFileAtomic(path, out.str());
+  w.Add("memory", mem_out.str());
+
+  WriteFileAtomic(path, w.Finish());
 }
 
 NeuTrajModel NeuTrajModel::Load(const std::string& path) {
-  std::istringstream in(ReadFile(path));
-  std::string line;
-  if (!std::getline(in, line) || line != "NEUTRAJ-MODEL v1") {
-    throw std::runtime_error("NeuTrajModel::Load: bad header in " + path);
-  }
+  const std::string source = "NeuTrajModel::Load: " + path;
+  const SectionReader r(ReadFile(path), "model", source);
+
+  std::istringstream in(r.Get("config"));
   NeuTrajConfig cfg;
   std::string measure;
   int transform = 0, backbone = 0, sampling = 0, loss = 0;
@@ -111,7 +125,7 @@ NeuTrajModel NeuTrajModel::Load(const std::string& path) {
         cfg.sampling_num >> cfg.batch_size >> cfg.epochs >>
         cfg.learning_rate >> cfg.clip_norm >> cfg.early_stop_tol >>
         cfg.patience >> cfg.rng_seed >> update_inference)) {
-    throw std::runtime_error("NeuTrajModel::Load: bad config in " + path);
+    throw std::runtime_error(source + ": bad config section");
   }
   cfg.measure = MeasureFromName(measure);
   cfg.transform = static_cast<SimilarityTransform>(transform);
@@ -120,40 +134,34 @@ NeuTrajModel NeuTrajModel::Load(const std::string& path) {
   cfg.loss = static_cast<LossKind>(loss);
   cfg.update_memory_at_inference = update_inference != 0;
 
+  std::istringstream grid_in(r.Get("grid"));
   BoundingBox region;
   int32_t cols = 0, rows = 0;
-  if (!(in >> region.min_x >> region.min_y >> region.max_x >> region.max_y >>
-        cols >> rows)) {
-    throw std::runtime_error("NeuTrajModel::Load: bad grid in " + path);
+  if (!(grid_in >> region.min_x >> region.min_y >> region.max_x >>
+        region.max_y >> cols >> rows)) {
+    throw std::runtime_error(source + ": bad grid section");
   }
   NeuTrajModel model(cfg, Grid(region, cols, rows));
-  // The remainder of the stream: params then memory.
-  std::string rest((std::istreambuf_iterator<char>(in)),
-                   std::istreambuf_iterator<char>());
-  const size_t mem_pos = rest.find("MEMORY ");
-  if (mem_pos == std::string::npos) {
-    throw std::runtime_error("NeuTrajModel::Load: missing memory block in " + path);
-  }
-  nn::DeserializeParams(rest.substr(0, mem_pos), model.encoder_->Params());
-  std::istringstream mem_in(rest.substr(mem_pos));
-  std::string tag;
+  nn::DeserializeParams(r.Get("params"), model.encoder_->Params());
+
+  std::istringstream mem_in(r.Get("memory"));
   size_t count = 0;
-  if (!(mem_in >> tag >> count) || tag != "MEMORY") {
-    throw std::runtime_error("NeuTrajModel::Load: bad memory header in " + path);
+  if (!(mem_in >> count)) {
+    throw std::runtime_error(source + ": bad memory section");
   }
   if (model.encoder_->has_memory()) {
     auto& mem = model.encoder_->memory().values();
     if (count != mem.size()) {
-      throw std::runtime_error("NeuTrajModel::Load: memory size mismatch in " + path);
+      throw std::runtime_error(source + ": memory size mismatch");
     }
     for (double& v : mem) {
       if (!(mem_in >> v)) {
-        throw std::runtime_error("NeuTrajModel::Load: truncated memory in " + path);
+        throw std::runtime_error(source + ": truncated memory values");
       }
     }
     model.encoder_->memory().RecomputeWrittenFlags();
   } else if (count != 0) {
-    throw std::runtime_error("NeuTrajModel::Load: unexpected memory block in " + path);
+    throw std::runtime_error(source + ": unexpected memory block");
   }
   return model;
 }

@@ -1,22 +1,73 @@
 #include "core/trainer.h"
 
 #include <algorithm>
+#include <cmath>
 #include <numeric>
+#include <sstream>
 #include <stdexcept>
 #include <unordered_map>
 
+#include "common/file_util.h"
+#include "common/framing.h"
 #include "common/stopwatch.h"
+#include "common/string_util.h"
 #include "core/loss.h"
+#include "geo/traj_io.h"
 
 namespace neutraj {
 
 namespace {
+
+constexpr char kCheckpointKind[] = "checkpoint";
+constexpr char kCheckpointFile[] = "neutraj.ckpt";
 
 nn::AdamOptions MakeAdamOptions(const NeuTrajConfig& cfg) {
   nn::AdamOptions o;
   o.learning_rate = cfg.learning_rate;
   o.clip_norm = cfg.clip_norm;
   return o;
+}
+
+std::string SerializeMemory(const nn::Encoder& enc) {
+  std::ostringstream out;
+  out.precision(17);
+  if (!enc.has_memory()) {
+    out << "0\n";
+    return out.str();
+  }
+  const auto& mem = enc.memory().values();
+  out << mem.size() << '\n';
+  for (size_t i = 0; i < mem.size(); ++i) {
+    if (i > 0) out << ' ';
+    out << mem[i];
+  }
+  out << '\n';
+  return out.str();
+}
+
+void DeserializeMemory(const std::string& text, nn::Encoder* enc,
+                       const std::string& source) {
+  std::istringstream in(text);
+  size_t count = 0;
+  if (!(in >> count)) {
+    throw std::runtime_error(source + ": bad memory section");
+  }
+  if (!enc->has_memory()) {
+    if (count != 0) {
+      throw std::runtime_error(source + ": unexpected memory block");
+    }
+    return;
+  }
+  auto& mem = enc->memory().values();
+  if (count != mem.size()) {
+    throw std::runtime_error(source + ": memory size mismatch");
+  }
+  for (double& v : mem) {
+    if (!(in >> v)) {
+      throw std::runtime_error(source + ": truncated memory values");
+    }
+  }
+  enc->memory().RecomputeWrittenFlags();
 }
 
 }  // namespace
@@ -35,6 +86,23 @@ Trainer::Trainer(const NeuTrajConfig& cfg, const Grid& grid,
   }
   if (seed_dists.size() != seeds_.size()) {
     throw std::invalid_argument("Trainer: distance matrix size mismatch");
+  }
+  for (size_t i = 0; i < seeds_.size(); ++i) {
+    if (seeds_[i].empty()) {
+      throw std::invalid_argument(
+          StrFormat("Trainer: seed trajectory %zu is empty", i));
+    }
+  }
+  for (size_t i = 0; i < seed_dists.size(); ++i) {
+    for (size_t j = i + 1; j < seed_dists.size(); ++j) {
+      const double d = seed_dists.At(i, j);
+      if (!std::isfinite(d) || d < 0.0) {
+        throw std::invalid_argument(StrFormat(
+            "Trainer: seed distance (%zu, %zu) is %g — distances must be "
+            "finite and non-negative",
+            i, j, d));
+      }
+    }
   }
   model_.InitializeWeights(&rng_);
 }
@@ -107,56 +175,237 @@ double Trainer::ProcessAnchor(size_t anchor) {
   return total_loss;
 }
 
+std::string Trainer::RunFingerprint() const {
+  const Grid& g = model_.grid();
+  std::ostringstream grid_sig;
+  grid_sig.precision(17);
+  grid_sig << g.region().min_x << ',' << g.region().min_y << ','
+           << g.region().max_x << ',' << g.region().max_y << ','
+           << g.num_cols() << 'x' << g.num_rows();
+  return cfg_.Fingerprint() + "|grid=" + grid_sig.str() +
+         StrFormat("|seeds=%016llx-%zu",
+                   static_cast<unsigned long long>(
+                       Fnv1aHash(SerializeTrajectories(seeds_))),
+                   seeds_.size());
+}
+
+std::string Trainer::SerializeState() const {
+  SectionWriter w(kCheckpointKind);
+  w.Add("run", RunFingerprint());
+
+  std::ostringstream progress;
+  progress.precision(17);
+  // Infinity does not round-trip through operator>>, so best_loss travels as
+  // a (flag, value) pair; the flag is 0 until the first epoch completes.
+  const bool have_best = std::isfinite(best_loss_);
+  progress << next_epoch_ << ' ' << stall_ << ' '
+           << adam_.options().learning_rate << ' ' << (have_best ? 1 : 0)
+           << ' ' << (have_best ? best_loss_ : 0.0);
+  w.Add("progress", progress.str());
+
+  std::ostringstream hist;
+  hist.precision(17);
+  hist << history_.size() << '\n';
+  for (const EpochStats& e : history_) {
+    hist << e.epoch << ' ' << e.mean_loss << ' ' << e.seconds << '\n';
+  }
+  w.Add("history", hist.str());
+
+  nn::Encoder& enc = const_cast<NeuTrajModel&>(model_).encoder();
+  std::vector<const nn::Param*> params;
+  for (nn::Param* p : enc.Params()) params.push_back(p);
+  w.Add("params", nn::SerializeParams(params));
+  w.Add("memory", SerializeMemory(enc));
+  w.Add("adam", adam_.SerializeState());
+  w.Add("rng", rng_.SaveState());
+  return w.Finish();
+}
+
+void Trainer::RestoreState(const std::string& contents,
+                           const std::string& source) {
+  const SectionReader r(contents, kCheckpointKind, source);
+  if (r.Get("run") != RunFingerprint()) {
+    throw std::runtime_error(
+        source +
+        ": checkpoint belongs to a different run (config, grid or seed pool "
+        "mismatch)");
+  }
+
+  // Parse everything into locals first so a malformed checkpoint cannot
+  // leave the trainer half-restored.
+  std::istringstream progress(r.Get("progress"));
+  size_t next_epoch = 0, stall = 0;
+  double lr = 0.0, best_value = 0.0;
+  int have_best = 0;
+  if (!(progress >> next_epoch >> stall >> lr >> have_best >> best_value) ||
+      lr <= 0.0) {
+    throw std::runtime_error(source + ": bad progress section");
+  }
+
+  std::istringstream hist(r.Get("history"));
+  size_t n = 0;
+  if (!(hist >> n) || n != next_epoch) {
+    throw std::runtime_error(source + ": bad history section");
+  }
+  std::vector<EpochStats> history(n);
+  for (EpochStats& e : history) {
+    if (!(hist >> e.epoch >> e.mean_loss >> e.seconds)) {
+      throw std::runtime_error(source + ": truncated history section");
+    }
+  }
+
+  nn::Encoder& enc = model_.encoder();
+  nn::DeserializeParams(r.Get("params"), enc.Params());
+  DeserializeMemory(r.Get("memory"), &enc, source);
+  adam_.DeserializeState(r.Get("adam"));
+  rng_.LoadState(r.Get("rng"));
+
+  next_epoch_ = next_epoch;
+  stall_ = stall;
+  best_loss_ = have_best ? best_value : std::numeric_limits<double>::infinity();
+  history_ = std::move(history);
+  adam_.set_learning_rate(lr);
+}
+
+void Trainer::SaveCheckpoint(const std::string& path) const {
+  WriteFileAtomic(path, SerializeState());
+}
+
+void Trainer::ResumeFrom(const std::string& path) {
+  RestoreState(ReadFile(path), "Trainer::ResumeFrom: " + path);
+  resumed_ = true;
+}
+
 TrainResult Trainer::Train(const EpochCallback& callback) {
   TrainResult result;
   Stopwatch total;
-  model_.encoder().ResetMemory();
+  if (!resumed_) {
+    model_.encoder().ResetMemory();
+  }
+  result.epochs = history_;
+
+  const std::string checkpoint_path =
+      cfg_.checkpoint_dir.empty()
+          ? std::string()
+          : cfg_.checkpoint_dir + "/" + kCheckpointFile;
+  if (!checkpoint_path.empty()) EnsureDirectory(cfg_.checkpoint_dir);
+
+  // The watchdog rolls back to this in-memory snapshot of the last good
+  // epoch boundary (same format as the on-disk checkpoint).
+  std::string last_good;
+  if (cfg_.watchdog) last_good = SerializeState();
 
   std::vector<size_t> anchors(seeds_.size());
-  std::iota(anchors.begin(), anchors.end(), size_t{0});
 
-  double best_loss = std::numeric_limits<double>::infinity();
-  size_t stall = 0;
-  for (size_t epoch = 0; epoch < cfg_.epochs; ++epoch) {
+  size_t rollbacks = 0;          // Total watchdog trips this Train() call.
+  size_t consecutive_trips = 0;  // Trips since the last clean epoch.
+  while (next_epoch_ < cfg_.epochs) {
+    const size_t epoch = next_epoch_;
     Stopwatch sw;
+    // The anchor order must be a pure function of the checkpointed RNG
+    // stream: start from the identity each epoch (rather than shuffling the
+    // previous epoch's order in place) so a resumed run visits anchors in
+    // exactly the order the uninterrupted run would have.
+    std::iota(anchors.begin(), anchors.end(), size_t{0});
     rng_.Shuffle(&anchors);
     double epoch_loss = 0.0;
     size_t processed = 0;
-    for (size_t start = 0; start < anchors.size(); start += cfg_.batch_size) {
+    std::string trip;  // Non-empty once the watchdog fires.
+    for (size_t start = 0; start < anchors.size() && trip.empty();
+         start += cfg_.batch_size) {
       const size_t end = std::min(start + cfg_.batch_size, anchors.size());
       nn::ZeroGrads(model_.encoder().Params());
       for (size_t k = start; k < end; ++k) {
-        epoch_loss += ProcessAnchor(anchors[k]);
+        const double loss = ProcessAnchor(anchors[k]);
+        if (cfg_.watchdog && !std::isfinite(loss)) {
+          trip = StrFormat("non-finite loss %g for anchor %zu", loss,
+                           anchors[k]);
+          break;
+        }
+        if (cfg_.watchdog && cfg_.divergence_loss_threshold > 0.0 &&
+            loss > cfg_.divergence_loss_threshold) {
+          trip = StrFormat("anchor %zu loss %g exceeds threshold %g",
+                           anchors[k], loss, cfg_.divergence_loss_threshold);
+          break;
+        }
+        epoch_loss += loss;
         ++processed;
       }
+      if (!trip.empty()) break;
       // Average gradients over the anchors in the batch.
       const double inv = 1.0 / static_cast<double>(end - start);
       for (nn::Param* p : model_.encoder().Params()) {
         for (double& g : p->grad.values()) g *= inv;
       }
       adam_.Step();
+      if (cfg_.watchdog && nn::HasNonFiniteValues(model_.encoder().Params())) {
+        trip = "non-finite parameter after optimizer step";
+      }
     }
+
+    if (!trip.empty()) {
+      DivergenceEvent ev;
+      ev.epoch = epoch;
+      ev.reason = trip;
+      // Roll back to the last good epoch boundary; the abandoned epoch's
+      // gradients, memory writes and RNG draws are all discarded.
+      RestoreState(last_good, "Trainer watchdog rollback");
+      if (rollbacks >= cfg_.max_divergence_rollbacks) {
+        ev.new_learning_rate = adam_.options().learning_rate;
+        result.divergence_events.push_back(std::move(ev));
+        result.diverged = true;
+        break;
+      }
+      ++rollbacks;
+      ++consecutive_trips;
+      // The snapshot predates any decay applied since the last clean epoch,
+      // so compound the decay over the consecutive trips from it.
+      const double lr =
+          adam_.options().learning_rate *
+          std::pow(cfg_.divergence_lr_decay,
+                   static_cast<double>(consecutive_trips));
+      adam_.set_learning_rate(lr);
+      ev.new_learning_rate = lr;
+      result.divergence_events.push_back(std::move(ev));
+      continue;
+    }
+    consecutive_trips = 0;
 
     EpochStats stats;
     stats.epoch = epoch;
     stats.mean_loss = processed > 0 ? epoch_loss / static_cast<double>(processed) : 0.0;
     stats.seconds = sw.ElapsedSeconds();
     result.epochs.push_back(stats);
+    history_.push_back(stats);
+    ++next_epoch_;
+
+    // Early-stop bookkeeping happens before the snapshot/checkpoint so a
+    // resumed run replays the plateau detector bit-for-bit; the actual stop
+    // is deferred below so the callback still sees the final epoch.
+    bool plateau_stop = false;
+    if (cfg_.early_stop_tol > 0.0) {
+      if (stats.mean_loss < best_loss_ * (1.0 - cfg_.early_stop_tol)) {
+        best_loss_ = stats.mean_loss;
+        stall_ = 0;
+      } else if (++stall_ >= cfg_.patience) {
+        plateau_stop = true;
+      }
+    }
+    best_loss_ = std::min(best_loss_, stats.mean_loss);
+
+    if (cfg_.watchdog) last_good = SerializeState();
+    if (!checkpoint_path.empty() && next_epoch_ % cfg_.checkpoint_every == 0) {
+      SaveCheckpoint(checkpoint_path);
+    }
 
     if (callback && !callback(stats, model_)) {
       result.early_stopped = true;
       break;
     }
-    if (cfg_.early_stop_tol > 0.0) {
-      if (stats.mean_loss < best_loss * (1.0 - cfg_.early_stop_tol)) {
-        best_loss = stats.mean_loss;
-        stall = 0;
-      } else if (++stall >= cfg_.patience) {
-        result.early_stopped = true;
-        break;
-      }
+    if (plateau_stop) {
+      result.early_stopped = true;
+      break;
     }
-    best_loss = std::min(best_loss, stats.mean_loss);
   }
   result.total_seconds = total.ElapsedSeconds();
   return result;

@@ -4,11 +4,21 @@
 // anchors with the configured sampling strategy and loss, backpropagates
 // through time, and optimizes with Adam. The same trainer realizes NeuTraj,
 // both ablations and the Siamese baseline via NeuTrajConfig presets.
+//
+// Fault tolerance: when cfg.checkpoint_dir is set, a versioned, checksummed
+// checkpoint (model params + SAM memory + Adam moments + RNG stream + epoch
+// progress) is written atomically every cfg.checkpoint_every epochs, and
+// ResumeFrom() continues an interrupted run bit-for-bit. When cfg.watchdog
+// is on, NaN/Inf anchor losses, exploding losses and non-finite parameters
+// roll training back to the last good epoch with a decayed learning rate
+// instead of silently poisoning the model and the SAM memory.
 
 #ifndef NEUTRAJ_CORE_TRAINER_H_
 #define NEUTRAJ_CORE_TRAINER_H_
 
 #include <functional>
+#include <limits>
+#include <string>
 #include <vector>
 
 #include "core/model.h"
@@ -24,11 +34,23 @@ struct EpochStats {
   double seconds = 0.0;    ///< Wall-clock epoch time.
 };
 
+/// One divergence-watchdog trip.
+struct DivergenceEvent {
+  size_t epoch = 0;       ///< Epoch that was abandoned and rolled back.
+  std::string reason;     ///< What tripped the watchdog.
+  double new_learning_rate = 0.0;  ///< LR after the rollback decay.
+};
+
 /// Full training run telemetry.
 struct TrainResult {
   std::vector<EpochStats> epochs;
   double total_seconds = 0.0;
   bool early_stopped = false;
+  /// Watchdog trips (epoch rolled back, LR decayed); empty on a clean run.
+  std::vector<DivergenceEvent> divergence_events;
+  /// True if the watchdog exhausted cfg.max_divergence_rollbacks and gave
+  /// up; the model holds the last good (pre-divergence) state.
+  bool diverged = false;
 };
 
 /// Called after every epoch with the stats and the in-training model (e.g.
@@ -40,17 +62,34 @@ using EpochCallback = std::function<bool(const EpochStats&, NeuTrajModel&)>;
 class Trainer {
  public:
   /// `seed_dists` must be the exact pairwise distances of `seeds` under
-  /// cfg.measure. Throws std::invalid_argument on size mismatch or a pool
-  /// smaller than 2.
+  /// cfg.measure. Throws std::invalid_argument on size mismatch, a pool
+  /// smaller than 2, an empty seed trajectory, or a non-finite / negative
+  /// distance entry.
   Trainer(const NeuTrajConfig& cfg, const Grid& grid,
           std::vector<Trajectory> seeds, const DistanceMatrix& seed_dists);
 
-  /// Runs up to cfg.epochs epochs (with optional early stopping).
+  /// Runs up to cfg.epochs epochs (with optional early stopping). After
+  /// ResumeFrom(), continues from the checkpointed epoch; the returned
+  /// result includes the restored epoch history, so the loss trajectory of
+  /// an interrupted-and-resumed run matches the uninterrupted one.
   TrainResult Train(const EpochCallback& callback = nullptr);
+
+  /// Writes the full training state to `path` atomically (CRC-checksummed
+  /// sections; see common/framing.h). Can be called at any point, including
+  /// from an epoch callback.
+  void SaveCheckpoint(const std::string& path) const;
+
+  /// Restores a checkpoint written by SaveCheckpoint for the *same* config
+  /// and seed pool (verified via fingerprints). Throws std::runtime_error
+  /// on corruption, truncation or a mismatched run.
+  void ResumeFrom(const std::string& path);
 
   NeuTrajModel& model() { return model_; }
   const std::vector<Trajectory>& seeds() const { return seeds_; }
   const SimilarityMatrix& guidance() const { return guidance_; }
+
+  /// Epoch the next Train() call starts at (> 0 after a resume).
+  size_t next_epoch() const { return next_epoch_; }
 
   /// Releases the trained model (trainer is unusable afterwards).
   NeuTrajModel TakeModel() { return std::move(model_); }
@@ -60,12 +99,30 @@ class Trainer {
   /// accumulates gradients. Returns the anchor's loss.
   double ProcessAnchor(size_t anchor);
 
+  /// Identity of this run (config fingerprint + seed-pool hash); guards
+  /// checkpoints against being resumed into a different run.
+  std::string RunFingerprint() const;
+
+  /// Serializes the complete mutable training state to checkpoint contents.
+  std::string SerializeState() const;
+
+  /// Restores state produced by SerializeState. `source` names the origin
+  /// for error messages.
+  void RestoreState(const std::string& contents, const std::string& source);
+
   NeuTrajConfig cfg_;
   std::vector<Trajectory> seeds_;
   SimilarityMatrix guidance_;
   NeuTrajModel model_;
   Rng rng_;
   nn::Adam adam_;
+
+  // Resumable training progress.
+  size_t next_epoch_ = 0;
+  double best_loss_ = std::numeric_limits<double>::infinity();
+  size_t stall_ = 0;
+  std::vector<EpochStats> history_;
+  bool resumed_ = false;
 };
 
 }  // namespace neutraj

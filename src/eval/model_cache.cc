@@ -1,5 +1,6 @@
 #include "eval/model_cache.h"
 
+#include <cstdio>
 #include <sstream>
 
 #include "common/file_util.h"
@@ -43,6 +44,10 @@ DistanceMatrix CachedPairwiseDistances(const std::vector<Trajectory>& trajs,
       if (ok) return d;
     }
     // Corrupt or stale: fall through and recompute.
+    std::fprintf(stderr,
+                 "[neutraj] warning: corrupt or stale distance cache entry "
+                 "%s; recomputing\n",
+                 path.c_str());
   }
   DistanceMatrix d = ComputePairwiseDistances(trajs, m);
   std::ostringstream out;
@@ -89,8 +94,16 @@ TrainedModel TrainOrLoadModel(const NeuTrajConfig& cfg, const Grid& grid,
         in >> e.epoch >> e.mean_loss >> e.seconds;
       }
       if (in) return out;
-    } catch (const std::exception&) {
-      // Corrupt cache entry: retrain below.
+      std::fprintf(stderr,
+                   "[neutraj] warning: corrupt cached training stats %s; "
+                   "retraining\n",
+                   stats_path.c_str());
+    } catch (const std::exception& e) {
+      // Corrupt cache entry: fall back to retraining instead of aborting.
+      std::fprintf(stderr,
+                   "[neutraj] warning: corrupt cached model %s (%s); "
+                   "retraining\n",
+                   model_path.c_str(), e.what());
     }
   }
 

@@ -6,6 +6,16 @@
 
 namespace neutraj {
 
+std::vector<Trajectory> DropEmptyTrajectories(std::vector<Trajectory> trajs,
+                                              size_t* num_dropped) {
+  const size_t before = trajs.size();
+  trajs.erase(std::remove_if(trajs.begin(), trajs.end(),
+                             [](const Trajectory& t) { return t.empty(); }),
+              trajs.end());
+  if (num_dropped != nullptr) *num_dropped = before - trajs.size();
+  return trajs;
+}
+
 double PointToSegmentDistance(const Point& p, const Point& a, const Point& b) {
   const double dx = b.x - a.x;
   const double dy = b.y - a.y;

@@ -6,9 +6,19 @@
 #ifndef NEUTRAJ_GEO_PREPROCESS_H_
 #define NEUTRAJ_GEO_PREPROCESS_H_
 
+#include <cstddef>
+#include <vector>
+
 #include "geo/trajectory.h"
 
 namespace neutraj {
+
+/// Corpus-ingestion guard: returns `trajs` with empty trajectories removed.
+/// The encoder (rightly) throws on an empty trajectory; dropping them at
+/// load time turns a mid-training crash into a skipped input. If
+/// `num_dropped` is non-null it receives the number of removed entries.
+std::vector<Trajectory> DropEmptyTrajectories(std::vector<Trajectory> trajs,
+                                              size_t* num_dropped = nullptr);
 
 /// Distance from point `p` to the segment [a, b].
 double PointToSegmentDistance(const Point& p, const Point& a, const Point& b);

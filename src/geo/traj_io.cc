@@ -1,5 +1,6 @@
 #include "geo/traj_io.h"
 
+#include <cmath>
 #include <cstdio>
 #include <sstream>
 #include <stdexcept>
@@ -39,12 +40,22 @@ std::vector<Trajectory> ParseTrajectories(const std::string& text) {
         throw std::runtime_error("ParseTrajectories: bad point on line " +
                                  std::to_string(line_no));
       }
+      double x = 0.0, y = 0.0;
       try {
-        t.Append(Point(std::stod(fields[0]), std::stod(fields[1])));
+        x = std::stod(fields[0]);
+        y = std::stod(fields[1]);
       } catch (const std::exception&) {
         throw std::runtime_error("ParseTrajectories: bad number on line " +
                                  std::to_string(line_no));
       }
+      // std::stod happily parses "nan" and "inf"; such coordinates poison
+      // every downstream distance, so reject them here with a location.
+      if (!std::isfinite(x) || !std::isfinite(y)) {
+        throw std::runtime_error(
+            "ParseTrajectories: non-finite coordinate on line " +
+            std::to_string(line_no));
+      }
+      t.Append(Point(x, y));
     }
     trajs.push_back(std::move(t));
   }

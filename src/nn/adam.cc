@@ -1,6 +1,8 @@
 #include "nn/adam.h"
 
 #include <cmath>
+#include <sstream>
+#include <stdexcept>
 
 namespace neutraj::nn {
 
@@ -37,6 +39,56 @@ double Adam::Step() {
     }
   }
   return norm;
+}
+
+std::string Adam::SerializeState() const {
+  std::ostringstream out;
+  out.precision(17);
+  out << "ADAM " << step_ << ' ' << m_.size() << '\n';
+  for (size_t i = 0; i < m_.size(); ++i) {
+    out << m_[i].size() << '\n';
+    const auto& m = m_[i].values();
+    const auto& v = v_[i].values();
+    for (size_t k = 0; k < m.size(); ++k) out << (k > 0 ? " " : "") << m[k];
+    out << '\n';
+    for (size_t k = 0; k < v.size(); ++k) out << (k > 0 ? " " : "") << v[k];
+    out << '\n';
+  }
+  return out.str();
+}
+
+void Adam::DeserializeState(const std::string& text) {
+  std::istringstream in(text);
+  std::string tag;
+  int64_t step = 0;
+  size_t n = 0;
+  if (!(in >> tag >> step >> n) || tag != "ADAM") {
+    throw std::runtime_error("Adam::DeserializeState: bad header");
+  }
+  if (n != m_.size()) {
+    throw std::runtime_error("Adam::DeserializeState: parameter count mismatch");
+  }
+  std::vector<Matrix> m = m_;
+  std::vector<Matrix> v = v_;
+  for (size_t i = 0; i < n; ++i) {
+    size_t size = 0;
+    if (!(in >> size) || size != m[i].size()) {
+      throw std::runtime_error("Adam::DeserializeState: moment shape mismatch");
+    }
+    for (double& x : m[i].values()) {
+      if (!(in >> x)) {
+        throw std::runtime_error("Adam::DeserializeState: truncated first moments");
+      }
+    }
+    for (double& x : v[i].values()) {
+      if (!(in >> x)) {
+        throw std::runtime_error("Adam::DeserializeState: truncated second moments");
+      }
+    }
+  }
+  step_ = step;
+  m_ = std::move(m);
+  v_ = std::move(v);
 }
 
 }  // namespace neutraj::nn

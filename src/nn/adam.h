@@ -5,6 +5,7 @@
 #define NEUTRAJ_NN_ADAM_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "nn/parameter.h"
@@ -36,6 +37,15 @@ class Adam {
   int64_t step_count() const { return step_; }
   const AdamOptions& options() const { return opts_; }
   void set_learning_rate(double lr) { opts_.learning_rate = lr; }
+
+  /// Serializes the optimizer state (step counter + both moment estimates)
+  /// for training checkpoints. Hyperparameters are not included; they come
+  /// from the config that reconstructs the optimizer.
+  std::string SerializeState() const;
+
+  /// Restores state produced by SerializeState over the same parameter set.
+  /// Throws std::runtime_error on truncation or a shape mismatch.
+  void DeserializeState(const std::string& text);
 
  private:
   std::vector<Param*> params_;

@@ -28,6 +28,15 @@ double ClipGradNorm(const std::vector<Param*>& params, double max_norm) {
   return norm;
 }
 
+bool HasNonFiniteValues(const std::vector<Param*>& params) {
+  for (const Param* p : params) {
+    for (double v : p->value.values()) {
+      if (!std::isfinite(v)) return true;
+    }
+  }
+  return false;
+}
+
 std::string SerializeParams(const std::vector<const Param*>& params) {
   std::ostringstream out;
   out.precision(17);

@@ -34,6 +34,10 @@ double GradNorm(const std::vector<Param*>& params);
 /// Returns the pre-clip norm.
 double ClipGradNorm(const std::vector<Param*>& params, double max_norm);
 
+/// True if any parameter *value* is NaN or Inf — the divergence watchdog's
+/// post-optimizer-step scan.
+bool HasNonFiniteValues(const std::vector<Param*>& params);
+
 /// Serializes parameter values (not grads) to a text block:
 ///   name rows cols\n v v v ...\n per param.
 std::string SerializeParams(const std::vector<const Param*>& params);

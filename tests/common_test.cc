@@ -7,8 +7,12 @@
 #include <filesystem>
 #include <numeric>
 #include <set>
+#include <thread>
+#include <vector>
 
+#include "common/checksum.h"
 #include "common/file_util.h"
+#include "common/framing.h"
 #include "common/random.h"
 #include "common/stopwatch.h"
 #include "common/string_util.h"
@@ -191,6 +195,109 @@ TEST_F(FileUtilTest, EnsureDirectoryCreatesNested) {
   EXPECT_TRUE(EnsureDirectory(nested));
   EXPECT_TRUE(std::filesystem::is_directory(nested));
   EXPECT_TRUE(EnsureDirectory(nested)) << "idempotent on existing dirs";
+}
+
+TEST_F(FileUtilTest, ConcurrentAtomicWritesLeaveOneIntactFile) {
+  const std::string path = (dir_ / "contended.txt").string();
+  constexpr int kWriters = 4;
+  constexpr int kRounds = 25;
+  std::vector<std::string> payloads;
+  for (int w = 0; w < kWriters; ++w) {
+    // Distinct, large payloads so a torn write would be detectable.
+    payloads.push_back(std::string(16384, static_cast<char>('A' + w)));
+  }
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&, w] {
+      for (int i = 0; i < kRounds; ++i) WriteFileAtomic(path, payloads[w]);
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  // The survivor is exactly one writer's payload, never a mix.
+  const std::string got = ReadFile(path);
+  EXPECT_NE(std::find(payloads.begin(), payloads.end(), got), payloads.end());
+  // And no temp files leak, even under contention.
+  for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
+    EXPECT_EQ(entry.path().filename().string().find(".tmp."),
+              std::string::npos)
+        << entry.path();
+  }
+}
+
+TEST(ChecksumTest, Crc32MatchesKnownVectors) {
+  // IEEE CRC-32 check value.
+  EXPECT_EQ(Crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(Crc32(""), 0u);
+  EXPECT_NE(Crc32("a"), Crc32("b"));
+}
+
+TEST(FramingTest, WriteParseRoundtrip) {
+  SectionWriter w("model");
+  w.Add("alpha", "hello");
+  w.Add("beta", std::string("bin\0ary\n", 8));
+  const std::string file = w.Finish();
+
+  const SectionReader r(file, "model", "test");
+  EXPECT_TRUE(r.Has("alpha"));
+  EXPECT_FALSE(r.Has("gamma"));
+  EXPECT_EQ(r.Get("alpha"), "hello");
+  EXPECT_EQ(r.Get("beta"), std::string("bin\0ary\n", 8));
+  EXPECT_THROW(r.Get("gamma"), std::runtime_error);
+}
+
+TEST(FramingTest, RejectsWrongKindAndGarbage) {
+  SectionWriter w("model");
+  w.Add("alpha", "hello");
+  const std::string file = w.Finish();
+  EXPECT_THROW(SectionReader(file, "checkpoint", "test"), std::runtime_error);
+  EXPECT_THROW(SectionReader("not a framed file", "model", "test"),
+               std::runtime_error);
+}
+
+TEST(FramingTest, DetectsBitFlipWithChecksumError) {
+  SectionWriter w("model");
+  w.Add("alpha", "the quick brown fox jumps over the lazy dog");
+  std::string file = w.Finish();
+  file[file.find("quick")] ^= 0x01;
+  try {
+    SectionReader r(file, "model", "test");
+    FAIL() << "bit flip went undetected";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("checksum"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(FramingTest, DetectsTruncation) {
+  SectionWriter w("model");
+  w.Add("alpha", std::string(1000, 'x'));
+  const std::string file = w.Finish();
+  // Cut inside the payload and right before "END\n" (missing END marker).
+  for (const size_t cut : {file.size() / 2, file.size() - 4}) {
+    try {
+      SectionReader r(file.substr(0, cut), "model", "test");
+      FAIL() << "truncation at " << cut << " went undetected";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("truncat"), std::string::npos)
+          << e.what();
+    }
+  }
+}
+
+TEST(RngTest, SaveLoadStateResumesStreamExactly) {
+  Rng rng(314);
+  for (int i = 0; i < 100; ++i) rng.Uniform(0.0, 1.0);
+  const std::string state = rng.SaveState();
+
+  std::vector<double> expected;
+  for (int i = 0; i < 50; ++i) expected.push_back(rng.Gaussian(0.0, 1.0));
+
+  Rng other(999);  // Different seed; LoadState must fully override it.
+  other.LoadState(state);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_DOUBLE_EQ(other.Gaussian(0.0, 1.0), expected[i]);
+  }
 }
 
 TEST(StopwatchTest, MeasuresElapsedTime) {

@@ -256,6 +256,33 @@ TEST_F(CacheTest, CorruptModelCacheRetrains) {
   }
 }
 
+TEST_F(CacheTest, TruncatedModelCacheRetrains) {
+  Rng rng(118);
+  const auto corpus = testing::RandomCorpus(12, 5, 8, 200.0, &rng);
+  BoundingBox region = BoundingBox::Empty();
+  for (const auto& t : corpus) region.Extend(t.Bounds());
+  const Grid grid(region.Inflated(5.0), 50.0);
+  const DistanceMatrix d = ComputePairwiseDistances(corpus, Measure::kFrechet);
+  NeuTrajConfig cfg = NeuTrajConfig::NeuTraj();
+  cfg.embedding_dim = 6;
+  cfg.scan_width = 1;
+  cfg.sampling_num = 3;
+  cfg.epochs = 1;
+
+  const TrainedModel first = TrainOrLoadModel(cfg, grid, corpus, d, dir_);
+  ASSERT_FALSE(first.from_cache);
+  // Truncate every cached model file to half its size — the framing layer
+  // must reject it and the cache must fall back to retraining.
+  for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
+    if (entry.path().extension() == ".model") {
+      const auto size = std::filesystem::file_size(entry.path());
+      std::filesystem::resize_file(entry.path(), size / 2);
+    }
+  }
+  const TrainedModel second = TrainOrLoadModel(cfg, grid, corpus, d, dir_);
+  EXPECT_FALSE(second.from_cache) << "truncated entries must trigger retraining";
+}
+
 TEST(CorpusFingerprintTest, SensitiveToContent) {
   Rng rng(115);
   const auto a = testing::RandomCorpus(5, 5, 8, 100.0, &rng);

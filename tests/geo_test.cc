@@ -228,5 +228,28 @@ TEST(TrajIoTest, ParseRejectsMalformedInput) {
   EXPECT_THROW(ParseTrajectories("1,2,3\n"), std::runtime_error);
 }
 
+TEST(TrajIoTest, ParseRejectsNonFiniteCoordinatesWithLineNumber) {
+  // std::stod happily parses "nan" and "inf"; the parser must not.
+  for (const char* bad : {"1,2;nan,3\n", "inf,2\n", "1,-inf\n"}) {
+    try {
+      ParseTrajectories(bad);
+      FAIL() << "accepted non-finite input: " << bad;
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("non-finite"), std::string::npos)
+          << e.what();
+      EXPECT_NE(std::string(e.what()).find("line 1"), std::string::npos)
+          << e.what();
+    }
+  }
+  // The error names the offending line, not just the file.
+  try {
+    ParseTrajectories("1,2\n3,4\n5,nan\n");
+    FAIL() << "accepted non-finite input";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos)
+        << e.what();
+  }
+}
+
 }  // namespace
 }  // namespace neutraj

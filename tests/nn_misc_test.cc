@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <stdexcept>
 
 #include "common/random.h"
 #include "nn/adam.h"
@@ -147,6 +148,47 @@ TEST(AdamTest, ClipLimitsStepOnHugeGradients) {
   EXPECT_DOUBLE_EQ(pre, 1e9);
   // The applied update is bounded by ~lr regardless of gradient size.
   EXPECT_LE(std::abs(w.value(0, 0)), 0.2);
+}
+
+TEST(AdamTest, StateRoundtripResumesIdentically) {
+  // Two optimizers over identical params; one is checkpointed mid-run and
+  // restored into a fresh instance. Subsequent steps must match exactly.
+  Param a("w", 3, 2), b("w", 3, 2);
+  Rng rng(55);
+  for (size_t i = 0; i < a.value.values().size(); ++i) {
+    a.value.values()[i] = b.value.values()[i] = rng.Gaussian(0.0, 1.0);
+  }
+  AdamOptions opts;
+  opts.learning_rate = 0.01;
+  Adam original({&a}, opts);
+
+  auto fake_grads = [&](Param* p, int t) {
+    for (size_t i = 0; i < p->grad.values().size(); ++i) {
+      p->grad.values()[i] =
+          std::sin(static_cast<double>(t) + static_cast<double>(i));
+    }
+  };
+  for (int t = 0; t < 5; ++t) {
+    fake_grads(&a, t);
+    original.Step();
+  }
+
+  Adam restored({&b}, opts);
+  b.value = a.value;  // Values travel in the params section, not Adam's.
+  restored.DeserializeState(original.SerializeState());
+  EXPECT_EQ(restored.step_count(), original.step_count());
+  for (int t = 5; t < 10; ++t) {
+    fake_grads(&a, t);
+    fake_grads(&b, t);
+    original.Step();
+    restored.Step();
+  }
+  for (size_t i = 0; i < a.value.values().size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.value.values()[i], b.value.values()[i]);
+  }
+
+  EXPECT_THROW(restored.DeserializeState("ADAM"), std::runtime_error);
+  EXPECT_THROW(restored.DeserializeState("ADAM 3 99\n"), std::runtime_error);
 }
 
 TEST(MemoryTensorTest, ZeroInitializedAndCounted) {

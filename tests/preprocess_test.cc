@@ -132,5 +132,25 @@ TEST(SmoothTest, ZeroWindowIsCopy) {
   EXPECT_EQ(MovingAverageSmooth(t, 0), t);
 }
 
+TEST(DropEmptyTrajectoriesTest, RemovesOnlyEmptyOnesAndCounts) {
+  std::vector<Trajectory> corpus;
+  corpus.push_back(Trajectory({{0, 0}, {1, 1}}));
+  corpus.push_back(Trajectory());
+  corpus.push_back(Trajectory({{2, 2}}));
+  corpus.push_back(Trajectory());
+  size_t dropped = 0;
+  const auto kept = DropEmptyTrajectories(std::move(corpus), &dropped);
+  EXPECT_EQ(dropped, 2u);
+  ASSERT_EQ(kept.size(), 2u);
+  EXPECT_EQ(kept[0].size(), 2u);
+  EXPECT_EQ(kept[1].size(), 1u);
+
+  size_t none = 99;
+  const auto same = DropEmptyTrajectories(kept, &none);
+  EXPECT_EQ(none, 0u);
+  EXPECT_EQ(same.size(), 2u);
+  EXPECT_EQ(DropEmptyTrajectories({}).size(), 0u);
+}
+
 }  // namespace
 }  // namespace neutraj

@@ -53,6 +53,18 @@ struct Args {
   }
 };
 
+/// Loads a corpus with the empty-trajectory ingestion guard: empty lines in
+/// hand-edited CSVs become a warning, not an encoder crash mid-run.
+std::vector<Trajectory> LoadCorpusGuarded(const std::string& path) {
+  size_t dropped = 0;
+  auto corpus = DropEmptyTrajectories(LoadTrajectories(path), &dropped);
+  if (dropped > 0) {
+    std::fprintf(stderr, "warning: dropped %zu empty trajectories from %s\n",
+                 dropped, path.c_str());
+  }
+  return corpus;
+}
+
 Args ParseArgs(int argc, char** argv) {
   Args args;
   if (argc < 2) throw std::runtime_error("no subcommand given");
@@ -79,6 +91,7 @@ void PrintUsage() {
       "  train     --data F --out M [--measure m] [--variant neutraj|siamese|"
       "no-sam|no-ws]\n"
       "            [--epochs N] [--dim D] [--width W] [--seed-fraction F]\n"
+      "            [--checkpoint-dir D [--checkpoint-every N] [--resume]]\n"
       "  embed     --model M --data F --out E\n"
       "  search    --model M --data F --query I [--k K] [--rerank]\n"
       "  cluster   --model M --data F --eps E [--min-pts P]\n"
@@ -109,7 +122,7 @@ NeuTrajConfig VariantFromName(const std::string& name) {
 
 int CmdTrain(const Args& args) {
   TrajectoryDataset db;
-  db.trajectories = LoadTrajectories(args.Require("data"));
+  db.trajectories = LoadCorpusGuarded(args.Require("data"));
   db.RecomputeRegion();
   if (db.size() < 10) throw std::runtime_error("corpus too small to train on");
 
@@ -118,6 +131,9 @@ int CmdTrain(const Args& args) {
   cfg.embedding_dim = static_cast<size_t>(args.GetInt("dim", 32));
   cfg.scan_width = static_cast<int32_t>(args.GetInt("width", 2));
   cfg.epochs = static_cast<size_t>(args.GetInt("epochs", 25));
+  cfg.checkpoint_dir = args.Get("checkpoint-dir", "");
+  cfg.checkpoint_every =
+      static_cast<size_t>(args.GetInt("checkpoint-every", 1));
 
   const double frac = args.GetDouble("seed-fraction", 0.2);
   DatasetSplit split = SplitDataset(db, frac, 0.0);
@@ -132,11 +148,28 @@ int CmdTrain(const Args& args) {
   Grid grid(db.region.Inflated(50.0), 100.0);
   sw.Restart();
   Trainer trainer(cfg, grid, split.seeds, d);
-  trainer.Train([](const EpochStats& e, NeuTrajModel&) {
+  if (args.Has("resume")) {
+    const std::string ckpt = cfg.checkpoint_dir.empty()
+                                 ? args.Get("resume")
+                                 : cfg.checkpoint_dir + "/neutraj.ckpt";
+    trainer.ResumeFrom(ckpt);
+    std::printf("resumed from %s at epoch %zu\n", ckpt.c_str(),
+                trainer.next_epoch());
+  }
+  const TrainResult tr = trainer.Train([](const EpochStats& e, NeuTrajModel&) {
     std::printf("  epoch %3zu  loss %.5f  (%.1fs)\n", e.epoch, e.mean_loss,
                 e.seconds);
     return true;
   });
+  for (const DivergenceEvent& ev : tr.divergence_events) {
+    std::printf("  watchdog: epoch %zu rolled back (%s), lr -> %g\n", ev.epoch,
+                ev.reason.c_str(), ev.new_learning_rate);
+  }
+  if (tr.diverged) {
+    std::fprintf(stderr,
+                 "warning: training diverged and was stopped at the last "
+                 "good checkpointed state\n");
+  }
   std::printf("training: %.1fs\n", sw.ElapsedSeconds());
   trainer.TakeModel().Save(args.Require("out"));
   std::printf("model written to %s\n", args.Get("out").c_str());
@@ -145,7 +178,7 @@ int CmdTrain(const Args& args) {
 
 int CmdEmbed(const Args& args) {
   const NeuTrajModel model = NeuTrajModel::Load(args.Require("model"));
-  const auto corpus = LoadTrajectories(args.Require("data"));
+  const auto corpus = LoadCorpusGuarded(args.Require("data"));
   Stopwatch sw;
   const auto embeds = model.EmbedAll(corpus);
   std::string out;
@@ -167,7 +200,7 @@ int CmdEmbed(const Args& args) {
 
 int CmdSearch(const Args& args) {
   const NeuTrajModel model = NeuTrajModel::Load(args.Require("model"));
-  const auto corpus = LoadTrajectories(args.Require("data"));
+  const auto corpus = LoadCorpusGuarded(args.Require("data"));
   const size_t query = static_cast<size_t>(args.GetInt("query", 0));
   const size_t k = static_cast<size_t>(args.GetInt("k", 10));
   if (query >= corpus.size()) throw std::runtime_error("query id out of range");
@@ -194,7 +227,7 @@ int CmdSearch(const Args& args) {
 
 int CmdCluster(const Args& args) {
   const NeuTrajModel model = NeuTrajModel::Load(args.Require("model"));
-  const auto corpus = LoadTrajectories(args.Require("data"));
+  const auto corpus = LoadCorpusGuarded(args.Require("data"));
   const double eps = args.GetDouble("eps", 1.0);
   const size_t min_pts = static_cast<size_t>(args.GetInt("min-pts", 5));
   const auto embeds = model.EmbedAll(corpus);
@@ -215,7 +248,7 @@ int CmdCluster(const Args& args) {
 }
 
 int CmdDistance(const Args& args) {
-  const auto corpus = LoadTrajectories(args.Require("data"));
+  const auto corpus = LoadCorpusGuarded(args.Require("data"));
   const size_t i = static_cast<size_t>(args.GetInt("i", 0));
   const size_t j = static_cast<size_t>(args.GetInt("j", 1));
   if (i >= corpus.size() || j >= corpus.size()) {

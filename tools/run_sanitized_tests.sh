@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Runs the tier-1 test suite under AddressSanitizer and/or UndefinedBehavior-
+# Sanitizer via the NEUTRAJ_SANITIZE CMake option.
+#
+# Usage:
+#   tools/run_sanitized_tests.sh [address|undefined|address,undefined] [ctest-args...]
+#
+# Defaults to "address". Each sanitizer combination uses its own build
+# directory (build-asan, build-ubsan, build-asan-ubsan) so sanitized and
+# regular builds never mix objects.
+set -euo pipefail
+
+SAN="${1:-address}"
+shift || true
+
+case "$SAN" in
+  address)            BUILD_DIR="build-asan" ;;
+  undefined)          BUILD_DIR="build-ubsan" ;;
+  address,undefined)  BUILD_DIR="build-asan-ubsan" ;;
+  *)
+    echo "error: unknown sanitizer '$SAN' (use address, undefined, or address,undefined)" >&2
+    exit 2
+    ;;
+esac
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$ROOT"
+
+cmake -B "$BUILD_DIR" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DNEUTRAJ_SANITIZE="$SAN" \
+  -DNEUTRAJ_BUILD_BENCHMARKS=OFF \
+  -DNEUTRAJ_BUILD_EXAMPLES=OFF
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+
+# Make UBSan failures fatal and print stacks; halt_on_error keeps ASan exits
+# crisp under ctest.
+export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}"
+export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1:halt_on_error=1}"
+
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" "$@"
