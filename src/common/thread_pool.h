@@ -10,6 +10,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -35,7 +36,11 @@ class ThreadPool {
   /// Enqueues a task. Must not be called after destruction begins.
   void Submit(std::function<void()> task);
 
-  /// Blocks until every submitted task has finished executing.
+  /// Blocks until every submitted task has finished executing. If any task
+  /// threw, rethrows the first captured exception (later ones are dropped)
+  /// and clears it, leaving the pool usable for further submissions. A
+  /// worker that throws keeps running — an exception never takes a worker
+  /// down or deadlocks Wait().
   void Wait();
 
  private:
@@ -47,6 +52,7 @@ class ThreadPool {
   std::queue<std::function<void()>> tasks_;
   size_t in_flight_ = 0;
   bool shutting_down_ = false;
+  std::exception_ptr first_error_;  ///< First task exception since last Wait.
   std::vector<std::thread> workers_;
 };
 

@@ -54,7 +54,9 @@ std::string NeuTrajConfig::Fingerprint() const {
       << ";memo_inf=" << update_memory_at_inference;
   // Watchdog knobs can change the training trajectory (rollbacks decay the
   // learning rate), so they key the cache; checkpoint_dir/checkpoint_every
-  // are pure side effects and deliberately excluded.
+  // are pure side effects and deliberately excluded. `threads` is also
+  // excluded: the parallel epoch is bit-for-bit identical for every thread
+  // count, so checkpoints must resume across thread-count changes.
   out << ";wd=" << watchdog << ";wd_thresh=" << divergence_loss_threshold
       << ";wd_decay=" << divergence_lr_decay
       << ";wd_max=" << max_divergence_rollbacks;
@@ -70,6 +72,7 @@ void NeuTrajConfig::Validate() const {
   if (alpha <= 0 && alpha_factor <= 0) {
     throw std::invalid_argument("config: need alpha > 0 or alpha_factor > 0");
   }
+  if (threads == 0) throw std::invalid_argument("config: threads == 0");
   if (checkpoint_every == 0) {
     throw std::invalid_argument("config: checkpoint_every == 0");
   }

@@ -75,6 +75,16 @@ struct NeuTrajConfig {
 
   uint64_t rng_seed = 42;
 
+  /// Worker threads for training batches and bulk corpus encoding (>= 1).
+  /// Training is bit-for-bit identical for every value: anchors in a batch
+  /// read a shared memory snapshot, record their SAM writes into per-anchor
+  /// logs and accumulate gradients into per-anchor buffers; the trainer
+  /// commits both in a fixed anchor order. Because the result is
+  /// thread-count-invariant, `threads` is deliberately excluded from
+  /// Fingerprint() — a checkpoint taken at one thread count resumes at any
+  /// other.
+  size_t threads = 1;
+
   /// Whether inference-time encodings also write the spatial memory.
   /// The default (false) keeps the model deterministic after training.
   bool update_memory_at_inference = false;

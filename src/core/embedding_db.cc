@@ -1,0 +1,87 @@
+#include "core/embedding_db.h"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "common/file_util.h"
+#include "common/framing.h"
+
+namespace neutraj {
+
+namespace {
+
+constexpr char kDbKind[] = "embdb";
+
+}  // namespace
+
+EmbeddingDatabase EmbeddingDatabase::Build(const NeuTrajModel& model,
+                                           const std::vector<Trajectory>& corpus,
+                                           size_t threads) {
+  EmbeddingDatabase db;
+  db.embeddings_ = threads > 1 ? model.EmbedAllParallel(corpus, threads)
+                               : model.EmbedAll(corpus);
+  db.dim_ = db.embeddings_.empty() ? 0 : db.embeddings_.front().size();
+  return db;
+}
+
+SearchResult EmbeddingDatabase::TopK(const nn::Vector& query, size_t k,
+                                     int64_t exclude) const {
+  if (!embeddings_.empty() && query.size() != dim_) {
+    throw std::invalid_argument("EmbeddingDatabase::TopK: query dimension " +
+                                std::to_string(query.size()) +
+                                " != database dimension " +
+                                std::to_string(dim_));
+  }
+  return EmbeddingTopK(embeddings_, query, k, exclude);
+}
+
+SearchResult EmbeddingDatabase::TopK(const NeuTrajModel& model,
+                                     const Trajectory& query, size_t k,
+                                     int64_t exclude) const {
+  return TopK(model.Embed(query), k, exclude);
+}
+
+void EmbeddingDatabase::Save(const std::string& path) const {
+  SectionWriter w(kDbKind);
+  std::ostringstream head;
+  head << embeddings_.size() << ' ' << dim_;
+  w.Add("shape", head.str());
+
+  std::ostringstream data;
+  data.precision(17);
+  for (const nn::Vector& e : embeddings_) {
+    for (size_t k = 0; k < e.size(); ++k) {
+      if (k > 0) data << ' ';
+      data << e[k];
+    }
+    data << '\n';
+  }
+  w.Add("embeddings", data.str());
+  WriteFileAtomic(path, w.Finish());
+}
+
+EmbeddingDatabase EmbeddingDatabase::Load(const std::string& path) {
+  const std::string source = "EmbeddingDatabase::Load: " + path;
+  const SectionReader r(ReadFile(path), kDbKind, source);
+
+  std::istringstream head(r.Get("shape"));
+  size_t count = 0, dim = 0;
+  if (!(head >> count >> dim) || (count > 0 && dim == 0)) {
+    throw std::runtime_error(source + ": bad shape section");
+  }
+
+  EmbeddingDatabase db;
+  db.dim_ = dim;
+  db.embeddings_.assign(count, nn::Vector(dim));
+  std::istringstream data(r.Get("embeddings"));
+  for (nn::Vector& e : db.embeddings_) {
+    for (double& v : e) {
+      if (!(data >> v)) {
+        throw std::runtime_error(source + ": truncated embedding values");
+      }
+    }
+  }
+  return db;
+}
+
+}  // namespace neutraj

@@ -1,0 +1,67 @@
+// Precomputed embedding database for repeated top-k search.
+//
+// The paper's online protocol embeds the corpus once and answers every
+// query with an O(|corpus| * d) scan in embedding space. EmbeddingDatabase
+// packages that corpus-side state: a threaded bulk-encoding build, top-k
+// queries (by embedding or by raw trajectory), and a checksummed on-disk
+// format so the O(N * L * d^2) encoding cost is paid once per corpus, not
+// once per process.
+
+#ifndef NEUTRAJ_CORE_EMBEDDING_DB_H_
+#define NEUTRAJ_CORE_EMBEDDING_DB_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/model.h"
+#include "core/search.h"
+
+namespace neutraj {
+
+/// Corpus embeddings plus the query primitives over them.
+class EmbeddingDatabase {
+ public:
+  EmbeddingDatabase() = default;
+
+  /// Embeds `corpus` with `model` over `threads` workers (results identical
+  /// for every thread count) and returns the database. The model must use
+  /// read-only inference when threads > 1 (see EmbedAllParallel).
+  static EmbeddingDatabase Build(const NeuTrajModel& model,
+                                 const std::vector<Trajectory>& corpus,
+                                 size_t threads = 1);
+
+  size_t size() const { return embeddings_.size(); }
+  bool empty() const { return embeddings_.empty(); }
+  /// Embedding width d; 0 for an empty database.
+  size_t dim() const { return dim_; }
+  const nn::Vector& at(size_t i) const { return embeddings_[i]; }
+  const std::vector<nn::Vector>& embeddings() const { return embeddings_; }
+
+  /// Top-k nearest stored embeddings to `query` under L2 (ties broken by
+  /// lower id). `exclude` (if >= 0) removes one id — typically the query
+  /// itself when it is part of the corpus.
+  SearchResult TopK(const nn::Vector& query, size_t k,
+                    int64_t exclude = -1) const;
+
+  /// Embeds `query` with `model` and runs TopK. The model must be the one
+  /// the database was built with for the distances to be meaningful.
+  SearchResult TopK(const NeuTrajModel& model, const Trajectory& query,
+                    size_t k, int64_t exclude = -1) const;
+
+  /// Serializes the embeddings to `path` (CRC-checksummed sections; see
+  /// common/framing.h), written atomically.
+  void Save(const std::string& path) const;
+
+  /// Restores a database saved by Save(). Throws std::runtime_error on
+  /// malformed or truncated files.
+  static EmbeddingDatabase Load(const std::string& path);
+
+ private:
+  size_t dim_ = 0;
+  std::vector<nn::Vector> embeddings_;
+};
+
+}  // namespace neutraj
+
+#endif  // NEUTRAJ_CORE_EMBEDDING_DB_H_

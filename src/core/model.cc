@@ -22,11 +22,18 @@ nn::Vector NeuTrajModel::Embed(const Trajectory& traj) const {
   return encoder_->Encode(traj, config_.update_memory_at_inference);
 }
 
+nn::Vector NeuTrajModel::Embed(const Trajectory& traj,
+                               nn::CellWorkspace* ws) const {
+  return encoder_->Encode(traj, config_.update_memory_at_inference,
+                          /*tape=*/nullptr, ws);
+}
+
 std::vector<nn::Vector> NeuTrajModel::EmbedAll(
     const std::vector<Trajectory>& corpus) const {
   std::vector<nn::Vector> out;
   out.reserve(corpus.size());
-  for (const Trajectory& t : corpus) out.push_back(Embed(t));
+  nn::CellWorkspace ws;
+  for (const Trajectory& t : corpus) out.push_back(Embed(t, &ws));
   return out;
 }
 
@@ -36,9 +43,28 @@ std::vector<nn::Vector> NeuTrajModel::EmbedAllParallel(
     throw std::logic_error(
         "EmbedAllParallel: memory-updating inference cannot run in parallel");
   }
-  std::vector<nn::Vector> out(corpus.size());
-  ParallelFor(corpus.size(), num_threads,
-              [&](size_t i) { out[i] = Embed(corpus[i]); });
+  const size_t n = corpus.size();
+  std::vector<nn::Vector> out(n);
+  if (num_threads <= 1 || n <= 1) {
+    nn::CellWorkspace ws;
+    for (size_t i = 0; i < n; ++i) out[i] = Embed(corpus[i], &ws);
+    return out;
+  }
+  // Contiguous chunks, one workspace per chunk: workers share the encoder
+  // read-only and never share scratch.
+  const size_t workers = std::min(num_threads, n);
+  std::vector<nn::CellWorkspace> wss(workers);
+  ThreadPool pool(workers);
+  const size_t chunk = (n + workers - 1) / workers;
+  size_t widx = 0;
+  for (size_t start = 0; start < n; start += chunk, ++widx) {
+    const size_t end = std::min(start + chunk, n);
+    nn::CellWorkspace* ws = &wss[widx];
+    pool.Submit([this, &corpus, &out, start, end, ws] {
+      for (size_t i = start; i < end; ++i) out[i] = Embed(corpus[i], ws);
+    });
+  }
+  pool.Wait();
   return out;
 }
 

@@ -34,13 +34,18 @@ class NeuTrajModel {
   /// follows cfg.update_memory_at_inference (default: read-only).
   nn::Vector Embed(const Trajectory& traj) const;
 
+  /// Hot-path overload for bulk encoding: uses caller-owned scratch so
+  /// repeated embeds stop allocating after warm-up. One workspace serves
+  /// one thread.
+  nn::Vector Embed(const Trajectory& traj, nn::CellWorkspace* ws) const;
+
   /// Embeds a corpus; equivalent to calling Embed per trajectory.
   std::vector<nn::Vector> EmbedAll(const std::vector<Trajectory>& corpus) const;
 
-  /// Parallel corpus embedding over `num_threads` workers. Requires
-  /// read-only inference (throws std::logic_error when
-  /// cfg.update_memory_at_inference is set, since concurrent memory writes
-  /// would race). Results are identical to EmbedAll.
+  /// Parallel corpus embedding over `num_threads` workers, each with its
+  /// own workspace. Requires read-only inference (throws std::logic_error
+  /// when cfg.update_memory_at_inference is set, since concurrent memory
+  /// writes would race). Results are identical to EmbedAll.
   std::vector<nn::Vector> EmbedAllParallel(const std::vector<Trajectory>& corpus,
                                            size_t num_threads) const;
 

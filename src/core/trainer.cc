@@ -2,15 +2,16 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <numeric>
 #include <sstream>
 #include <stdexcept>
-#include <unordered_map>
 
 #include "common/file_util.h"
 #include "common/framing.h"
 #include "common/stopwatch.h"
 #include "common/string_util.h"
+#include "common/thread_pool.h"
 #include "core/loss.h"
 #include "geo/traj_io.h"
 
@@ -107,12 +108,15 @@ Trainer::Trainer(const NeuTrajConfig& cfg, const Grid& grid,
   model_.InitializeWeights(&rng_);
 }
 
-double Trainer::ProcessAnchor(size_t anchor) {
+double Trainer::ProcessAnchor(size_t anchor, Rng* rng, nn::GradBuffer* sink,
+                              nn::MemoryWriteLog* write_log,
+                              AnchorScratch* scratch) {
   const AnchorSample sample = SampleAnchorPairs(
-      guidance_, anchor, cfg_.sampling_num, cfg_.sampling, &rng_);
+      guidance_, anchor, cfg_.sampling_num, cfg_.sampling, rng);
 
   // Deduplicate the trajectories involved so each is encoded once.
-  std::vector<size_t> ids;
+  std::vector<size_t>& ids = scratch->ids;
+  ids.clear();
   ids.push_back(anchor);
   auto add_unique = [&ids](size_t id) {
     if (std::find(ids.begin(), ids.end(), id) == ids.end()) ids.push_back(id);
@@ -122,20 +126,31 @@ double Trainer::ProcessAnchor(size_t anchor) {
   if (ids.size() < 2) return 0.0;
 
   nn::Encoder& enc = model_.encoder();
-  std::unordered_map<size_t, size_t> slot;  // seed id -> local index
-  std::vector<nn::EncodeTape> tapes(ids.size());
-  std::vector<nn::Vector> embeds(ids.size());
-  std::vector<nn::Vector> grads(ids.size());
+  // Grow-only: shrinking would destroy warmed-up tape capacity.
+  if (scratch->tapes.size() < ids.size()) scratch->tapes.resize(ids.size());
+  if (scratch->embeds.size() < ids.size()) {
+    scratch->embeds.resize(ids.size());
+    scratch->grads.resize(ids.size());
+  }
+  std::vector<nn::EncodeTape>& tapes = scratch->tapes;
+  std::vector<nn::Vector>& embeds = scratch->embeds;
+  std::vector<nn::Vector>& grads = scratch->grads;
   for (size_t k = 0; k < ids.size(); ++k) {
-    slot[ids[k]] = k;
-    embeds[k] = enc.Encode(seeds_[ids[k]], /*update_memory=*/true, &tapes[k]);
+    embeds[k] = enc.Encode(seeds_[ids[k]], /*update_memory=*/true, &tapes[k],
+                           &scratch->ws, write_log);
     grads[k].assign(cfg_.embedding_dim, 0.0);
   }
+  // seed id -> local index; the id lists are ~2n entries, linear scan wins
+  // over a hash map and allocates nothing.
+  auto slot = [&ids](size_t id) {
+    return static_cast<size_t>(
+        std::find(ids.begin(), ids.end(), id) - ids.begin());
+  };
 
   const nn::Vector& e_a = embeds[0];
   double total_loss = 0.0;
   auto apply_pair = [&](size_t other_id, double rank_weight, bool similar_pair) {
-    const size_t k = slot[other_id];
+    const size_t k = slot(other_id);
     const double f = guidance_.At(anchor, other_id);
     const double g = EmbeddingSimilarity(e_a, embeds[k]);
     PairLoss pl;
@@ -170,7 +185,9 @@ double Trainer::ProcessAnchor(size_t anchor) {
   }
 
   for (size_t k = 0; k < ids.size(); ++k) {
-    if (nn::SquaredNorm(grads[k]) > 0.0) enc.Backward(tapes[k], grads[k]);
+    if (nn::SquaredNorm(grads[k]) > 0.0) {
+      enc.Backward(tapes[k], grads[k], sink, &scratch->ws);
+    }
   }
   return total_loss;
 }
@@ -297,6 +314,30 @@ TrainResult Trainer::Train(const EpochCallback& callback) {
 
   std::vector<size_t> anchors(seeds_.size());
 
+  // -- Parallel batch machinery ---------------------------------------------
+  //
+  // A batch is defined as: every anchor samples its pairs from a private RNG
+  // stream (seeded by one master-stream draw per anchor, taken in anchor
+  // order), encodes against the memory state at the batch start, accumulates
+  // its gradients into a private GradBuffer and records its SAM writes into
+  // a private log. After all anchors finish, gradients are reduced and
+  // memory writes applied in anchor order. Every number is therefore a pure
+  // function of the (checkpointed) master RNG stream and the batch start
+  // state — never of thread interleaving — so 1 thread and N threads are
+  // bit-for-bit identical and cfg_.threads can change across a
+  // checkpoint/resume boundary.
+  const size_t nthreads = std::max<size_t>(1, cfg_.threads);
+  std::unique_ptr<ThreadPool> pool;
+  if (nthreads > 1) pool = std::make_unique<ThreadPool>(nthreads);
+  std::vector<AnchorScratch> scratches(nthreads);
+  const std::vector<nn::Param*> params = model_.encoder().Params();
+  std::vector<nn::GradBuffer> anchor_grads;
+  anchor_grads.reserve(cfg_.batch_size);
+  for (size_t k = 0; k < cfg_.batch_size; ++k) anchor_grads.emplace_back(params);
+  std::vector<nn::MemoryWriteLog> anchor_writes(cfg_.batch_size);
+  std::vector<double> anchor_losses(cfg_.batch_size, 0.0);
+  std::vector<uint64_t> anchor_seeds(cfg_.batch_size, 0);
+
   size_t rollbacks = 0;          // Total watchdog trips this Train() call.
   size_t consecutive_trips = 0;  // Trips since the last clean epoch.
   while (next_epoch_ < cfg_.epochs) {
@@ -314,31 +355,69 @@ TrainResult Trainer::Train(const EpochCallback& callback) {
     for (size_t start = 0; start < anchors.size() && trip.empty();
          start += cfg_.batch_size) {
       const size_t end = std::min(start + cfg_.batch_size, anchors.size());
-      nn::ZeroGrads(model_.encoder().Params());
-      for (size_t k = start; k < end; ++k) {
-        const double loss = ProcessAnchor(anchors[k]);
+      const size_t bs = end - start;
+
+      // Per-anchor RNG streams, seeded from the master stream in anchor
+      // order (the only master draws of the batch).
+      for (size_t k = 0; k < bs; ++k) anchor_seeds[k] = rng_.engine()();
+      for (size_t k = 0; k < bs; ++k) {
+        anchor_grads[k].Zero();
+        anchor_writes[k].clear();
+      }
+
+      auto run_range = [&](size_t lo, size_t hi, AnchorScratch* scratch) {
+        for (size_t k = lo; k < hi; ++k) {
+          Rng anchor_rng(anchor_seeds[k]);
+          anchor_losses[k] =
+              ProcessAnchor(anchors[start + k], &anchor_rng, &anchor_grads[k],
+                            &anchor_writes[k], scratch);
+        }
+      };
+      if (pool != nullptr && bs > 1) {
+        const size_t workers = std::min(nthreads, bs);
+        const size_t chunk = (bs + workers - 1) / workers;
+        size_t widx = 0;
+        for (size_t lo = 0; lo < bs; lo += chunk, ++widx) {
+          const size_t hi = std::min(lo + chunk, bs);
+          AnchorScratch* scratch = &scratches[widx];
+          pool->Submit([&run_range, lo, hi, scratch] { run_range(lo, hi, scratch); });
+        }
+        pool->Wait();  // Rethrows the first worker exception, if any.
+      } else {
+        run_range(0, bs, &scratches[0]);
+      }
+
+      // Ordered commit: watchdog checks, gradient reduction and memory
+      // writes all happen in anchor order, on one thread.
+      for (size_t k = 0; k < bs && trip.empty(); ++k) {
+        const double loss = anchor_losses[k];
         if (cfg_.watchdog && !std::isfinite(loss)) {
           trip = StrFormat("non-finite loss %g for anchor %zu", loss,
-                           anchors[k]);
-          break;
-        }
-        if (cfg_.watchdog && cfg_.divergence_loss_threshold > 0.0 &&
-            loss > cfg_.divergence_loss_threshold) {
+                           anchors[start + k]);
+        } else if (cfg_.watchdog && cfg_.divergence_loss_threshold > 0.0 &&
+                   loss > cfg_.divergence_loss_threshold) {
           trip = StrFormat("anchor %zu loss %g exceeds threshold %g",
-                           anchors[k], loss, cfg_.divergence_loss_threshold);
-          break;
+                           anchors[start + k], loss,
+                           cfg_.divergence_loss_threshold);
         }
-        epoch_loss += loss;
+      }
+      if (!trip.empty()) break;  // Rollback discards the whole epoch anyway.
+      nn::ZeroGrads(params);
+      for (size_t k = 0; k < bs; ++k) {
+        anchor_grads[k].AddTo(params);
+        if (model_.encoder().has_memory()) {
+          model_.encoder().memory().ApplyWrites(anchor_writes[k]);
+        }
+        epoch_loss += anchor_losses[k];
         ++processed;
       }
-      if (!trip.empty()) break;
       // Average gradients over the anchors in the batch.
-      const double inv = 1.0 / static_cast<double>(end - start);
-      for (nn::Param* p : model_.encoder().Params()) {
+      const double inv = 1.0 / static_cast<double>(bs);
+      for (nn::Param* p : params) {
         for (double& g : p->grad.values()) g *= inv;
       }
       adam_.Step();
-      if (cfg_.watchdog && nn::HasNonFiniteValues(model_.encoder().Params())) {
+      if (cfg_.watchdog && nn::HasNonFiniteValues(params)) {
         trip = "non-finite parameter after optimizer step";
       }
     }

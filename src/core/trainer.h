@@ -5,6 +5,14 @@
 // through time, and optimizes with Adam. The same trainer realizes NeuTraj,
 // both ablations and the Siamese baseline via NeuTrajConfig presets.
 //
+// Parallelism: cfg.threads > 1 spreads each batch's anchors across a thread
+// pool. Batch semantics make the result independent of the interleaving —
+// every anchor samples from a private RNG stream seeded by the master stream
+// in anchor order, encodes against the batch-start memory snapshot, and its
+// gradients/SAM writes are committed in anchor order — so training is
+// bit-for-bit identical for every thread count (see DESIGN.md, "Threading
+// model").
+//
 // Fault tolerance: when cfg.checkpoint_dir is set, a versioned, checksummed
 // checkpoint (model params + SAM memory + Adam moments + RNG stream + epoch
 // progress) is written atomically every cfg.checkpoint_every epochs, and
@@ -24,6 +32,7 @@
 #include "core/model.h"
 #include "core/sampler.h"
 #include "nn/adam.h"
+#include "nn/workspace.h"
 
 namespace neutraj {
 
@@ -95,9 +104,25 @@ class Trainer {
   NeuTrajModel TakeModel() { return std::move(model_); }
 
  private:
-  /// Processes one anchor: samples pairs, encodes, computes the loss and
-  /// accumulates gradients. Returns the anchor's loss.
-  double ProcessAnchor(size_t anchor);
+  /// Reusable per-worker buffers for ProcessAnchor: the cell workspace plus
+  /// the tapes/embeddings/gradient vectors of one anchor's trajectory set.
+  /// One scratch serves one thread.
+  struct AnchorScratch {
+    nn::CellWorkspace ws;
+    std::vector<size_t> ids;
+    std::vector<nn::EncodeTape> tapes;
+    std::vector<nn::Vector> embeds;
+    std::vector<nn::Vector> grads;
+  };
+
+  /// Processes one anchor: samples pairs (drawing only from `rng`), encodes
+  /// against the current memory snapshot (SAM writes recorded into
+  /// `write_log`, not applied), computes the loss and accumulates gradients
+  /// into `sink`. Returns the anchor's loss. Safe to call concurrently for
+  /// distinct (rng, sink, write_log, scratch) tuples: every shared input —
+  /// parameters, guidance, seeds, memory — is only read.
+  double ProcessAnchor(size_t anchor, Rng* rng, nn::GradBuffer* sink,
+                       nn::MemoryWriteLog* write_log, AnchorScratch* scratch);
 
   /// Identity of this run (config fingerprint + seed-pool hash); guards
   /// checkpoints against being resumed into a different run.

@@ -56,16 +56,22 @@ Point Grid::Normalize(const Point& p) const {
 
 std::vector<GridCell> Grid::ScanWindow(const GridCell& c, int32_t w) const {
   std::vector<GridCell> cells;
+  ScanWindowInto(c, w, &cells);
+  return cells;
+}
+
+void Grid::ScanWindowInto(const GridCell& c, int32_t w,
+                          std::vector<GridCell>* out) const {
   const int32_t side = 2 * w + 1;
-  cells.reserve(static_cast<size_t>(side) * side);
+  out->clear();
+  out->reserve(static_cast<size_t>(side) * side);
   for (int32_t dy = -w; dy <= w; ++dy) {
     for (int32_t dx = -w; dx <= w; ++dx) {
       GridCell g{std::clamp(c.px + dx, 0, num_cols_ - 1),
                  std::clamp(c.qy + dy, 0, num_rows_ - 1)};
-      cells.push_back(g);
+      out->push_back(g);
     }
   }
-  return cells;
 }
 
 }  // namespace neutraj

@@ -74,6 +74,11 @@ class Grid {
   /// border effect of the paper's fixed-size window).
   std::vector<GridCell> ScanWindow(const GridCell& c, int32_t w) const;
 
+  /// Allocation-free variant: fills `out` (cleared first) with the same
+  /// cells as ScanWindow, reusing its capacity across calls.
+  void ScanWindowInto(const GridCell& c, int32_t w,
+                      std::vector<GridCell>* out) const;
+
  private:
   BoundingBox region_;
   double cell_w_ = 1.0;

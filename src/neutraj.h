@@ -34,6 +34,7 @@
 #include "common/thread_pool.h"
 #include "common/string_util.h"
 #include "core/config.h"
+#include "core/embedding_db.h"
 #include "core/loss.h"
 #include "core/model.h"
 #include "core/sampler.h"

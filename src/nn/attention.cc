@@ -13,6 +13,12 @@ constexpr double kMaskedLogit = -std::numeric_limits<double>::infinity();
 void AttentionForward(const Matrix& g, const Vector& q, AttentionTape* tape,
                       const std::vector<char>* mask) {
   tape->g = g;
+  AttentionForwardPrefilled(tape, q, mask);
+}
+
+void AttentionForwardPrefilled(AttentionTape* tape, const Vector& q,
+                               const std::vector<char>* mask) {
+  const Matrix& g = tape->g;
   MatVec(g, q, &tape->a);
   tape->all_masked = false;
   if (mask != nullptr) {
@@ -36,17 +42,20 @@ void AttentionForward(const Matrix& g, const Vector& q, AttentionTape* tape,
 }
 
 void AttentionBackward(const AttentionTape& tape, const Vector& dmix,
-                       const Vector* da_direct, Vector* dq_accum) {
+                       const Vector* da_direct, Vector* dq_accum,
+                       Vector* da_scratch, Vector* du_scratch) {
   if (tape.all_masked) return;  // mix was constant zero; no query gradient.
+  Vector local_da, local_du;
+  Vector& da = da_scratch != nullptr ? *da_scratch : local_da;
+  Vector& du = du_scratch != nullptr ? *du_scratch : local_du;
   // mix = G^T A  =>  dA = G * dmix.
-  Vector da;
   MatVec(tape.g, dmix, &da);
   if (da_direct != nullptr) {
     AxpyInPlace(1.0, *da_direct, &da);
   }
   // A = softmax(u): du = A (*) (dA - <A, dA>).
   const double inner = Dot(tape.a, da);
-  Vector du(da.size());
+  du.resize(da.size());
   for (size_t i = 0; i < da.size(); ++i) du[i] = tape.a[i] * (da[i] - inner);
   // u = G q  =>  dq += G^T du.
   MatTVecAccum(tape.g, du, dq_accum);

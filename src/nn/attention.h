@@ -31,10 +31,18 @@ struct AttentionTape {
 void AttentionForward(const Matrix& g, const Vector& q, AttentionTape* tape,
                       const std::vector<char>* mask = nullptr);
 
+/// Hot-path variant: assumes `tape->g` has already been filled in place
+/// (e.g. gathered straight from the memory tensor), skipping the extra
+/// window copy that AttentionForward makes.
+void AttentionForwardPrefilled(AttentionTape* tape, const Vector& q,
+                               const std::vector<char>* mask);
+
 /// Given dL/dmix and (optionally) a direct dL/dA, accumulates dL/dq.
-/// `da_direct` may be nullptr.
+/// `da_direct` may be nullptr. `da_scratch` / `du_scratch` (optional) are
+/// caller-owned buffers that kill the per-step allocations of the hot path.
 void AttentionBackward(const AttentionTape& tape, const Vector& dmix,
-                       const Vector* da_direct, Vector* dq_accum);
+                       const Vector* da_direct, Vector* dq_accum,
+                       Vector* da_scratch = nullptr, Vector* du_scratch = nullptr);
 
 }  // namespace neutraj::nn
 

@@ -46,50 +46,66 @@ void Encoder::Initialize(Rng* rng) {
 }
 
 Vector Encoder::Encode(const Trajectory& traj, bool update_memory,
-                       EncodeTape* tape) {
+                       EncodeTape* tape, CellWorkspace* ws,
+                       MemoryWriteLog* write_log) {
   if (traj.empty()) throw std::invalid_argument("Encode: empty trajectory");
   const size_t len = traj.size();
   if (tape != nullptr) {
     tape->length = len;
-    tape->lstm_steps.clear();
-    tape->sam_steps.clear();
-    tape->gru_steps.clear();
+    // Resize without clear(): clearing would destroy the per-step tapes and
+    // with them the capacity of every vector inside. Shrink-resizing keeps
+    // surviving steps (and their buffers) alive for in-place reuse, so a
+    // tape recycled across anchors stops allocating after warm-up.
     if (backbone_ == Backbone::kLstm) {
       tape->lstm_steps.resize(len);
+      tape->sam_steps.clear();
+      tape->gru_steps.clear();
     } else if (backbone_ == Backbone::kSamLstm) {
       tape->sam_steps.resize(len);
+      tape->lstm_steps.clear();
+      tape->gru_steps.clear();
     } else {
       tape->gru_steps.resize(len);
+      tape->lstm_steps.clear();
+      tape->sam_steps.clear();
     }
   }
 
   const bool use_sam = HasSam(backbone_);
-  Vector h(hidden_, 0.0);
-  Vector c(hidden_, 0.0);
-  Vector h_next, c_next;
+  CellWorkspace local_ws_storage;
+  CellWorkspace* w = ws != nullptr ? ws : &local_ws_storage;
+  Vector& h = w->h;
+  Vector& c = w->c;
+  Vector& h_next = w->h_next;
+  Vector& c_next = w->c_next;
+  h.assign(hidden_, 0.0);
+  c.assign(hidden_, 0.0);
+  Vector& x = w->x;
+  x.resize(2);
+  std::vector<GridCell>& window = w->window;
   LstmTape scratch_lstm;
   SamTape scratch_sam;
   GruTape scratch_gru;
   for (size_t t = 0; t < len; ++t) {
     const Point norm = grid_.Normalize(traj[t]);
-    const Vector x = {norm.x, norm.y};
+    x[0] = norm.x;
+    x[1] = norm.y;
     GridCell center{0, 0};
-    std::vector<GridCell> window;
     if (use_sam) {
       center = grid_.CellOf(traj[t]);
-      window = grid_.ScanWindow(center, scan_width_);
+      grid_.ScanWindowInto(center, scan_width_, &window);
     }
     switch (backbone_) {
       case Backbone::kLstm: {
         LstmTape* step = tape ? &tape->lstm_steps[t] : &scratch_lstm;
-        lstm_->Forward(x, h, c, step, &h_next, &c_next);
+        lstm_->Forward(x, h, c, step, &h_next, &c_next, w);
         c.swap(c_next);
         break;
       }
       case Backbone::kSamLstm: {
         SamTape* step = tape ? &tape->sam_steps[t] : &scratch_sam;
         sam_->Forward(x, h, c, window, center, &*memory_, /*use_memory=*/true,
-                      update_memory, step, &h_next, &c_next);
+                      update_memory, step, &h_next, &c_next, w, write_log);
         c.swap(c_next);
         break;
       }
@@ -98,7 +114,7 @@ Vector Encoder::Encode(const Trajectory& traj, bool update_memory,
         GruTape* step = tape ? &tape->gru_steps[t] : &scratch_gru;
         gru_->Forward(x, h, window, center, memory_ ? &*memory_ : nullptr,
                       /*use_memory=*/backbone_ == Backbone::kSamGru,
-                      update_memory, step, &h_next);
+                      update_memory, step, &h_next, w, write_log);
         break;
       }
     }
@@ -107,29 +123,38 @@ Vector Encoder::Encode(const Trajectory& traj, bool update_memory,
   return h;
 }
 
-void Encoder::Backward(const EncodeTape& tape, const Vector& d_embedding) {
+void Encoder::Backward(const EncodeTape& tape, const Vector& d_embedding,
+                       GradBuffer* sink, CellWorkspace* ws) {
   if (d_embedding.size() != hidden_) {
     throw std::invalid_argument("Backward: gradient dimension mismatch");
   }
-  Vector dh = d_embedding;
-  Vector dc(hidden_, 0.0);
-  Vector dh_prev(hidden_, 0.0);
-  Vector dc_prev(hidden_, 0.0);
+  CellWorkspace local_ws_storage;
+  CellWorkspace* w = ws != nullptr ? ws : &local_ws_storage;
+  Vector& dh = w->dh;
+  Vector& dc = w->dc_in;
+  Vector& dh_prev = w->dh_prev;
+  Vector& dc_prev = w->dc_prev;
+  dh = d_embedding;
+  dc.assign(hidden_, 0.0);
+  dh_prev.resize(hidden_);
+  dc_prev.resize(hidden_);
   for (size_t t = tape.length; t-- > 0;) {
     std::fill(dh_prev.begin(), dh_prev.end(), 0.0);
     std::fill(dc_prev.begin(), dc_prev.end(), 0.0);
     switch (backbone_) {
       case Backbone::kLstm:
-        lstm_->Backward(tape.lstm_steps[t], dh, dc, &dh_prev, &dc_prev, nullptr);
+        lstm_->Backward(tape.lstm_steps[t], dh, dc, &dh_prev, &dc_prev, nullptr,
+                        sink, w);
         dc.swap(dc_prev);
         break;
       case Backbone::kSamLstm:
-        sam_->Backward(tape.sam_steps[t], dh, dc, &dh_prev, &dc_prev, nullptr);
+        sam_->Backward(tape.sam_steps[t], dh, dc, &dh_prev, &dc_prev, nullptr,
+                       sink, w);
         dc.swap(dc_prev);
         break;
       case Backbone::kGru:
       case Backbone::kSamGru:
-        gru_->Backward(tape.gru_steps[t], dh, &dh_prev, nullptr);
+        gru_->Backward(tape.gru_steps[t], dh, &dh_prev, nullptr, sink, w);
         break;
     }
     dh.swap(dh_prev);

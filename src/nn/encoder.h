@@ -53,13 +53,24 @@ class Encoder {
   /// Encodes `traj`; writes the unrolled activations into `tape` if non-null
   /// (required for Backward). `update_memory` enables the SAM writer — true
   /// while training over seeds, false for inference.
+  ///
+  /// `ws` (optional) supplies reusable scratch so repeated encodes do not
+  /// allocate per step; one workspace serves one thread. `write_log`
+  /// (optional) defers SAM memory writes: instead of mutating the memory
+  /// tensor, writes are appended to the log for a later ordered
+  /// MemoryTensor::ApplyWrites — the deferred-write protocol that makes
+  /// parallel training batches independent of thread interleaving.
   /// Throws std::invalid_argument on an empty trajectory.
   Vector Encode(const Trajectory& traj, bool update_memory,
-                EncodeTape* tape = nullptr);
+                EncodeTape* tape = nullptr, CellWorkspace* ws = nullptr,
+                MemoryWriteLog* write_log = nullptr);
 
   /// Backpropagates dL/dE through the unrolled steps, accumulating
-  /// parameter gradients.
-  void Backward(const EncodeTape& tape, const Vector& d_embedding);
+  /// parameter gradients — into `sink` (aligned with Params() order) when
+  /// non-null, so concurrent backward passes over one shared encoder never
+  /// race; into the cell's own Param::grad otherwise. `ws` as in Encode.
+  void Backward(const EncodeTape& tape, const Vector& d_embedding,
+                GradBuffer* sink = nullptr, CellWorkspace* ws = nullptr);
 
   std::vector<Param*> Params();
 

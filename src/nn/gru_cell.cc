@@ -55,9 +55,13 @@ void SamGruCell::Forward(const Vector& x, const Vector& h_prev,
                          const std::vector<GridCell>& window_cells,
                          const GridCell& center, MemoryTensor* memory,
                          bool use_memory, bool update_memory, GruTape* tape,
-                         Vector* h) const {
+                         Vector* h, CellWorkspace* ws,
+                         MemoryWriteLog* write_log) const {
   const size_t d = hidden_;
-  Vector pre(3 * d);
+  CellWorkspace local_ws_storage;
+  CellWorkspace* w = ws != nullptr ? ws : &local_ws_storage;
+  Vector& pre = w->pre;
+  pre.resize(3 * d);
   for (size_t k = 0; k < 3 * d; ++k) pre[k] = bg_.value(k, 0);
   MatVecAccum(wg_.value, x, &pre);
   MatVecAccum(ug_.value, h_prev, &pre);
@@ -75,7 +79,8 @@ void SamGruCell::Forward(const Vector& x, const Vector& h_prev,
 
   tape->rh.resize(d);
   for (size_t k = 0; k < d; ++k) tape->rh[k] = tape->r[k] * h_prev[k];
-  Vector cand_pre(d);
+  Vector& cand_pre = w->cand_pre;
+  cand_pre.resize(d);
   for (size_t k = 0; k < d; ++k) cand_pre[k] = bn_.value(k, 0);
   MatVecAccum(wn_.value, x, &cand_pre);
   MatVecAccum(un_.value, tape->rh, &cand_pre);
@@ -84,20 +89,21 @@ void SamGruCell::Forward(const Vector& x, const Vector& h_prev,
   tape->used_memory = use_memory;
   tape->n_prime.resize(d);
   if (use_memory) {
-    Matrix g;
-    std::vector<char> mask;
-    memory->GatherWindow(window_cells, &g, &mask);
-    AttentionForward(g, tape->n_tilde, &tape->att, &mask);
+    std::vector<char>& mask = w->mask;
+    memory->GatherWindow(window_cells, &tape->att.g, &mask);
+    AttentionForwardPrefilled(&tape->att, tape->n_tilde, &mask);
     if (tape->att.all_masked) {
       tape->used_memory = false;
       tape->n_prime = tape->n_tilde;
     } else {
-      Vector ccat(2 * d);
+      Vector& ccat = w->ccat;
+      ccat.resize(2 * d);
       for (size_t k = 0; k < d; ++k) {
         ccat[k] = tape->n_tilde[k];
         ccat[d + k] = tape->att.mix[k];
       }
-      Vector his_pre(d);
+      Vector& his_pre = w->his_pre;
+      his_pre.resize(d);
       for (size_t k = 0; k < d; ++k) his_pre[k] = bhis_.value(k, 0);
       MatVecAccum(whis_.value, ccat, &his_pre);
       TanhInto(his_pre, &tape->c_his);
@@ -114,65 +120,89 @@ void SamGruCell::Forward(const Vector& x, const Vector& h_prev,
     (*h)[k] = (1.0 - tape->z[k]) * tape->n_prime[k] + tape->z[k] * h_prev[k];
   }
   if (use_memory && update_memory) {
-    memory->BlendWrite(center, tape->s, *h);
+    if (write_log != nullptr) {
+      write_log->push_back({center, tape->s, *h});
+    } else {
+      memory->BlendWrite(center, tape->s, *h);
+    }
   }
 }
 
 void SamGruCell::Backward(const GruTape& tape, const Vector& dh,
-                          Vector* dh_prev_accum, Vector* dx_accum) {
+                          Vector* dh_prev_accum, Vector* dx_accum,
+                          GradBuffer* sink, CellWorkspace* ws) {
   const size_t d = hidden_;
+  CellWorkspace local_ws_storage;
+  CellWorkspace* w = ws != nullptr ? ws : &local_ws_storage;
   // h = (1-z) (*) n' + z (*) h_prev.
-  Vector dn_prime(d);
-  Vector dz_post(d);
+  Vector& dn_prime = w->dc;
+  Vector& dz_post = w->dz_post;
+  dn_prime.resize(d);
+  dz_post.resize(d);
   for (size_t k = 0; k < d; ++k) {
     dn_prime[k] = dh[k] * (1.0 - tape.z[k]);
     dz_post[k] = dh[k] * (tape.h_prev[k] - tape.n_prime[k]);
     (*dh_prev_accum)[k] += dh[k] * tape.z[k];
   }
 
-  Vector dn_tilde(d, 0.0);
-  Vector ds_post(d, 0.0);
+  Vector& dn_tilde = w->dc_hat;
+  Vector& ds_post = w->ds_post;
+  dn_tilde.assign(d, 0.0);
+  ds_post.assign(d, 0.0);
   if (tape.used_memory) {
     for (size_t k = 0; k < d; ++k) {
       dn_tilde[k] = dn_prime[k];
       ds_post[k] = dn_prime[k] * tape.c_his[k];
     }
-    Vector dz_his(d);
+    Vector& dz_his = w->dz;
+    dz_his.resize(d);
     for (size_t k = 0; k < d; ++k) {
       dz_his[k] =
           dn_prime[k] * tape.s[k] * (1.0 - tape.c_his[k] * tape.c_his[k]);
     }
-    Vector ccat(2 * d);
+    Vector& ccat = w->ccat;
+    ccat.resize(2 * d);
     for (size_t k = 0; k < d; ++k) {
       ccat[k] = tape.n_tilde[k];
       ccat[d + k] = tape.att.mix[k];
     }
-    AddOuterProduct(&whis_.grad, dz_his, ccat);
-    for (size_t k = 0; k < d; ++k) bhis_.grad(k, 0) += dz_his[k];
-    Vector dccat(2 * d, 0.0);
+    Matrix& gwhis = sink != nullptr ? sink->at(kWhis) : whis_.grad;
+    Matrix& gbhis = sink != nullptr ? sink->at(kBhis) : bhis_.grad;
+    AddOuterProduct(&gwhis, dz_his, ccat);
+    for (size_t k = 0; k < d; ++k) gbhis(k, 0) += dz_his[k];
+    Vector& dccat = w->dccat;
+    dccat.assign(2 * d, 0.0);
     MatTVecAccum(whis_.value, dz_his, &dccat);
-    Vector dmix(d);
+    Vector& dmix = w->dmix;
+    dmix.resize(d);
     for (size_t k = 0; k < d; ++k) {
       dn_tilde[k] += dccat[k];
       dmix[k] = dccat[d + k];
     }
-    AttentionBackward(tape.att, dmix, nullptr, &dn_tilde);
+    AttentionBackward(tape.att, dmix, nullptr, &dn_tilde, &w->att_da,
+                      &w->att_du);
   } else {
     dn_tilde = dn_prime;
   }
 
   // n~ = tanh(Wn x + Un (r (*) h_prev) + bn).
-  Vector dcand_pre(d);
+  Vector& dcand_pre = w->dcand_pre;
+  dcand_pre.resize(d);
   for (size_t k = 0; k < d; ++k) {
     dcand_pre[k] = dn_tilde[k] * (1.0 - tape.n_tilde[k] * tape.n_tilde[k]);
   }
-  AddOuterProduct(&wn_.grad, dcand_pre, tape.x);
-  AddOuterProduct(&un_.grad, dcand_pre, tape.rh);
-  for (size_t k = 0; k < d; ++k) bn_.grad(k, 0) += dcand_pre[k];
-  Vector drh(d, 0.0);
+  Matrix& gwn = sink != nullptr ? sink->at(kWn) : wn_.grad;
+  Matrix& gun = sink != nullptr ? sink->at(kUn) : un_.grad;
+  Matrix& gbn = sink != nullptr ? sink->at(kBn) : bn_.grad;
+  AddOuterProduct(&gwn, dcand_pre, tape.x);
+  AddOuterProduct(&gun, dcand_pre, tape.rh);
+  for (size_t k = 0; k < d; ++k) gbn(k, 0) += dcand_pre[k];
+  Vector& drh = w->drh;
+  drh.assign(d, 0.0);
   MatTVecAccum(un_.value, dcand_pre, &drh);
 
-  Vector dpre(3 * d);
+  Vector& dpre = w->dpre;
+  dpre.resize(3 * d);
   for (size_t k = 0; k < d; ++k) {
     const double dr_post = drh[k] * tape.h_prev[k];
     (*dh_prev_accum)[k] += drh[k] * tape.r[k];
@@ -180,9 +210,12 @@ void SamGruCell::Backward(const GruTape& tape, const Vector& dh,
     dpre[d + k] = dz_post[k] * tape.z[k] * (1.0 - tape.z[k]);
     dpre[2 * d + k] = ds_post[k] * tape.s[k] * (1.0 - tape.s[k]);
   }
-  AddOuterProduct(&wg_.grad, dpre, tape.x);
-  AddOuterProduct(&ug_.grad, dpre, tape.h_prev);
-  for (size_t k = 0; k < 3 * d; ++k) bg_.grad(k, 0) += dpre[k];
+  Matrix& gwg = sink != nullptr ? sink->at(kWg) : wg_.grad;
+  Matrix& gug = sink != nullptr ? sink->at(kUg) : ug_.grad;
+  Matrix& gbg = sink != nullptr ? sink->at(kBg) : bg_.grad;
+  AddOuterProduct(&gwg, dpre, tape.x);
+  AddOuterProduct(&gug, dpre, tape.h_prev);
+  for (size_t k = 0; k < 3 * d; ++k) gbg(k, 0) += dpre[k];
   MatTVecAccum(ug_.value, dpre, dh_prev_accum);
   if (dx_accum != nullptr) {
     MatTVecAccum(wg_.value, dpre, dx_accum);

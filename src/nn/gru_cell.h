@@ -29,6 +29,7 @@
 #include "nn/attention.h"
 #include "nn/memory_tensor.h"
 #include "nn/parameter.h"
+#include "nn/workspace.h"
 
 namespace neutraj::nn {
 
@@ -54,22 +55,30 @@ class SamGruCell {
   /// -2 (same warm-start as SamLstmCell).
   void Initialize(Rng* rng);
 
-  /// One recurrent step; see SamLstmCell::Forward for the contract.
+  /// One recurrent step; see SamLstmCell::Forward for the contract
+  /// (including the `ws` scratch and `write_log` deferred-write options).
   void Forward(const Vector& x, const Vector& h_prev,
                const std::vector<GridCell>& window_cells, const GridCell& center,
                MemoryTensor* memory, bool use_memory, bool update_memory,
-               GruTape* tape, Vector* h) const;
+               GruTape* tape, Vector* h, CellWorkspace* ws = nullptr,
+               MemoryWriteLog* write_log = nullptr) const;
 
-  /// Backward through one step: accumulates parameter gradients, adds
-  /// dL/dh_{t-1} into `dh_prev_accum` and optionally dL/dx into `dx_accum`.
+  /// Backward through one step: accumulates parameter gradients (into `sink`
+  /// when non-null, aligned with Params() order), adds dL/dh_{t-1} into
+  /// `dh_prev_accum` and optionally dL/dx into `dx_accum`.
   void Backward(const GruTape& tape, const Vector& dh, Vector* dh_prev_accum,
-                Vector* dx_accum);
+                Vector* dx_accum, GradBuffer* sink = nullptr,
+                CellWorkspace* ws = nullptr);
 
   size_t input_dim() const { return wg_.value.cols(); }
   size_t hidden_dim() const { return hidden_; }
   std::vector<Param*> Params() {
     return {&wg_, &ug_, &bg_, &wn_, &un_, &bn_, &whis_, &bhis_};
   }
+
+  /// Indices into Params() / a matching GradBuffer.
+  static constexpr size_t kWg = 0, kUg = 1, kBg = 2, kWn = 3, kUn = 4, kBn = 5,
+                          kWhis = 6, kBhis = 7;
 
  private:
   size_t hidden_;

@@ -37,9 +37,11 @@ void LstmCell::Initialize(Rng* rng) {
 
 void LstmCell::Forward(const Vector& x, const Vector& h_prev,
                        const Vector& c_prev, LstmTape* tape, Vector* h,
-                       Vector* c) const {
+                       Vector* c, CellWorkspace* ws) const {
   const size_t d = hidden_;
-  Vector pre(4 * d);
+  Vector local_pre;
+  Vector& pre = ws != nullptr ? ws->pre : local_pre;
+  pre.resize(4 * d);
   for (size_t k = 0; k < 4 * d; ++k) pre[k] = b_.value(k, 0);
   MatVecAccum(wx_.value, x, &pre);
   MatVecAccum(wh_.value, h_prev, &pre);
@@ -70,10 +72,14 @@ void LstmCell::Forward(const Vector& x, const Vector& h_prev,
 
 void LstmCell::Backward(const LstmTape& tape, const Vector& dh,
                         const Vector& dc_in, Vector* dh_prev_accum,
-                        Vector* dc_prev_accum, Vector* dx_accum) {
+                        Vector* dc_prev_accum, Vector* dx_accum,
+                        GradBuffer* sink, CellWorkspace* ws) {
   const size_t d = hidden_;
-  Vector dc(d);
-  Vector dpre(4 * d);
+  Vector local_dc, local_dpre;
+  Vector& dc = ws != nullptr ? ws->dc : local_dc;
+  Vector& dpre = ws != nullptr ? ws->dpre : local_dpre;
+  dc.resize(d);
+  dpre.resize(4 * d);
   for (size_t k = 0; k < d; ++k) {
     dc[k] = dc_in[k] + dh[k] * tape.o[k] * (1.0 - tape.tanh_c[k] * tape.tanh_c[k]);
     const double di_post = dc[k] * tape.g[k];
@@ -86,9 +92,12 @@ void LstmCell::Backward(const LstmTape& tape, const Vector& dh,
     dpre[3 * d + k] = do_post * tape.o[k] * (1.0 - tape.o[k]);
     (*dc_prev_accum)[k] += dc[k] * tape.f[k];
   }
-  AddOuterProduct(&wx_.grad, dpre, tape.x);
-  AddOuterProduct(&wh_.grad, dpre, tape.h_prev);
-  for (size_t k = 0; k < 4 * d; ++k) b_.grad(k, 0) += dpre[k];
+  Matrix& gwx = sink != nullptr ? sink->at(kWx) : wx_.grad;
+  Matrix& gwh = sink != nullptr ? sink->at(kWh) : wh_.grad;
+  Matrix& gb = sink != nullptr ? sink->at(kB) : b_.grad;
+  AddOuterProduct(&gwx, dpre, tape.x);
+  AddOuterProduct(&gwh, dpre, tape.h_prev);
+  for (size_t k = 0; k < 4 * d; ++k) gb(k, 0) += dpre[k];
   MatTVecAccum(wh_.value, dpre, dh_prev_accum);
   if (dx_accum != nullptr) MatTVecAccum(wx_.value, dpre, dx_accum);
 }

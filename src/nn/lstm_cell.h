@@ -13,6 +13,7 @@
 
 #include "common/random.h"
 #include "nn/parameter.h"
+#include "nn/workspace.h"
 
 namespace neutraj::nn {
 
@@ -35,19 +36,29 @@ class LstmCell {
   void Initialize(Rng* rng);
 
   /// One recurrent step. Writes activations into `tape` and outputs h/c.
+  /// `ws` (optional) supplies reusable scratch buffers so the hot path does
+  /// not allocate per step.
   void Forward(const Vector& x, const Vector& h_prev, const Vector& c_prev,
-               LstmTape* tape, Vector* h, Vector* c) const;
+               LstmTape* tape, Vector* h, Vector* c,
+               CellWorkspace* ws = nullptr) const;
 
   /// Backward through one step. `dh` and `dc_in` are the incoming gradients
   /// of h_t and c_t; accumulates parameter gradients and adds gradients
   /// into `dh_prev_accum` / `dc_prev_accum` (both pre-sized to hidden_dim)
   /// and, if non-null, `dx_accum` (pre-sized to input_dim).
+  /// When `sink` is non-null, parameter gradients go into it (aligned with
+  /// Params() order) instead of the cell's own Param::grad, so concurrent
+  /// backward passes over one shared cell never race. `ws` as in Forward.
   void Backward(const LstmTape& tape, const Vector& dh, const Vector& dc_in,
-                Vector* dh_prev_accum, Vector* dc_prev_accum, Vector* dx_accum);
+                Vector* dh_prev_accum, Vector* dc_prev_accum, Vector* dx_accum,
+                GradBuffer* sink = nullptr, CellWorkspace* ws = nullptr);
 
   size_t input_dim() const { return wx_.value.cols(); }
   size_t hidden_dim() const { return hidden_; }
   std::vector<Param*> Params() { return {&wx_, &wh_, &b_}; }
+
+  /// Indices into Params() / a matching GradBuffer.
+  static constexpr size_t kWx = 0, kWh = 1, kB = 2;
 
  private:
   size_t hidden_;

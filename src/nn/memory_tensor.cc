@@ -41,6 +41,12 @@ void MemoryTensor::BlendWrite(const GridCell& cell, const Vector& gate,
   written_[Offset(cell) / dim_] = 1;
 }
 
+void MemoryTensor::ApplyWrites(const std::vector<PendingMemoryWrite>& log) {
+  for (const PendingMemoryWrite& w : log) {
+    BlendWrite(w.cell, w.gate, w.value);
+  }
+}
+
 void MemoryTensor::Clear() {
   std::fill(data_.begin(), data_.end(), 0.0);
   std::fill(written_.begin(), written_.end(), 0);

@@ -52,6 +52,11 @@ class MemoryTensor {
   /// `gate` and `value` are d-dimensional.
   void BlendWrite(const GridCell& cell, const Vector& gate, const Vector& value);
 
+  /// Replays recorded writes in log order via BlendWrite — the commit step
+  /// of the deferred-write protocol used by parallel training (see
+  /// MemoryWriteLog below).
+  void ApplyWrites(const std::vector<struct PendingMemoryWrite>& log);
+
   /// Resets all cells to zero (used between training runs).
   void Clear();
 
@@ -78,6 +83,21 @@ class MemoryTensor {
   std::vector<double> data_;
   std::vector<char> written_;  // One flag per cell.
 };
+
+/// One recorded (but not yet applied) SAM memory write.
+///
+/// Parallel training runs many encodes concurrently against a read-only
+/// memory snapshot; each encode records its writes into a MemoryWriteLog
+/// instead of mutating M, and the trainer commits all logs in a fixed
+/// anchor order after the batch barrier. This makes the memory state a pure
+/// function of the batch, independent of thread interleaving.
+struct PendingMemoryWrite {
+  GridCell cell{0, 0};
+  Vector gate;
+  Vector value;
+};
+
+using MemoryWriteLog = std::vector<PendingMemoryWrite>;
 
 }  // namespace neutraj::nn
 

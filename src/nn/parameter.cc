@@ -7,6 +7,34 @@
 
 namespace neutraj::nn {
 
+GradBuffer::GradBuffer(const std::vector<Param*>& params) {
+  mats_.reserve(params.size());
+  for (const Param* p : params) {
+    mats_.emplace_back(p->value.rows(), p->value.cols());
+  }
+}
+
+void GradBuffer::Zero() {
+  for (Matrix& m : mats_) m.Zero();
+}
+
+void GradBuffer::AddTo(const std::vector<Param*>& params) const {
+  if (params.size() != mats_.size()) {
+    throw std::invalid_argument("GradBuffer::AddTo: parameter count mismatch");
+  }
+  for (size_t i = 0; i < mats_.size(); ++i) {
+    const Matrix& src = mats_[i];
+    Matrix& dst = params[i]->grad;
+    if (src.rows() != dst.rows() || src.cols() != dst.cols()) {
+      throw std::invalid_argument("GradBuffer::AddTo: shape mismatch for " +
+                                  params[i]->name);
+    }
+    const auto& sv = src.values();
+    auto& dv = dst.values();
+    for (size_t k = 0; k < sv.size(); ++k) dv[k] += sv[k];
+  }
+}
+
 void ZeroGrads(const std::vector<Param*>& params) {
   for (Param* p : params) p->ZeroGrad();
 }

@@ -24,6 +24,33 @@ struct Param {
   void ZeroGrad() { grad.Zero(); }
 };
 
+/// A detached gradient accumulator shaped like a parameter set.
+///
+/// Parallel training gives every in-flight anchor its own GradBuffer so
+/// backward passes never touch the shared Param::grad matrices; the trainer
+/// reduces the buffers into the shared gradients in a fixed anchor order,
+/// which makes the batch gradient independent of thread interleaving.
+class GradBuffer {
+ public:
+  GradBuffer() = default;
+  /// Allocates zeroed buffers matching the shapes of `params`.
+  explicit GradBuffer(const std::vector<Param*>& params);
+
+  size_t size() const { return mats_.size(); }
+  bool empty() const { return mats_.empty(); }
+  Matrix& at(size_t i) { return mats_[i]; }
+  const Matrix& at(size_t i) const { return mats_[i]; }
+
+  void Zero();
+
+  /// params[i]->grad += buffer[i]. Throws std::invalid_argument on a shape
+  /// or arity mismatch.
+  void AddTo(const std::vector<Param*>& params) const;
+
+ private:
+  std::vector<Matrix> mats_;
+};
+
 /// Zeroes the gradients of all `params`.
 void ZeroGrads(const std::vector<Param*>& params);
 

@@ -62,10 +62,14 @@ void SamLstmCell::Forward(const Vector& x, const Vector& h_prev,
                           const std::vector<GridCell>& window_cells,
                           const GridCell& center, MemoryTensor* memory,
                           bool use_memory, bool update_memory, SamTape* tape,
-                          Vector* h, Vector* c) const {
+                          Vector* h, Vector* c, CellWorkspace* ws,
+                          MemoryWriteLog* write_log) const {
   const size_t d = hidden_;
+  CellWorkspace local_ws_storage;
+  CellWorkspace* w = ws != nullptr ? ws : &local_ws_storage;
   // Gate pre-activations (Eq. 1).
-  Vector pre(4 * d);
+  Vector& pre = w->pre;
+  pre.resize(4 * d);
   for (size_t k = 0; k < 4 * d; ++k) pre[k] = bg_.value(k, 0);
   MatVecAccum(wg_.value, x, &pre);
   MatVecAccum(ug_.value, h_prev, &pre);
@@ -85,7 +89,8 @@ void SamLstmCell::Forward(const Vector& x, const Vector& h_prev,
   }
 
   // Candidate (Eq. 2).
-  Vector cand_pre(d);
+  Vector& cand_pre = w->cand_pre;
+  cand_pre.resize(d);
   for (size_t k = 0; k < d; ++k) cand_pre[k] = bc_.value(k, 0);
   MatVecAccum(wc_.value, x, &cand_pre);
   MatVecAccum(uc_.value, h_prev, &cand_pre);
@@ -100,18 +105,21 @@ void SamLstmCell::Forward(const Vector& x, const Vector& h_prev,
   tape->used_memory = use_memory;
   tape->c.resize(d);
   if (use_memory) {
-    // Attention read (Sec. IV-C-1): G_t is snapshotted into the tape.
-    // Never-written cells are masked out of the softmax; if the whole
-    // window is unvisited the step degenerates to a plain LSTM step.
-    Matrix g;
-    std::vector<char> mask;
-    memory->GatherWindow(window_cells, &g, &mask);
-    AttentionForward(g, tape->c_hat, &tape->att, &mask);
+    // Attention read (Sec. IV-C-1): G_t is gathered straight into the tape
+    // snapshot. Never-written cells are masked out of the softmax; if the
+    // whole window is unvisited the step degenerates to a plain LSTM step.
+    std::vector<char>& mask = w->mask;
+    memory->GatherWindow(window_cells, &tape->att.g, &mask);
+    AttentionForwardPrefilled(&tape->att, tape->c_hat, &mask);
     if (tape->att.all_masked) {
       tape->used_memory = false;
       tape->c = tape->c_hat;
       if (update_memory) {
-        memory->BlendWrite(center, tape->s, tape->c);
+        if (write_log != nullptr) {
+          write_log->push_back({center, tape->s, tape->c});
+        } else {
+          memory->BlendWrite(center, tape->s, tape->c);
+        }
       }
       tape->tanh_c.resize(d);
       h->resize(d);
@@ -122,12 +130,14 @@ void SamLstmCell::Forward(const Vector& x, const Vector& h_prev,
       *c = tape->c;
       return;
     }
-    Vector ccat(2 * d);
+    Vector& ccat = w->ccat;
+    ccat.resize(2 * d);
     for (size_t k = 0; k < d; ++k) {
       ccat[k] = tape->c_hat[k];
       ccat[d + k] = tape->att.mix[k];
     }
-    Vector his_pre(d);
+    Vector& his_pre = w->his_pre;
+    his_pre.resize(d);
     for (size_t k = 0; k < d; ++k) his_pre[k] = bhis_.value(k, 0);
     MatVecAccum(whis_.value, ccat, &his_pre);
     TanhInto(his_pre, &tape->c_his);
@@ -135,9 +145,14 @@ void SamLstmCell::Forward(const Vector& x, const Vector& h_prev,
     for (size_t k = 0; k < d; ++k) {
       tape->c[k] = tape->c_hat[k] + tape->s[k] * tape->c_his[k];
     }
-    // Memory write (Eq. 5) — persistent-state update, no gradient.
+    // Memory write (Eq. 5) — persistent-state update, no gradient. Deferred
+    // into the log when one is supplied, applied in place otherwise.
     if (update_memory) {
-      memory->BlendWrite(center, tape->s, tape->c);
+      if (write_log != nullptr) {
+        write_log->push_back({center, tape->s, tape->c});
+      } else {
+        memory->BlendWrite(center, tape->s, tape->c);
+      }
     }
   } else {
     tape->c = tape->c_hat;
@@ -155,16 +170,24 @@ void SamLstmCell::Forward(const Vector& x, const Vector& h_prev,
 
 void SamLstmCell::Backward(const SamTape& tape, const Vector& dh,
                            const Vector& dc_in, Vector* dh_prev_accum,
-                           Vector* dc_prev_accum, Vector* dx_accum) {
+                           Vector* dc_prev_accum, Vector* dx_accum,
+                           GradBuffer* sink, CellWorkspace* ws) {
   const size_t d = hidden_;
+  CellWorkspace local_ws_storage;
+  CellWorkspace* w = ws != nullptr ? ws : &local_ws_storage;
+  Matrix& gwhis = sink != nullptr ? sink->at(kWhis) : whis_.grad;
+  Matrix& gbhis = sink != nullptr ? sink->at(kBhis) : bhis_.grad;
   // dL/dc through h = o (*) tanh(c).
-  Vector dc(d);
+  Vector& dc = w->dc;
+  dc.resize(d);
   for (size_t k = 0; k < d; ++k) {
     dc[k] = dc_in[k] + dh[k] * tape.o[k] * (1.0 - tape.tanh_c[k] * tape.tanh_c[k]);
   }
 
-  Vector dc_hat(d, 0.0);
-  Vector ds_post(d, 0.0);
+  Vector& dc_hat = w->dc_hat;
+  Vector& ds_post = w->ds_post;
+  dc_hat.assign(d, 0.0);
+  ds_post.assign(d, 0.0);
   if (tape.used_memory) {
     // c = c_hat + s (*) c_his.
     for (size_t k = 0; k < d; ++k) {
@@ -172,33 +195,39 @@ void SamLstmCell::Backward(const SamTape& tape, const Vector& dh,
       ds_post[k] = dc[k] * tape.c_his[k];
     }
     // c_his = tanh(Whis [c_hat, mix] + bhis).
-    Vector dz(d);
+    Vector& dz = w->dz;
+    dz.resize(d);
     for (size_t k = 0; k < d; ++k) {
       dz[k] = dc[k] * tape.s[k] * (1.0 - tape.c_his[k] * tape.c_his[k]);
     }
-    Vector ccat(2 * d);
+    Vector& ccat = w->ccat;
+    ccat.resize(2 * d);
     for (size_t k = 0; k < d; ++k) {
       ccat[k] = tape.c_hat[k];
       ccat[d + k] = tape.att.mix[k];
     }
-    AddOuterProduct(&whis_.grad, dz, ccat);
-    for (size_t k = 0; k < d; ++k) bhis_.grad(k, 0) += dz[k];
-    Vector dccat(2 * d, 0.0);
+    AddOuterProduct(&gwhis, dz, ccat);
+    for (size_t k = 0; k < d; ++k) gbhis(k, 0) += dz[k];
+    Vector& dccat = w->dccat;
+    dccat.assign(2 * d, 0.0);
     MatTVecAccum(whis_.value, dz, &dccat);
-    Vector dmix(d);
+    Vector& dmix = w->dmix;
+    dmix.resize(d);
     for (size_t k = 0; k < d; ++k) {
       dc_hat[k] += dccat[k];
       dmix[k] = dccat[d + k];
     }
     // Attention path: adds the gradient of q = c_hat.
-    AttentionBackward(tape.att, dmix, nullptr, &dc_hat);
+    AttentionBackward(tape.att, dmix, nullptr, &dc_hat, &w->att_da, &w->att_du);
   } else {
     dc_hat = dc;
   }
 
   // c_hat = f (*) c_prev + i (*) c_tilde.
-  Vector dpre(4 * d);
-  Vector dcand_pre(d);
+  Vector& dpre = w->dpre;
+  Vector& dcand_pre = w->dcand_pre;
+  dpre.resize(4 * d);
+  dcand_pre.resize(d);
   for (size_t k = 0; k < d; ++k) {
     const double df_post = dc_hat[k] * tape.c_prev[k];
     const double di_post = dc_hat[k] * tape.c_tilde[k];
@@ -212,12 +241,18 @@ void SamLstmCell::Backward(const SamTape& tape, const Vector& dh,
     (*dc_prev_accum)[k] += dc_hat[k] * tape.f[k];
   }
 
-  AddOuterProduct(&wg_.grad, dpre, tape.x);
-  AddOuterProduct(&ug_.grad, dpre, tape.h_prev);
-  for (size_t k = 0; k < 4 * d; ++k) bg_.grad(k, 0) += dpre[k];
-  AddOuterProduct(&wc_.grad, dcand_pre, tape.x);
-  AddOuterProduct(&uc_.grad, dcand_pre, tape.h_prev);
-  for (size_t k = 0; k < d; ++k) bc_.grad(k, 0) += dcand_pre[k];
+  Matrix& gwg = sink != nullptr ? sink->at(kWg) : wg_.grad;
+  Matrix& gug = sink != nullptr ? sink->at(kUg) : ug_.grad;
+  Matrix& gbg = sink != nullptr ? sink->at(kBg) : bg_.grad;
+  Matrix& gwc = sink != nullptr ? sink->at(kWc) : wc_.grad;
+  Matrix& guc = sink != nullptr ? sink->at(kUc) : uc_.grad;
+  Matrix& gbc = sink != nullptr ? sink->at(kBc) : bc_.grad;
+  AddOuterProduct(&gwg, dpre, tape.x);
+  AddOuterProduct(&gug, dpre, tape.h_prev);
+  for (size_t k = 0; k < 4 * d; ++k) gbg(k, 0) += dpre[k];
+  AddOuterProduct(&gwc, dcand_pre, tape.x);
+  AddOuterProduct(&guc, dcand_pre, tape.h_prev);
+  for (size_t k = 0; k < d; ++k) gbc(k, 0) += dcand_pre[k];
 
   MatTVecAccum(ug_.value, dpre, dh_prev_accum);
   MatTVecAccum(uc_.value, dcand_pre, dh_prev_accum);

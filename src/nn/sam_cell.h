@@ -33,6 +33,7 @@
 #include "nn/attention.h"
 #include "nn/memory_tensor.h"
 #include "nn/parameter.h"
+#include "nn/workspace.h"
 
 namespace neutraj::nn {
 
@@ -66,21 +67,33 @@ class SamLstmCell {
   /// `window_cells` is the scan window around the current grid cell (from
   /// Grid::ScanWindow) and `center` is the cell being visited; they are
   /// ignored when `use_memory` is false. When `update_memory` is true the
-  /// writer blends the new cell state into `memory` at `center`.
+  /// writer blends the new cell state into `memory` at `center` — unless
+  /// `write_log` is non-null, in which case the write is *recorded* there
+  /// instead of applied, leaving `memory` untouched (the deferred-write
+  /// protocol of parallel training; see MemoryWriteLog). `ws` (optional)
+  /// supplies reusable scratch so the hot path does not allocate per step.
   void Forward(const Vector& x, const Vector& h_prev, const Vector& c_prev,
                const std::vector<GridCell>& window_cells, const GridCell& center,
                MemoryTensor* memory, bool use_memory, bool update_memory,
-               SamTape* tape, Vector* h, Vector* c) const;
+               SamTape* tape, Vector* h, Vector* c, CellWorkspace* ws = nullptr,
+               MemoryWriteLog* write_log = nullptr) const;
 
-  /// Backward through one step; mirror of LstmCell::Backward.
+  /// Backward through one step; mirror of LstmCell::Backward. When `sink` is
+  /// non-null, parameter gradients accumulate there (aligned with Params()
+  /// order) instead of the cell's own Param::grad.
   void Backward(const SamTape& tape, const Vector& dh, const Vector& dc_in,
-                Vector* dh_prev_accum, Vector* dc_prev_accum, Vector* dx_accum);
+                Vector* dh_prev_accum, Vector* dc_prev_accum, Vector* dx_accum,
+                GradBuffer* sink = nullptr, CellWorkspace* ws = nullptr);
 
   size_t input_dim() const { return wg_.value.cols(); }
   size_t hidden_dim() const { return hidden_; }
   std::vector<Param*> Params() {
     return {&wg_, &ug_, &bg_, &wc_, &uc_, &bc_, &whis_, &bhis_};
   }
+
+  /// Indices into Params() / a matching GradBuffer.
+  static constexpr size_t kWg = 0, kUg = 1, kBg = 2, kWc = 3, kUc = 4, kBc = 5,
+                          kWhis = 6, kBhis = 7;
 
  private:
   size_t hidden_;

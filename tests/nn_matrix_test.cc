@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <utility>
 
 #include "nn/matrix.h"
 
@@ -142,6 +143,115 @@ TEST(SoftmaxTest, StableUnderLargeInputs) {
   SoftmaxInPlace(&empty);  // Must not crash.
   EXPECT_TRUE(empty.empty());
 }
+
+// The blocked kernels (4-row / 4-column blocking with independent
+// accumulators) must agree with the textbook triple loop on every shape,
+// including the 1..3-row remainders the blocked path peels off, and must be
+// deterministic run to run.
+class BlockedKernelTest : public ::testing::TestWithParam<std::pair<size_t, size_t>> {
+ protected:
+  // Deterministic pseudo-random fill, no RNG dependency.
+  static double Value(size_t i) {
+    return std::sin(0.7 * static_cast<double>(i) + 0.13) *
+           (1.0 + 0.01 * static_cast<double>(i % 7));
+  }
+  static Matrix FillMatrix(size_t rows, size_t cols, size_t salt) {
+    Matrix a(rows, cols);
+    for (size_t r = 0; r < rows; ++r) {
+      for (size_t c = 0; c < cols; ++c) a(r, c) = Value(salt + r * cols + c);
+    }
+    return a;
+  }
+  static Vector FillVector(size_t n, size_t salt) {
+    Vector v(n);
+    for (size_t i = 0; i < n; ++i) v[i] = Value(salt + i);
+    return v;
+  }
+};
+
+TEST_P(BlockedKernelTest, MatVecAccumMatchesReference) {
+  const auto [rows, cols] = GetParam();
+  const Matrix a = FillMatrix(rows, cols, 1);
+  const Vector x = FillVector(cols, 100);
+  Vector y = FillVector(rows, 200);
+  Vector expect = y;
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < cols; ++c) expect[r] += a(r, c) * x[c];
+  }
+  MatVecAccum(a, x, &y);
+  for (size_t r = 0; r < rows; ++r) {
+    EXPECT_NEAR(y[r], expect[r], 1e-12) << "row " << r;
+  }
+  // Determinism: a second run produces bit-identical output.
+  Vector y2 = FillVector(rows, 200);
+  MatVecAccum(a, x, &y2);
+  EXPECT_EQ(y, y2);
+}
+
+TEST_P(BlockedKernelTest, MatTVecAccumMatchesReference) {
+  const auto [rows, cols] = GetParam();
+  const Matrix a = FillMatrix(rows, cols, 2);
+  const Vector x = FillVector(rows, 300);
+  Vector y = FillVector(cols, 400);
+  Vector expect = y;
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < cols; ++c) expect[c] += a(r, c) * x[r];
+  }
+  MatTVecAccum(a, x, &y);
+  for (size_t c = 0; c < cols; ++c) {
+    EXPECT_NEAR(y[c], expect[c], 1e-12) << "col " << c;
+  }
+  Vector y2 = FillVector(cols, 400);
+  MatTVecAccum(a, x, &y2);
+  EXPECT_EQ(y, y2);
+}
+
+TEST_P(BlockedKernelTest, AddOuterProductMatchesReference) {
+  const auto [rows, cols] = GetParam();
+  Matrix a = FillMatrix(rows, cols, 3);
+  const Vector u = FillVector(rows, 500);
+  const Vector v = FillVector(cols, 600);
+  Matrix expect = a;
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < cols; ++c) expect(r, c) += u[r] * v[c];
+  }
+  AddOuterProduct(&a, u, v);
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < cols; ++c) {
+      EXPECT_NEAR(a(r, c), expect(r, c), 1e-12) << r << "," << c;
+    }
+  }
+}
+
+TEST_P(BlockedKernelTest, ZeroInputsAreSkippedWithoutEffect) {
+  const auto [rows, cols] = GetParam();
+  const Matrix a = FillMatrix(rows, cols, 4);
+  Vector y = FillVector(cols, 700);
+  const Vector before = y;
+  MatTVecAccum(a, Vector(rows, 0.0), &y);  // x == 0: y must be untouched.
+  EXPECT_EQ(y, before);
+
+  Matrix m = FillMatrix(rows, cols, 5);
+  const Matrix m_before = m;
+  AddOuterProduct(&m, Vector(rows, 0.0), FillVector(cols, 800));
+  for (size_t i = 0; i < m.size(); ++i) {
+    EXPECT_EQ(m.data()[i], m_before.data()[i]);
+  }
+}
+
+// Shapes straddle every remainder class of the 4-wide blocking: 1..5 rows
+// and cols, plus realistic gate sizes (4d x d with d = 12 and 13).
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, BlockedKernelTest,
+    ::testing::Values(std::make_pair<size_t, size_t>(1, 1),
+                      std::make_pair<size_t, size_t>(1, 5),
+                      std::make_pair<size_t, size_t>(2, 3),
+                      std::make_pair<size_t, size_t>(3, 2),
+                      std::make_pair<size_t, size_t>(4, 4),
+                      std::make_pair<size_t, size_t>(5, 4),
+                      std::make_pair<size_t, size_t>(7, 9),
+                      std::make_pair<size_t, size_t>(48, 12),
+                      std::make_pair<size_t, size_t>(52, 13)));
 
 TEST(ActivationTest, SigmoidAndTanh) {
   Vector s, t;

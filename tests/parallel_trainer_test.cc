@@ -1,0 +1,321 @@
+// Determinism tests for multi-threaded training and bulk encoding.
+//
+// The parallel trainer's contract is that thread count is an execution
+// detail, not a semantic knob: a batch reads the batch-start state, anchors
+// draw from pre-split RNG streams, and gradients/memory writes commit in
+// anchor order. These tests pin that contract down — identical loss
+// trajectories, checkpoints, and models for every thread count, including
+// across an interrupt/resume boundary — and cover the EmbeddingDatabase
+// built on top of parallel encoding.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/file_util.h"
+#include "common/framing.h"
+#include "core/embedding_db.h"
+#include "core/trainer.h"
+#include "distance/pairwise.h"
+#include "test_util.h"
+
+namespace neutraj {
+namespace {
+
+/// Small clustered corpus (near-duplicates exist, so training has signal).
+std::vector<Trajectory> ClusteredCorpus(size_t n, Rng* rng) {
+  std::vector<Trajectory> templates;
+  for (int k = 0; k < 4; ++k) {
+    templates.push_back(testing::RandomTrajectory(10, 1000.0, rng));
+  }
+  std::vector<Trajectory> out;
+  for (size_t i = 0; i < n; ++i) {
+    const Trajectory& base = templates[i % templates.size()];
+    Trajectory t;
+    for (size_t j = 0; j < base.size(); ++j) {
+      t.Append(Point(base[j].x + rng->Gaussian(0, 15.0),
+                     base[j].y + rng->Gaussian(0, 15.0)));
+    }
+    out.push_back(std::move(t));
+  }
+  return out;
+}
+
+Grid CorpusGrid(const std::vector<Trajectory>& corpus) {
+  BoundingBox region = BoundingBox::Empty();
+  for (const Trajectory& t : corpus) region.Extend(t.Bounds());
+  return Grid(region.Inflated(10.0), 60.0);
+}
+
+NeuTrajConfig TinyConfig() {
+  NeuTrajConfig cfg = NeuTrajConfig::NeuTraj();
+  cfg.embedding_dim = 12;
+  cfg.scan_width = 1;
+  cfg.sampling_num = 4;
+  cfg.batch_size = 8;
+  cfg.epochs = 4;
+  cfg.learning_rate = 5e-3;
+  return cfg;
+}
+
+/// Asserts two checkpoints describe the same training state. Every section
+/// except "history" must match byte for byte; "history" carries wall-clock
+/// seconds per epoch, so it is compared field-wise with seconds ignored.
+void ExpectSameTrainingState(const std::string& path_a,
+                             const std::string& path_b) {
+  const SectionReader a(ReadFile(path_a), "checkpoint", path_a);
+  const SectionReader b(ReadFile(path_b), "checkpoint", path_b);
+  for (const char* sec : {"run", "progress", "params", "memory", "adam",
+                          "rng"}) {
+    EXPECT_EQ(a.Get(sec), b.Get(sec)) << "checkpoint section " << sec;
+  }
+
+  std::istringstream ha(a.Get("history")), hb(b.Get("history"));
+  size_t na = 0, nb = 0;
+  ASSERT_TRUE(ha >> na);
+  ASSERT_TRUE(hb >> nb);
+  ASSERT_EQ(na, nb);
+  for (size_t i = 0; i < na; ++i) {
+    size_t epoch_a = 0, epoch_b = 0;
+    double loss_a = 0, loss_b = 0, seconds = 0;
+    ASSERT_TRUE(ha >> epoch_a >> loss_a >> seconds);
+    ASSERT_TRUE(hb >> epoch_b >> loss_b >> seconds);
+    EXPECT_EQ(epoch_a, epoch_b);
+    EXPECT_EQ(loss_a, loss_b) << "epoch " << epoch_a << " loss";
+  }
+}
+
+class ParallelTrainerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = (std::filesystem::temp_directory_path() /
+            (std::string("neutraj_par_") + info->name()))
+               .string();
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string dir_;
+};
+
+/// The tentpole acceptance test: a training run is a pure function of the
+/// config and data — never of the thread count. Losses must match exactly
+/// (not approximately) and the full optimizer state (params, Adam moments,
+/// SAM memory, RNG stream) must serialize identically.
+TEST_F(ParallelTrainerTest, EpochsAreBitForBitAcrossThreadCounts) {
+  Rng rng(71);
+  const auto corpus = ClusteredCorpus(16, &rng);
+  const DistanceMatrix d = ComputePairwiseDistances(corpus, Measure::kFrechet);
+  const Grid grid = CorpusGrid(corpus);
+
+  NeuTrajConfig base = TinyConfig();
+  TrainResult serial_result;
+  std::string serial_ckpt;
+  for (const size_t threads : {1ul, 2ul, 4ul}) {
+    NeuTrajConfig cfg = base;
+    cfg.threads = threads;
+    Trainer trainer(cfg, grid, corpus, d);
+    const TrainResult result = trainer.Train();
+    ASSERT_EQ(result.epochs.size(), cfg.epochs);
+    const std::string ckpt =
+        dir_ + "/t" + std::to_string(threads) + ".ckpt";
+    trainer.SaveCheckpoint(ckpt);
+
+    if (threads == 1) {
+      serial_result = result;
+      serial_ckpt = ckpt;
+      continue;
+    }
+    for (size_t i = 0; i < result.epochs.size(); ++i) {
+      EXPECT_EQ(result.epochs[i].mean_loss, serial_result.epochs[i].mean_loss)
+          << "threads=" << threads << " epoch " << i;
+    }
+    ExpectSameTrainingState(serial_ckpt, ckpt);
+  }
+}
+
+/// Same contract for the SAM-GRU backbone, whose memory writes also go
+/// through the ordered write log.
+TEST_F(ParallelTrainerTest, SamGruEpochsAreBitForBitAcrossThreadCounts) {
+  Rng rng(72);
+  const auto corpus = ClusteredCorpus(12, &rng);
+  const DistanceMatrix d = ComputePairwiseDistances(corpus, Measure::kHausdorff);
+  const Grid grid = CorpusGrid(corpus);
+
+  NeuTrajConfig cfg = TinyConfig();
+  cfg.backbone = nn::Backbone::kSamGru;
+  cfg.epochs = 3;
+
+  Trainer serial(cfg, grid, corpus, d);
+  serial.Train();
+  serial.SaveCheckpoint(dir_ + "/serial.ckpt");
+
+  cfg.threads = 3;
+  Trainer parallel(cfg, grid, corpus, d);
+  parallel.Train();
+  parallel.SaveCheckpoint(dir_ + "/parallel.ckpt");
+
+  ExpectSameTrainingState(dir_ + "/serial.ckpt", dir_ + "/parallel.ckpt");
+}
+
+/// Checkpoint/resume composes with threading, in both directions: a run
+/// interrupted under threads=1 may resume under threads=4 (and vice versa)
+/// and still match the uninterrupted serial run bit for bit.
+TEST_F(ParallelTrainerTest, ResumeAcrossThreadCountsIsBitForBit) {
+  Rng rng(73);
+  const auto corpus = ClusteredCorpus(16, &rng);
+  const DistanceMatrix d = ComputePairwiseDistances(corpus, Measure::kFrechet);
+  const Grid grid = CorpusGrid(corpus);
+
+  NeuTrajConfig cfg = TinyConfig();
+  Trainer uninterrupted(cfg, grid, corpus, d);
+  const TrainResult full = uninterrupted.Train();
+  uninterrupted.SaveCheckpoint(dir_ + "/full.ckpt");
+
+  for (const size_t first : {1ul, 4ul}) {
+    const size_t second = first == 1 ? 4 : 1;
+    const std::string tag =
+        std::to_string(first) + "to" + std::to_string(second);
+    const std::string ckpt_dir = dir_ + "/" + tag;
+    std::filesystem::create_directories(ckpt_dir);
+
+    NeuTrajConfig cfg1 = cfg;
+    cfg1.threads = first;
+    cfg1.checkpoint_dir = ckpt_dir;
+    Trainer interrupted(cfg1, grid, corpus, d);
+    size_t calls = 0;
+    interrupted.Train(
+        [&](const EpochStats&, NeuTrajModel&) { return ++calls < 2; });
+    ASSERT_EQ(calls, 2u);
+
+    NeuTrajConfig cfg2 = cfg;
+    cfg2.threads = second;
+    Trainer resumed(cfg2, grid, corpus, d);
+    resumed.ResumeFrom(ckpt_dir + "/neutraj.ckpt");
+    EXPECT_EQ(resumed.next_epoch(), 2u);
+    const TrainResult rest = resumed.Train();
+
+    ASSERT_EQ(rest.epochs.size(), full.epochs.size());
+    for (size_t i = 0; i < full.epochs.size(); ++i) {
+      EXPECT_EQ(rest.epochs[i].mean_loss, full.epochs[i].mean_loss)
+          << tag << " epoch " << i;
+    }
+    resumed.SaveCheckpoint(ckpt_dir + "/final.ckpt");
+    ExpectSameTrainingState(dir_ + "/full.ckpt", ckpt_dir + "/final.ckpt");
+  }
+}
+
+/// The trained models also serialize identically: the model file has no
+/// wall-clock content, so it must be byte-for-byte equal across threads.
+TEST_F(ParallelTrainerTest, TrainedModelFilesAreByteIdentical) {
+  Rng rng(74);
+  const auto corpus = ClusteredCorpus(12, &rng);
+  const DistanceMatrix d = ComputePairwiseDistances(corpus, Measure::kFrechet);
+  const Grid grid = CorpusGrid(corpus);
+
+  NeuTrajConfig cfg = TinyConfig();
+  cfg.epochs = 2;
+  Trainer serial(cfg, grid, corpus, d);
+  serial.Train();
+  serial.TakeModel().Save(dir_ + "/serial.model");
+
+  cfg.threads = 4;
+  Trainer parallel(cfg, grid, corpus, d);
+  parallel.Train();
+  parallel.TakeModel().Save(dir_ + "/parallel.model");
+
+  EXPECT_EQ(ReadFile(dir_ + "/serial.model"),
+            ReadFile(dir_ + "/parallel.model"));
+}
+
+class EmbeddingDatabaseTest : public ParallelTrainerTest {
+ protected:
+  /// A small trained model plus its corpus, shared setup for the DB tests.
+  void BuildModel() {
+    Rng rng(75);
+    corpus_ = ClusteredCorpus(14, &rng);
+    const DistanceMatrix d =
+        ComputePairwiseDistances(corpus_, Measure::kFrechet);
+    NeuTrajConfig cfg = TinyConfig();
+    cfg.epochs = 2;
+    Trainer trainer(cfg, CorpusGrid(corpus_), corpus_, d);
+    trainer.Train();
+    model_.emplace(trainer.TakeModel());
+  }
+
+  std::vector<Trajectory> corpus_;
+  std::optional<NeuTrajModel> model_;
+};
+
+TEST_F(EmbeddingDatabaseTest, ParallelBuildMatchesSerialBuild) {
+  BuildModel();
+  const EmbeddingDatabase serial = EmbeddingDatabase::Build(*model_, corpus_);
+  const EmbeddingDatabase parallel =
+      EmbeddingDatabase::Build(*model_, corpus_, /*threads=*/4);
+  ASSERT_EQ(serial.size(), corpus_.size());
+  ASSERT_EQ(parallel.size(), corpus_.size());
+  EXPECT_EQ(serial.dim(), parallel.dim());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial.at(i), parallel.at(i)) << "embedding " << i;
+  }
+}
+
+TEST_F(EmbeddingDatabaseTest, TopKMatchesDirectScan) {
+  BuildModel();
+  const EmbeddingDatabase db = EmbeddingDatabase::Build(*model_, corpus_, 2);
+  const nn::Vector query = model_->Embed(corpus_[3]);
+
+  const SearchResult via_db = db.TopK(query, 5, /*exclude=*/3);
+  const SearchResult direct = EmbeddingTopK(db.embeddings(), query, 5, 3);
+  EXPECT_EQ(via_db.ids, direct.ids);
+  EXPECT_EQ(via_db.dists, direct.dists);
+
+  // The trajectory-query overload embeds and delegates.
+  const SearchResult by_traj = db.TopK(*model_, corpus_[3], 5, 3);
+  EXPECT_EQ(by_traj.ids, via_db.ids);
+}
+
+TEST_F(EmbeddingDatabaseTest, TopKRejectsDimensionMismatch) {
+  BuildModel();
+  const EmbeddingDatabase db = EmbeddingDatabase::Build(*model_, corpus_);
+  EXPECT_THROW(db.TopK(nn::Vector(db.dim() + 1), 3), std::invalid_argument);
+}
+
+TEST_F(EmbeddingDatabaseTest, SaveLoadRoundTripsExactly) {
+  BuildModel();
+  const EmbeddingDatabase db = EmbeddingDatabase::Build(*model_, corpus_, 2);
+  const std::string path = dir_ + "/corpus.embdb";
+  db.Save(path);
+  const EmbeddingDatabase loaded = EmbeddingDatabase::Load(path);
+  ASSERT_EQ(loaded.size(), db.size());
+  EXPECT_EQ(loaded.dim(), db.dim());
+  for (size_t i = 0; i < db.size(); ++i) {
+    EXPECT_EQ(loaded.at(i), db.at(i)) << "embedding " << i;
+  }
+}
+
+TEST_F(EmbeddingDatabaseTest, LoadRejectsCorruptFile) {
+  BuildModel();
+  const EmbeddingDatabase db = EmbeddingDatabase::Build(*model_, corpus_);
+  const std::string path = dir_ + "/corpus.embdb";
+  db.Save(path);
+
+  // Flip one payload byte: the section CRC must catch it.
+  std::string bytes = ReadFile(path);
+  bytes[bytes.size() / 2] ^= 0x20;
+  WriteFileAtomic(path + ".bad", bytes);
+  EXPECT_THROW(EmbeddingDatabase::Load(path + ".bad"), std::runtime_error);
+
+  // Truncation is also rejected.
+  WriteFileAtomic(path + ".trunc", bytes.substr(0, bytes.size() / 2));
+  EXPECT_THROW(EmbeddingDatabase::Load(path + ".trunc"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace neutraj

@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdint>
 #include <numeric>
+#include <stdexcept>
 
 #include "common/thread_pool.h"
 #include "core/trainer.h"
@@ -46,6 +48,58 @@ TEST(ThreadPoolTest, DestructorDrainsOutstandingWork) {
     // No Wait(): the destructor must still run everything.
   }
   EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPoolTest, WaitRethrowsTaskException) {
+  ThreadPool pool(2);
+  pool.Submit([] { throw std::runtime_error("worker failed"); });
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, OnlyFirstExceptionIsReportedAndPoolStaysUsable) {
+  ThreadPool pool(2);
+  for (int i = 0; i < 8; ++i) {
+    pool.Submit([] { throw std::runtime_error("boom"); });
+  }
+  // Exactly one rethrow for the batch, whichever task lost the race.
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+
+  // The error is cleared: the pool keeps accepting and running work.
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 20; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();  // Must not throw again.
+  EXPECT_EQ(counter.load(), 20);
+}
+
+TEST(ThreadPoolTest, ExceptionDoesNotAbandonSiblingTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 64; ++i) {
+    if (i == 7) {
+      pool.Submit([] { throw std::logic_error("mid-batch failure"); });
+    } else {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+  }
+  EXPECT_THROW(pool.Wait(), std::logic_error);
+  // Every non-throwing task still ran; the failure only poisons Wait().
+  EXPECT_EQ(counter.load(), 63);
+}
+
+TEST(ThreadPoolTest, StressSubmitWaitCycles) {
+  ThreadPool pool(4);
+  std::atomic<int64_t> sum{0};
+  int64_t expected = 0;
+  for (int round = 0; round < 50; ++round) {
+    for (int i = 0; i < 32; ++i) {
+      pool.Submit([&sum, round, i] { sum.fetch_add(round * 32 + i); });
+      expected += round * 32 + i;
+    }
+    pool.Wait();
+  }
+  EXPECT_EQ(sum.load(), expected);
 }
 
 TEST(ThreadPoolTest, ClampsToAtLeastOneWorker) {

@@ -4,8 +4,10 @@
 //   generate  --preset porto|geolife --scale S --out corpus.csv [--seed N]
 //   train     --data corpus.csv --out model.ntj [--measure M] [--variant V]
 //             [--epochs N] [--dim D] [--width W] [--seed-fraction F]
-//   embed     --model model.ntj --data corpus.csv --out embeds.txt
+//             [--threads T]
+//   embed     --model model.ntj --data corpus.csv --out embeds.txt [--threads T]
 //   search    --model model.ntj --data corpus.csv --query I [--k K] [--rerank]
+//             [--threads T]
 //   cluster   --model model.ntj --data corpus.csv --eps E [--min-pts P]
 //   distance  --data corpus.csv --i A --j B [--measure M]
 //
@@ -92,8 +94,10 @@ void PrintUsage() {
       "no-sam|no-ws]\n"
       "            [--epochs N] [--dim D] [--width W] [--seed-fraction F]\n"
       "            [--checkpoint-dir D [--checkpoint-every N] [--resume]]\n"
-      "  embed     --model M --data F --out E\n"
-      "  search    --model M --data F --query I [--k K] [--rerank]\n"
+      "            [--threads T]\n"
+      "  embed     --model M --data F --out E [--threads T]\n"
+      "  search    --model M --data F --query I [--k K] [--rerank] "
+      "[--threads T]\n"
       "  cluster   --model M --data F --eps E [--min-pts P]\n"
       "  distance  --data F --i A --j B [--measure m]\n");
 }
@@ -134,6 +138,9 @@ int CmdTrain(const Args& args) {
   cfg.checkpoint_dir = args.Get("checkpoint-dir", "");
   cfg.checkpoint_every =
       static_cast<size_t>(args.GetInt("checkpoint-every", 1));
+  // Training is bit-for-bit identical for every thread count, so --threads
+  // is a pure wall-clock knob.
+  cfg.threads = static_cast<size_t>(args.GetInt("threads", 1));
 
   const double frac = args.GetDouble("seed-fraction", 0.2);
   DatasetSplit split = SplitDataset(db, frac, 0.0);
@@ -179,8 +186,10 @@ int CmdTrain(const Args& args) {
 int CmdEmbed(const Args& args) {
   const NeuTrajModel model = NeuTrajModel::Load(args.Require("model"));
   const auto corpus = LoadCorpusGuarded(args.Require("data"));
+  const size_t threads = static_cast<size_t>(args.GetInt("threads", 1));
   Stopwatch sw;
-  const auto embeds = model.EmbedAll(corpus);
+  const auto embeds = threads > 1 ? model.EmbedAllParallel(corpus, threads)
+                                  : model.EmbedAll(corpus);
   std::string out;
   char buf[32];
   for (const auto& e : embeds) {
@@ -203,14 +212,15 @@ int CmdSearch(const Args& args) {
   const auto corpus = LoadCorpusGuarded(args.Require("data"));
   const size_t query = static_cast<size_t>(args.GetInt("query", 0));
   const size_t k = static_cast<size_t>(args.GetInt("k", 10));
+  const size_t threads = static_cast<size_t>(args.GetInt("threads", 1));
   if (query >= corpus.size()) throw std::runtime_error("query id out of range");
 
   Stopwatch sw;
-  const auto embeds = model.EmbedAll(corpus);
+  const EmbeddingDatabase db = EmbeddingDatabase::Build(model, corpus, threads);
   const double embed_s = sw.ElapsedSeconds();
   sw.Restart();
-  SearchResult result = EmbeddingTopK(embeds, embeds[query], std::max(k, 50ul),
-                                      static_cast<int64_t>(query));
+  SearchResult result =
+      db.TopK(db.at(query), std::max(k, 50ul), static_cast<int64_t>(query));
   if (args.Has("rerank")) {
     result = RerankByExact(corpus, corpus[query], result.ids,
                            ExactDistanceFn(model.config().measure), k);

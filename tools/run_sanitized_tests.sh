@@ -1,13 +1,15 @@
 #!/usr/bin/env bash
-# Runs the tier-1 test suite under AddressSanitizer and/or UndefinedBehavior-
-# Sanitizer via the NEUTRAJ_SANITIZE CMake option.
+# Runs the tier-1 test suite under AddressSanitizer, UndefinedBehavior-
+# Sanitizer, or ThreadSanitizer via the NEUTRAJ_SANITIZE CMake option.
 #
 # Usage:
-#   tools/run_sanitized_tests.sh [address|undefined|address,undefined] [ctest-args...]
+#   tools/run_sanitized_tests.sh [address|undefined|address,undefined|thread] [ctest-args...]
 #
 # Defaults to "address". Each sanitizer combination uses its own build
-# directory (build-asan, build-ubsan, build-asan-ubsan) so sanitized and
-# regular builds never mix objects.
+# directory (build-asan, build-ubsan, build-asan-ubsan, build-tsan) so
+# sanitized and regular builds never mix objects. TSan cannot combine with
+# ASan, hence the separate option value; use it to vet the parallel trainer
+# and parallel embedding paths (thread_pool_test, parallel_trainer_test).
 set -euo pipefail
 
 SAN="${1:-address}"
@@ -17,8 +19,9 @@ case "$SAN" in
   address)            BUILD_DIR="build-asan" ;;
   undefined)          BUILD_DIR="build-ubsan" ;;
   address,undefined)  BUILD_DIR="build-asan-ubsan" ;;
+  thread)             BUILD_DIR="build-tsan" ;;
   *)
-    echo "error: unknown sanitizer '$SAN' (use address, undefined, or address,undefined)" >&2
+    echo "error: unknown sanitizer '$SAN' (use address, undefined, address,undefined, or thread)" >&2
     exit 2
     ;;
 esac
@@ -37,5 +40,6 @@ cmake --build "$BUILD_DIR" -j "$(nproc)"
 # crisp under ctest.
 export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}"
 export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1:halt_on_error=1}"
+export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1:second_deadlock_stack=1}"
 
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" "$@"
