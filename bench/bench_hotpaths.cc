@@ -82,7 +82,8 @@ KernelTiming TimeKernel(const std::string& name, size_t rows, size_t cols,
   sw.Restart();
   for (size_t i = 0; i < reps; ++i) blocked();
   const double blocked_s = sw.ElapsedSeconds();
-  return {name, rows, cols, naive_s / reps * 1e9, blocked_s / reps * 1e9};
+  return {name, rows, cols, naive_s / static_cast<double>(reps) * 1e9,
+          blocked_s / static_cast<double>(reps) * 1e9};
 }
 
 std::vector<KernelTiming> BenchKernels() {
@@ -154,10 +155,10 @@ std::vector<ThreadTiming> BenchTraining() {
         EmbeddingDatabase::Build(model, data.trajectories, threads);
     const double encode_s = sw.ElapsedSeconds();
 
-    out.push_back({threads, train_s / cfg.epochs,
+    out.push_back({threads, train_s / static_cast<double>(cfg.epochs),
                    result.epochs.front().mean_loss, encode_s});
     std::printf("  threads=%zu  epoch %.3fs  encode %zu trajs %.3fs\n",
-                threads, train_s / cfg.epochs, db.size(), encode_s);
+                threads, train_s / static_cast<double>(cfg.epochs), db.size(), encode_s);
     if (result.epochs.front().mean_loss != out.front().first_loss) {
       std::fprintf(stderr,
                    "FATAL: loss diverged at threads=%zu — determinism bug\n",

@@ -48,7 +48,7 @@ int main() {
     TrainedModel tm = GetModel(ctx, VariantConfig(variant, Measure::kFrechet));
     double epoch_mean = 0.0;
     for (const EpochStats& e : tm.stats.epochs) epoch_mean += e.seconds;
-    epoch_mean /= std::max<size_t>(1, tm.stats.epochs.size());
+    epoch_mean /= static_cast<double>(std::max<size_t>(1, tm.stats.epochs.size()));
 
     Stopwatch sw;
     const auto embeds = tm.model.EmbedAll(big.trajectories);

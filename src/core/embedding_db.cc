@@ -3,6 +3,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "common/check.h"
 #include "common/file_util.h"
 #include "common/framing.h"
 
@@ -80,6 +81,7 @@ EmbeddingDatabase EmbeddingDatabase::Load(const std::string& path) {
         throw std::runtime_error(source + ": truncated embedding values");
       }
     }
+    NEUTRAJ_DCHECK_FINITE(e);
   }
   return db;
 }

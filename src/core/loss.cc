@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "common/check.h"
+
 namespace neutraj {
 
 PairLoss SimilarPairLoss(double g, double f, double r) {
@@ -23,6 +25,12 @@ PairLoss MsePairLoss(double g, double f, double w) {
 void BackpropPairSimilarity(const nn::Vector& e_a, const nn::Vector& e_b,
                             double g, double dg, nn::Vector* de_a,
                             nn::Vector* de_b) {
+  NEUTRAJ_DCHECK_MSG(e_a.size() == e_b.size(),
+                     "BackpropPairSimilarity: embedding widths must match");
+  NEUTRAJ_DCHECK_MSG(de_a != nullptr && de_a->size() == e_a.size() &&
+                         de_b != nullptr && de_b->size() == e_b.size(),
+                     "BackpropPairSimilarity: gradient accumulators must be "
+                     "pre-sized");
   // g = exp(-dist), dist = ||e_a - e_b||.
   // dL/de_a = dg * dg/ddist * ddist/de_a = dg * (-g) * (e_a - e_b) / dist.
   const double dist = nn::L2Distance(e_a, e_b);

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/check.h"
+
 namespace neutraj {
 
 namespace {
@@ -20,6 +22,7 @@ void SortBySimilarity(const SimilarityMatrix& s, size_t anchor,
 AnchorSample SampleAnchorPairs(const SimilarityMatrix& s, size_t anchor,
                                size_t n, SamplingStrategy strategy, Rng* rng) {
   const size_t pool = s.size();
+  NEUTRAJ_DCHECK_MSG(anchor < pool, "SampleAnchorPairs: anchor id range");
   AnchorSample out;
   out.anchor = anchor;
   if (pool < 2 || n == 0) return out;

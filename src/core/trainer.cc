@@ -7,6 +7,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "common/check.h"
 #include "common/file_util.h"
 #include "common/framing.h"
 #include "common/stopwatch.h"
@@ -111,6 +112,7 @@ Trainer::Trainer(const NeuTrajConfig& cfg, const Grid& grid,
 double Trainer::ProcessAnchor(size_t anchor, Rng* rng, nn::GradBuffer* sink,
                               nn::MemoryWriteLog* write_log,
                               AnchorScratch* scratch) {
+  NEUTRAJ_DCHECK_MSG(anchor < seeds_.size(), "ProcessAnchor: anchor id range");
   const AnchorSample sample = SampleAnchorPairs(
       guidance_, anchor, cfg_.sampling_num, cfg_.sampling, rng);
 
@@ -311,6 +313,11 @@ TrainResult Trainer::Train(const EpochCallback& callback) {
   // epoch boundary (same format as the on-disk checkpoint).
   std::string last_good;
   if (cfg_.watchdog) last_good = SerializeState();
+
+  // The watchdog must be the one to observe non-finite losses/parameters so
+  // it can roll back; with it armed, checked-build finiteness contracts would
+  // abort first, so they are suspended for the duration of training.
+  const ScopedSuspendFiniteChecks finite_guard(cfg_.watchdog);
 
   std::vector<size_t> anchors(seeds_.size());
 

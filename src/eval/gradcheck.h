@@ -1,0 +1,50 @@
+// Exhaustive finite-difference audit of every hand-written backward pass.
+//
+// The audit enumerates a battery of cases — every backbone (LSTM, SAM-LSTM,
+// GRU, SAM-GRU), every parameter at gate-block resolution, the attention
+// read paths (masked, single-row, direct logit gradients), the ranking-loss
+// branches, and edge shapes (length-1 trajectories, zero scan width,
+// all-masked windows, memory populated by prior writes) — and compares each
+// analytic gradient against central finite differences of a recomputed
+// scalar loss.
+//
+// Shared by tests/nn_gradcheck_test.cc (which asserts every record is below
+// tolerance and that the blocks designed to be live saw gradient signal)
+// and the tools/gradcheck CLI (which prints the full table for humans).
+
+#ifndef NEUTRAJ_EVAL_GRADCHECK_H_
+#define NEUTRAJ_EVAL_GRADCHECK_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace neutraj::eval {
+
+/// One audited gradient block: a whole parameter, one gate block of a
+/// stacked parameter (rows [g*h, (g+1)*h)), or a non-parameter input vector
+/// (attention query, loss embedding, layer input).
+struct GradAuditRecord {
+  std::string case_name;  ///< Battery case, e.g. "sam_lstm/frozen_w1".
+  std::string block;      ///< Audited block, e.g. "encoder.sam.Wg[s]".
+  size_t checked = 0;     ///< Entries probed (strided when blocks are big).
+  double max_rel_err = 0.0;  ///< max |analytic - fd| / max(1, |a|, |fd|).
+  double max_abs_grad = 0.0;  ///< max |analytic| — zero means an inert block.
+};
+
+struct GradAuditOptions {
+  double eps = 1e-6;       ///< Central-difference step.
+  size_t max_checks = 32;  ///< Entries probed per block (strided).
+};
+
+/// Runs the whole battery and returns one record per audited block.
+/// Deterministic: fixed per-case RNG seeds, no global state.
+std::vector<GradAuditRecord> RunGradientAudit(const GradAuditOptions& opts = {});
+
+/// Renders the audit as an aligned text table (one record per line, worst
+/// offenders are easy to scan for); used by the tools/gradcheck CLI.
+std::string FormatGradAuditTable(const std::vector<GradAuditRecord>& records);
+
+}  // namespace neutraj::eval
+
+#endif  // NEUTRAJ_EVAL_GRADCHECK_H_

@@ -4,10 +4,16 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "common/check.h"
+
 namespace neutraj::nn {
 
 Adam::Adam(std::vector<Param*> params, const AdamOptions& opts)
     : params_(std::move(params)), opts_(opts) {
+  NEUTRAJ_DCHECK_MSG(opts_.learning_rate > 0.0 && opts_.beta1 >= 0.0 &&
+                         opts_.beta1 < 1.0 && opts_.beta2 >= 0.0 &&
+                         opts_.beta2 < 1.0 && opts_.epsilon > 0.0,
+                     "Adam: hyperparameters out of range");
   m_.reserve(params_.size());
   v_.reserve(params_.size());
   for (const Param* p : params_) {
@@ -18,6 +24,7 @@ Adam::Adam(std::vector<Param*> params, const AdamOptions& opts)
 
 double Adam::Step() {
   double norm = GradNorm(params_);
+  NEUTRAJ_DCHECK_FINITE(norm);
   if (opts_.clip_norm > 0.0) {
     ClipGradNorm(params_, opts_.clip_norm);
   }
@@ -37,6 +44,7 @@ double Adam::Step() {
       const double vhat = v[k] / bc2;
       value[k] -= opts_.learning_rate * mhat / (std::sqrt(vhat) + opts_.epsilon);
     }
+    NEUTRAJ_DCHECK_FINITE(value);
   }
   return norm;
 }

@@ -2,6 +2,8 @@
 
 #include <limits>
 
+#include "common/check.h"
+
 namespace neutraj::nn {
 
 namespace {
@@ -19,6 +21,10 @@ void AttentionForward(const Matrix& g, const Vector& q, AttentionTape* tape,
 void AttentionForwardPrefilled(AttentionTape* tape, const Vector& q,
                                const std::vector<char>* mask) {
   const Matrix& g = tape->g;
+  NEUTRAJ_DCHECK_MSG(g.cols() == q.size(), "attention query width mismatch");
+  NEUTRAJ_DCHECK_MSG(mask == nullptr || mask->size() == g.rows(),
+                     "attention mask must have one flag per window row");
+  NEUTRAJ_DCHECK_FINITE(q);
   MatVec(g, q, &tape->a);
   tape->all_masked = false;
   if (mask != nullptr) {
@@ -39,12 +45,19 @@ void AttentionForwardPrefilled(AttentionTape* tape, const Vector& q,
   }
   SoftmaxInPlace(&tape->a);
   MatTVec(g, tape->a, &tape->mix);
+  NEUTRAJ_DCHECK_FINITE(tape->mix);
 }
 
 void AttentionBackward(const AttentionTape& tape, const Vector& dmix,
                        const Vector* da_direct, Vector* dq_accum,
                        Vector* da_scratch, Vector* du_scratch) {
   if (tape.all_masked) return;  // mix was constant zero; no query gradient.
+  NEUTRAJ_DCHECK_MSG(dmix.size() == tape.g.cols(),
+                     "attention dmix width mismatch");
+  NEUTRAJ_DCHECK_MSG(da_direct == nullptr || da_direct->size() == tape.a.size(),
+                     "attention da_direct length mismatch");
+  NEUTRAJ_DCHECK_MSG(dq_accum != nullptr && dq_accum->size() == tape.g.cols(),
+                     "attention dq accumulator must be pre-sized");
   Vector local_da, local_du;
   Vector& da = da_scratch != nullptr ? *da_scratch : local_da;
   Vector& du = du_scratch != nullptr ? *du_scratch : local_du;

@@ -2,11 +2,12 @@
 
 #include <stdexcept>
 
+#include "common/check.h"
+
 namespace neutraj::nn {
 
 namespace {
 
-bool IsGru(Backbone b) { return b == Backbone::kGru || b == Backbone::kSamGru; }
 bool HasSam(Backbone b) {
   return b == Backbone::kSamLstm || b == Backbone::kSamGru;
 }
@@ -120,6 +121,7 @@ Vector Encoder::Encode(const Trajectory& traj, bool update_memory,
     }
     h.swap(h_next);
   }
+  NEUTRAJ_DCHECK_FINITE(h);
   return h;
 }
 
@@ -128,6 +130,12 @@ void Encoder::Backward(const EncodeTape& tape, const Vector& d_embedding,
   if (d_embedding.size() != hidden_) {
     throw std::invalid_argument("Backward: gradient dimension mismatch");
   }
+  NEUTRAJ_DCHECK_MSG(
+      tape.length == (backbone_ == Backbone::kLstm ? tape.lstm_steps.size()
+                      : backbone_ == Backbone::kSamLstm
+                          ? tape.sam_steps.size()
+                          : tape.gru_steps.size()),
+      "Encoder::Backward: tape length does not match recorded steps");
   CellWorkspace local_ws_storage;
   CellWorkspace* w = ws != nullptr ? ws : &local_ws_storage;
   Vector& dh = w->dh;

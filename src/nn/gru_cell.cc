@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "common/check.h"
 #include "nn/init.h"
 
 namespace neutraj::nn {
@@ -58,6 +59,13 @@ void SamGruCell::Forward(const Vector& x, const Vector& h_prev,
                          Vector* h, CellWorkspace* ws,
                          MemoryWriteLog* write_log) const {
   const size_t d = hidden_;
+  NEUTRAJ_DCHECK_MSG(x.size() == input_dim(), "SamGruCell::Forward input width");
+  NEUTRAJ_DCHECK_MSG(h_prev.size() == d, "SamGruCell::Forward state width");
+  NEUTRAJ_DCHECK_MSG(!use_memory || (memory != nullptr && memory->dim() == d),
+                     "SamGruCell::Forward memory width must equal hidden_dim");
+  NEUTRAJ_DCHECK_MSG(!use_memory || !window_cells.empty(),
+                     "SamGruCell::Forward scan window must be non-empty");
+  NEUTRAJ_DCHECK_FINITE(x);
   CellWorkspace local_ws_storage;
   CellWorkspace* w = ws != nullptr ? ws : &local_ws_storage;
   Vector& pre = w->pre;
@@ -119,6 +127,7 @@ void SamGruCell::Forward(const Vector& x, const Vector& h_prev,
   for (size_t k = 0; k < d; ++k) {
     (*h)[k] = (1.0 - tape->z[k]) * tape->n_prime[k] + tape->z[k] * h_prev[k];
   }
+  NEUTRAJ_DCHECK_FINITE(*h);
   if (use_memory && update_memory) {
     if (write_log != nullptr) {
       write_log->push_back({center, tape->s, *h});
@@ -132,6 +141,15 @@ void SamGruCell::Backward(const GruTape& tape, const Vector& dh,
                           Vector* dh_prev_accum, Vector* dx_accum,
                           GradBuffer* sink, CellWorkspace* ws) {
   const size_t d = hidden_;
+  NEUTRAJ_DCHECK_MSG(dh.size() == d, "SamGruCell::Backward gradient width");
+  NEUTRAJ_DCHECK_MSG(dh_prev_accum != nullptr && dh_prev_accum->size() == d,
+                     "SamGruCell::Backward accumulator must be pre-sized");
+  NEUTRAJ_DCHECK_MSG(dx_accum == nullptr || dx_accum->size() == input_dim(),
+                     "SamGruCell::Backward dx accumulator must be pre-sized");
+  NEUTRAJ_DCHECK_MSG(sink == nullptr || sink->size() == Params().size(),
+                     "SamGruCell::Backward sink arity");
+  NEUTRAJ_DCHECK_MSG(!tape.used_memory || tape.att.g.cols() == d,
+                     "SamGruCell::Backward tape window width");
   CellWorkspace local_ws_storage;
   CellWorkspace* w = ws != nullptr ? ws : &local_ws_storage;
   // h = (1-z) (*) n' + z (*) h_prev.

@@ -1,5 +1,6 @@
 #include "nn/linear.h"
 
+#include "common/check.h"
 #include "nn/init.h"
 
 namespace neutraj::nn {
@@ -13,11 +14,17 @@ void Linear::Initialize(Rng* rng) {
 }
 
 void Linear::Forward(const Vector& x, Vector* y) const {
+  NEUTRAJ_DCHECK_MSG(x.size() == in_dim(), "Linear::Forward input width");
   MatVec(weight_.value, x, y);
   for (size_t i = 0; i < y->size(); ++i) (*y)[i] += bias_.value(i, 0);
+  NEUTRAJ_DCHECK_FINITE(*y);
 }
 
 void Linear::Backward(const Vector& x, const Vector& dy, Vector* dx_accum) {
+  NEUTRAJ_DCHECK_MSG(x.size() == in_dim() && dy.size() == out_dim(),
+                     "Linear::Backward shape mismatch");
+  NEUTRAJ_DCHECK_MSG(dx_accum == nullptr || dx_accum->size() == in_dim(),
+                     "Linear::Backward dx accumulator must be pre-sized");
   AddOuterProduct(&weight_.grad, dy, x);
   for (size_t i = 0; i < dy.size(); ++i) bias_.grad(i, 0) += dy[i];
   if (dx_accum != nullptr) {

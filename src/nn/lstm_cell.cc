@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "common/check.h"
 #include "nn/init.h"
 
 namespace neutraj::nn {
@@ -39,6 +40,10 @@ void LstmCell::Forward(const Vector& x, const Vector& h_prev,
                        const Vector& c_prev, LstmTape* tape, Vector* h,
                        Vector* c, CellWorkspace* ws) const {
   const size_t d = hidden_;
+  NEUTRAJ_DCHECK_MSG(x.size() == input_dim(), "LstmCell::Forward input width");
+  NEUTRAJ_DCHECK_MSG(h_prev.size() == d && c_prev.size() == d,
+                     "LstmCell::Forward state width");
+  NEUTRAJ_DCHECK_FINITE(x);
   Vector local_pre;
   Vector& pre = ws != nullptr ? ws->pre : local_pre;
   pre.resize(4 * d);
@@ -68,6 +73,8 @@ void LstmCell::Forward(const Vector& x, const Vector& h_prev,
     (*h)[k] = tape->o[k] * tape->tanh_c[k];
   }
   *c = tape->c;
+  NEUTRAJ_DCHECK_FINITE(*h);
+  NEUTRAJ_DCHECK_FINITE(*c);
 }
 
 void LstmCell::Backward(const LstmTape& tape, const Vector& dh,
@@ -75,6 +82,15 @@ void LstmCell::Backward(const LstmTape& tape, const Vector& dh,
                         Vector* dc_prev_accum, Vector* dx_accum,
                         GradBuffer* sink, CellWorkspace* ws) {
   const size_t d = hidden_;
+  NEUTRAJ_DCHECK_MSG(dh.size() == d && dc_in.size() == d,
+                     "LstmCell::Backward gradient width");
+  NEUTRAJ_DCHECK_MSG(dh_prev_accum != nullptr && dh_prev_accum->size() == d &&
+                         dc_prev_accum != nullptr && dc_prev_accum->size() == d,
+                     "LstmCell::Backward accumulators must be pre-sized");
+  NEUTRAJ_DCHECK_MSG(dx_accum == nullptr || dx_accum->size() == input_dim(),
+                     "LstmCell::Backward dx accumulator must be pre-sized");
+  NEUTRAJ_DCHECK_MSG(sink == nullptr || sink->size() == Params().size(),
+                     "LstmCell::Backward sink arity");
   Vector local_dc, local_dpre;
   Vector& dc = ws != nullptr ? ws->dc : local_dc;
   Vector& dpre = ws != nullptr ? ws->dpre : local_dpre;

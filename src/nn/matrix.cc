@@ -72,6 +72,7 @@ void MatVecAccum(const Matrix& a, const Vector& x, Vector* y) {
     for (; c < cols; ++c) s0 += row[c] * xp[c];
     yp[r] += (s0 + s1) + (s2 + s3);
   }
+  NEUTRAJ_DCHECK_FINITE(*y);
 }
 
 void MatTVec(const Matrix& a, const Vector& x, Vector* y) {
@@ -103,6 +104,7 @@ void MatTVecAccum(const Matrix& a, const Vector& x, Vector* y) {
     const double* row = a.Row(r);
     for (size_t c = 0; c < cols; ++c) yp[c] += row[c] * xr;
   }
+  NEUTRAJ_DCHECK_FINITE(*y);
 }
 
 void AddOuterProduct(Matrix* a, const Vector& u, const Vector& v) {
@@ -183,7 +185,11 @@ void SoftmaxInPlace(Vector* v) {
     x = std::exp(x - m);
     total += x;
   }
+  NEUTRAJ_DCHECK_MSG(check_internal::FiniteChecksSuspended() ||
+                         (total > 0.0 && std::isfinite(total)),
+                     "softmax normalizer must be positive and finite");
   for (double& x : *v) x /= total;
+  NEUTRAJ_DCHECK_FINITE(*v);
 }
 
 void SigmoidInto(const Vector& x, Vector* out) {

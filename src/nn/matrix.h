@@ -13,6 +13,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "common/check.h"
+
 namespace neutraj::nn {
 
 using Vector = std::vector<double>;
@@ -27,11 +29,23 @@ class Matrix {
   size_t cols() const { return cols_; }
   size_t size() const { return data_.size(); }
 
-  double& operator()(size_t r, size_t c) { return data_[r * cols_ + c]; }
-  double operator()(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+  double& operator()(size_t r, size_t c) {
+    NEUTRAJ_DCHECK_MSG(r < rows_ && c < cols_, "Matrix index out of bounds");
+    return data_[r * cols_ + c];
+  }
+  double operator()(size_t r, size_t c) const {
+    NEUTRAJ_DCHECK_MSG(r < rows_ && c < cols_, "Matrix index out of bounds");
+    return data_[r * cols_ + c];
+  }
 
-  double* Row(size_t r) { return data_.data() + r * cols_; }
-  const double* Row(size_t r) const { return data_.data() + r * cols_; }
+  double* Row(size_t r) {
+    NEUTRAJ_DCHECK_MSG(r < rows_, "Matrix row out of bounds");
+    return data_.data() + r * cols_;
+  }
+  const double* Row(size_t r) const {
+    NEUTRAJ_DCHECK_MSG(r < rows_, "Matrix row out of bounds");
+    return data_.data() + r * cols_;
+  }
 
   double* data() { return data_.data(); }
   const double* data() const { return data_.data(); }

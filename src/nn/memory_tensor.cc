@@ -31,9 +31,17 @@ void MemoryTensor::GatherWindow(const std::vector<GridCell>& cells, Matrix* out,
 
 void MemoryTensor::BlendWrite(const GridCell& cell, const Vector& gate,
                               const Vector& value) {
-  if (gate.size() != dim_ || value.size() != dim_) {
-    throw std::invalid_argument("BlendWrite: dimension mismatch");
-  }
+  // Always-on write contract (see header): a malformed or non-finite write
+  // would silently corrupt every later attention read of this cell, so these
+  // fire in every build type, not just under NEUTRAJ_CHECKS.
+  NEUTRAJ_ASSERT_MSG(gate.size() == dim_ && value.size() == dim_,
+                     "BlendWrite shape mismatch");
+  NEUTRAJ_ASSERT_MSG(cell.px >= 0 && cell.px < num_cols_ && cell.qy >= 0 &&
+                         cell.qy < num_rows_,
+                     "BlendWrite cell out of bounds");
+  NEUTRAJ_ASSERT_MSG(check_internal::AllFinite(gate) &&
+                         check_internal::AllFinite(value),
+                     "BlendWrite: non-finite SAM memory write");
   double* slot = MutableSlice(cell);
   for (size_t k = 0; k < dim_; ++k) {
     slot[k] = gate[k] * value[k] + (1.0 - gate[k]) * slot[k];

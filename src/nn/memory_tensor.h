@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/check.h"
 #include "geo/grid.h"
 #include "nn/matrix.h"
 
@@ -49,7 +50,10 @@ class MemoryTensor {
 
   /// Blended write of the paper's Eq. (write):
   ///   M(cell) = gate (*) value + (1 - gate) (*) M(cell)
-  /// `gate` and `value` are d-dimensional.
+  /// `gate` and `value` are d-dimensional. The write contract is enforced
+  /// with always-on NEUTRAJ_ASSERTs (every build type): the cell must be in
+  /// bounds, the shapes must match and the written content must be finite —
+  /// a non-finite write would silently poison every later read of the cell.
   void BlendWrite(const GridCell& cell, const Vector& gate, const Vector& value);
 
   /// Replays recorded writes in log order via BlendWrite — the commit step
@@ -74,7 +78,12 @@ class MemoryTensor {
 
  private:
   size_t Offset(const GridCell& cell) const {
-    return (static_cast<size_t>(cell.qy) * num_cols_ + cell.px) * dim_;
+    NEUTRAJ_DCHECK_MSG(cell.px >= 0 && cell.px < num_cols_ && cell.qy >= 0 &&
+                           cell.qy < num_rows_,
+                       "memory cell out of bounds");
+    return (static_cast<size_t>(cell.qy) * static_cast<size_t>(num_cols_) +
+            static_cast<size_t>(cell.px)) *
+           dim_;
   }
 
   int32_t num_cols_ = 0;

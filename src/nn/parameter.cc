@@ -5,11 +5,16 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "common/check.h"
+
 namespace neutraj::nn {
 
 GradBuffer::GradBuffer(const std::vector<Param*>& params) {
   mats_.reserve(params.size());
   for (const Param* p : params) {
+    NEUTRAJ_DCHECK_MSG(p->grad.rows() == p->value.rows() &&
+                           p->grad.cols() == p->value.cols(),
+                       "Param grad/value shape mismatch");
     mats_.emplace_back(p->value.rows(), p->value.cols());
   }
 }
@@ -46,6 +51,7 @@ double GradNorm(const std::vector<Param*>& params) {
 }
 
 double ClipGradNorm(const std::vector<Param*>& params, double max_norm) {
+  NEUTRAJ_DCHECK_MSG(max_norm > 0.0, "ClipGradNorm: max_norm must be positive");
   const double norm = GradNorm(params);
   if (norm > max_norm && norm > 0.0) {
     const double scale = max_norm / norm;
@@ -98,6 +104,7 @@ void DeserializeParams(const std::string& text,
         throw std::runtime_error("DeserializeParams: truncated values for " + p->name);
       }
     }
+    NEUTRAJ_DCHECK_FINITE(p->value.values());
   }
 }
 

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "common/check.h"
 #include "nn/init.h"
 
 namespace neutraj::nn {
@@ -65,6 +66,14 @@ void SamLstmCell::Forward(const Vector& x, const Vector& h_prev,
                           Vector* h, Vector* c, CellWorkspace* ws,
                           MemoryWriteLog* write_log) const {
   const size_t d = hidden_;
+  NEUTRAJ_DCHECK_MSG(x.size() == input_dim(), "SamLstmCell::Forward input width");
+  NEUTRAJ_DCHECK_MSG(h_prev.size() == d && c_prev.size() == d,
+                     "SamLstmCell::Forward state width");
+  NEUTRAJ_DCHECK_MSG(!use_memory || (memory != nullptr && memory->dim() == d),
+                     "SamLstmCell::Forward memory width must equal hidden_dim");
+  NEUTRAJ_DCHECK_MSG(!use_memory || !window_cells.empty(),
+                     "SamLstmCell::Forward scan window must be non-empty");
+  NEUTRAJ_DCHECK_FINITE(x);
   CellWorkspace local_ws_storage;
   CellWorkspace* w = ws != nullptr ? ws : &local_ws_storage;
   // Gate pre-activations (Eq. 1).
@@ -128,6 +137,8 @@ void SamLstmCell::Forward(const Vector& x, const Vector& h_prev,
         (*h)[k] = tape->o[k] * tape->tanh_c[k];
       }
       *c = tape->c;
+      NEUTRAJ_DCHECK_FINITE(*h);
+      NEUTRAJ_DCHECK_FINITE(*c);
       return;
     }
     Vector& ccat = w->ccat;
@@ -166,6 +177,8 @@ void SamLstmCell::Forward(const Vector& x, const Vector& h_prev,
     (*h)[k] = tape->o[k] * tape->tanh_c[k];
   }
   *c = tape->c;
+  NEUTRAJ_DCHECK_FINITE(*h);
+  NEUTRAJ_DCHECK_FINITE(*c);
 }
 
 void SamLstmCell::Backward(const SamTape& tape, const Vector& dh,
@@ -173,6 +186,17 @@ void SamLstmCell::Backward(const SamTape& tape, const Vector& dh,
                            Vector* dc_prev_accum, Vector* dx_accum,
                            GradBuffer* sink, CellWorkspace* ws) {
   const size_t d = hidden_;
+  NEUTRAJ_DCHECK_MSG(dh.size() == d && dc_in.size() == d,
+                     "SamLstmCell::Backward gradient width");
+  NEUTRAJ_DCHECK_MSG(dh_prev_accum != nullptr && dh_prev_accum->size() == d &&
+                         dc_prev_accum != nullptr && dc_prev_accum->size() == d,
+                     "SamLstmCell::Backward accumulators must be pre-sized");
+  NEUTRAJ_DCHECK_MSG(dx_accum == nullptr || dx_accum->size() == input_dim(),
+                     "SamLstmCell::Backward dx accumulator must be pre-sized");
+  NEUTRAJ_DCHECK_MSG(sink == nullptr || sink->size() == Params().size(),
+                     "SamLstmCell::Backward sink arity");
+  NEUTRAJ_DCHECK_MSG(!tape.used_memory || tape.att.g.cols() == d,
+                     "SamLstmCell::Backward tape window width");
   CellWorkspace local_ws_storage;
   CellWorkspace* w = ws != nullptr ? ws : &local_ws_storage;
   Matrix& gwhis = sink != nullptr ? sink->at(kWhis) : whis_.grad;

@@ -1,0 +1,136 @@
+// Contract-layer tests (src/common/check.h): the always-on NEUTRAJ_ASSERT
+// tier must abort loudly (death tests), and the NEUTRAJ_DCHECK tier must
+// compile to nothing — conditions never evaluated — outside NEUTRAJ_CHECKS
+// builds. The suite runs in both build modes in CI, so each test declares
+// which mode it exercises.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/check.h"
+#include "nn/matrix.h"
+#include "nn/memory_tensor.h"
+
+namespace neutraj {
+namespace {
+
+const double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+TEST(CheckTest, AssertPassesOnTrueCondition) {
+  NEUTRAJ_ASSERT(1 + 1 == 2);
+  NEUTRAJ_ASSERT_MSG(true, "never printed");
+}
+
+TEST(CheckDeathTest, AssertAbortsWithExpressionAndMessage) {
+  EXPECT_DEATH(NEUTRAJ_ASSERT_MSG(2 + 2 == 5, "arithmetic is broken"),
+               "NEUTRAJ_ASSERT failed: 2 \\+ 2 == 5 \\(arithmetic is broken\\)");
+  EXPECT_DEATH(NEUTRAJ_ASSERT(false), "NEUTRAJ_ASSERT failed: false");
+}
+
+TEST(CheckDeathTest, BlendWriteShapeMismatchAborts) {
+  nn::MemoryTensor m(2, 2, 3);
+  EXPECT_DEATH(m.BlendWrite(GridCell{0, 0}, {1.0, 1.0}, {1.0, 1.0, 1.0}),
+               "BlendWrite shape mismatch");
+}
+
+TEST(CheckDeathTest, BlendWriteOutOfBoundsCellAborts) {
+  nn::MemoryTensor m(2, 2, 2);
+  EXPECT_DEATH(m.BlendWrite(GridCell{5, 0}, {0.5, 0.5}, {1.0, 1.0}),
+               "BlendWrite cell out of bounds");
+}
+
+TEST(CheckDeathTest, BlendWriteNonFiniteValueAborts) {
+  nn::MemoryTensor m(2, 2, 2);
+  EXPECT_DEATH(m.BlendWrite(GridCell{0, 0}, {0.5, 0.5}, {kNaN, 1.0}),
+               "non-finite SAM memory write");
+  EXPECT_DEATH(m.BlendWrite(GridCell{0, 0}, {kNaN, 0.5}, {1.0, 1.0}),
+               "non-finite SAM memory write");
+}
+
+TEST(CheckTest, AllFiniteHelpers) {
+  EXPECT_TRUE(check_internal::AllFinite(1.5));
+  EXPECT_FALSE(check_internal::AllFinite(kNaN));
+  EXPECT_FALSE(
+      check_internal::AllFinite(std::numeric_limits<double>::infinity()));
+  EXPECT_TRUE(check_internal::AllFinite(std::vector<double>{0.0, -2.5}));
+  EXPECT_FALSE(check_internal::AllFinite(std::vector<double>{0.0, kNaN}));
+  EXPECT_TRUE(check_internal::AllFinite(std::vector<double>{}));
+}
+
+TEST(CheckTest, FiniteCheckSuspensionNestsAndRespectsActiveFlag) {
+  EXPECT_FALSE(check_internal::FiniteChecksSuspended());
+  {
+    const ScopedSuspendFiniteChecks inactive(false);
+    EXPECT_FALSE(check_internal::FiniteChecksSuspended());
+  }
+  {
+    const ScopedSuspendFiniteChecks outer;
+    EXPECT_TRUE(check_internal::FiniteChecksSuspended());
+    {
+      const ScopedSuspendFiniteChecks inner;
+      EXPECT_TRUE(check_internal::FiniteChecksSuspended());
+    }
+    EXPECT_TRUE(check_internal::FiniteChecksSuspended());
+    // Suspension makes the finiteness predicate vacuous.
+    EXPECT_TRUE(check_internal::FiniteOrSuspended(kNaN));
+  }
+  EXPECT_FALSE(check_internal::FiniteChecksSuspended());
+  EXPECT_FALSE(check_internal::FiniteOrSuspended(kNaN));
+}
+
+#ifdef NEUTRAJ_CHECKS
+
+TEST(CheckDeathTest, DcheckAbortsInCheckedBuild) {
+  EXPECT_DEATH(NEUTRAJ_DCHECK(1 > 2), "NEUTRAJ_DCHECK failed: 1 > 2");
+  EXPECT_DEATH(NEUTRAJ_DCHECK_MSG(false, "why"), "\\(why\\)");
+}
+
+TEST(CheckDeathTest, DcheckFiniteAbortsOnNaNInCheckedBuild) {
+  const std::vector<double> bad = {1.0, kNaN};
+  EXPECT_DEATH(NEUTRAJ_DCHECK_FINITE(bad), "must be finite");
+}
+
+TEST(CheckTest, DcheckFiniteSuspendedPassesInCheckedBuild) {
+  const ScopedSuspendFiniteChecks guard;
+  const std::vector<double> bad = {1.0, kNaN};
+  NEUTRAJ_DCHECK_FINITE(bad);  // Must not abort while suspended.
+}
+
+TEST(CheckDeathTest, DcheckShapeAbortsOnMismatchInCheckedBuild) {
+  const nn::Matrix m(2, 3);
+  NEUTRAJ_DCHECK_SHAPE(m, 2, 3);
+  EXPECT_DEATH(NEUTRAJ_DCHECK_SHAPE(m, 3, 2), "must be 3 x 2");
+}
+
+TEST(CheckDeathTest, MatrixIndexOutOfBoundsAbortsInCheckedBuild) {
+  nn::Matrix m(2, 2);
+  EXPECT_DEATH(static_cast<void>(m(2, 0)), "Matrix index out of bounds");
+}
+
+#else  // !NEUTRAJ_CHECKS
+
+TEST(CheckTest, DcheckConditionIsNeverEvaluatedWhenDisabled) {
+  int evaluations = 0;
+  auto probe = [&evaluations]() {
+    ++evaluations;
+    return false;  // Would abort if the macro evaluated and checked it.
+  };
+  NEUTRAJ_DCHECK(probe());
+  NEUTRAJ_DCHECK_MSG(probe(), "also disabled");
+  EXPECT_EQ(evaluations, 0);
+}
+
+TEST(CheckTest, DcheckFiniteAndShapeAreNoOpsWhenDisabled) {
+  const std::vector<double> bad = {kNaN};
+  NEUTRAJ_DCHECK_FINITE(bad);  // Must not abort.
+  const nn::Matrix m(2, 3);
+  NEUTRAJ_DCHECK_SHAPE(m, 9, 9);  // Must not abort.
+}
+
+#endif  // NEUTRAJ_CHECKS
+
+}  // namespace
+}  // namespace neutraj

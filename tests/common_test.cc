@@ -303,7 +303,7 @@ TEST(RngTest, SaveLoadStateResumesStreamExactly) {
 TEST(StopwatchTest, MeasuresElapsedTime) {
   Stopwatch sw;
   volatile double sink = 0.0;
-  for (int i = 0; i < 100000; ++i) sink += i * 0.5;
+  for (int i = 0; i < 100000; ++i) sink = sink + i * 0.5;
   EXPECT_GE(sw.ElapsedSeconds(), 0.0);
   const double first = sw.ElapsedMillis();
   EXPECT_GE(sw.ElapsedMillis(), first);  // Monotone.

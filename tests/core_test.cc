@@ -112,7 +112,9 @@ TEST(SamplerTest, RankingWeightsNormalizedAndDecreasing) {
   double total = 0.0;
   for (size_t i = 0; i < 5; ++i) {
     total += r[i];
-    if (i > 0) EXPECT_LT(r[i], r[i - 1]);
+    if (i > 0) {
+      EXPECT_LT(r[i], r[i - 1]);
+    }
   }
   EXPECT_NEAR(total, 1.0, 1e-12);
   // Reciprocal shape: r[1]/r[0] = 1/2.
@@ -161,8 +163,8 @@ INSTANTIATE_TEST_SUITE_P(
     BothStrategies, SamplerStrategyTest,
     ::testing::Values(SamplingStrategy::kDistanceWeighted,
                       SamplingStrategy::kRandom),
-    [](const ::testing::TestParamInfo<SamplingStrategy>& info) {
-      return info.param == SamplingStrategy::kDistanceWeighted ? "weighted"
+    [](const ::testing::TestParamInfo<SamplingStrategy>& param_info) {
+      return param_info.param == SamplingStrategy::kDistanceWeighted ? "weighted"
                                                                : "random";
     });
 

@@ -229,8 +229,8 @@ TEST_P(MeasurePropertyTest, NonNegativity) {
 
 INSTANTIATE_TEST_SUITE_P(AllMeasures, MeasurePropertyTest,
                          ::testing::ValuesIn(ExtendedMeasures()),
-                         [](const ::testing::TestParamInfo<Measure>& info) {
-                           return MeasureName(info.param);
+                         [](const ::testing::TestParamInfo<Measure>& param_info) {
+                           return MeasureName(param_info.param);
                          });
 
 /// The three metric measures must satisfy the triangle inequality
@@ -254,8 +254,8 @@ TEST_P(MetricTriangleTest, TriangleInequality) {
 INSTANTIATE_TEST_SUITE_P(MetricMeasures, MetricTriangleTest,
                          ::testing::Values(Measure::kFrechet,
                                            Measure::kHausdorff, Measure::kErp),
-                         [](const ::testing::TestParamInfo<Measure>& info) {
-                           return MeasureName(info.param);
+                         [](const ::testing::TestParamInfo<Measure>& param_info) {
+                           return MeasureName(param_info.param);
                          });
 
 TEST(MeasureRelationsTest, HausdorffLowerBoundsFrechet) {

@@ -56,8 +56,8 @@ TEST_P(RTreeSizeTest, QueryMatchesLinearScan) {
 
 INSTANTIATE_TEST_SUITE_P(VariousSizes, RTreeSizeTest,
                          ::testing::Values(1, 5, 16, 17, 100, 500),
-                         [](const auto& info) {
-                           return "n" + std::to_string(info.param);
+                         [](const auto& param_info) {
+                           return "n" + std::to_string(param_info.param);
                          });
 
 TEST(RTreeTest, EmptyTree) {
@@ -193,8 +193,8 @@ TEST_P(VpTreeSizeTest, TopKMatchesLinearScan) {
 
 INSTANTIATE_TEST_SUITE_P(VariousSizes, VpTreeSizeTest,
                          ::testing::Values(1, 2, 7, 50, 300),
-                         [](const auto& info) {
-                           return "n" + std::to_string(info.param);
+                         [](const auto& param_info) {
+                           return "n" + std::to_string(param_info.param);
                          });
 
 TEST(VpTreeTest, ExcludeRemovesQueryItself) {

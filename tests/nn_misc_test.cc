@@ -231,9 +231,11 @@ TEST(MemoryTensorTest, ClearResets) {
 
 TEST(MemoryTensorTest, RejectsBadDimensions) {
   EXPECT_THROW(MemoryTensor(0, 2, 2), std::invalid_argument);
+  // BlendWrite is on the write hot path: shape violations are contract
+  // breaches (NEUTRAJ_ASSERT aborts) rather than recoverable exceptions.
   MemoryTensor m(2, 2, 3);
-  EXPECT_THROW(m.BlendWrite(GridCell{0, 0}, {1, 1}, {1, 1, 1}),
-               std::invalid_argument);
+  EXPECT_DEATH(m.BlendWrite(GridCell{0, 0}, {1, 1}, {1, 1, 1}),
+               "BlendWrite shape mismatch");
 }
 
 TEST(LstmCellTest, ForwardShapesAndGateRanges) {

@@ -92,7 +92,7 @@ INSTANTIATE_TEST_SUITE_P(
                                            nn::Backbone::kGru)),
         std::make_pair("SamGru", WithBackbone(NeuTrajConfig::NeuTraj(),
                                               nn::Backbone::kSamGru))),
-    [](const auto& info) { return std::string(info.param.first); });
+    [](const auto& param_info) { return std::string(param_info.param.first); });
 
 TEST(TrainerTest, RejectsBadInputs) {
   Rng rng(72);

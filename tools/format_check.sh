@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Verifies that every C++ file conforms to .clang-format without modifying
+# anything (clang-format --dry-run --Werror). CI runs this on every push;
+# run it locally before sending a change, or run
+#   clang-format -i $(git ls-files 'src/**/*' 'tests/*' 'tools/*' 'bench/*' | grep -E '\.(cc|h)$')
+# to fix everything in place.
+#
+# Exits 0 when clean, 1 on formatting violations, and 0 with a notice when
+# clang-format is not installed (local convenience; the CI image has it).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+if ! command -v clang-format > /dev/null 2>&1; then
+  echo "format_check.sh: clang-format not found; skipping (CI enforces this)" >&2
+  exit 0
+fi
+
+mapfile -t files < <(find src tests tools bench -name '*.cc' -o -name '*.h' | sort)
+if [[ "${#files[@]}" -eq 0 ]]; then
+  echo "format_check.sh: no C++ sources found" >&2
+  exit 1
+fi
+
+clang-format --dry-run --Werror "${files[@]}"
+echo "format_check.sh: OK (${#files[@]} files)"

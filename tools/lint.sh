@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# Project-specific lint rules that grep can enforce — fast, dependency-free,
+# and runnable in any environment (CI runs it on every push).
+#
+#   1. No nondeterminism in src/: rand()/srand()/time(), random_device,
+#      wall-clock seeding. Reproducibility is a core design goal (training
+#      must be bit-for-bit repeatable across thread counts and resumes);
+#      all randomness must flow through common/random.h's seeded Rng and all
+#      timing through common/stopwatch.h (steady_clock).
+#   2. No raw new/delete in src/: ownership goes through containers and
+#      smart pointers; the nn hot paths use caller-owned workspaces.
+#   3. No float in the nn kernels: the numerical core is double-precision
+#      end to end (see DESIGN.md); a stray float silently truncates
+#      gradients and breaks the finite-difference audit.
+#   4. Every src/ .cc has a matching test reference: each implementation
+#      stem must be mentioned by at least one tests/*.cc, so new subsystems
+#      cannot land untested.
+#
+# Usage: tools/lint.sh   (from anywhere; exits non-zero on any violation)
+
+set -u
+cd "$(dirname "$0")/.."
+
+fail=0
+report() {
+  echo "lint.sh: $1" >&2
+  echo "$2" | sed 's/^/    /' >&2
+  fail=1
+}
+
+# -- Rule 1: nondeterminism --------------------------------------------------
+# \brand( also catches srand(; time( catches time(nullptr)/time(0) seeding.
+pattern='\brand\(|\bsrand\(|[^_a-zA-Z]time\(|std::random_device|system_clock'
+hits=$(grep -rnE "$pattern" src/ --include='*.cc' --include='*.h' || true)
+if [[ -n "$hits" ]]; then
+  report "nondeterminism in src/ (use the seeded Rng / Stopwatch instead)" "$hits"
+fi
+
+# -- Rule 2: raw new/delete --------------------------------------------------
+hits=$(grep -rnE '\bnew +[A-Za-z_]|\bdelete +[A-Za-z_*]|\bdelete\[\]' \
+    src/ --include='*.cc' --include='*.h' \
+    | grep -vE '= *delete|//.*\b(new|delete)\b' || true)
+if [[ -n "$hits" ]]; then
+  report "raw new/delete in src/ (use containers or smart pointers)" "$hits"
+fi
+
+# -- Rule 3: float in the nn kernels ----------------------------------------
+hits=$(grep -rnE '\bfloat\b' src/nn/ || true)
+if [[ -n "$hits" ]]; then
+  report "float in src/nn/ (the numerical core is double-precision only)" "$hits"
+fi
+
+# -- Rule 4: every src/ .cc has a test reference ----------------------------
+missing=""
+for cc in $(find src -name '*.cc' | sort); do
+  stem=$(basename "$cc" .cc)
+  if ! grep -rql "$stem" tests/ --include='*.cc' --include='*.h'; then
+    missing+="$cc"$'\n'
+  fi
+done
+if [[ -n "$missing" ]]; then
+  report "src/ files with no reference from any test" "$missing"
+fi
+
+if [[ "$fail" -ne 0 ]]; then
+  exit 1
+fi
+echo "lint.sh: OK"

@@ -78,9 +78,13 @@ Args ParseArgs(int argc, char** argv) {
     }
     token = token.substr(2);
     if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
-      args.flags[token] = argv[++i];
+      // Assign through a named std::string: the const char* overload of
+      // operator= trips a GCC 12 -Wrestrict false positive (PR 105329)
+      // when inlined at -O3.
+      const std::string value = argv[++i];
+      args.flags[token] = value;
     } else {
-      args.flags[token] = "1";  // Boolean flag.
+      args.flags[token] = std::string("1");  // Boolean flag.
     }
   }
   return args;

@@ -3,17 +3,36 @@
 # Sanitizer, or ThreadSanitizer via the NEUTRAJ_SANITIZE CMake option.
 #
 # Usage:
-#   tools/run_sanitized_tests.sh [address|undefined|address,undefined|thread] [ctest-args...]
+#   tools/run_sanitized_tests.sh [address|undefined|address,undefined|thread] [-- ctest-args...]
 #
-# Defaults to "address". Each sanitizer combination uses its own build
-# directory (build-asan, build-ubsan, build-asan-ubsan, build-tsan) so
-# sanitized and regular builds never mix objects. TSan cannot combine with
-# ASan, hence the separate option value; use it to vet the parallel trainer
-# and parallel embedding paths (thread_pool_test, parallel_trainer_test).
+# The sanitizer defaults to "address". Everything after a literal `--` is
+# passed to ctest verbatim, so ctest flags can never be mistaken for a
+# sanitizer name:
+#   tools/run_sanitized_tests.sh thread -- -L parallel
+#   tools/run_sanitized_tests.sh -- -R TrainerTest     # default sanitizer
+#
+# Parallelism: build and test use $NPROC if set (falls back to nproc);
+# ctest additionally honors an exported CTEST_PARALLEL_LEVEL over both.
+#
+# Each sanitizer combination uses its own build directory (build-asan,
+# build-ubsan, build-asan-ubsan, build-tsan) so sanitized and regular builds
+# never mix objects. TSan cannot combine with ASan, hence the separate
+# option value; use it to vet the parallel trainer and parallel embedding
+# paths (thread_pool_test, parallel_trainer_test).
 set -euo pipefail
 
-SAN="${1:-address}"
-shift || true
+SAN="address"
+if [[ $# -gt 0 && "$1" != "--" ]]; then
+  SAN="$1"
+  shift
+fi
+if [[ $# -gt 0 ]]; then
+  if [[ "$1" != "--" ]]; then
+    echo "error: unexpected argument '$1' (ctest args go after a literal --)" >&2
+    exit 2
+  fi
+  shift  # Drop the separator; the rest goes to ctest.
+fi
 
 case "$SAN" in
   address)            BUILD_DIR="build-asan" ;;
@@ -26,6 +45,9 @@ case "$SAN" in
     ;;
 esac
 
+NPROC="${NPROC:-$(nproc)}"
+CTEST_J="${CTEST_PARALLEL_LEVEL:-$NPROC}"
+
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 cd "$ROOT"
 
@@ -34,7 +56,7 @@ cmake -B "$BUILD_DIR" -S . \
   -DNEUTRAJ_SANITIZE="$SAN" \
   -DNEUTRAJ_BUILD_BENCHMARKS=OFF \
   -DNEUTRAJ_BUILD_EXAMPLES=OFF
-cmake --build "$BUILD_DIR" -j "$(nproc)"
+cmake --build "$BUILD_DIR" -j "$NPROC"
 
 # Make UBSan failures fatal and print stacks; halt_on_error keeps ASan exits
 # crisp under ctest.
@@ -42,4 +64,4 @@ export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}"
 export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1:halt_on_error=1}"
 export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1:second_deadlock_stack=1}"
 
-ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" "$@"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$CTEST_J" "$@"
