@@ -1,5 +1,6 @@
 #include "common/framing.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "common/checksum.h"
@@ -106,6 +107,95 @@ SectionReader::SectionReader(const std::string& contents,
   if (!saw_end) {
     throw std::runtime_error(source_ + ": missing END marker (file truncated)");
   }
+}
+
+namespace {
+
+constexpr char kWireMagic[4] = {'N', 'T', 'J', 'W'};
+
+void PutLe16(std::string* out, uint16_t v) {
+  out->push_back(static_cast<char>(v & 0xff));
+  out->push_back(static_cast<char>((v >> 8) & 0xff));
+}
+
+void PutLe32(std::string* out, uint32_t v) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    out->push_back(static_cast<char>((v >> shift) & 0xff));
+  }
+}
+
+uint16_t GetLe16(const unsigned char* p) {
+  return static_cast<uint16_t>(static_cast<uint16_t>(p[0]) |
+                               static_cast<uint16_t>(p[1]) << 8);
+}
+
+uint32_t GetLe32(const unsigned char* p) {
+  return static_cast<uint32_t>(p[0]) | static_cast<uint32_t>(p[1]) << 8 |
+         static_cast<uint32_t>(p[2]) << 16 | static_cast<uint32_t>(p[3]) << 24;
+}
+
+}  // namespace
+
+const char* FrameStatusName(FrameStatus s) {
+  switch (s) {
+    case FrameStatus::kOk: return "ok";
+    case FrameStatus::kIncomplete: return "incomplete";
+    case FrameStatus::kBadMagic: return "bad-magic";
+    case FrameStatus::kBadVersion: return "bad-version";
+    case FrameStatus::kOversized: return "oversized";
+    case FrameStatus::kBadChecksum: return "bad-checksum";
+  }
+  return "unknown";
+}
+
+std::string EncodeWireFrame(uint16_t type, const std::string& payload,
+                            size_t max_payload) {
+  if (payload.size() > max_payload) {
+    throw std::length_error("EncodeWireFrame: payload of " +
+                            std::to_string(payload.size()) +
+                            " bytes exceeds the frame limit of " +
+                            std::to_string(max_payload));
+  }
+  std::string out;
+  out.reserve(kWireHeaderSize + payload.size());
+  out.append(kWireMagic, sizeof(kWireMagic));
+  PutLe16(&out, kWireVersion);
+  PutLe16(&out, type);
+  PutLe32(&out, static_cast<uint32_t>(payload.size()));
+  PutLe32(&out, Crc32(payload));
+  out += payload;
+  return out;
+}
+
+FrameStatus DecodeWireFrame(const std::string& buffer, size_t* offset,
+                            WireFrame* out, size_t max_payload) {
+  const size_t avail = buffer.size() - *offset;
+  const auto* p =
+      reinterpret_cast<const unsigned char*>(buffer.data()) + *offset;
+  // Reject a wrong magic as soon as the divergent byte is visible — a
+  // stream that is not speaking this protocol should fail fast, not hang
+  // waiting for a full header that will never parse.
+  for (size_t i = 0; i < std::min(avail, sizeof(kWireMagic)); ++i) {
+    if (static_cast<char>(p[i]) != kWireMagic[i]) return FrameStatus::kBadMagic;
+  }
+  if (avail < kWireHeaderSize) return FrameStatus::kIncomplete;
+
+  const uint16_t version = GetLe16(p + 4);
+  if (version != kWireVersion) return FrameStatus::kBadVersion;
+  const uint16_t type = GetLe16(p + 6);
+  const uint32_t size = GetLe32(p + 8);
+  const uint32_t stored_crc = GetLe32(p + 12);
+  // Checked against the limit before requiring the payload bytes, so an
+  // absurd declared size is an immediate error, not an endless read.
+  if (size > max_payload) return FrameStatus::kOversized;
+  if (avail < kWireHeaderSize + size) return FrameStatus::kIncomplete;
+
+  std::string payload(buffer, *offset + kWireHeaderSize, size);
+  if (Crc32(payload) != stored_crc) return FrameStatus::kBadChecksum;
+  out->type = type;
+  out->payload = std::move(payload);
+  *offset += kWireHeaderSize + size;
+  return FrameStatus::kOk;
 }
 
 bool SectionReader::Has(const std::string& name) const {

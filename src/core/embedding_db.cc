@@ -1,5 +1,6 @@
 #include "core/embedding_db.h"
 
+#include <mutex>
 #include <sstream>
 #include <stdexcept>
 
@@ -15,6 +16,18 @@ constexpr char kDbKind[] = "embdb";
 
 }  // namespace
 
+EmbeddingDatabase::EmbeddingDatabase(EmbeddingDatabase&& other) noexcept
+    : dim_(other.dim_), embeddings_(std::move(other.embeddings_)) {}
+
+EmbeddingDatabase& EmbeddingDatabase::operator=(
+    EmbeddingDatabase&& other) noexcept {
+  if (this != &other) {
+    dim_ = other.dim_;
+    embeddings_ = std::move(other.embeddings_);
+  }
+  return *this;
+}
+
 EmbeddingDatabase EmbeddingDatabase::Build(const NeuTrajModel& model,
                                            const std::vector<Trajectory>& corpus,
                                            size_t threads) {
@@ -25,14 +38,53 @@ EmbeddingDatabase EmbeddingDatabase::Build(const NeuTrajModel& model,
   return db;
 }
 
+size_t EmbeddingDatabase::size() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return embeddings_.size();
+}
+
+size_t EmbeddingDatabase::dim() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return dim_;
+}
+
+size_t EmbeddingDatabase::Insert(const nn::Vector& embedding) {
+  if (embedding.empty()) {
+    throw std::invalid_argument("EmbeddingDatabase::Insert: empty embedding");
+  }
+  NEUTRAJ_DCHECK_FINITE(embedding);
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  if (embeddings_.empty()) {
+    dim_ = embedding.size();
+  } else if (embedding.size() != dim_) {
+    throw std::invalid_argument(
+        "EmbeddingDatabase::Insert: embedding dimension " +
+        std::to_string(embedding.size()) + " != database dimension " +
+        std::to_string(dim_));
+  }
+  embeddings_.push_back(embedding);
+  return embeddings_.size() - 1;
+}
+
+size_t EmbeddingDatabase::Insert(const NeuTrajModel& model,
+                                 const Trajectory& traj) {
+  // Embed before taking the writer lock: encoding is the expensive part and
+  // must not serialize against concurrent readers.
+  return Insert(model.Embed(traj));
+}
+
 SearchResult EmbeddingDatabase::TopK(const nn::Vector& query, size_t k,
                                      int64_t exclude) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   if (!embeddings_.empty() && query.size() != dim_) {
     throw std::invalid_argument("EmbeddingDatabase::TopK: query dimension " +
                                 std::to_string(query.size()) +
                                 " != database dimension " +
                                 std::to_string(dim_));
   }
+  // EmbeddingTopK resolves distance ties by ascending id (see
+  // core/search.cc TopKImpl), so results are deterministic for a fixed
+  // corpus state regardless of duplicate embeddings.
   return EmbeddingTopK(embeddings_, query, k, exclude);
 }
 
@@ -43,6 +95,7 @@ SearchResult EmbeddingDatabase::TopK(const NeuTrajModel& model,
 }
 
 void EmbeddingDatabase::Save(const std::string& path) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   SectionWriter w(kDbKind);
   std::ostringstream head;
   head << embeddings_.size() << ' ' << dim_;

@@ -3,14 +3,23 @@
 // The paper's online protocol embeds the corpus once and answers every
 // query with an O(|corpus| * d) scan in embedding space. EmbeddingDatabase
 // packages that corpus-side state: a threaded bulk-encoding build, top-k
-// queries (by embedding or by raw trajectory), and a checksummed on-disk
-// format so the O(N * L * d^2) encoding cost is paid once per corpus, not
-// once per process.
+// queries (by embedding or by raw trajectory), live incremental inserts
+// under a reader/writer discipline, and a checksummed on-disk format so the
+// O(N * L * d^2) encoding cost is paid once per corpus, not once per
+// process.
+//
+// Concurrency: TopK/Save/size take a shared (reader) lock and Insert takes
+// an exclusive (writer) lock, so a live serving corpus (src/serve/) can
+// answer queries while trajectories stream in. The unlocked accessors
+// (at, embeddings) hand out references into the store and are only safe
+// when no Insert can run concurrently — i.e. single-threaded use or an
+// externally quiesced database.
 
 #ifndef NEUTRAJ_CORE_EMBEDDING_DB_H_
 #define NEUTRAJ_CORE_EMBEDDING_DB_H_
 
 #include <cstdint>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -24,6 +33,14 @@ class EmbeddingDatabase {
  public:
   EmbeddingDatabase() = default;
 
+  // The internal reader/writer lock is not movable; moves transfer only the
+  // data and require that no other thread touches either operand (the usual
+  // build-then-serve lifecycle).
+  EmbeddingDatabase(EmbeddingDatabase&& other) noexcept;
+  EmbeddingDatabase& operator=(EmbeddingDatabase&& other) noexcept;
+  EmbeddingDatabase(const EmbeddingDatabase&) = delete;
+  EmbeddingDatabase& operator=(const EmbeddingDatabase&) = delete;
+
   /// Embeds `corpus` with `model` over `threads` workers (results identical
   /// for every thread count) and returns the database. The model must use
   /// read-only inference when threads > 1 (see EmbedAllParallel).
@@ -31,16 +48,28 @@ class EmbeddingDatabase {
                                  const std::vector<Trajectory>& corpus,
                                  size_t threads = 1);
 
-  size_t size() const { return embeddings_.size(); }
-  bool empty() const { return embeddings_.empty(); }
+  size_t size() const;
+  bool empty() const { return size() == 0; }
   /// Embedding width d; 0 for an empty database.
-  size_t dim() const { return dim_; }
+  size_t dim() const;
+
+  /// Unlocked accessors; see the header comment for when they are safe.
   const nn::Vector& at(size_t i) const { return embeddings_[i]; }
   const std::vector<nn::Vector>& embeddings() const { return embeddings_; }
 
-  /// Top-k nearest stored embeddings to `query` under L2 (ties broken by
-  /// lower id). `exclude` (if >= 0) removes one id — typically the query
-  /// itself when it is part of the corpus.
+  /// Appends one embedding under the writer lock and returns its id (ids
+  /// are dense indices in insertion order, continuing the build order).
+  /// The first insert into an empty database fixes the dimension; later
+  /// inserts must match it or throw std::invalid_argument.
+  size_t Insert(const nn::Vector& embedding);
+
+  /// Embeds `traj` with `model` (outside the lock) and appends it.
+  size_t Insert(const NeuTrajModel& model, const Trajectory& traj);
+
+  /// Top-k nearest stored embeddings to `query` under L2. Deterministic
+  /// under distance ties: equal distances are broken by ascending id.
+  /// `exclude` (if >= 0) removes one id — typically the query itself when
+  /// it is part of the corpus. Takes the reader lock.
   SearchResult TopK(const nn::Vector& query, size_t k,
                     int64_t exclude = -1) const;
 
@@ -50,7 +79,7 @@ class EmbeddingDatabase {
                     size_t k, int64_t exclude = -1) const;
 
   /// Serializes the embeddings to `path` (CRC-checksummed sections; see
-  /// common/framing.h), written atomically.
+  /// common/framing.h), written atomically. Takes the reader lock.
   void Save(const std::string& path) const;
 
   /// Restores a database saved by Save(). Throws std::runtime_error on
@@ -58,8 +87,9 @@ class EmbeddingDatabase {
   static EmbeddingDatabase Load(const std::string& path);
 
  private:
-  size_t dim_ = 0;
-  std::vector<nn::Vector> embeddings_;
+  mutable std::shared_mutex mu_;
+  size_t dim_ = 0;                       ///< Guarded by mu_.
+  std::vector<nn::Vector> embeddings_;   ///< Guarded by mu_.
 };
 
 }  // namespace neutraj

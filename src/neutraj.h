@@ -58,5 +58,11 @@
 #include "index/inverted_grid.h"
 #include "index/rtree.h"
 #include "index/vp_tree.h"
+#include "serve/client.h"
+#include "serve/micro_batcher.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+#include "serve/service.h"
+#include "serve/stats.h"
 
 #endif  // NEUTRAJ_NEUTRAJ_H_

@@ -1,0 +1,225 @@
+#include "serve/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/framing.h"
+
+namespace neutraj::serve {
+
+namespace {
+
+void SendAllOrThrow(int fd, const std::string& bytes) {
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n =
+        ::send(fd, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error(std::string("Client: send failed: ") +
+                               std::strerror(errno));
+    }
+    sent += static_cast<size_t>(n);
+  }
+}
+
+}  // namespace
+
+Client::~Client() { Close(); }
+
+Client::Client(Client&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      rx_(std::move(other.rx_)),
+      rx_offset_(other.rx_offset_) {}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = std::exchange(other.fd_, -1);
+    rx_ = std::move(other.rx_);
+    rx_offset_ = other.rx_offset_;
+  }
+  return *this;
+}
+
+void Client::Connect(const std::string& host, uint16_t port) {
+  Close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    throw std::runtime_error(std::string("Client: socket failed: ") +
+                             std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    Close();
+    throw std::runtime_error("Client: bad address '" + host + "'");
+  }
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const std::string err = std::strerror(errno);
+    Close();
+    throw std::runtime_error("Client: cannot connect to " + host + ":" +
+                             std::to_string(port) + ": " + err);
+  }
+}
+
+void Client::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  rx_.clear();
+  rx_offset_ = 0;
+}
+
+WireFrame Client::RoundTrip(MsgType type, const std::string& payload) {
+  if (fd_ < 0) throw std::runtime_error("Client: not connected");
+  SendAllOrThrow(fd_, EncodeWireFrame(static_cast<uint16_t>(type), payload));
+  return RecvFrame();
+}
+
+WireFrame Client::RecvFrame() {
+  char chunk[64 * 1024];
+  while (true) {
+    WireFrame reply;
+    const FrameStatus status = DecodeWireFrame(rx_, &rx_offset_, &reply);
+    if (status == FrameStatus::kOk) {
+      if (rx_offset_ == rx_.size()) {
+        rx_.clear();
+        rx_offset_ = 0;
+      }
+      return reply;
+    }
+    if (status != FrameStatus::kIncomplete) {
+      Close();
+      throw std::runtime_error(std::string("Client: corrupt reply frame (") +
+                               FrameStatusName(status) + ")");
+    }
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      Close();
+      throw std::runtime_error("Client: connection closed by server");
+    }
+    rx_.append(chunk, static_cast<size_t>(n));
+  }
+}
+
+void Client::ExpectType(const WireFrame& reply, MsgType expected) {
+  if (reply.type == static_cast<uint16_t>(expected)) return;
+  if (reply.type == static_cast<uint16_t>(MsgType::kError)) {
+    ErrorReply err;
+    if (ParseError(reply.payload, &err)) throw ServeError(err.code, err.message);
+    throw std::runtime_error("Client: unparseable error reply");
+  }
+  throw std::runtime_error("Client: unexpected reply type " +
+                           std::to_string(reply.type));
+}
+
+nn::Vector Client::Encode(const Trajectory& traj) {
+  const WireFrame reply =
+      RoundTrip(MsgType::kEncodeRequest, SerializeEncodeRequest({traj}));
+  ExpectType(reply, MsgType::kEncodeResponse);
+  EncodeResponse resp;
+  if (!ParseEncodeResponse(reply.payload, &resp)) {
+    throw std::runtime_error("Client: malformed encode response");
+  }
+  return std::move(resp.embedding);
+}
+
+std::vector<nn::Vector> Client::EncodeMany(
+    const std::vector<Trajectory>& trajs) {
+  if (fd_ < 0) throw std::runtime_error("Client: not connected");
+  std::string out;
+  for (const Trajectory& traj : trajs) {
+    out += EncodeWireFrame(static_cast<uint16_t>(MsgType::kEncodeRequest),
+                           SerializeEncodeRequest({traj}));
+  }
+  SendAllOrThrow(fd_, out);
+
+  // Consume every reply before surfacing any failure, so a mid-burst error
+  // does not desynchronize the request/response stream.
+  std::vector<WireFrame> replies;
+  replies.reserve(trajs.size());
+  for (size_t i = 0; i < trajs.size(); ++i) replies.push_back(RecvFrame());
+
+  std::vector<nn::Vector> results;
+  results.reserve(trajs.size());
+  for (const WireFrame& reply : replies) {
+    ExpectType(reply, MsgType::kEncodeResponse);
+    EncodeResponse resp;
+    if (!ParseEncodeResponse(reply.payload, &resp)) {
+      throw std::runtime_error("Client: malformed encode response");
+    }
+    results.push_back(std::move(resp.embedding));
+  }
+  return results;
+}
+
+PairSimResponse Client::PairSim(const Trajectory& a, const Trajectory& b) {
+  const WireFrame reply =
+      RoundTrip(MsgType::kPairSimRequest, SerializePairSimRequest({a, b}));
+  ExpectType(reply, MsgType::kPairSimResponse);
+  PairSimResponse resp;
+  if (!ParsePairSimResponse(reply.payload, &resp)) {
+    throw std::runtime_error("Client: malformed pairsim response");
+  }
+  return resp;
+}
+
+TopKResponse Client::TopK(const Trajectory& query, uint32_t k,
+                          int64_t exclude) {
+  TopKRequest req;
+  req.query = query;
+  req.k = k;
+  req.exclude = exclude;
+  const WireFrame reply =
+      RoundTrip(MsgType::kTopKRequest, SerializeTopKRequest(req));
+  ExpectType(reply, MsgType::kTopKResponse);
+  TopKResponse resp;
+  if (!ParseTopKResponse(reply.payload, &resp)) {
+    throw std::runtime_error("Client: malformed topk response");
+  }
+  return resp;
+}
+
+InsertResponse Client::Insert(const Trajectory& traj) {
+  const WireFrame reply =
+      RoundTrip(MsgType::kInsertRequest, SerializeInsertRequest({traj}));
+  ExpectType(reply, MsgType::kInsertResponse);
+  InsertResponse resp;
+  if (!ParseInsertResponse(reply.payload, &resp)) {
+    throw std::runtime_error("Client: malformed insert response");
+  }
+  return resp;
+}
+
+StatsSnapshot Client::Stats() {
+  const WireFrame reply = RoundTrip(MsgType::kStatsRequest, "");
+  ExpectType(reply, MsgType::kStatsResponse);
+  StatsResponse resp;
+  if (!ParseStatsResponse(reply.payload, &resp)) {
+    throw std::runtime_error("Client: malformed stats response");
+  }
+  return std::move(resp.stats);
+}
+
+HealthResponse Client::Health() {
+  const WireFrame reply = RoundTrip(MsgType::kHealthRequest, "");
+  ExpectType(reply, MsgType::kHealthResponse);
+  HealthResponse resp;
+  if (!ParseHealthResponse(reply.payload, &resp)) {
+    throw std::runtime_error("Client: malformed health response");
+  }
+  return resp;
+}
+
+}  // namespace neutraj::serve

@@ -1,0 +1,97 @@
+// Client library for the NeuTraj query server.
+//
+// A Client owns one blocking TCP connection and exposes one method per
+// endpoint; requests and responses are the wire frames of
+// serve/protocol.h. Server-side kError replies surface as ServeError
+// exceptions carrying the typed code; transport failures (connect, EOF,
+// framing corruption) throw std::runtime_error. A Client is not
+// thread-safe — the serving protocol is strictly request/response per
+// connection, so concurrent callers must each open their own Client
+// (connections are cheap; the server multiplexes them).
+
+#ifndef NEUTRAJ_SERVE_CLIENT_H_
+#define NEUTRAJ_SERVE_CLIENT_H_
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "common/framing.h"
+#include "serve/protocol.h"
+
+namespace neutraj::serve {
+
+/// A typed error reply from the server.
+class ServeError : public std::runtime_error {
+ public:
+  ServeError(ErrorCode code, const std::string& message)
+      : std::runtime_error(std::string(ErrorCodeName(code)) + ": " + message),
+        code_(code) {}
+
+  ErrorCode code() const { return code_; }
+
+ private:
+  ErrorCode code_;
+};
+
+/// One blocking request/response connection to a query server.
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+
+  /// Connects to host:port. Throws std::runtime_error on failure.
+  void Connect(const std::string& host, uint16_t port);
+
+  bool connected() const { return fd_ >= 0; }
+  void Close();
+
+  /// Embeds one trajectory server-side.
+  nn::Vector Encode(const Trajectory& traj);
+
+  /// Pipelined bulk encode: sends every request in one write, then reads
+  /// the replies in order. The server dispatches the whole burst to its
+  /// micro-batcher before replying, so one EncodeMany call can fill a
+  /// batch by itself — this is the high-throughput encoding path. Results
+  /// match per-call Encode() exactly. If any item failed server-side, the
+  /// first failure is thrown (as ServeError) after all replies have been
+  /// consumed, leaving the connection usable.
+  std::vector<nn::Vector> EncodeMany(const std::vector<Trajectory>& trajs);
+
+  /// Embedding distance + similarity of a pair.
+  PairSimResponse PairSim(const Trajectory& a, const Trajectory& b);
+
+  /// Top-k over the server's live corpus.
+  TopKResponse TopK(const Trajectory& query, uint32_t k, int64_t exclude = -1);
+
+  /// Appends a trajectory to the live corpus; returns the assigned id and
+  /// the corpus size after the insert.
+  InsertResponse Insert(const Trajectory& traj);
+
+  StatsSnapshot Stats();
+  HealthResponse Health();
+
+ private:
+  /// Sends one request frame and reads exactly one response frame.
+  WireFrame RoundTrip(MsgType type, const std::string& payload);
+
+  /// Reads exactly one frame off the connection (blocking).
+  WireFrame RecvFrame();
+
+  /// Checks a reply against the expected type; decodes and throws
+  /// ServeError if the server replied kError.
+  static void ExpectType(const WireFrame& reply, MsgType expected);
+
+  int fd_ = -1;
+  std::string rx_;      ///< Receive buffer (bytes not yet framed).
+  size_t rx_offset_ = 0;
+};
+
+}  // namespace neutraj::serve
+
+#endif  // NEUTRAJ_SERVE_CLIENT_H_

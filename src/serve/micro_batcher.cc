@@ -1,0 +1,157 @@
+#include "serve/micro_batcher.h"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+
+namespace neutraj::serve {
+
+MicroBatcher::MicroBatcher(const NeuTrajModel& model, const Options& opts)
+    : model_(model),
+      opts_(opts),
+      pool_(std::max<size_t>(1, opts.threads)),
+      workspaces_(std::max<size_t>(1, opts.threads)) {
+  if (model.config().update_memory_at_inference) {
+    throw std::logic_error(
+        "MicroBatcher: memory-updating inference cannot be batched across "
+        "threads");
+  }
+  if (opts_.max_batch == 0) {
+    throw std::invalid_argument("MicroBatcher: max_batch must be >= 1");
+  }
+  batcher_ = std::thread([this] { BatcherLoop(); });
+}
+
+MicroBatcher::~MicroBatcher() { Shutdown(); }
+
+std::future<MicroBatcher::BatchResult> MicroBatcher::SubmitBatch(
+    std::vector<Trajectory> trajs) {
+  auto group = std::make_shared<Group>();
+  group->trajs = std::move(trajs);
+  const size_t n = group->trajs.size();
+  group->result.embeddings.resize(n);
+  group->result.errors.resize(n);
+  group->result.bad_input.resize(n, 0);
+  group->remaining.store(n);
+  std::future<BatchResult> fut = group->promise.get_future();
+  if (n == 0) {
+    group->promise.set_value(std::move(group->result));
+    return fut;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) {
+      throw std::runtime_error("MicroBatcher: submit after shutdown");
+    }
+    for (size_t i = 0; i < n; ++i) queue_.push_back(Item{group, i});
+    stats_.requests += n;
+  }
+  work_ready_.notify_one();
+  return fut;
+}
+
+nn::Vector MicroBatcher::Encode(const Trajectory& traj) {
+  std::vector<Trajectory> one;
+  one.push_back(traj);
+  BatchResult r = SubmitBatch(std::move(one)).get();
+  if (!r.errors[0].empty()) {
+    if (r.bad_input[0] != 0) throw std::invalid_argument(r.errors[0]);
+    throw std::runtime_error(r.errors[0]);
+  }
+  return std::move(r.embeddings[0]);
+}
+
+void MicroBatcher::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_ready_.notify_all();
+  std::lock_guard<std::mutex> join_lock(join_mu_);
+  if (batcher_.joinable()) batcher_.join();
+}
+
+MicroBatcher::Stats MicroBatcher::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void MicroBatcher::BatcherLoop() {
+  std::vector<Item> batch;
+  while (true) {
+    batch.clear();
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_ready_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty() && shutdown_) return;
+
+      // Straggler window: once work exists, give concurrent submitters a
+      // short chance to join this batch. Bounded by max_batch so a firehose
+      // never waits, and skipped entirely during shutdown (drain fast).
+      if (opts_.max_wait_micros > 0 && !shutdown_) {
+        const auto deadline = std::chrono::steady_clock::now() +
+                              std::chrono::microseconds(opts_.max_wait_micros);
+        while (queue_.size() < opts_.max_batch && !shutdown_) {
+          if (work_ready_.wait_until(lock, deadline) ==
+              std::cv_status::timeout) {
+            break;
+          }
+        }
+      }
+
+      const size_t take = std::min(queue_.size(), opts_.max_batch);
+      batch.reserve(take);
+      for (size_t i = 0; i < take; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+      ++stats_.batches;
+      stats_.max_batch = std::max<uint64_t>(stats_.max_batch, take);
+    }
+    RunBatch(&batch);
+  }
+}
+
+void MicroBatcher::RunBatch(std::vector<Item>* batch) {
+  const size_t n = batch->size();
+  // Per-item execution with per-item error capture: one bad trajectory
+  // (e.g. empty) fails only its own BatchResult slot, never the whole
+  // group. Workers write disjoint indices; the group's promise fires when
+  // the last item — possibly in a later batch — lands.
+  auto run_item = [this](Item* item, nn::CellWorkspace* ws) {
+    Group& g = *item->group;
+    const size_t i = item->index;
+    try {
+      g.result.embeddings[i] = model_.Embed(g.trajs[i], ws);
+    } catch (const std::invalid_argument& e) {
+      g.result.errors[i] = e.what();
+      g.result.bad_input[i] = 1;
+    } catch (const std::exception& e) {
+      g.result.errors[i] = e.what();
+    }
+    if (g.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      g.promise.set_value(std::move(g.result));
+    }
+  };
+
+  const size_t workers = std::min(workspaces_.size(), n);
+  if (workers <= 1) {
+    for (Item& item : *batch) run_item(&item, &workspaces_[0]);
+    return;
+  }
+  // Contiguous chunks, one workspace per chunk; ThreadPool::Wait is a
+  // barrier, so workspaces are never shared across batches either.
+  const size_t chunk = (n + workers - 1) / workers;
+  size_t widx = 0;
+  for (size_t start = 0; start < n; start += chunk, ++widx) {
+    const size_t end = std::min(start + chunk, n);
+    nn::CellWorkspace* ws = &workspaces_[widx];
+    Item* items = batch->data();
+    pool_.Submit([run_item, items, start, end, ws] {
+      for (size_t i = start; i < end; ++i) run_item(&items[i], ws);
+    });
+  }
+  pool_.Wait();
+}
+
+}  // namespace neutraj::serve

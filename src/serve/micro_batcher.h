@@ -1,0 +1,137 @@
+// Micro-batched trajectory encoding for the query server.
+//
+// Every serving endpoint that needs an embedding (Encode, PairSim, TopK,
+// Insert) funnels through one MicroBatcher instead of calling
+// NeuTrajModel::Embed directly. Callers enqueue whole groups of
+// trajectories and block on one future per group; a dedicated batcher
+// thread coalesces whatever has queued up — waiting at most
+// `max_wait_micros` for stragglers once the first item arrives — and
+// executes the batch across a persistent ThreadPool with one
+// CellWorkspace per worker. Under load this amortizes wake-ups,
+// scheduling, synchronization, and workspace locality over many requests;
+// an idle server degenerates to batch-size 1 with at most one wait-window
+// of added latency. The per-group (not per-item) promise matters on the
+// hot path: a pipelined 64-request burst costs one future, not 64.
+//
+// Batching is an execution detail, not a semantic one: each trajectory is
+// embedded independently with read-only inference, so results are
+// bit-for-bit identical to a direct Embed() no matter how requests get
+// grouped or split across batches.
+
+#ifndef NEUTRAJ_SERVE_MICRO_BATCHER_H_
+#define NEUTRAJ_SERVE_MICRO_BATCHER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "core/model.h"
+#include "nn/workspace.h"
+
+namespace neutraj::serve {
+
+/// Coalesces queued encode requests into ThreadPool-executed batches.
+class MicroBatcher {
+ public:
+  struct Options {
+    size_t threads = 1;          ///< ThreadPool workers per batch.
+    size_t max_batch = 32;       ///< Hard cap on one batch's size.
+    int64_t max_wait_micros = 200;  ///< Straggler window after the first
+                                    ///< item of a batch arrives; 0 = none.
+  };
+
+  struct Stats {
+    uint64_t requests = 0;  ///< Trajectories submitted.
+    uint64_t batches = 0;   ///< Batches executed.
+    uint64_t max_batch = 0;  ///< Largest batch seen.
+
+    double mean_batch_size() const {
+      return batches == 0 ? 0.0
+                          : static_cast<double>(requests) /
+                                static_cast<double>(batches);
+    }
+  };
+
+  /// Outcome of one submitted group. embeddings[i] is valid iff
+  /// errors[i].empty(); bad_input[i] != 0 marks failures caused by the
+  /// trajectory itself (invalid_argument) rather than internal errors, so
+  /// the service can map them to the right error code.
+  struct BatchResult {
+    std::vector<nn::Vector> embeddings;
+    std::vector<std::string> errors;
+    std::vector<uint8_t> bad_input;
+  };
+
+  /// The model must use read-only inference (throws std::logic_error when
+  /// cfg.update_memory_at_inference is set, mirroring EmbedAllParallel).
+  MicroBatcher(const NeuTrajModel& model, const Options& opts);
+
+  /// Drains the queue (pending futures complete), then joins.
+  ~MicroBatcher();
+
+  MicroBatcher(const MicroBatcher&) = delete;
+  MicroBatcher& operator=(const MicroBatcher&) = delete;
+
+  /// Enqueues a group of trajectories; the future yields one BatchResult
+  /// for the whole group once every item has been embedded. Items of one
+  /// group may be split across batches (and coalesced with other groups)
+  /// freely. Per-item failures land in BatchResult::errors, never as a
+  /// future exception. Throws std::runtime_error after Shutdown().
+  std::future<BatchResult> SubmitBatch(std::vector<Trajectory> trajs);
+
+  /// Submit-one + wait: the blocking form used by simple handlers. Per-item
+  /// failure is rethrown (std::invalid_argument for bad input).
+  nn::Vector Encode(const Trajectory& traj);
+
+  /// Stops accepting work, finishes everything queued, joins the batcher
+  /// thread. Idempotent; also run by the destructor.
+  void Shutdown();
+
+  Stats stats() const;
+
+ private:
+  /// One submitted group; shared by its queued items, completed (promise
+  /// fulfilled) by whichever worker finishes the last item.
+  struct Group {
+    std::vector<Trajectory> trajs;
+    BatchResult result;
+    std::atomic<size_t> remaining{0};
+    std::promise<BatchResult> promise;
+  };
+
+  struct Item {
+    std::shared_ptr<Group> group;
+    size_t index = 0;
+  };
+
+  void BatcherLoop();
+  void RunBatch(std::vector<Item>* batch);
+
+  const NeuTrajModel& model_;
+  const Options opts_;
+
+  mutable std::mutex mu_;
+  std::mutex join_mu_;  ///< Serializes Shutdown()'s join.
+  std::condition_variable work_ready_;
+  std::deque<Item> queue_;
+  bool shutdown_ = false;
+  Stats stats_;
+
+  // Batch execution resources, touched only by the batcher thread.
+  ThreadPool pool_;
+  std::vector<nn::CellWorkspace> workspaces_;
+
+  std::thread batcher_;
+};
+
+}  // namespace neutraj::serve
+
+#endif  // NEUTRAJ_SERVE_MICRO_BATCHER_H_

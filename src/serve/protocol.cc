@@ -1,0 +1,337 @@
+#include "serve/protocol.h"
+
+#include <bit>
+
+namespace neutraj::serve {
+
+namespace {
+
+// -- Little-endian payload writer/reader ------------------------------------
+// The reader is fully bounds-checked and sticky-failing: after the first
+// short read every further Get returns false, so parse functions can chain
+// reads and test ok() once. Element counts are validated against the bytes
+// actually remaining before any container is sized, so a hostile count
+// cannot trigger a huge allocation.
+
+class PayloadWriter {
+ public:
+  void U8(uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void U32(uint32_t v) {
+    for (int s = 0; s < 32; s += 8) buf_.push_back(static_cast<char>((v >> s) & 0xff));
+  }
+  void U64(uint64_t v) {
+    for (int s = 0; s < 64; s += 8) buf_.push_back(static_cast<char>((v >> s) & 0xff));
+  }
+  void I64(int64_t v) { U64(static_cast<uint64_t>(v)); }
+  void F64(double v) { U64(std::bit_cast<uint64_t>(v)); }
+  void Str(const std::string& s) {
+    U32(static_cast<uint32_t>(s.size()));
+    buf_ += s;
+  }
+  void Traj(const Trajectory& t) {
+    U32(static_cast<uint32_t>(t.size()));
+    for (const Point& p : t) {
+      F64(p.x);
+      F64(p.y);
+    }
+  }
+  void Vec(const nn::Vector& v) {
+    U32(static_cast<uint32_t>(v.size()));
+    for (double x : v) F64(x);
+  }
+
+  std::string Take() { return std::move(buf_); }
+
+ private:
+  std::string buf_;
+};
+
+class PayloadReader {
+ public:
+  explicit PayloadReader(const std::string& in) : in_(in) {}
+
+  bool U8(uint8_t* v) {
+    if (!Need(1)) return false;
+    *v = static_cast<uint8_t>(in_[pos_++]);
+    return true;
+  }
+  bool U32(uint32_t* v) {
+    if (!Need(4)) return false;
+    uint32_t out = 0;
+    for (int s = 0; s < 32; s += 8) {
+      out |= static_cast<uint32_t>(static_cast<unsigned char>(in_[pos_++])) << s;
+    }
+    *v = out;
+    return true;
+  }
+  bool U64(uint64_t* v) {
+    if (!Need(8)) return false;
+    uint64_t out = 0;
+    for (int s = 0; s < 64; s += 8) {
+      out |= static_cast<uint64_t>(static_cast<unsigned char>(in_[pos_++])) << s;
+    }
+    *v = out;
+    return true;
+  }
+  bool I64(int64_t* v) {
+    uint64_t u = 0;
+    if (!U64(&u)) return false;
+    *v = static_cast<int64_t>(u);
+    return true;
+  }
+  bool F64(double* v) {
+    uint64_t u = 0;
+    if (!U64(&u)) return false;
+    *v = std::bit_cast<double>(u);
+    return true;
+  }
+  bool Str(std::string* s) {
+    uint32_t n = 0;
+    if (!U32(&n) || !Need(n)) return false;
+    s->assign(in_, pos_, n);
+    pos_ += n;
+    return true;
+  }
+  bool Traj(Trajectory* t) {
+    uint32_t n = 0;
+    if (!U32(&n) || !Need(static_cast<size_t>(n) * 16)) return false;
+    std::vector<Point> pts(n);
+    for (Point& p : pts) {
+      if (!F64(&p.x) || !F64(&p.y)) return false;
+    }
+    *t = Trajectory(std::move(pts));
+    return true;
+  }
+  bool Vec(nn::Vector* v) {
+    uint32_t n = 0;
+    if (!U32(&n) || !Need(static_cast<size_t>(n) * 8)) return false;
+    v->resize(n);
+    for (double& x : *v) {
+      if (!F64(&x)) return false;
+    }
+    return true;
+  }
+
+  /// True iff every read succeeded and the payload had no trailing bytes.
+  bool Done() const { return ok_ && pos_ == in_.size(); }
+
+ private:
+  bool Need(size_t n) {
+    if (!ok_ || in_.size() - pos_ < n) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+
+  const std::string& in_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace
+
+const char* ErrorCodeName(ErrorCode c) {
+  switch (c) {
+    case ErrorCode::kMalformedFrame: return "malformed-frame";
+    case ErrorCode::kOversizedFrame: return "oversized-frame";
+    case ErrorCode::kBadRequest: return "bad-request";
+    case ErrorCode::kUnknownType: return "unknown-type";
+    case ErrorCode::kInternal: return "internal";
+    case ErrorCode::kShuttingDown: return "shutting-down";
+  }
+  return "unknown";
+}
+
+std::string SerializeError(const ErrorReply& m) {
+  PayloadWriter w;
+  w.U32(static_cast<uint32_t>(m.code));
+  w.Str(m.message);
+  return w.Take();
+}
+
+bool ParseError(const std::string& in, ErrorReply* out) {
+  PayloadReader r(in);
+  uint32_t code = 0;
+  if (!r.U32(&code) || !r.Str(&out->message) || !r.Done()) return false;
+  out->code = static_cast<ErrorCode>(code);
+  return true;
+}
+
+std::string SerializeEncodeRequest(const EncodeRequest& m) {
+  PayloadWriter w;
+  w.Traj(m.traj);
+  return w.Take();
+}
+
+bool ParseEncodeRequest(const std::string& in, EncodeRequest* out) {
+  PayloadReader r(in);
+  return r.Traj(&out->traj) && r.Done();
+}
+
+std::string SerializeEncodeResponse(const EncodeResponse& m) {
+  PayloadWriter w;
+  w.Vec(m.embedding);
+  return w.Take();
+}
+
+bool ParseEncodeResponse(const std::string& in, EncodeResponse* out) {
+  PayloadReader r(in);
+  return r.Vec(&out->embedding) && r.Done();
+}
+
+std::string SerializePairSimRequest(const PairSimRequest& m) {
+  PayloadWriter w;
+  w.Traj(m.a);
+  w.Traj(m.b);
+  return w.Take();
+}
+
+bool ParsePairSimRequest(const std::string& in, PairSimRequest* out) {
+  PayloadReader r(in);
+  return r.Traj(&out->a) && r.Traj(&out->b) && r.Done();
+}
+
+std::string SerializePairSimResponse(const PairSimResponse& m) {
+  PayloadWriter w;
+  w.F64(m.distance);
+  w.F64(m.similarity);
+  return w.Take();
+}
+
+bool ParsePairSimResponse(const std::string& in, PairSimResponse* out) {
+  PayloadReader r(in);
+  return r.F64(&out->distance) && r.F64(&out->similarity) && r.Done();
+}
+
+std::string SerializeTopKRequest(const TopKRequest& m) {
+  PayloadWriter w;
+  w.Traj(m.query);
+  w.U32(m.k);
+  w.I64(m.exclude);
+  return w.Take();
+}
+
+bool ParseTopKRequest(const std::string& in, TopKRequest* out) {
+  PayloadReader r(in);
+  return r.Traj(&out->query) && r.U32(&out->k) && r.I64(&out->exclude) &&
+         r.Done();
+}
+
+std::string SerializeTopKResponse(const TopKResponse& m) {
+  PayloadWriter w;
+  w.U32(static_cast<uint32_t>(m.ids.size()));
+  for (size_t i = 0; i < m.ids.size(); ++i) {
+    w.U64(m.ids[i]);
+    w.F64(m.dists[i]);
+  }
+  return w.Take();
+}
+
+bool ParseTopKResponse(const std::string& in, TopKResponse* out) {
+  PayloadReader r(in);
+  uint32_t n = 0;
+  if (!r.U32(&n)) return false;
+  out->ids.clear();
+  out->dists.clear();
+  for (uint32_t i = 0; i < n; ++i) {
+    uint64_t id = 0;
+    double d = 0.0;
+    if (!r.U64(&id) || !r.F64(&d)) return false;
+    out->ids.push_back(id);
+    out->dists.push_back(d);
+  }
+  return r.Done();
+}
+
+std::string SerializeInsertRequest(const InsertRequest& m) {
+  PayloadWriter w;
+  w.Traj(m.traj);
+  return w.Take();
+}
+
+bool ParseInsertRequest(const std::string& in, InsertRequest* out) {
+  PayloadReader r(in);
+  return r.Traj(&out->traj) && r.Done();
+}
+
+std::string SerializeInsertResponse(const InsertResponse& m) {
+  PayloadWriter w;
+  w.U64(m.id);
+  w.U64(m.corpus_size);
+  return w.Take();
+}
+
+bool ParseInsertResponse(const std::string& in, InsertResponse* out) {
+  PayloadReader r(in);
+  return r.U64(&out->id) && r.U64(&out->corpus_size) && r.Done();
+}
+
+std::string SerializeStatsResponse(const StatsResponse& m) {
+  PayloadWriter w;
+  const StatsSnapshot& s = m.stats;
+  w.F64(s.uptime_seconds);
+  w.U64(s.corpus_size);
+  w.U32(s.dim);
+  w.U64(s.batched_requests);
+  w.U64(s.batches);
+  w.F64(s.mean_batch_size);
+  w.U32(static_cast<uint32_t>(s.endpoints.size()));
+  for (const EndpointSnapshot& e : s.endpoints) {
+    w.Str(e.name);
+    w.U64(e.requests);
+    w.U64(e.errors);
+    w.F64(e.qps);
+    w.F64(e.mean_micros);
+    w.F64(e.p50_micros);
+    w.F64(e.p90_micros);
+    w.F64(e.p99_micros);
+    w.F64(e.max_micros);
+  }
+  return w.Take();
+}
+
+bool ParseStatsResponse(const std::string& in, StatsResponse* out) {
+  PayloadReader r(in);
+  StatsSnapshot& s = out->stats;
+  uint32_t n = 0;
+  if (!r.F64(&s.uptime_seconds) || !r.U64(&s.corpus_size) || !r.U32(&s.dim) ||
+      !r.U64(&s.batched_requests) || !r.U64(&s.batches) ||
+      !r.F64(&s.mean_batch_size) || !r.U32(&n)) {
+    return false;
+  }
+  s.endpoints.clear();
+  for (uint32_t i = 0; i < n; ++i) {
+    EndpointSnapshot e;
+    if (!r.Str(&e.name) || !r.U64(&e.requests) || !r.U64(&e.errors) ||
+        !r.F64(&e.qps) || !r.F64(&e.mean_micros) || !r.F64(&e.p50_micros) ||
+        !r.F64(&e.p90_micros) || !r.F64(&e.p99_micros) ||
+        !r.F64(&e.max_micros)) {
+      return false;
+    }
+    s.endpoints.push_back(std::move(e));
+  }
+  return r.Done();
+}
+
+std::string SerializeHealthResponse(const HealthResponse& m) {
+  PayloadWriter w;
+  w.U8(m.ok ? 1 : 0);
+  w.U64(m.corpus_size);
+  w.U32(m.dim);
+  w.Str(m.status);
+  return w.Take();
+}
+
+bool ParseHealthResponse(const std::string& in, HealthResponse* out) {
+  PayloadReader r(in);
+  uint8_t ok = 0;
+  if (!r.U8(&ok) || !r.U64(&out->corpus_size) || !r.U32(&out->dim) ||
+      !r.Str(&out->status) || !r.Done()) {
+    return false;
+  }
+  out->ok = ok != 0;
+  return true;
+}
+
+}  // namespace neutraj::serve

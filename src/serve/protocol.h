@@ -1,0 +1,152 @@
+// Binary message protocol of the NeuTraj query service.
+//
+// Every request and response travels as the payload of one wire frame
+// (common/framing.h); the frame's 16-bit type field carries the MsgType.
+// Payloads are little-endian and fixed-layout: integers as uint8/32/64,
+// doubles as IEEE-754 bit patterns in a uint64, strings and repeated
+// groups length-prefixed with a uint32. Parsers are bounds-checked and
+// return false on any truncation, trailing garbage, or implausible count —
+// a malformed payload can never crash the server or allocate unbounded
+// memory (element counts are validated against the bytes actually present
+// before any allocation).
+//
+// Request → response pairs (server replies kError on any failure):
+//   kEncodeRequest   → kEncodeResponse     embed one trajectory
+//   kPairSimRequest  → kPairSimResponse    distance + similarity of a pair
+//   kTopKRequest     → kTopKResponse       top-k ids over the live corpus
+//   kInsertRequest   → kInsertResponse     append to the live corpus
+//   kStatsRequest    → kStatsResponse      per-endpoint latency/QPS counters
+//   kHealthRequest   → kHealthResponse     liveness + corpus shape
+
+#ifndef NEUTRAJ_SERVE_PROTOCOL_H_
+#define NEUTRAJ_SERVE_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geo/trajectory.h"
+#include "nn/matrix.h"
+#include "serve/stats.h"
+
+namespace neutraj::serve {
+
+/// Wire-frame type values. Requests are odd, their responses even (request
+/// + 1), kError is the universal failure reply.
+enum class MsgType : uint16_t {
+  kError = 0,
+  kEncodeRequest = 1,
+  kEncodeResponse = 2,
+  kPairSimRequest = 3,
+  kPairSimResponse = 4,
+  kTopKRequest = 5,
+  kTopKResponse = 6,
+  kInsertRequest = 7,
+  kInsertResponse = 8,
+  kStatsRequest = 9,
+  kStatsResponse = 10,
+  kHealthRequest = 11,
+  kHealthResponse = 12,
+};
+
+/// Error codes carried by kError replies.
+enum class ErrorCode : uint32_t {
+  kMalformedFrame = 1,   ///< Frame-level failure (bad magic/version/CRC).
+  kOversizedFrame = 2,   ///< Declared frame payload above the server limit.
+  kBadRequest = 3,       ///< Frame ok, payload failed to parse or validate.
+  kUnknownType = 4,      ///< Frame type is not a known request.
+  kInternal = 5,         ///< Handler threw; message carries e.what().
+  kShuttingDown = 6,     ///< Server is draining and rejects new work.
+};
+
+const char* ErrorCodeName(ErrorCode c);
+
+// -- Message structs ---------------------------------------------------------
+
+struct ErrorReply {
+  ErrorCode code = ErrorCode::kInternal;
+  std::string message;
+};
+
+struct EncodeRequest {
+  Trajectory traj;
+};
+struct EncodeResponse {
+  nn::Vector embedding;
+};
+
+struct PairSimRequest {
+  Trajectory a, b;
+};
+struct PairSimResponse {
+  double distance = 0.0;    ///< ||E(a) - E(b)||.
+  double similarity = 0.0;  ///< exp(-distance).
+};
+
+struct TopKRequest {
+  Trajectory query;
+  uint32_t k = 10;
+  int64_t exclude = -1;  ///< Corpus id to omit, or -1.
+};
+struct TopKResponse {
+  std::vector<uint64_t> ids;
+  std::vector<double> dists;
+};
+
+struct InsertRequest {
+  Trajectory traj;
+};
+struct InsertResponse {
+  uint64_t id = 0;           ///< Assigned corpus id (dense, insert order).
+  uint64_t corpus_size = 0;  ///< Corpus size after the insert.
+};
+
+// Stats/Health requests have empty payloads and no struct.
+
+struct StatsResponse {
+  StatsSnapshot stats;
+};
+
+struct HealthResponse {
+  bool ok = false;
+  uint64_t corpus_size = 0;
+  uint32_t dim = 0;
+  std::string status;  ///< "serving" or "draining".
+};
+
+// -- Serialization -----------------------------------------------------------
+// SerializeX renders the payload bytes (not the wire frame); ParseX decodes
+// them, returning false on malformed input with *out unspecified.
+
+std::string SerializeError(const ErrorReply& m);
+bool ParseError(const std::string& in, ErrorReply* out);
+
+std::string SerializeEncodeRequest(const EncodeRequest& m);
+bool ParseEncodeRequest(const std::string& in, EncodeRequest* out);
+std::string SerializeEncodeResponse(const EncodeResponse& m);
+bool ParseEncodeResponse(const std::string& in, EncodeResponse* out);
+
+std::string SerializePairSimRequest(const PairSimRequest& m);
+bool ParsePairSimRequest(const std::string& in, PairSimRequest* out);
+std::string SerializePairSimResponse(const PairSimResponse& m);
+bool ParsePairSimResponse(const std::string& in, PairSimResponse* out);
+
+std::string SerializeTopKRequest(const TopKRequest& m);
+bool ParseTopKRequest(const std::string& in, TopKRequest* out);
+std::string SerializeTopKResponse(const TopKResponse& m);
+bool ParseTopKResponse(const std::string& in, TopKResponse* out);
+
+std::string SerializeInsertRequest(const InsertRequest& m);
+bool ParseInsertRequest(const std::string& in, InsertRequest* out);
+std::string SerializeInsertResponse(const InsertResponse& m);
+bool ParseInsertResponse(const std::string& in, InsertResponse* out);
+
+std::string SerializeStatsResponse(const StatsResponse& m);
+bool ParseStatsResponse(const std::string& in, StatsResponse* out);
+
+std::string SerializeHealthResponse(const HealthResponse& m);
+bool ParseHealthResponse(const std::string& in, HealthResponse* out);
+
+}  // namespace neutraj::serve
+
+#endif  // NEUTRAJ_SERVE_PROTOCOL_H_

@@ -1,0 +1,260 @@
+#include "serve/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace neutraj::serve {
+
+namespace {
+
+/// Writes the whole buffer, retrying on EINTR and short writes.
+/// MSG_NOSIGNAL: a peer that hung up yields an error, not SIGPIPE.
+bool SendAll(int fd, const std::string& bytes) {
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n =
+        ::send(fd, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+/// The one server the process-wide stop signals are routed to.
+std::atomic<Server*> g_signal_server{nullptr};
+
+void StopSignalHandler(int /*signum*/) {
+  Server* s = g_signal_server.load();
+  if (s != nullptr) s->RequestStop();  // One self-pipe write; signal-safe.
+}
+
+}  // namespace
+
+Server::Server(QueryService* service, const ServerOptions& opts)
+    : service_(service), opts_(opts) {
+  if (service == nullptr) {
+    throw std::invalid_argument("Server: null QueryService");
+  }
+}
+
+Server::~Server() {
+  if (running_.load() || accept_thread_.joinable()) Stop();
+  for (int fd : {stop_pipe_[0], stop_pipe_[1], listen_fd_}) {
+    if (fd >= 0) ::close(fd);
+  }
+}
+
+void Server::Start() {
+  if (accept_thread_.joinable()) {
+    throw std::logic_error("Server::Start: already started");
+  }
+  if (::pipe(stop_pipe_) != 0) {
+    throw std::runtime_error(std::string("Server: pipe failed: ") +
+                             std::strerror(errno));
+  }
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    throw std::runtime_error(std::string("Server: socket failed: ") +
+                             std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(opts_.port);
+  if (::inet_pton(AF_INET, opts_.host.c_str(), &addr.sin_addr) != 1) {
+    throw std::runtime_error("Server: bad bind address '" + opts_.host + "'");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    throw std::runtime_error("Server: cannot bind " + opts_.host + ":" +
+                             std::to_string(opts_.port) + ": " +
+                             std::strerror(errno));
+  }
+  if (::listen(listen_fd_, 128) != 0) {
+    throw std::runtime_error(std::string("Server: listen failed: ") +
+                             std::strerror(errno));
+  }
+
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) !=
+      0) {
+    throw std::runtime_error(std::string("Server: getsockname failed: ") +
+                             std::strerror(errno));
+  }
+  port_ = ntohs(bound.sin_port);
+
+  running_.store(true);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+}
+
+void Server::RequestStop() {
+  stop_requested_.store(true);
+  if (stop_pipe_[1] >= 0) {
+    // A single byte wakes the accept loop's poll; result deliberately
+    // ignored — the pipe being full already means a wake-up is pending.
+    [[maybe_unused]] const ssize_t n = ::write(stop_pipe_[1], "x", 1);
+  }
+}
+
+void Server::Wait() {
+  std::lock_guard<std::mutex> lock(wait_mu_);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  // The accept loop has exited and no new connections can appear;
+  // conn_threads_ is final. Handlers observe draining mode and wake from
+  // blocked reads via the SHUT_RD issued during the accept loop teardown.
+  for (std::thread& t : conn_threads_) {
+    if (t.joinable()) t.join();
+  }
+  conn_threads_.clear();
+  running_.store(false);
+}
+
+void Server::Stop() {
+  RequestStop();
+  Wait();
+}
+
+void Server::AcceptLoop() {
+  while (!stop_requested_.load()) {
+    pollfd fds[2];
+    fds[0] = {listen_fd_, POLLIN, 0};
+    fds[1] = {stop_pipe_[0], POLLIN, 0};
+    const int rc = ::poll(fds, 2, -1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if ((fds[1].revents & POLLIN) != 0 || stop_requested_.load()) break;
+    if ((fds[0].revents & POLLIN) == 0) continue;
+
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      break;
+    }
+    ++accepted_;
+    if (active_connections_.load() >= opts_.max_connections) {
+      // Over the connection cap: close immediately — the client sees EOF
+      // and can retry — rather than spawn unbounded handler threads.
+      ::close(fd);
+      continue;
+    }
+    ++active_connections_;
+    conn_threads_.emplace_back([this, fd] { ConnectionLoop(fd); });
+  }
+
+  // Drain: stop accepting, refuse new work, wake blocked readers.
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  service_->SetDraining(true);
+  std::lock_guard<std::mutex> lock(conn_mu_);
+  for (int fd : conn_fds_) ::shutdown(fd, SHUT_RD);
+}
+
+void Server::ConnectionLoop(int fd) {
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    conn_fds_.insert(fd);
+  }
+
+  std::string buf;
+  size_t offset = 0;
+  char chunk[64 * 1024];
+  bool open = true;
+  while (open) {
+    // Drain every complete frame already buffered before reading more.
+    // Encode requests in the burst are collected and dispatched to the
+    // micro-batcher as ONE group before any frame is answered, so a
+    // pipelined client fills a batch from a single connection; replies
+    // keep request order and go out as one write.
+    struct Slot {
+      bool is_encode = false;
+      size_t encode_index = 0;  ///< Into the group, when is_encode.
+      WireFrame request;        ///< Deferred to Handle(), when !is_encode.
+    };
+    std::vector<Slot> burst;
+    std::vector<Trajectory> group;
+    FrameStatus stream_status = FrameStatus::kIncomplete;
+    while (true) {
+      WireFrame request;
+      stream_status =
+          DecodeWireFrame(buf, &offset, &request, opts_.max_frame_payload);
+      if (stream_status != FrameStatus::kOk) break;
+      Slot slot;
+      if (service_->CollectEncode(request, &group)) {
+        slot.is_encode = true;
+        slot.encode_index = group.size() - 1;
+      } else {
+        slot.request = std::move(request);
+      }
+      burst.push_back(std::move(slot));
+    }
+    // Dispatch the encode group first: other handlers in the burst (TopK,
+    // Insert, PairSim) block on their own embeddings and would otherwise
+    // delay the group past the straggler window.
+    auto pending = service_->BeginEncodes(std::move(group));
+    std::string out;
+    std::vector<WireFrame> encode_replies;
+    if (pending.has_value()) {
+      encode_replies = service_->FinishEncodes(std::move(*pending));
+    }
+    for (Slot& slot : burst) {
+      const WireFrame reply = slot.is_encode
+                                  ? std::move(encode_replies[slot.encode_index])
+                                  : service_->Handle(slot.request);
+      out += EncodeWireFrame(reply.type, reply.payload);
+    }
+    // Hard framing error: typed error reply, then drop the connection — a
+    // stream that failed magic/version/CRC cannot be resynchronized.
+    const bool hard_error = stream_status != FrameStatus::kIncomplete;
+    if (hard_error) {
+      const WireFrame reply = QueryService::FrameErrorReply(stream_status);
+      out += EncodeWireFrame(reply.type, reply.payload);
+    }
+    if (!out.empty() && !SendAll(fd, out)) open = false;
+    if (hard_error || !open) break;
+    if (offset > 0) {
+      buf.erase(0, offset);
+      offset = 0;
+    }
+
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;  // EOF (peer close or drain SHUT_RD) or error.
+    buf.append(chunk, static_cast<size_t>(n));
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    conn_fds_.erase(fd);
+  }
+  ::close(fd);
+  --active_connections_;
+}
+
+void InstallStopSignalHandlers(Server* server) {
+  g_signal_server.store(server);
+  void (*handler)(int) = server != nullptr ? &StopSignalHandler : SIG_DFL;
+  std::signal(SIGTERM, handler);
+  std::signal(SIGINT, handler);
+}
+
+}  // namespace neutraj::serve

@@ -1,0 +1,108 @@
+// POSIX-socket query server over a QueryService.
+//
+// Dependency-free TCP serving: an accept thread plus one handler thread
+// per connection (serving-scale fan-in is bounded by `max_connections`).
+// Each connection reads length-prefixed wire frames (common/framing.h),
+// dispatches complete frames through QueryService::Handle, and writes the
+// response frame back. Frame-level failures (bad magic/version, oversized
+// declaration, CRC mismatch) get a typed kError reply and a disconnect —
+// after a framing error the byte stream cannot be trusted to resync.
+//
+// Shutdown: RequestStop() is async-signal-safe (one write to a self-pipe),
+// so InstallStopSignalHandlers wires SIGTERM/SIGINT straight to it. The
+// drain sequence is: stop accepting; flip the service into draining mode
+// (new work is refused with kShuttingDown); shut down connection sockets
+// for reading so blocked handlers wake at EOF; join handlers — each one
+// finishes writing its in-flight response first; then join the batcher via
+// the service's destructor order. Wait() returns once the drain completes.
+
+#ifndef NEUTRAJ_SERVE_SERVER_H_
+#define NEUTRAJ_SERVE_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/service.h"
+
+namespace neutraj::serve {
+
+struct ServerOptions {
+  std::string host = "127.0.0.1";  ///< Bind address.
+  uint16_t port = 0;               ///< 0 = pick an ephemeral port.
+  size_t max_connections = 64;     ///< Concurrent connection cap.
+  size_t max_frame_payload = kWireMaxPayload;
+};
+
+/// A long-lived loopback/TCP server bound to one QueryService.
+class Server {
+ public:
+  /// `service` must outlive the server.
+  Server(QueryService* service, const ServerOptions& opts);
+
+  /// Stops and joins if still running.
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens, and launches the accept thread. Throws
+  /// std::runtime_error on socket/bind failure.
+  void Start();
+
+  /// The bound port (resolves port 0 after Start()).
+  uint16_t port() const { return port_; }
+
+  /// Async-signal-safe stop trigger; returns immediately.
+  void RequestStop();
+
+  /// Blocks until a requested stop has fully drained: no accepts, all
+  /// connection threads joined, all in-flight responses written.
+  void Wait();
+
+  /// RequestStop() + Wait().
+  void Stop();
+
+  bool running() const { return running_.load(); }
+
+  /// Connections accepted over the server's lifetime.
+  uint64_t connections_accepted() const { return accepted_.load(); }
+
+ private:
+  void AcceptLoop();
+  void ConnectionLoop(int fd);
+
+  QueryService* service_;
+  ServerOptions opts_;
+
+  int listen_fd_ = -1;
+  int stop_pipe_[2] = {-1, -1};  ///< [read, write]; write end is the trigger.
+  uint16_t port_ = 0;
+
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_requested_{false};
+  std::atomic<uint64_t> accepted_{0};
+
+  std::thread accept_thread_;
+  std::mutex wait_mu_;  ///< Serializes Wait()/Stop() joins.
+
+  // Connection bookkeeping. Handler threads are spawned and collected only
+  // by the accept thread / Wait(); live fds are tracked so a drain can
+  // shutdown(SHUT_RD) blocked readers awake.
+  std::atomic<size_t> active_connections_{0};
+  std::vector<std::thread> conn_threads_;
+  std::mutex conn_mu_;
+  std::set<int> conn_fds_;  ///< Guarded by conn_mu_.
+};
+
+/// Routes SIGTERM and SIGINT to server->RequestStop(). One server per
+/// process; passing nullptr restores the default disposition.
+void InstallStopSignalHandlers(Server* server);
+
+}  // namespace neutraj::serve
+
+#endif  // NEUTRAJ_SERVE_SERVER_H_

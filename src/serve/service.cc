@@ -1,0 +1,255 @@
+#include "serve/service.h"
+
+#include <exception>
+#include <future>
+#include <stdexcept>
+#include <utility>
+
+#include "core/similarity.h"
+
+namespace neutraj::serve {
+
+namespace {
+
+WireFrame ErrorFrame(ErrorCode code, const std::string& message) {
+  WireFrame f;
+  f.type = static_cast<uint16_t>(MsgType::kError);
+  f.payload = SerializeError({code, message});
+  return f;
+}
+
+WireFrame Reply(MsgType type, std::string payload) {
+  WireFrame f;
+  f.type = static_cast<uint16_t>(type);
+  f.payload = std::move(payload);
+  return f;
+}
+
+/// Shared request validation: the encoder rejects empty trajectories, but
+/// the service refuses them up front with a precise message instead of an
+/// internal error.
+void CheckTrajectory(const Trajectory& t, const char* what) {
+  if (t.empty()) {
+    throw std::invalid_argument(std::string(what) + " is empty");
+  }
+}
+
+}  // namespace
+
+QueryService::QueryService(const NeuTrajModel& model, EmbeddingDatabase* db,
+                           const MicroBatcher::Options& batch_opts)
+    : model_(model), db_(db), batcher_(model, batch_opts) {
+  if (db == nullptr) {
+    throw std::invalid_argument("QueryService: null EmbeddingDatabase");
+  }
+}
+
+WireFrame QueryService::FrameErrorReply(FrameStatus status) {
+  const ErrorCode code = status == FrameStatus::kOversized
+                             ? ErrorCode::kOversizedFrame
+                             : ErrorCode::kMalformedFrame;
+  return ErrorFrame(code, std::string("frame error: ") + FrameStatusName(status));
+}
+
+bool QueryService::CollectEncode(const WireFrame& request,
+                                 std::vector<Trajectory>* group) const {
+  if (static_cast<MsgType>(request.type) != MsgType::kEncodeRequest ||
+      draining_.load()) {
+    return false;
+  }
+  EncodeRequest req;
+  if (!ParseEncodeRequest(request.payload, &req) || req.traj.empty()) {
+    return false;  // Handle() will build the precise error reply.
+  }
+  group->push_back(std::move(req.traj));
+  return true;
+}
+
+std::optional<QueryService::PendingEncodes> QueryService::BeginEncodes(
+    std::vector<Trajectory> group) {
+  if (group.empty()) return std::nullopt;
+  PendingEncodes pending;
+  pending.count = group.size();
+  pending.fut = batcher_.SubmitBatch(std::move(group));
+  return pending;
+}
+
+std::vector<WireFrame> QueryService::FinishEncodes(PendingEncodes pending) {
+  std::vector<WireFrame> replies;
+  replies.reserve(pending.count);
+  MicroBatcher::BatchResult result;
+  std::string group_error;
+  try {
+    result = pending.fut.get();
+  } catch (const std::exception& e) {
+    group_error = e.what();  // Unreachable in practice; fail every slot.
+  }
+  const double micros = pending.sw.ElapsedMillis() * 1e3;
+  for (size_t i = 0; i < pending.count; ++i) {
+    if (!group_error.empty()) {
+      replies.push_back(ErrorFrame(ErrorCode::kInternal, group_error));
+    } else if (!result.errors[i].empty()) {
+      replies.push_back(ErrorFrame(result.bad_input[i] != 0
+                                       ? ErrorCode::kBadRequest
+                                       : ErrorCode::kInternal,
+                                   result.errors[i]));
+    } else {
+      EncodeResponse resp;
+      resp.embedding = std::move(result.embeddings[i]);
+      replies.push_back(
+          Reply(MsgType::kEncodeResponse, SerializeEncodeResponse(resp)));
+    }
+    stats_.Record(Endpoint::kEncode, micros,
+                  replies.back().type == static_cast<uint16_t>(MsgType::kError));
+  }
+  return replies;
+}
+
+StatsSnapshot QueryService::Snapshot() const {
+  StatsSnapshot snap = stats_.Snapshot();
+  snap.corpus_size = db_->size();
+  snap.dim = static_cast<uint32_t>(db_->dim());
+  const MicroBatcher::Stats bs = batcher_.stats();
+  snap.batched_requests = bs.requests;
+  snap.batches = bs.batches;
+  snap.mean_batch_size = bs.mean_batch_size();
+  return snap;
+}
+
+WireFrame QueryService::Handle(const WireFrame& request) {
+  Stopwatch sw;
+  Endpoint endpoint = Endpoint::kCount;
+  WireFrame reply;
+  try {
+    reply = Dispatch(request, &endpoint);
+  } catch (const std::invalid_argument& e) {
+    reply = ErrorFrame(ErrorCode::kBadRequest, e.what());
+  } catch (const std::exception& e) {
+    reply = ErrorFrame(ErrorCode::kInternal, e.what());
+  }
+  if (endpoint != Endpoint::kCount) {
+    const bool is_error =
+        reply.type == static_cast<uint16_t>(MsgType::kError);
+    stats_.Record(endpoint, sw.ElapsedMillis() * 1e3, is_error);
+  }
+  return reply;
+}
+
+WireFrame QueryService::Dispatch(const WireFrame& request, Endpoint* endpoint) {
+  const auto type = static_cast<MsgType>(request.type);
+  switch (type) {
+    case MsgType::kHealthRequest: {
+      *endpoint = Endpoint::kHealth;
+      HealthResponse resp;
+      resp.ok = true;
+      resp.corpus_size = db_->size();
+      resp.dim = static_cast<uint32_t>(db_->dim());
+      resp.status = draining_.load() ? "draining" : "serving";
+      return Reply(MsgType::kHealthResponse, SerializeHealthResponse(resp));
+    }
+
+    case MsgType::kStatsRequest: {
+      *endpoint = Endpoint::kStats;
+      StatsResponse resp;
+      resp.stats = Snapshot();
+      return Reply(MsgType::kStatsResponse, SerializeStatsResponse(resp));
+    }
+
+    case MsgType::kEncodeRequest: {
+      *endpoint = Endpoint::kEncode;
+      if (draining_.load()) {
+        return ErrorFrame(ErrorCode::kShuttingDown, "server is draining");
+      }
+      EncodeRequest req;
+      if (!ParseEncodeRequest(request.payload, &req)) {
+        return ErrorFrame(ErrorCode::kBadRequest, "malformed encode request");
+      }
+      CheckTrajectory(req.traj, "trajectory");
+      EncodeResponse resp;
+      resp.embedding = batcher_.Encode(req.traj);
+      return Reply(MsgType::kEncodeResponse, SerializeEncodeResponse(resp));
+    }
+
+    case MsgType::kPairSimRequest: {
+      *endpoint = Endpoint::kPairSim;
+      if (draining_.load()) {
+        return ErrorFrame(ErrorCode::kShuttingDown, "server is draining");
+      }
+      PairSimRequest req;
+      if (!ParsePairSimRequest(request.payload, &req)) {
+        return ErrorFrame(ErrorCode::kBadRequest, "malformed pairsim request");
+      }
+      CheckTrajectory(req.a, "trajectory a");
+      CheckTrajectory(req.b, "trajectory b");
+      // One two-item group: both trajectories share a batch (and one
+      // future) instead of paying two straggler windows.
+      std::vector<Trajectory> pair;
+      pair.reserve(2);
+      pair.push_back(std::move(req.a));
+      pair.push_back(std::move(req.b));
+      MicroBatcher::BatchResult r = batcher_.SubmitBatch(std::move(pair)).get();
+      for (size_t i = 0; i < 2; ++i) {
+        if (r.errors[i].empty()) continue;
+        if (r.bad_input[i] != 0) throw std::invalid_argument(r.errors[i]);
+        throw std::runtime_error(r.errors[i]);
+      }
+      PairSimResponse resp;
+      resp.distance = EmbeddingDistance(r.embeddings[0], r.embeddings[1]);
+      resp.similarity = EmbeddingSimilarity(r.embeddings[0], r.embeddings[1]);
+      return Reply(MsgType::kPairSimResponse, SerializePairSimResponse(resp));
+    }
+
+    case MsgType::kTopKRequest: {
+      *endpoint = Endpoint::kTopK;
+      if (draining_.load()) {
+        return ErrorFrame(ErrorCode::kShuttingDown, "server is draining");
+      }
+      TopKRequest req;
+      if (!ParseTopKRequest(request.payload, &req)) {
+        return ErrorFrame(ErrorCode::kBadRequest, "malformed topk request");
+      }
+      CheckTrajectory(req.query, "query trajectory");
+      if (req.k == 0) {
+        return ErrorFrame(ErrorCode::kBadRequest, "k must be >= 1");
+      }
+      const nn::Vector query = batcher_.Encode(req.query);
+      const SearchResult r = db_->TopK(query, req.k, req.exclude);
+      TopKResponse resp;
+      resp.ids.assign(r.ids.begin(), r.ids.end());
+      resp.dists = r.dists;
+      return Reply(MsgType::kTopKResponse, SerializeTopKResponse(resp));
+    }
+
+    case MsgType::kInsertRequest: {
+      *endpoint = Endpoint::kInsert;
+      if (draining_.load()) {
+        return ErrorFrame(ErrorCode::kShuttingDown, "server is draining");
+      }
+      InsertRequest req;
+      if (!ParseInsertRequest(request.payload, &req)) {
+        return ErrorFrame(ErrorCode::kBadRequest, "malformed insert request");
+      }
+      CheckTrajectory(req.traj, "trajectory");
+      const nn::Vector embedding = batcher_.Encode(req.traj);
+      InsertResponse resp;
+      resp.id = db_->Insert(embedding);
+      // id+1, not db_->size(): a concurrent insert may land between the two
+      // calls, and the reply should be a consistent snapshot of *this* op.
+      resp.corpus_size = resp.id + 1;
+      return Reply(MsgType::kInsertResponse, SerializeInsertResponse(resp));
+    }
+
+    case MsgType::kError:
+    case MsgType::kEncodeResponse:
+    case MsgType::kPairSimResponse:
+    case MsgType::kTopKResponse:
+    case MsgType::kInsertResponse:
+    case MsgType::kStatsResponse:
+    case MsgType::kHealthResponse:
+      break;
+  }
+  return ErrorFrame(ErrorCode::kUnknownType,
+                    "unknown request type " + std::to_string(request.type));
+}
+
+}  // namespace neutraj::serve

@@ -1,0 +1,101 @@
+// The query service: request dispatch over a model + live corpus.
+//
+// QueryService is the socket-independent heart of src/serve/: it owns the
+// trained model, the live EmbeddingDatabase, the MicroBatcher, and the
+// ServerStats, and maps one request frame to one response frame. The
+// Server (server.h) feeds it frames read from sockets; tests feed it
+// frames directly — the protocol semantics are fully exercisable without
+// ever opening a socket.
+//
+// Locking discipline: encoding runs in the batcher with no corpus lock
+// held; EmbeddingDatabase takes its reader lock inside TopK and its writer
+// lock inside Insert. Handle() itself holds no lock across an encode, so
+// inserts never stall queries for the duration of an embedding.
+
+#ifndef NEUTRAJ_SERVE_SERVICE_H_
+#define NEUTRAJ_SERVE_SERVICE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <optional>
+
+#include "common/framing.h"
+#include "common/stopwatch.h"
+#include "core/embedding_db.h"
+#include "core/model.h"
+#include "serve/micro_batcher.h"
+#include "serve/protocol.h"
+#include "serve/stats.h"
+
+namespace neutraj::serve {
+
+/// Dispatches decoded request frames against a model + live corpus.
+class QueryService {
+ public:
+  /// Both references must outlive the service. `db` may start empty and be
+  /// populated purely through Insert requests.
+  QueryService(const NeuTrajModel& model, EmbeddingDatabase* db,
+               const MicroBatcher::Options& batch_opts);
+
+  /// Maps one request frame to its response frame. Never throws: parse
+  /// failures, unknown types, and handler exceptions all become kError
+  /// replies. Thread-safe — called concurrently from connection handlers.
+  WireFrame Handle(const WireFrame& request);
+
+  /// Convenience for frame-level failures discovered by the transport:
+  /// builds the kError reply matching a FrameStatus.
+  static WireFrame FrameErrorReply(FrameStatus status);
+
+  /// A group of Encode requests dispatched to the micro-batcher whose
+  /// replies have not been produced yet. Move-only.
+  struct PendingEncodes {
+    std::future<MicroBatcher::BatchResult> fut;
+    Stopwatch sw;  ///< Started at dispatch; FinishEncodes records latency.
+    size_t count = 0;
+  };
+
+  /// Pipelining fast path, step 1: if `request` is a well-formed Encode
+  /// request and the service is accepting work, appends its trajectory to
+  /// *group and returns true. Returns false for every other frame (and
+  /// for malformed/draining cases, where Handle() produces the precise
+  /// error reply).
+  bool CollectEncode(const WireFrame& request,
+                     std::vector<Trajectory>* group) const;
+
+  /// Step 2: dispatches a collected group to the batcher as one unit —
+  /// one future for the whole burst, so a pipelined connection fills a
+  /// batch by itself at per-group (not per-request) synchronization cost.
+  /// Returns nullopt for an empty group.
+  std::optional<PendingEncodes> BeginEncodes(std::vector<Trajectory> group);
+
+  /// Step 3: waits for a dispatched group and builds one reply frame per
+  /// item, in submission order (kError on per-item failure). Never
+  /// throws; records Encode endpoint stats per item.
+  std::vector<WireFrame> FinishEncodes(PendingEncodes pending);
+
+  /// While draining, every request except Health and Stats is refused with
+  /// kShuttingDown so in-flight connections wind down crisply.
+  void SetDraining(bool draining) { draining_.store(draining); }
+  bool draining() const { return draining_.load(); }
+
+  /// Endpoint counters plus corpus/batcher gauges, ready to serialize.
+  StatsSnapshot Snapshot() const;
+
+  const NeuTrajModel& model() const { return model_; }
+  EmbeddingDatabase& db() { return *db_; }
+  MicroBatcher& batcher() { return batcher_; }
+
+ private:
+  WireFrame Dispatch(const WireFrame& request, Endpoint* endpoint);
+
+  const NeuTrajModel& model_;
+  EmbeddingDatabase* db_;
+  MicroBatcher batcher_;
+  ServerStats stats_;
+  std::atomic<bool> draining_{false};
+};
+
+}  // namespace neutraj::serve
+
+#endif  // NEUTRAJ_SERVE_SERVICE_H_

@@ -1,0 +1,96 @@
+#include "serve/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace neutraj::serve {
+
+const char* EndpointName(Endpoint e) {
+  switch (e) {
+    case Endpoint::kEncode: return "encode";
+    case Endpoint::kPairSim: return "pairsim";
+    case Endpoint::kTopK: return "topk";
+    case Endpoint::kInsert: return "insert";
+    case Endpoint::kStats: return "stats";
+    case Endpoint::kHealth: return "health";
+    case Endpoint::kCount: break;
+  }
+  return "unknown";
+}
+
+void LatencyHistogram::Record(double micros) {
+  const double m = std::max(0.0, micros);
+  // Bucket i covers (2^(i-1), 2^i] µs; everything above the last bound
+  // lands in the final bucket.
+  size_t b = 0;
+  while (b + 1 < kNumBuckets && m > static_cast<double>(1ull << b)) ++b;
+  ++buckets_[b];
+  ++count_;
+  sum_ += m;
+  max_ = std::max(max_, m);
+}
+
+double LatencyHistogram::PercentileMicros(double p) const {
+  if (count_ == 0) return 0.0;
+  const double target = std::clamp(p, 0.0, 1.0) * static_cast<double>(count_);
+  uint64_t seen = 0;
+  for (size_t b = 0; b < kNumBuckets; ++b) {
+    seen += buckets_[b];
+    if (static_cast<double>(seen) >= target) {
+      return static_cast<double>(1ull << b);
+    }
+  }
+  return static_cast<double>(1ull << (kNumBuckets - 1));
+}
+
+void ServerStats::Record(Endpoint e, double micros, bool error) {
+  const size_t i = static_cast<size_t>(e);
+  std::lock_guard<std::mutex> lock(mu_);
+  per_[i].hist.Record(micros);
+  if (error) ++per_[i].errors;
+}
+
+StatsSnapshot ServerStats::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  StatsSnapshot snap;
+  snap.uptime_seconds = uptime_.ElapsedSeconds();
+  const double uptime = std::max(snap.uptime_seconds, 1e-9);
+  for (size_t i = 0; i < per_.size(); ++i) {
+    const PerEndpoint& pe = per_[i];
+    EndpointSnapshot es;
+    es.name = EndpointName(static_cast<Endpoint>(i));
+    es.requests = pe.hist.count();
+    es.errors = pe.errors;
+    es.qps = static_cast<double>(es.requests) / uptime;
+    es.mean_micros = pe.hist.mean_micros();
+    es.p50_micros = pe.hist.PercentileMicros(0.50);
+    es.p90_micros = pe.hist.PercentileMicros(0.90);
+    es.p99_micros = pe.hist.PercentileMicros(0.99);
+    es.max_micros = pe.hist.max_micros();
+    snap.endpoints.push_back(std::move(es));
+  }
+  return snap;
+}
+
+std::string StatsSnapshot::ToString() const {
+  std::string out = StrFormat(
+      "uptime %.1fs  corpus %llu (d=%u)  encode batches %llu/%llu "
+      "(mean batch %.2f)\n",
+      uptime_seconds, static_cast<unsigned long long>(corpus_size), dim,
+      static_cast<unsigned long long>(batches),
+      static_cast<unsigned long long>(batched_requests), mean_batch_size);
+  out += StrFormat("%-8s %9s %7s %9s %10s %10s %10s %10s\n", "endpoint",
+                   "requests", "errors", "qps", "mean_us", "p50_us", "p99_us",
+                   "max_us");
+  for (const EndpointSnapshot& e : endpoints) {
+    out += StrFormat("%-8s %9llu %7llu %9.2f %10.1f %10.0f %10.0f %10.1f\n",
+                     e.name.c_str(), static_cast<unsigned long long>(e.requests),
+                     static_cast<unsigned long long>(e.errors), e.qps,
+                     e.mean_micros, e.p50_micros, e.p99_micros, e.max_micros);
+  }
+  return out;
+}
+
+}  // namespace neutraj::serve

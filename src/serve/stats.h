@@ -1,0 +1,113 @@
+// Serving-side observability: per-endpoint latency histograms and QPS.
+//
+// The server records one (endpoint, latency, ok/error) sample per request
+// under a single mutex — sampling is two array increments, so contention is
+// negligible next to an encode. Snapshot() freezes everything into a plain
+// struct that the protocol layer ships to clients over kStatsRequest.
+//
+// Latencies use log2 microsecond buckets: bucket i counts samples in
+// (2^(i-1), 2^i] µs, so 28 buckets span 1 µs to ~134 s with ≤ 2x relative
+// error on reported percentiles — plenty for spotting a batching or
+// locking regression. All timing flows through Stopwatch (steady_clock);
+// nothing here reads the wall clock.
+
+#ifndef NEUTRAJ_SERVE_STATS_H_
+#define NEUTRAJ_SERVE_STATS_H_
+
+#include <array>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/stopwatch.h"
+
+namespace neutraj::serve {
+
+/// The service's request kinds, indexing the per-endpoint counters.
+enum class Endpoint : size_t {
+  kEncode = 0,
+  kPairSim,
+  kTopK,
+  kInsert,
+  kStats,
+  kHealth,
+  kCount,  ///< Sentinel; not an endpoint.
+};
+
+const char* EndpointName(Endpoint e);
+
+/// Log2-bucketed latency histogram over microseconds.
+class LatencyHistogram {
+ public:
+  static constexpr size_t kNumBuckets = 28;
+
+  void Record(double micros);
+
+  uint64_t count() const { return count_; }
+  double mean_micros() const { return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_); }
+  double max_micros() const { return max_; }
+
+  /// Latency below which fraction `p` (in [0, 1]) of samples fall; reported
+  /// as the upper bound of the containing bucket. 0 with no samples.
+  double PercentileMicros(double p) const;
+
+  const std::array<uint64_t, kNumBuckets>& buckets() const { return buckets_; }
+
+ private:
+  std::array<uint64_t, kNumBuckets> buckets_{};
+  uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// One endpoint's frozen counters inside a StatsSnapshot.
+struct EndpointSnapshot {
+  std::string name;
+  uint64_t requests = 0;
+  uint64_t errors = 0;
+  double qps = 0.0;  ///< requests / uptime seconds.
+  double mean_micros = 0.0;
+  double p50_micros = 0.0;
+  double p90_micros = 0.0;
+  double p99_micros = 0.0;
+  double max_micros = 0.0;
+};
+
+/// Everything a kStatsResponse carries; plain data, protocol-serializable.
+struct StatsSnapshot {
+  double uptime_seconds = 0.0;
+  uint64_t corpus_size = 0;
+  uint32_t dim = 0;
+  // Micro-batcher counters: how well encode work is being coalesced.
+  uint64_t batched_requests = 0;
+  uint64_t batches = 0;
+  double mean_batch_size = 0.0;
+  std::vector<EndpointSnapshot> endpoints;
+
+  /// Human-readable multi-line rendering (client CLI, logs).
+  std::string ToString() const;
+};
+
+/// Thread-safe registry of per-endpoint histograms + error counts.
+class ServerStats {
+ public:
+  void Record(Endpoint e, double micros, bool error);
+
+  /// Frozen endpoint counters; the caller fills the corpus/batcher fields.
+  StatsSnapshot Snapshot() const;
+
+ private:
+  struct PerEndpoint {
+    LatencyHistogram hist;
+    uint64_t errors = 0;
+  };
+
+  mutable std::mutex mu_;
+  Stopwatch uptime_;  ///< Started at construction = server start.
+  std::array<PerEndpoint, static_cast<size_t>(Endpoint::kCount)> per_{};
+};
+
+}  // namespace neutraj::serve
+
+#endif  // NEUTRAJ_SERVE_STATS_H_

@@ -1,0 +1,918 @@
+// Unit tests for the socket-independent serving layers: wire framing
+// (common/framing), the message protocol codecs (serve/protocol), the
+// micro_batcher, the query service dispatch, and the serving stats —
+// including malformed-frame and fuzzed-payload robustness.
+
+#include <cmath>
+#include <cstdint>
+#include <future>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/framing.h"
+#include "common/random.h"
+#include "core/embedding_db.h"
+#include "core/model.h"
+#include "core/similarity.h"
+#include "geo/grid.h"
+#include "serve/micro_batcher.h"
+#include "serve/protocol.h"
+#include "serve/service.h"
+#include "serve/stats.h"
+#include "test_util.h"
+
+namespace neutraj::serve {
+namespace {
+
+using neutraj::testing::RandomCorpus;
+using neutraj::testing::RandomTrajectory;
+
+// -- Shared fixtures ---------------------------------------------------------
+
+NeuTrajConfig SmallConfig() {
+  NeuTrajConfig cfg = NeuTrajConfig::NeuTraj();
+  cfg.embedding_dim = 8;
+  cfg.scan_width = 1;
+  return cfg;
+}
+
+Grid SmallGrid() {
+  BoundingBox region = BoundingBox::Empty();
+  region.Extend(Point(-50, -50));
+  region.Extend(Point(150, 150));
+  return Grid(region, 20.0);
+}
+
+NeuTrajModel MakeModel() {
+  NeuTrajModel model(SmallConfig(), SmallGrid());
+  Rng rng(7);
+  model.InitializeWeights(&rng);
+  return model;
+}
+
+std::vector<Trajectory> MakeCorpus(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  return RandomCorpus(n, 4, 10, 100.0, &rng);
+}
+
+WireFrame Req(MsgType type, std::string payload = "") {
+  WireFrame f;
+  f.type = static_cast<uint16_t>(type);
+  f.payload = std::move(payload);
+  return f;
+}
+
+ErrorReply GetError(const WireFrame& reply) {
+  EXPECT_EQ(reply.type, static_cast<uint16_t>(MsgType::kError));
+  ErrorReply err;
+  EXPECT_TRUE(ParseError(reply.payload, &err));
+  return err;
+}
+
+void ExpectTrajEq(const Trajectory& a, const Trajectory& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.points()[i].x, b.points()[i].x);
+    EXPECT_EQ(a.points()[i].y, b.points()[i].y);
+  }
+}
+
+// -- Wire framing ------------------------------------------------------------
+
+TEST(WireFrameTest, RoundTripsMultipleFramesFromOneBuffer) {
+  const std::string buf = EncodeWireFrame(1, "alpha") +
+                          EncodeWireFrame(7, "") +
+                          EncodeWireFrame(42, std::string(1000, 'x'));
+  size_t offset = 0;
+  WireFrame f;
+  ASSERT_EQ(DecodeWireFrame(buf, &offset, &f), FrameStatus::kOk);
+  EXPECT_EQ(f.type, 1);
+  EXPECT_EQ(f.payload, "alpha");
+  ASSERT_EQ(DecodeWireFrame(buf, &offset, &f), FrameStatus::kOk);
+  EXPECT_EQ(f.type, 7);
+  EXPECT_EQ(f.payload, "");
+  ASSERT_EQ(DecodeWireFrame(buf, &offset, &f), FrameStatus::kOk);
+  EXPECT_EQ(f.type, 42);
+  EXPECT_EQ(f.payload, std::string(1000, 'x'));
+  EXPECT_EQ(offset, buf.size());
+  EXPECT_EQ(DecodeWireFrame(buf, &offset, &f), FrameStatus::kIncomplete);
+}
+
+TEST(WireFrameTest, EveryTruncatedPrefixIsIncomplete) {
+  const std::string frame = EncodeWireFrame(3, "payload bytes");
+  for (size_t len = 0; len < frame.size(); ++len) {
+    size_t offset = 0;
+    WireFrame f;
+    EXPECT_EQ(DecodeWireFrame(frame.substr(0, len), &offset, &f),
+              FrameStatus::kIncomplete)
+        << "prefix of " << len << " bytes";
+    EXPECT_EQ(offset, 0u) << "offset must not advance on kIncomplete";
+  }
+}
+
+TEST(WireFrameTest, BadMagicDetectedBeforeFullHeaderArrives) {
+  std::string frame = EncodeWireFrame(3, "p");
+  frame[0] = 'X';
+  size_t offset = 0;
+  WireFrame f;
+  EXPECT_EQ(DecodeWireFrame(frame, &offset, &f), FrameStatus::kBadMagic);
+  EXPECT_EQ(offset, 0u);
+  // Even a short garbage prefix is rejected without waiting for 16 bytes.
+  offset = 0;
+  EXPECT_EQ(DecodeWireFrame(frame.substr(0, 4), &offset, &f),
+            FrameStatus::kBadMagic);
+}
+
+TEST(WireFrameTest, WrongVersionRejected) {
+  std::string frame = EncodeWireFrame(3, "p");
+  frame[4] = static_cast<char>(0xFF);  // Version field is bytes 4..5.
+  size_t offset = 0;
+  WireFrame f;
+  EXPECT_EQ(DecodeWireFrame(frame, &offset, &f), FrameStatus::kBadVersion);
+  EXPECT_EQ(offset, 0u);
+}
+
+TEST(WireFrameTest, OversizedDeclarationRejectedFromHeaderAlone) {
+  const std::string frame = EncodeWireFrame(3, std::string(100, 'q'));
+  size_t offset = 0;
+  WireFrame f;
+  // Only the header present: the declared 100-byte payload already exceeds
+  // the 50-byte cap, so the reader must not wait for more bytes.
+  EXPECT_EQ(DecodeWireFrame(frame.substr(0, kWireHeaderSize), &offset, &f,
+                            /*max_payload=*/50),
+            FrameStatus::kOversized);
+  EXPECT_EQ(offset, 0u);
+}
+
+TEST(WireFrameTest, EncoderEnforcesTheSamePayloadCap) {
+  EXPECT_THROW(EncodeWireFrame(1, std::string(51, 'x'), /*max_payload=*/50),
+               std::length_error);
+  EXPECT_NO_THROW(EncodeWireFrame(1, std::string(50, 'x'), /*max_payload=*/50));
+}
+
+TEST(WireFrameTest, PayloadCorruptionFailsChecksum) {
+  const std::string clean = EncodeWireFrame(3, "sensitive payload");
+  for (size_t i = kWireHeaderSize; i < clean.size(); ++i) {
+    std::string frame = clean;
+    frame[i] = static_cast<char>(frame[i] ^ 0x40);
+    size_t offset = 0;
+    WireFrame f;
+    EXPECT_EQ(DecodeWireFrame(frame, &offset, &f), FrameStatus::kBadChecksum)
+        << "flipped payload byte " << i;
+    EXPECT_EQ(offset, 0u);
+  }
+}
+
+TEST(WireFrameTest, SingleBitFlipsNeverYieldACorruptedPayload) {
+  const std::string payload = "the quick brown fox";
+  const std::string clean = EncodeWireFrame(9, payload);
+  Rng rng(31);
+  for (int iter = 0; iter < 500; ++iter) {
+    std::string frame = clean;
+    const auto pos = static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(frame.size()) - 1));
+    const int bit = static_cast<int>(rng.UniformInt(0, 7));
+    frame[pos] = static_cast<char>(frame[pos] ^ (1 << bit));
+    size_t offset = 0;
+    WireFrame f;
+    const FrameStatus status = DecodeWireFrame(frame, &offset, &f);
+    // A flip in the (CRC-unprotected) type field still decodes; every
+    // other flip must be flagged. In no case may a decoded payload differ.
+    if (status == FrameStatus::kOk) {
+      EXPECT_EQ(f.payload, payload);
+      EXPECT_EQ(offset, frame.size());
+    } else {
+      EXPECT_EQ(offset, 0u);
+    }
+  }
+}
+
+TEST(WireFrameTest, RandomGarbageNeverDecodesOk) {
+  Rng rng(77);
+  for (int iter = 0; iter < 200; ++iter) {
+    const auto len =
+        static_cast<size_t>(rng.UniformInt(0, 64));
+    std::string garbage(len, '\0');
+    for (char& c : garbage) {
+      c = static_cast<char>(rng.UniformInt(0, 255));
+    }
+    size_t offset = 0;
+    WireFrame f;
+    const FrameStatus status = DecodeWireFrame(garbage, &offset, &f);
+    EXPECT_NE(status, FrameStatus::kOk);
+    EXPECT_EQ(offset, 0u);
+  }
+}
+
+// -- Protocol codecs ---------------------------------------------------------
+
+/// Every strict prefix of a serialized payload must be rejected, and so
+/// must the payload with trailing garbage (parsers demand full
+/// consumption).
+template <typename T, typename ParseFn>
+void ExpectExactFraming(const std::string& payload, ParseFn parse) {
+  for (size_t len = 0; len < payload.size(); ++len) {
+    T out;
+    EXPECT_FALSE(parse(payload.substr(0, len), &out))
+        << "accepted a " << len << "-byte prefix of " << payload.size();
+  }
+  T out;
+  EXPECT_FALSE(parse(payload + "x", &out)) << "accepted trailing garbage";
+}
+
+TEST(ProtocolTest, ErrorReplyRoundTrip) {
+  const ErrorReply in{ErrorCode::kShuttingDown, "draining now"};
+  const std::string bytes = SerializeError(in);
+  ErrorReply out;
+  ASSERT_TRUE(ParseError(bytes, &out));
+  EXPECT_EQ(out.code, in.code);
+  EXPECT_EQ(out.message, in.message);
+  ExpectExactFraming<ErrorReply>(bytes, ParseError);
+}
+
+TEST(ProtocolTest, EncodeMessagesRoundTrip) {
+  Rng rng(5);
+  EncodeRequest req;
+  req.traj = RandomTrajectory(6, 100.0, &rng);
+  const std::string req_bytes = SerializeEncodeRequest(req);
+  EncodeRequest req_out;
+  ASSERT_TRUE(ParseEncodeRequest(req_bytes, &req_out));
+  ExpectTrajEq(req_out.traj, req.traj);
+  ExpectExactFraming<EncodeRequest>(req_bytes, ParseEncodeRequest);
+
+  EncodeResponse resp;
+  resp.embedding = {1.5, -2.25, 0.0, 1e-300, -1e300};
+  const std::string resp_bytes = SerializeEncodeResponse(resp);
+  EncodeResponse resp_out;
+  ASSERT_TRUE(ParseEncodeResponse(resp_bytes, &resp_out));
+  EXPECT_EQ(resp_out.embedding, resp.embedding);
+  ExpectExactFraming<EncodeResponse>(resp_bytes, ParseEncodeResponse);
+}
+
+TEST(ProtocolTest, PairSimMessagesRoundTrip) {
+  Rng rng(6);
+  PairSimRequest req;
+  req.a = RandomTrajectory(4, 100.0, &rng);
+  req.b = RandomTrajectory(9, 100.0, &rng);
+  const std::string req_bytes = SerializePairSimRequest(req);
+  PairSimRequest req_out;
+  ASSERT_TRUE(ParsePairSimRequest(req_bytes, &req_out));
+  ExpectTrajEq(req_out.a, req.a);
+  ExpectTrajEq(req_out.b, req.b);
+  ExpectExactFraming<PairSimRequest>(req_bytes, ParsePairSimRequest);
+
+  PairSimResponse resp;
+  resp.distance = 3.75;
+  resp.similarity = 0.023517745856009107;
+  const std::string resp_bytes = SerializePairSimResponse(resp);
+  PairSimResponse resp_out;
+  ASSERT_TRUE(ParsePairSimResponse(resp_bytes, &resp_out));
+  EXPECT_EQ(resp_out.distance, resp.distance);
+  EXPECT_EQ(resp_out.similarity, resp.similarity);
+  ExpectExactFraming<PairSimResponse>(resp_bytes, ParsePairSimResponse);
+}
+
+TEST(ProtocolTest, TopKMessagesRoundTrip) {
+  Rng rng(8);
+  TopKRequest req;
+  req.query = RandomTrajectory(5, 100.0, &rng);
+  req.k = 17;
+  req.exclude = 12345678901LL;
+  const std::string req_bytes = SerializeTopKRequest(req);
+  TopKRequest req_out;
+  ASSERT_TRUE(ParseTopKRequest(req_bytes, &req_out));
+  ExpectTrajEq(req_out.query, req.query);
+  EXPECT_EQ(req_out.k, req.k);
+  EXPECT_EQ(req_out.exclude, req.exclude);
+  ExpectExactFraming<TopKRequest>(req_bytes, ParseTopKRequest);
+
+  TopKResponse resp;
+  resp.ids = {3, 0, 999999999999ULL};
+  resp.dists = {0.0, 0.5, 123.456};
+  const std::string resp_bytes = SerializeTopKResponse(resp);
+  TopKResponse resp_out;
+  ASSERT_TRUE(ParseTopKResponse(resp_bytes, &resp_out));
+  EXPECT_EQ(resp_out.ids, resp.ids);
+  EXPECT_EQ(resp_out.dists, resp.dists);
+  ExpectExactFraming<TopKResponse>(resp_bytes, ParseTopKResponse);
+}
+
+TEST(ProtocolTest, InsertMessagesRoundTrip) {
+  Rng rng(9);
+  InsertRequest req;
+  req.traj = RandomTrajectory(7, 100.0, &rng);
+  const std::string req_bytes = SerializeInsertRequest(req);
+  InsertRequest req_out;
+  ASSERT_TRUE(ParseInsertRequest(req_bytes, &req_out));
+  ExpectTrajEq(req_out.traj, req.traj);
+  ExpectExactFraming<InsertRequest>(req_bytes, ParseInsertRequest);
+
+  InsertResponse resp;
+  resp.id = 41;
+  resp.corpus_size = 42;
+  const std::string resp_bytes = SerializeInsertResponse(resp);
+  InsertResponse resp_out;
+  ASSERT_TRUE(ParseInsertResponse(resp_bytes, &resp_out));
+  EXPECT_EQ(resp_out.id, resp.id);
+  EXPECT_EQ(resp_out.corpus_size, resp.corpus_size);
+  ExpectExactFraming<InsertResponse>(resp_bytes, ParseInsertResponse);
+}
+
+TEST(ProtocolTest, StatsResponseRoundTrip) {
+  StatsResponse resp;
+  resp.stats.uptime_seconds = 12.5;
+  resp.stats.corpus_size = 1000;
+  resp.stats.dim = 64;
+  resp.stats.batched_requests = 640;
+  resp.stats.batches = 20;
+  resp.stats.mean_batch_size = 32.0;
+  EndpointSnapshot encode;
+  encode.name = "encode";
+  encode.requests = 640;
+  encode.errors = 3;
+  encode.qps = 51.2;
+  encode.mean_micros = 87.5;
+  encode.p50_micros = 64.0;
+  encode.p90_micros = 128.0;
+  encode.p99_micros = 256.0;
+  encode.max_micros = 300.25;
+  resp.stats.endpoints.push_back(encode);
+  EndpointSnapshot topk;
+  topk.name = "topk";
+  topk.requests = 5;
+  resp.stats.endpoints.push_back(topk);
+
+  const std::string bytes = SerializeStatsResponse(resp);
+  StatsResponse out;
+  ASSERT_TRUE(ParseStatsResponse(bytes, &out));
+  EXPECT_EQ(out.stats.uptime_seconds, resp.stats.uptime_seconds);
+  EXPECT_EQ(out.stats.corpus_size, resp.stats.corpus_size);
+  EXPECT_EQ(out.stats.dim, resp.stats.dim);
+  EXPECT_EQ(out.stats.batched_requests, resp.stats.batched_requests);
+  EXPECT_EQ(out.stats.batches, resp.stats.batches);
+  EXPECT_EQ(out.stats.mean_batch_size, resp.stats.mean_batch_size);
+  ASSERT_EQ(out.stats.endpoints.size(), 2u);
+  EXPECT_EQ(out.stats.endpoints[0].name, "encode");
+  EXPECT_EQ(out.stats.endpoints[0].requests, 640u);
+  EXPECT_EQ(out.stats.endpoints[0].errors, 3u);
+  EXPECT_EQ(out.stats.endpoints[0].qps, 51.2);
+  EXPECT_EQ(out.stats.endpoints[0].mean_micros, 87.5);
+  EXPECT_EQ(out.stats.endpoints[0].p50_micros, 64.0);
+  EXPECT_EQ(out.stats.endpoints[0].p90_micros, 128.0);
+  EXPECT_EQ(out.stats.endpoints[0].p99_micros, 256.0);
+  EXPECT_EQ(out.stats.endpoints[0].max_micros, 300.25);
+  EXPECT_EQ(out.stats.endpoints[1].name, "topk");
+  EXPECT_EQ(out.stats.endpoints[1].requests, 5u);
+  ExpectExactFraming<StatsResponse>(bytes, ParseStatsResponse);
+  EXPECT_FALSE(out.stats.ToString().empty());
+}
+
+TEST(ProtocolTest, HealthResponseRoundTrip) {
+  HealthResponse resp;
+  resp.ok = true;
+  resp.corpus_size = 77;
+  resp.dim = 16;
+  resp.status = "serving";
+  const std::string bytes = SerializeHealthResponse(resp);
+  HealthResponse out;
+  ASSERT_TRUE(ParseHealthResponse(bytes, &out));
+  EXPECT_EQ(out.ok, resp.ok);
+  EXPECT_EQ(out.corpus_size, resp.corpus_size);
+  EXPECT_EQ(out.dim, resp.dim);
+  EXPECT_EQ(out.status, resp.status);
+  ExpectExactFraming<HealthResponse>(bytes, ParseHealthResponse);
+}
+
+TEST(ProtocolTest, HugeDeclaredCountsRejectedBeforeAllocation) {
+  // An embedding payload claiming 2^32-1 doubles but carrying 3: the count
+  // must be validated against the bytes present, not allocated blindly.
+  EncodeResponse resp;
+  resp.embedding = {1.0, 2.0, 3.0};
+  std::string bytes = SerializeEncodeResponse(resp);
+  bytes[0] = static_cast<char>(0xFF);
+  bytes[1] = static_cast<char>(0xFF);
+  bytes[2] = static_cast<char>(0xFF);
+  bytes[3] = static_cast<char>(0xFF);
+  EncodeResponse out;
+  EXPECT_FALSE(ParseEncodeResponse(bytes, &out));
+
+  Rng rng(4);
+  EncodeRequest req;
+  req.traj = RandomTrajectory(3, 100.0, &rng);
+  std::string req_bytes = SerializeEncodeRequest(req);
+  req_bytes[0] = static_cast<char>(0xFF);
+  req_bytes[1] = static_cast<char>(0xFF);
+  req_bytes[2] = static_cast<char>(0xFF);
+  req_bytes[3] = static_cast<char>(0xFF);
+  EncodeRequest req_out;
+  EXPECT_FALSE(ParseEncodeRequest(req_bytes, &req_out));
+}
+
+TEST(ProtocolTest, BitFlipFuzzedPayloadsNeverCrashParsers) {
+  Rng rng(55);
+  Rng traj_rng(56);
+  const TopKRequest topk{RandomTrajectory(6, 100.0, &traj_rng), 5, -1};
+  const PairSimRequest pair{RandomTrajectory(4, 100.0, &traj_rng),
+                            RandomTrajectory(5, 100.0, &traj_rng)};
+  const std::vector<std::string> payloads = {
+      SerializeError({ErrorCode::kBadRequest, "msg"}),
+      SerializeEncodeRequest({RandomTrajectory(5, 100.0, &traj_rng)}),
+      SerializeEncodeResponse({{1.0, 2.0, 3.0}}),
+      SerializePairSimRequest(pair),
+      SerializePairSimResponse({1.0, 0.5}),
+      SerializeTopKRequest(topk),
+      SerializeTopKResponse({{1, 2}, {0.1, 0.2}}),
+      SerializeInsertRequest({RandomTrajectory(5, 100.0, &traj_rng)}),
+      SerializeInsertResponse({9, 10}),
+      SerializeHealthResponse({true, 3, 8, "serving"}),
+  };
+  for (const std::string& clean : payloads) {
+    for (int iter = 0; iter < 100; ++iter) {
+      std::string mutated = clean;
+      const int flips = static_cast<int>(rng.UniformInt(1, 4));
+      for (int i = 0; i < flips && !mutated.empty(); ++i) {
+        const auto pos = static_cast<size_t>(
+            rng.UniformInt(0, static_cast<int64_t>(mutated.size()) - 1));
+        mutated[pos] = static_cast<char>(
+            mutated[pos] ^ (1 << rng.UniformInt(0, 7)));
+      }
+      // Any result is acceptable; the parsers must simply never crash,
+      // hang, or allocate unboundedly (ASan/UBSan runs watch the rest).
+      ErrorReply e;
+      ParseError(mutated, &e);
+      EncodeRequest er;
+      ParseEncodeRequest(mutated, &er);
+      EncodeResponse eresp;
+      ParseEncodeResponse(mutated, &eresp);
+      PairSimRequest pr;
+      ParsePairSimRequest(mutated, &pr);
+      TopKRequest tr;
+      ParseTopKRequest(mutated, &tr);
+      TopKResponse tresp;
+      ParseTopKResponse(mutated, &tresp);
+      InsertRequest ir;
+      ParseInsertRequest(mutated, &ir);
+      StatsResponse sr;
+      ParseStatsResponse(mutated, &sr);
+      HealthResponse hr;
+      ParseHealthResponse(mutated, &hr);
+    }
+  }
+}
+
+// -- MicroBatcher ------------------------------------------------------------
+
+TEST(MicroBatcherTest, SubmitBatchMatchesDirectEmbedExactly) {
+  const NeuTrajModel model = MakeModel();
+  MicroBatcher::Options opts;
+  opts.threads = 4;
+  MicroBatcher batcher(model, opts);
+  Rng rng(11);
+  std::vector<Trajectory> trajs;
+  for (int i = 0; i < 10; ++i) {
+    trajs.push_back(RandomTrajectory(6, 100.0, &rng));
+  }
+  MicroBatcher::BatchResult r = batcher.SubmitBatch(trajs).get();
+  ASSERT_EQ(r.embeddings.size(), trajs.size());
+  for (size_t i = 0; i < trajs.size(); ++i) {
+    EXPECT_TRUE(r.errors[i].empty()) << r.errors[i];
+    EXPECT_EQ(r.embeddings[i], model.Embed(trajs[i])) << "item " << i;
+  }
+  const MicroBatcher::Stats stats = batcher.stats();
+  EXPECT_EQ(stats.requests, trajs.size());
+  EXPECT_GE(stats.batches, 1u);
+}
+
+TEST(MicroBatcherTest, GroupsSplitAcrossSmallBatchesStayCorrect) {
+  const NeuTrajModel model = MakeModel();
+  MicroBatcher::Options opts;
+  opts.max_batch = 3;
+  opts.max_wait_micros = 0;
+  MicroBatcher batcher(model, opts);
+  Rng rng(13);
+  std::vector<Trajectory> trajs;
+  for (int i = 0; i < 10; ++i) {
+    trajs.push_back(RandomTrajectory(5, 100.0, &rng));
+  }
+  MicroBatcher::BatchResult r = batcher.SubmitBatch(trajs).get();
+  for (size_t i = 0; i < trajs.size(); ++i) {
+    EXPECT_EQ(r.embeddings[i], model.Embed(trajs[i])) << "item " << i;
+  }
+  const MicroBatcher::Stats stats = batcher.stats();
+  EXPECT_GE(stats.batches, 4u) << "10 items with max_batch=3";
+  EXPECT_LE(stats.max_batch, 3u);
+}
+
+TEST(MicroBatcherTest, PerItemFailureDoesNotFailTheGroup) {
+  const NeuTrajModel model = MakeModel();
+  MicroBatcher batcher(model, MicroBatcher::Options{});
+  Rng rng(17);
+  std::vector<Trajectory> trajs;
+  trajs.push_back(RandomTrajectory(5, 100.0, &rng));
+  trajs.push_back(Trajectory());  // Empty: rejected by the encoder.
+  trajs.push_back(RandomTrajectory(6, 100.0, &rng));
+  MicroBatcher::BatchResult r = batcher.SubmitBatch(trajs).get();
+  EXPECT_TRUE(r.errors[0].empty());
+  EXPECT_FALSE(r.errors[1].empty());
+  EXPECT_EQ(r.bad_input[1], 1);
+  EXPECT_TRUE(r.errors[2].empty());
+  EXPECT_EQ(r.embeddings[0], model.Embed(trajs[0]));
+  EXPECT_EQ(r.embeddings[2], model.Embed(trajs[2]));
+}
+
+TEST(MicroBatcherTest, EncodeRethrowsBadInputAsInvalidArgument) {
+  const NeuTrajModel model = MakeModel();
+  MicroBatcher batcher(model, MicroBatcher::Options{});
+  EXPECT_THROW(batcher.Encode(Trajectory()), std::invalid_argument);
+  Rng rng(19);
+  const Trajectory good = RandomTrajectory(5, 100.0, &rng);
+  EXPECT_EQ(batcher.Encode(good), model.Embed(good));
+}
+
+TEST(MicroBatcherTest, EmptyGroupCompletesImmediately) {
+  const NeuTrajModel model = MakeModel();
+  MicroBatcher batcher(model, MicroBatcher::Options{});
+  MicroBatcher::BatchResult r = batcher.SubmitBatch({}).get();
+  EXPECT_TRUE(r.embeddings.empty());
+  EXPECT_TRUE(r.errors.empty());
+}
+
+TEST(MicroBatcherTest, ShutdownIsIdempotentAndRefusesLaterWork) {
+  const NeuTrajModel model = MakeModel();
+  MicroBatcher batcher(model, MicroBatcher::Options{});
+  batcher.Shutdown();
+  batcher.Shutdown();
+  Rng rng(23);
+  std::vector<Trajectory> one;
+  one.push_back(RandomTrajectory(5, 100.0, &rng));
+  EXPECT_THROW(batcher.SubmitBatch(std::move(one)), std::runtime_error);
+}
+
+TEST(MicroBatcherTest, RejectsInvalidConfigurations) {
+  NeuTrajConfig cfg = SmallConfig();
+  cfg.update_memory_at_inference = true;
+  NeuTrajModel writing_model(cfg, SmallGrid());
+  Rng rng(7);
+  writing_model.InitializeWeights(&rng);
+  EXPECT_THROW(MicroBatcher(writing_model, MicroBatcher::Options{}),
+               std::logic_error);
+
+  const NeuTrajModel model = MakeModel();
+  MicroBatcher::Options zero_batch;
+  zero_batch.max_batch = 0;
+  EXPECT_THROW(MicroBatcher(model, zero_batch), std::invalid_argument);
+}
+
+// -- QueryService ------------------------------------------------------------
+
+class ServiceTest : public ::testing::Test {
+ protected:
+  ServiceTest()
+      : corpus_(MakeCorpus(12, 123)),
+        model_(MakeModel()),
+        db_(EmbeddingDatabase::Build(model_, corpus_, 2)),
+        svc_(model_, &db_, MicroBatcher::Options{}) {}
+
+  std::vector<Trajectory> corpus_;
+  NeuTrajModel model_;
+  EmbeddingDatabase db_;
+  QueryService svc_;
+};
+
+TEST_F(ServiceTest, EncodeMatchesDirectEmbed) {
+  Rng rng(31);
+  const Trajectory t = RandomTrajectory(6, 100.0, &rng);
+  const WireFrame reply =
+      svc_.Handle(Req(MsgType::kEncodeRequest, SerializeEncodeRequest({t})));
+  ASSERT_EQ(reply.type, static_cast<uint16_t>(MsgType::kEncodeResponse));
+  EncodeResponse resp;
+  ASSERT_TRUE(ParseEncodeResponse(reply.payload, &resp));
+  EXPECT_EQ(resp.embedding, model_.Embed(t));
+}
+
+TEST_F(ServiceTest, PairSimMatchesEmbeddingSpaceMeasures) {
+  const WireFrame reply = svc_.Handle(
+      Req(MsgType::kPairSimRequest,
+          SerializePairSimRequest({corpus_[0], corpus_[1]})));
+  ASSERT_EQ(reply.type, static_cast<uint16_t>(MsgType::kPairSimResponse));
+  PairSimResponse resp;
+  ASSERT_TRUE(ParsePairSimResponse(reply.payload, &resp));
+  const nn::Vector ea = model_.Embed(corpus_[0]);
+  const nn::Vector eb = model_.Embed(corpus_[1]);
+  EXPECT_DOUBLE_EQ(resp.distance, EmbeddingDistance(ea, eb));
+  EXPECT_DOUBLE_EQ(resp.similarity, EmbeddingSimilarity(ea, eb));
+  EXPECT_DOUBLE_EQ(resp.similarity, std::exp(-resp.distance));
+}
+
+TEST_F(ServiceTest, TopKMatchesInProcessDatabaseExactly) {
+  TopKRequest req;
+  req.query = corpus_[3];
+  req.k = 5;
+  req.exclude = 3;
+  const WireFrame reply =
+      svc_.Handle(Req(MsgType::kTopKRequest, SerializeTopKRequest(req)));
+  ASSERT_EQ(reply.type, static_cast<uint16_t>(MsgType::kTopKResponse));
+  TopKResponse resp;
+  ASSERT_TRUE(ParseTopKResponse(reply.payload, &resp));
+
+  const SearchResult expected = db_.TopK(model_.Embed(corpus_[3]), 5, 3);
+  ASSERT_EQ(resp.ids.size(), expected.ids.size());
+  for (size_t i = 0; i < expected.ids.size(); ++i) {
+    EXPECT_EQ(resp.ids[i], expected.ids[i]) << "rank " << i;
+    EXPECT_EQ(resp.dists[i], expected.dists[i]) << "rank " << i;
+  }
+}
+
+TEST_F(ServiceTest, InsertAppendsAndBecomesSearchable) {
+  const size_t before = db_.size();
+  Rng rng(37);
+  const Trajectory fresh = RandomTrajectory(8, 100.0, &rng);
+  const WireFrame reply = svc_.Handle(
+      Req(MsgType::kInsertRequest, SerializeInsertRequest({fresh})));
+  ASSERT_EQ(reply.type, static_cast<uint16_t>(MsgType::kInsertResponse));
+  InsertResponse resp;
+  ASSERT_TRUE(ParseInsertResponse(reply.payload, &resp));
+  EXPECT_EQ(resp.id, before);
+  EXPECT_EQ(resp.corpus_size, before + 1);
+  EXPECT_EQ(db_.size(), before + 1);
+
+  // The inserted trajectory is its own nearest neighbor (distance 0).
+  TopKRequest query;
+  query.query = fresh;
+  query.k = 1;
+  const WireFrame topk_reply =
+      svc_.Handle(Req(MsgType::kTopKRequest, SerializeTopKRequest(query)));
+  TopKResponse topk;
+  ASSERT_TRUE(ParseTopKResponse(topk_reply.payload, &topk));
+  ASSERT_EQ(topk.ids.size(), 1u);
+  EXPECT_EQ(topk.ids[0], resp.id);
+  EXPECT_EQ(topk.dists[0], 0.0);
+}
+
+TEST_F(ServiceTest, MalformedPayloadsAreBadRequests) {
+  for (const MsgType type : {MsgType::kEncodeRequest, MsgType::kPairSimRequest,
+                             MsgType::kTopKRequest, MsgType::kInsertRequest}) {
+    const ErrorReply err = GetError(svc_.Handle(Req(type, "not a payload")));
+    EXPECT_EQ(err.code, ErrorCode::kBadRequest)
+        << "type " << static_cast<int>(type);
+  }
+}
+
+TEST_F(ServiceTest, EmptyTrajectoriesAreBadRequests) {
+  const ErrorReply err = GetError(svc_.Handle(
+      Req(MsgType::kEncodeRequest, SerializeEncodeRequest({Trajectory()}))));
+  EXPECT_EQ(err.code, ErrorCode::kBadRequest);
+
+  TopKRequest topk;
+  topk.query = corpus_[0];
+  topk.k = 0;
+  const ErrorReply kerr = GetError(
+      svc_.Handle(Req(MsgType::kTopKRequest, SerializeTopKRequest(topk))));
+  EXPECT_EQ(kerr.code, ErrorCode::kBadRequest);
+}
+
+TEST_F(ServiceTest, UnknownAndResponseTypesAreRejected) {
+  WireFrame odd;
+  odd.type = 999;
+  EXPECT_EQ(GetError(svc_.Handle(odd)).code, ErrorCode::kUnknownType);
+  // Response types are not requests; feeding one back is a protocol error.
+  EXPECT_EQ(GetError(svc_.Handle(Req(MsgType::kEncodeResponse))).code,
+            ErrorCode::kUnknownType);
+  EXPECT_EQ(GetError(svc_.Handle(Req(MsgType::kError))).code,
+            ErrorCode::kUnknownType);
+}
+
+TEST_F(ServiceTest, HealthReportsCorpusShape) {
+  const WireFrame reply = svc_.Handle(Req(MsgType::kHealthRequest));
+  ASSERT_EQ(reply.type, static_cast<uint16_t>(MsgType::kHealthResponse));
+  HealthResponse resp;
+  ASSERT_TRUE(ParseHealthResponse(reply.payload, &resp));
+  EXPECT_TRUE(resp.ok);
+  EXPECT_EQ(resp.corpus_size, corpus_.size());
+  EXPECT_EQ(resp.dim, 8u);
+  EXPECT_EQ(resp.status, "serving");
+}
+
+TEST_F(ServiceTest, StatsCountRequestsAndErrors) {
+  Rng rng(41);
+  const Trajectory t = RandomTrajectory(5, 100.0, &rng);
+  for (int i = 0; i < 3; ++i) {
+    svc_.Handle(Req(MsgType::kEncodeRequest, SerializeEncodeRequest({t})));
+  }
+  svc_.Handle(Req(MsgType::kEncodeRequest, "garbage"));  // One error.
+
+  const WireFrame reply = svc_.Handle(Req(MsgType::kStatsRequest));
+  ASSERT_EQ(reply.type, static_cast<uint16_t>(MsgType::kStatsResponse));
+  StatsResponse resp;
+  ASSERT_TRUE(ParseStatsResponse(reply.payload, &resp));
+  EXPECT_EQ(resp.stats.corpus_size, corpus_.size());
+  EXPECT_EQ(resp.stats.dim, 8u);
+  EXPECT_GE(resp.stats.batched_requests, 3u);
+  ASSERT_EQ(resp.stats.endpoints.size(),
+            static_cast<size_t>(Endpoint::kCount));
+  const EndpointSnapshot& encode =
+      resp.stats.endpoints[static_cast<size_t>(Endpoint::kEncode)];
+  EXPECT_EQ(encode.name, "encode");
+  EXPECT_EQ(encode.requests, 4u);
+  EXPECT_EQ(encode.errors, 1u);
+  EXPECT_GT(encode.qps, 0.0);
+}
+
+TEST_F(ServiceTest, DrainingRefusesWorkButServesHealthAndStats) {
+  svc_.SetDraining(true);
+  Rng rng(43);
+  const Trajectory t = RandomTrajectory(5, 100.0, &rng);
+  for (const auto& [type, payload] :
+       std::vector<std::pair<MsgType, std::string>>{
+           {MsgType::kEncodeRequest, SerializeEncodeRequest({t})},
+           {MsgType::kPairSimRequest, SerializePairSimRequest({t, t})},
+           {MsgType::kTopKRequest, SerializeTopKRequest({t, 3, -1})},
+           {MsgType::kInsertRequest, SerializeInsertRequest({t})}}) {
+    EXPECT_EQ(GetError(svc_.Handle(Req(type, payload))).code,
+              ErrorCode::kShuttingDown);
+  }
+  HealthResponse health;
+  const WireFrame hreply = svc_.Handle(Req(MsgType::kHealthRequest));
+  ASSERT_TRUE(ParseHealthResponse(hreply.payload, &health));
+  EXPECT_EQ(health.status, "draining");
+  EXPECT_EQ(svc_.Handle(Req(MsgType::kStatsRequest)).type,
+            static_cast<uint16_t>(MsgType::kStatsResponse));
+
+  svc_.SetDraining(false);
+  EXPECT_EQ(svc_.Handle(Req(MsgType::kEncodeRequest,
+                            SerializeEncodeRequest({t})))
+                .type,
+            static_cast<uint16_t>(MsgType::kEncodeResponse));
+}
+
+TEST_F(ServiceTest, FrameErrorRepliesCarryTypedCodes) {
+  EXPECT_EQ(GetError(QueryService::FrameErrorReply(FrameStatus::kOversized))
+                .code,
+            ErrorCode::kOversizedFrame);
+  for (const FrameStatus s : {FrameStatus::kBadMagic, FrameStatus::kBadVersion,
+                              FrameStatus::kBadChecksum}) {
+    EXPECT_EQ(GetError(QueryService::FrameErrorReply(s)).code,
+              ErrorCode::kMalformedFrame);
+  }
+}
+
+TEST_F(ServiceTest, PipelinedEncodePathMatchesHandle) {
+  Rng rng(47);
+  std::vector<Trajectory> trajs;
+  for (int i = 0; i < 5; ++i) {
+    trajs.push_back(RandomTrajectory(5, 100.0, &rng));
+  }
+  std::vector<Trajectory> group;
+  for (const Trajectory& t : trajs) {
+    EXPECT_TRUE(svc_.CollectEncode(
+        Req(MsgType::kEncodeRequest, SerializeEncodeRequest({t})), &group));
+  }
+  ASSERT_EQ(group.size(), trajs.size());
+  auto pending = svc_.BeginEncodes(std::move(group));
+  ASSERT_TRUE(pending.has_value());
+  const std::vector<WireFrame> replies =
+      svc_.FinishEncodes(std::move(*pending));
+  ASSERT_EQ(replies.size(), trajs.size());
+  for (size_t i = 0; i < trajs.size(); ++i) {
+    ASSERT_EQ(replies[i].type,
+              static_cast<uint16_t>(MsgType::kEncodeResponse));
+    EncodeResponse resp;
+    ASSERT_TRUE(ParseEncodeResponse(replies[i].payload, &resp));
+    EXPECT_EQ(resp.embedding, model_.Embed(trajs[i])) << "item " << i;
+  }
+}
+
+TEST_F(ServiceTest, CollectEncodeDeclinesEverythingHandleMustAnswer) {
+  Rng rng(53);
+  const Trajectory t = RandomTrajectory(5, 100.0, &rng);
+  std::vector<Trajectory> group;
+  // Non-encode frames, malformed payloads, and empty trajectories fall
+  // through to Handle() for a precise reply.
+  EXPECT_FALSE(svc_.CollectEncode(
+      Req(MsgType::kTopKRequest, SerializeTopKRequest({t, 3, -1})), &group));
+  EXPECT_FALSE(
+      svc_.CollectEncode(Req(MsgType::kEncodeRequest, "garbage"), &group));
+  EXPECT_FALSE(svc_.CollectEncode(
+      Req(MsgType::kEncodeRequest, SerializeEncodeRequest({Trajectory()})),
+      &group));
+  svc_.SetDraining(true);
+  EXPECT_FALSE(svc_.CollectEncode(
+      Req(MsgType::kEncodeRequest, SerializeEncodeRequest({t})), &group));
+  svc_.SetDraining(false);
+  EXPECT_TRUE(group.empty());
+  EXPECT_FALSE(svc_.BeginEncodes(std::move(group)).has_value());
+}
+
+TEST_F(ServiceTest, FuzzedRequestsAlwaysGetAReply) {
+  Rng rng(59);
+  const std::vector<uint16_t> types = {0, 1, 2, 3, 5, 7, 9, 11, 500};
+  for (const uint16_t type : types) {
+    for (int iter = 0; iter < 50; ++iter) {
+      const auto len = static_cast<size_t>(rng.UniformInt(0, 48));
+      std::string payload(len, '\0');
+      for (char& c : payload) {
+        c = static_cast<char>(rng.UniformInt(0, 255));
+      }
+      WireFrame request;
+      request.type = type;
+      request.payload = std::move(payload);
+      const WireFrame reply = svc_.Handle(request);
+      // Every fuzzed frame gets exactly one well-formed reply: a parseable
+      // kError or a response of the paired type.
+      if (reply.type == static_cast<uint16_t>(MsgType::kError)) {
+        ErrorReply err;
+        EXPECT_TRUE(ParseError(reply.payload, &err));
+      } else {
+        EXPECT_EQ(reply.type, static_cast<uint16_t>(type) + 1);
+      }
+    }
+  }
+}
+
+// -- EmbeddingDatabase serving semantics -------------------------------------
+
+TEST(EmbeddingDbServeTest, InsertAssignsDenseIdsAndFixesDimension) {
+  EmbeddingDatabase db;
+  EXPECT_EQ(db.Insert(nn::Vector{1.0, 2.0}), 0u);
+  EXPECT_EQ(db.Insert(nn::Vector{3.0, 4.0}), 1u);
+  EXPECT_EQ(db.dim(), 2u);
+  EXPECT_EQ(db.size(), 2u);
+  EXPECT_THROW(db.Insert(nn::Vector{1.0, 2.0, 3.0}), std::invalid_argument);
+}
+
+TEST(EmbeddingDbServeTest, TopKTiesBreakByAscendingId) {
+  EmbeddingDatabase db;
+  // Ids 0..3 all sit at distance sqrt(2) from the origin query; 4 is the
+  // unique nearest. Ties must come back in ascending id order.
+  db.Insert(nn::Vector{1.0, 1.0});
+  db.Insert(nn::Vector{-1.0, 1.0});
+  db.Insert(nn::Vector{1.0, -1.0});
+  db.Insert(nn::Vector{-1.0, -1.0});
+  db.Insert(nn::Vector{0.5, 0.0});
+  const SearchResult r = db.TopK(nn::Vector{0.0, 0.0}, 4);
+  ASSERT_EQ(r.ids.size(), 4u);
+  EXPECT_EQ(r.ids[0], 4u);
+  EXPECT_EQ(r.ids[1], 0u);
+  EXPECT_EQ(r.ids[2], 1u);
+  EXPECT_EQ(r.ids[3], 2u);
+  // And `exclude` removes exactly one id from the ranking.
+  const SearchResult ex = db.TopK(nn::Vector{0.0, 0.0}, 4, /*exclude=*/0);
+  EXPECT_EQ(ex.ids[1], 1u);
+}
+
+TEST(EmbeddingDbServeTest, ModelInsertMatchesDirectEmbed) {
+  const NeuTrajModel model = MakeModel();
+  const std::vector<Trajectory> corpus = MakeCorpus(6, 61);
+  EmbeddingDatabase db = EmbeddingDatabase::Build(model, corpus, 2);
+  Rng rng(67);
+  const Trajectory fresh = RandomTrajectory(7, 100.0, &rng);
+  const size_t id = db.Insert(model, fresh);
+  EXPECT_EQ(id, corpus.size());
+  EXPECT_EQ(db.at(id), model.Embed(fresh));
+}
+
+// -- Serving stats -----------------------------------------------------------
+
+TEST(LatencyHistogramTest, BucketsMeanMaxAndPercentiles) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.PercentileMicros(0.5), 0.0);
+  for (int i = 0; i < 90; ++i) h.Record(3.0);    // Bucket (2, 4].
+  for (int i = 0; i < 10; ++i) h.Record(100.0);  // Bucket (64, 128].
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_DOUBLE_EQ(h.mean_micros(), (90 * 3.0 + 10 * 100.0) / 100.0);
+  EXPECT_EQ(h.max_micros(), 100.0);
+  // Percentiles report the containing bucket's upper bound.
+  EXPECT_EQ(h.PercentileMicros(0.5), 4.0);
+  EXPECT_EQ(h.PercentileMicros(0.9), 4.0);
+  EXPECT_EQ(h.PercentileMicros(0.99), 128.0);
+}
+
+TEST(ServerStatsTest, SnapshotFreezesPerEndpointCounters) {
+  ServerStats stats;
+  stats.Record(Endpoint::kEncode, 10.0, /*error=*/false);
+  stats.Record(Endpoint::kEncode, 20.0, /*error=*/true);
+  stats.Record(Endpoint::kTopK, 5.0, /*error=*/false);
+  const StatsSnapshot snap = stats.Snapshot();
+  ASSERT_EQ(snap.endpoints.size(), static_cast<size_t>(Endpoint::kCount));
+  const EndpointSnapshot& encode =
+      snap.endpoints[static_cast<size_t>(Endpoint::kEncode)];
+  EXPECT_EQ(encode.name, "encode");
+  EXPECT_EQ(encode.requests, 2u);
+  EXPECT_EQ(encode.errors, 1u);
+  EXPECT_DOUBLE_EQ(encode.mean_micros, 15.0);
+  const EndpointSnapshot& topk =
+      snap.endpoints[static_cast<size_t>(Endpoint::kTopK)];
+  EXPECT_EQ(topk.requests, 1u);
+  EXPECT_EQ(topk.errors, 0u);
+  const EndpointSnapshot& idle =
+      snap.endpoints[static_cast<size_t>(Endpoint::kInsert)];
+  EXPECT_EQ(idle.requests, 0u);
+  EXPECT_GT(snap.uptime_seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace neutraj::serve

@@ -1,0 +1,346 @@
+// Loopback integration tests for the serving stack: a real Server with
+// real sockets, driven through the Client library by >= 8 concurrent
+// threads mixing Encode, pipelined EncodeMany, TopK, and live Inserts.
+// The load-bearing check: after the concurrent phase, the server's TopK
+// answers must match an independently reconstructed in-process
+// EmbeddingDatabase exactly — serving is transport, never approximation.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/framing.h"
+#include "common/random.h"
+#include "core/embedding_db.h"
+#include "core/model.h"
+#include "geo/grid.h"
+#include "nn/workspace.h"
+#include "serve/client.h"
+#include "serve/server.h"
+#include "serve/service.h"
+#include "test_util.h"
+
+namespace neutraj::serve {
+namespace {
+
+using neutraj::testing::RandomCorpus;
+using neutraj::testing::RandomTrajectory;
+
+NeuTrajConfig SmallConfig() {
+  NeuTrajConfig cfg = NeuTrajConfig::NeuTraj();
+  cfg.embedding_dim = 8;
+  cfg.scan_width = 1;
+  return cfg;
+}
+
+Grid SmallGrid() {
+  BoundingBox region = BoundingBox::Empty();
+  region.Extend(Point(-50, -50));
+  region.Extend(Point(150, 150));
+  return Grid(region, 20.0);
+}
+
+NeuTrajModel MakeModel() {
+  NeuTrajModel model(SmallConfig(), SmallGrid());
+  Rng rng(7);
+  model.InitializeWeights(&rng);
+  return model;
+}
+
+/// Server + service + live db over a fresh loopback port.
+class ServerTest : public ::testing::Test {
+ protected:
+  ServerTest()
+      : corpus_([] {
+          Rng rng(211);
+          return RandomCorpus(20, 4, 10, 100.0, &rng);
+        }()),
+        model_(MakeModel()),
+        db_(EmbeddingDatabase::Build(model_, corpus_, 2)),
+        svc_(model_, &db_, BatchOpts()) {}
+
+  static MicroBatcher::Options BatchOpts() {
+    MicroBatcher::Options opts;
+    opts.threads = 2;
+    opts.max_batch = 16;
+    opts.max_wait_micros = 100;
+    return opts;
+  }
+
+  Client Connect(const Server& server) {
+    Client c;
+    c.Connect("127.0.0.1", server.port());
+    return c;
+  }
+
+  std::vector<Trajectory> corpus_;
+  NeuTrajModel model_;
+  EmbeddingDatabase db_;
+  QueryService svc_;
+};
+
+TEST_F(ServerTest, ConcurrentMixedWorkloadMatchesInProcessExactly) {
+  Server server(&svc_, ServerOptions{});
+  server.Start();
+
+  constexpr size_t kClients = 8;
+  constexpr int kRounds = 3;
+  std::atomic<uint64_t> encode_mismatches{0};
+  std::atomic<uint64_t> topk_malformed{0};
+  std::mutex inserts_mu;
+  std::vector<std::pair<uint64_t, Trajectory>> inserts;  // (id, traj).
+
+  std::vector<std::thread> threads;
+  for (size_t ci = 0; ci < kClients; ++ci) {
+    threads.emplace_back([&, ci] {
+      Rng rng(1000 + ci);
+      nn::CellWorkspace ws;  // Private workspace: reference embeddings
+                             // without racing on the model's internal one.
+      Client client = Connect(server);
+      for (int round = 0; round < kRounds; ++round) {
+        // Single encode.
+        const Trajectory t1 = RandomTrajectory(5, 100.0, &rng);
+        if (client.Encode(t1) != model_.Embed(t1, &ws)) ++encode_mismatches;
+
+        // Pipelined burst.
+        std::vector<Trajectory> burst;
+        for (int i = 0; i < 6; ++i) {
+          burst.push_back(RandomTrajectory(4, 100.0, &rng));
+        }
+        const std::vector<nn::Vector> embs = client.EncodeMany(burst);
+        for (size_t i = 0; i < burst.size(); ++i) {
+          if (embs[i] != model_.Embed(burst[i], &ws)) ++encode_mismatches;
+        }
+
+        // Live insert; remember the assigned id for post-hoc validation.
+        const Trajectory fresh = RandomTrajectory(6, 100.0, &rng);
+        const InsertResponse ins = client.Insert(fresh);
+        {
+          std::lock_guard<std::mutex> lock(inserts_mu);
+          inserts.emplace_back(ins.id, fresh);
+        }
+
+        // TopK against the moving corpus: the exact answer depends on
+        // concurrent inserts, so here only shape invariants are checked;
+        // exact equality is verified after the load stops.
+        const size_t qi = static_cast<size_t>(rng.UniformInt(
+            0, static_cast<int64_t>(corpus_.size()) - 1));
+        const TopKResponse topk = client.TopK(corpus_[qi], 3);
+        if (topk.ids.size() != topk.dists.size() || topk.ids.empty() ||
+            !std::is_sorted(topk.dists.begin(), topk.dists.end())) {
+          ++topk_malformed;
+        }
+      }
+      client.Close();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(encode_mismatches.load(), 0u);
+  EXPECT_EQ(topk_malformed.load(), 0u);
+
+  // Inserted ids must be dense and unique, continuing the build order.
+  ASSERT_EQ(inserts.size(), kClients * kRounds);
+  std::sort(inserts.begin(), inserts.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (size_t i = 0; i < inserts.size(); ++i) {
+    EXPECT_EQ(inserts[i].first, corpus_.size() + i);
+  }
+  EXPECT_EQ(db_.size(), corpus_.size() + inserts.size());
+
+  // Reconstruct the database independently (build + replay inserts in id
+  // order) and demand the server's TopK matches it bit for bit.
+  EmbeddingDatabase reference = EmbeddingDatabase::Build(model_, corpus_, 2);
+  for (const auto& [id, traj] : inserts) {
+    ASSERT_EQ(reference.Insert(model_, traj), id);
+  }
+  Client checker = Connect(server);
+  Rng qrng(3000);
+  nn::CellWorkspace ws;
+  for (int q = 0; q < 10; ++q) {
+    const Trajectory query = q % 2 == 0
+                                 ? corpus_[static_cast<size_t>(q)]
+                                 : inserts[static_cast<size_t>(q)].second;
+    const TopKResponse got = checker.TopK(query, 5);
+    const SearchResult want = reference.TopK(model_.Embed(query, &ws), 5);
+    ASSERT_EQ(got.ids.size(), want.ids.size()) << "query " << q;
+    for (size_t i = 0; i < want.ids.size(); ++i) {
+      EXPECT_EQ(got.ids[i], want.ids[i]) << "query " << q << " rank " << i;
+      EXPECT_EQ(got.dists[i], want.dists[i]) << "query " << q << " rank " << i;
+    }
+  }
+
+  const StatsSnapshot stats = checker.Stats();
+  EXPECT_EQ(stats.corpus_size, db_.size());
+  EXPECT_GE(stats.batched_requests,
+            static_cast<uint64_t>(kClients * kRounds * 7));
+  checker.Close();
+  server.Stop();
+  EXPECT_FALSE(server.running());
+}
+
+TEST_F(ServerTest, EncodeManyIsolatesPerItemFailures) {
+  Server server(&svc_, ServerOptions{});
+  server.Start();
+  Client client = Connect(server);
+
+  Rng rng(401);
+  std::vector<Trajectory> burst;
+  burst.push_back(RandomTrajectory(5, 100.0, &rng));
+  burst.push_back(Trajectory());  // Invalid mid-burst item.
+  burst.push_back(RandomTrajectory(6, 100.0, &rng));
+  try {
+    client.EncodeMany(burst);
+    FAIL() << "empty trajectory in the burst must surface as ServeError";
+  } catch (const ServeError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kBadRequest);
+  }
+  // All replies were consumed, so the connection is still in protocol sync.
+  const Trajectory t = RandomTrajectory(5, 100.0, &rng);
+  nn::CellWorkspace ws;
+  EXPECT_EQ(client.Encode(t), model_.Embed(t, &ws));
+
+  const HealthResponse health = client.Health();
+  EXPECT_TRUE(health.ok);
+  EXPECT_EQ(health.status, "serving");
+  client.Close();
+  server.Stop();
+}
+
+TEST_F(ServerTest, DrainWakesIdleConnectionsAndRefusesNewOnes) {
+  Server server(&svc_, ServerOptions{});
+  server.Start();
+  const uint16_t port = server.port();
+
+  Client busy = Connect(server);
+  Client idle1 = Connect(server);
+  Client idle2 = Connect(server);
+  EXPECT_TRUE(busy.Health().ok);
+
+  // Stop() must complete even though idle connections sit in blocked
+  // reads — the drain SHUT_RDs them awake.
+  server.Stop();
+  EXPECT_TRUE(svc_.draining());
+
+  for (Client* c : {&busy, &idle1, &idle2}) {
+    EXPECT_THROW(c->Health(), std::runtime_error);
+  }
+  Client late;
+  EXPECT_THROW(late.Connect("127.0.0.1", port), std::runtime_error);
+}
+
+TEST_F(ServerTest, ConnectionsOverTheCapAreClosedNotQueued) {
+  ServerOptions opts;
+  opts.max_connections = 2;
+  Server server(&svc_, opts);
+  server.Start();
+
+  Client c1 = Connect(server);
+  Client c2 = Connect(server);
+  // Round trips prove both handler threads are live, so the cap is reached.
+  EXPECT_TRUE(c1.Health().ok);
+  EXPECT_TRUE(c2.Health().ok);
+
+  Client c3 = Connect(server);  // Accepted, then immediately closed.
+  EXPECT_THROW(c3.Health(), std::runtime_error);
+
+  // The capped connections keep working; a freed slot becomes available.
+  EXPECT_TRUE(c1.Health().ok);
+  c2.Close();
+  server.Stop();
+}
+
+// -- Raw-socket framing robustness -------------------------------------------
+
+int RawConnect(uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  EXPECT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  EXPECT_EQ(
+      ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)),
+      0);
+  return fd;
+}
+
+/// Sends raw bytes, then reads to EOF and expects exactly one kError reply
+/// frame carrying `code` before the server hangs up.
+void ExpectErrorThenDisconnect(uint16_t port, const std::string& bytes,
+                               ErrorCode code) {
+  const int fd = RawConnect(port);
+  ASSERT_EQ(::send(fd, bytes.data(), bytes.size(), 0),
+            static_cast<ssize_t>(bytes.size()));
+  std::string rx;
+  char chunk[4096];
+  while (true) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) break;  // EOF: the server dropped the unsyncable stream.
+    rx.append(chunk, static_cast<size_t>(n));
+  }
+  ::close(fd);
+
+  size_t offset = 0;
+  WireFrame reply;
+  ASSERT_EQ(DecodeWireFrame(rx, &offset, &reply), FrameStatus::kOk);
+  EXPECT_EQ(reply.type, static_cast<uint16_t>(MsgType::kError));
+  ErrorReply err;
+  ASSERT_TRUE(ParseError(reply.payload, &err));
+  EXPECT_EQ(err.code, code);
+  EXPECT_EQ(offset, rx.size()) << "exactly one reply frame before EOF";
+}
+
+TEST_F(ServerTest, CorruptFramesGetTypedErrorsThenDisconnect) {
+  ServerOptions opts;
+  opts.max_frame_payload = 1024;
+  Server server(&svc_, opts);
+  server.Start();
+
+  // CRC corruption.
+  std::string bad_crc = EncodeWireFrame(
+      static_cast<uint16_t>(MsgType::kHealthRequest), "");
+  bad_crc[12] = static_cast<char>(bad_crc[12] ^ 0x01);
+  ExpectErrorThenDisconnect(server.port(), bad_crc,
+                            ErrorCode::kMalformedFrame);
+
+  // Wrong protocol entirely.
+  ExpectErrorThenDisconnect(server.port(), "GET / HTTP/1.1\r\n\r\n",
+                            ErrorCode::kMalformedFrame);
+
+  // Payload above the server's configured cap (but under the encoder's).
+  const std::string oversized = EncodeWireFrame(
+      static_cast<uint16_t>(MsgType::kEncodeRequest), std::string(2048, 'x'));
+  ExpectErrorThenDisconnect(server.port(), oversized,
+                            ErrorCode::kOversizedFrame);
+
+  // The server survives all of the above and keeps serving.
+  Client client = Connect(server);
+  EXPECT_TRUE(client.Health().ok);
+  client.Close();
+  server.Stop();
+}
+
+TEST_F(ServerTest, StartTwiceThrows) {
+  Server server(&svc_, ServerOptions{});
+  server.Start();
+  EXPECT_THROW(server.Start(), std::logic_error);
+  EXPECT_GE(server.connections_accepted(), 0u);
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace neutraj::serve

@@ -1,0 +1,168 @@
+// neutraj_client — command-line client for neutraj_server.
+//
+// Subcommands (all take --host H (default 127.0.0.1) and --port P):
+//   health                                    liveness + corpus shape
+//   stats                                     per-endpoint latency/QPS table
+//   encode   --traj "x,y;x,y;..."             embed one trajectory
+//   pairsim  --a "..." --b "..."              distance + similarity
+//   topk     --traj "..." [--k K] [--exclude I]
+//   insert   --traj "..."                     append to the live corpus
+//
+// Trajectories can come inline via --traj/--a/--b (the corpus CSV line
+// format) or from a file: --data corpus.csv --id N picks line N.
+
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "neutraj.h"
+
+namespace {
+
+using namespace neutraj;
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> flags;
+
+  std::string Get(const std::string& key, const std::string& def = "") const {
+    auto it = flags.find(key);
+    return it == flags.end() ? def : it->second;
+  }
+  int64_t GetInt(const std::string& key, int64_t def) const {
+    auto it = flags.find(key);
+    return it == flags.end() ? def : std::stoll(it->second);
+  }
+  bool Has(const std::string& key) const { return flags.count(key) > 0; }
+  std::string Require(const std::string& key) const {
+    auto it = flags.find(key);
+    if (it == flags.end()) {
+      throw std::runtime_error("missing required flag --" + key);
+    }
+    return it->second;
+  }
+};
+
+Args ParseArgs(int argc, char** argv) {
+  Args args;
+  if (argc < 2) throw std::runtime_error("no subcommand given");
+  args.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    std::string token = argv[i];
+    if (token.rfind("--", 0) != 0) {
+      throw std::runtime_error("unexpected argument: " + token);
+    }
+    token = token.substr(2);
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      const std::string value = argv[++i];
+      args.flags[token] = value;
+    } else {
+      args.flags[token] = std::string("1");
+    }
+  }
+  return args;
+}
+
+void PrintUsage() {
+  std::printf(
+      "neutraj_client <command> [--host H] [--port P] [flags]\n"
+      "  health\n"
+      "  stats\n"
+      "  encode  --traj \"x,y;x,y;...\" | --data F --id N\n"
+      "  pairsim --a \"...\" --b \"...\"\n"
+      "  topk    --traj \"...\" [--k K] [--exclude I]\n"
+      "  insert  --traj \"...\"\n");
+}
+
+/// Resolves a trajectory argument: inline CSV under `key`, or --data + --id.
+Trajectory GetTrajectory(const Args& args, const std::string& key) {
+  if (args.Has(key)) {
+    const auto trajs = ParseTrajectories(args.Get(key));
+    if (trajs.size() != 1) {
+      throw std::runtime_error("--" + key + " must hold exactly one trajectory");
+    }
+    return trajs.front();
+  }
+  if (args.Has("data")) {
+    const auto corpus = LoadTrajectories(args.Get("data"));
+    const size_t id = static_cast<size_t>(args.GetInt("id", 0));
+    if (id >= corpus.size()) {
+      throw std::runtime_error("--id out of range (corpus has " +
+                               std::to_string(corpus.size()) + " trajectories)");
+    }
+    return corpus[id];
+  }
+  throw std::runtime_error("need --" + key + " or --data F --id N");
+}
+
+serve::Client Connect(const Args& args) {
+  serve::Client client;
+  client.Connect(args.Get("host", "127.0.0.1"),
+                 static_cast<uint16_t>(args.GetInt("port", 0)));
+  return client;
+}
+
+int Run(const Args& args) {
+  if (args.command == "help" || args.command == "--help") {
+    PrintUsage();
+    return 0;
+  }
+  serve::Client client = Connect(args);
+
+  if (args.command == "health") {
+    const serve::HealthResponse h = client.Health();
+    std::printf("status: %s  corpus: %llu (d=%u)\n", h.status.c_str(),
+                static_cast<unsigned long long>(h.corpus_size), h.dim);
+    return h.ok ? 0 : 1;
+  }
+  if (args.command == "stats") {
+    std::printf("%s", client.Stats().ToString().c_str());
+    return 0;
+  }
+  if (args.command == "encode") {
+    const nn::Vector e = client.Encode(GetTrajectory(args, "traj"));
+    for (size_t i = 0; i < e.size(); ++i) {
+      std::printf("%s%.8g", i > 0 ? " " : "", e[i]);
+    }
+    std::printf("\n");
+    return 0;
+  }
+  if (args.command == "pairsim") {
+    const serve::PairSimResponse r =
+        client.PairSim(GetTrajectory(args, "a"), GetTrajectory(args, "b"));
+    std::printf("distance %.6f  similarity %.6f\n", r.distance, r.similarity);
+    return 0;
+  }
+  if (args.command == "topk") {
+    const serve::TopKResponse r =
+        client.TopK(GetTrajectory(args, "traj"),
+                    static_cast<uint32_t>(args.GetInt("k", 10)),
+                    args.GetInt("exclude", -1));
+    for (size_t i = 0; i < r.ids.size(); ++i) {
+      std::printf("%2zu. trajectory %-6llu dist %.6f\n", i + 1,
+                  static_cast<unsigned long long>(r.ids[i]), r.dists[i]);
+    }
+    return 0;
+  }
+  if (args.command == "insert") {
+    const serve::InsertResponse r = client.Insert(GetTrajectory(args, "traj"));
+    std::printf("inserted as id %llu (corpus size %llu)\n",
+                static_cast<unsigned long long>(r.id),
+                static_cast<unsigned long long>(r.corpus_size));
+    return 0;
+  }
+  std::fprintf(stderr, "unknown command: %s\n\n", args.command.c_str());
+  PrintUsage();
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return Run(ParseArgs(argc, argv));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,151 @@
+// neutraj_server — long-lived similarity-search server over a trained model.
+//
+// Loads a model plus a corpus (CSV trajectories or a prebuilt .embdb), binds
+// a loopback/TCP port, and serves the binary wire protocol of src/serve/:
+// Encode, PairSim, TopK, Insert (live corpus appends), Stats, Health.
+// Encoding is micro-batched across a thread pool; SIGTERM/SIGINT trigger a
+// graceful drain (in-flight requests finish, new work is refused) and a
+// zero exit code.
+//
+// Usage:
+//   neutraj_server --model model.ntj [--data corpus.csv | --db corpus.embdb]
+//                  [--host H] [--port P] [--port-file F]
+//                  [--threads N] [--batch B] [--batch-wait-us U]
+//                  [--save-db F]
+//
+// --port 0 (default) picks an ephemeral port; --port-file writes the bound
+// port for scripts (see tools/serve_smoke_test.sh). --save-db persists the
+// final corpus embeddings (including live inserts) on shutdown.
+
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "neutraj.h"
+#include "common/file_util.h"
+
+namespace {
+
+using namespace neutraj;
+
+struct Args {
+  std::map<std::string, std::string> flags;
+
+  std::string Get(const std::string& key, const std::string& def = "") const {
+    auto it = flags.find(key);
+    return it == flags.end() ? def : it->second;
+  }
+  int64_t GetInt(const std::string& key, int64_t def) const {
+    auto it = flags.find(key);
+    return it == flags.end() ? def : std::stoll(it->second);
+  }
+  bool Has(const std::string& key) const { return flags.count(key) > 0; }
+  std::string Require(const std::string& key) const {
+    auto it = flags.find(key);
+    if (it == flags.end()) {
+      throw std::runtime_error("missing required flag --" + key);
+    }
+    return it->second;
+  }
+};
+
+Args ParseArgs(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    std::string token = argv[i];
+    if (token.rfind("--", 0) != 0) {
+      throw std::runtime_error("unexpected argument: " + token);
+    }
+    token = token.substr(2);
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      const std::string value = argv[++i];
+      args.flags[token] = value;
+    } else {
+      args.flags[token] = std::string("1");
+    }
+  }
+  return args;
+}
+
+void PrintUsage() {
+  std::printf(
+      "neutraj_server --model M [--data F.csv | --db F.embdb]\n"
+      "               [--host H] [--port P] [--port-file F]\n"
+      "               [--threads N] [--batch B] [--batch-wait-us U]\n"
+      "               [--save-db F]\n");
+}
+
+int Run(const Args& args) {
+  if (args.Has("help")) {
+    PrintUsage();
+    return 0;
+  }
+  const NeuTrajModel model = NeuTrajModel::Load(args.Require("model"));
+  const size_t threads = static_cast<size_t>(args.GetInt("threads", 4));
+
+  EmbeddingDatabase db;
+  if (args.Has("db")) {
+    db = EmbeddingDatabase::Load(args.Get("db"));
+    std::printf("loaded %zu embeddings (d=%zu) from %s\n", db.size(), db.dim(),
+                args.Get("db").c_str());
+  } else if (args.Has("data")) {
+    size_t dropped = 0;
+    const auto corpus =
+        DropEmptyTrajectories(LoadTrajectories(args.Get("data")), &dropped);
+    if (dropped > 0) {
+      std::fprintf(stderr, "warning: dropped %zu empty trajectories\n", dropped);
+    }
+    Stopwatch sw;
+    db = EmbeddingDatabase::Build(model, corpus, threads);
+    std::printf("embedded %zu trajectories (d=%zu) in %.2fs\n", db.size(),
+                db.dim(), sw.ElapsedSeconds());
+  } else {
+    std::printf("starting with an empty corpus (populate via Insert)\n");
+  }
+
+  serve::MicroBatcher::Options batch_opts;
+  batch_opts.threads = threads;
+  batch_opts.max_batch = static_cast<size_t>(args.GetInt("batch", 32));
+  batch_opts.max_wait_micros = args.GetInt("batch-wait-us", 200);
+  serve::QueryService service(model, &db, batch_opts);
+
+  serve::ServerOptions server_opts;
+  server_opts.host = args.Get("host", "127.0.0.1");
+  server_opts.port = static_cast<uint16_t>(args.GetInt("port", 0));
+  serve::Server server(&service, server_opts);
+  server.Start();
+  serve::InstallStopSignalHandlers(&server);
+
+  std::printf("listening on %s:%u (threads=%zu, batch=%zu, wait=%lldus)\n",
+              server_opts.host.c_str(), server.port(), threads,
+              batch_opts.max_batch,
+              static_cast<long long>(batch_opts.max_wait_micros));
+  std::fflush(stdout);
+  if (args.Has("port-file")) {
+    WriteFileAtomic(args.Get("port-file"), std::to_string(server.port()) + "\n");
+  }
+
+  server.Wait();  // Returns after a SIGTERM/SIGINT-triggered drain.
+  serve::InstallStopSignalHandlers(nullptr);
+
+  const serve::StatsSnapshot stats = service.Snapshot();
+  std::printf("drained; final stats:\n%s", stats.ToString().c_str());
+  if (args.Has("save-db")) {
+    db.Save(args.Get("save-db"));
+    std::printf("saved %zu embeddings to %s\n", db.size(),
+                args.Get("save-db").c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return Run(ParseArgs(argc, argv));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    PrintUsage();
+    return 1;
+  }
+}
