@@ -5,6 +5,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <utility>
@@ -36,7 +37,8 @@ Client::~Client() { Close(); }
 Client::Client(Client&& other) noexcept
     : fd_(std::exchange(other.fd_, -1)),
       rx_(std::move(other.rx_)),
-      rx_offset_(other.rx_offset_) {}
+      rx_offset_(other.rx_offset_),
+      max_frame_payload_(other.max_frame_payload_) {}
 
 Client& Client::operator=(Client&& other) noexcept {
   if (this != &other) {
@@ -44,8 +46,13 @@ Client& Client::operator=(Client&& other) noexcept {
     fd_ = std::exchange(other.fd_, -1);
     rx_ = std::move(other.rx_);
     rx_offset_ = other.rx_offset_;
+    max_frame_payload_ = other.max_frame_payload_;
   }
   return *this;
+}
+
+void Client::set_max_frame_payload(size_t bytes) {
+  max_frame_payload_ = std::min(bytes, kWireMaxPayload);
 }
 
 void Client::Connect(const std::string& host, uint16_t port) {
@@ -82,7 +89,8 @@ void Client::Close() {
 
 WireFrame Client::RoundTrip(MsgType type, const std::string& payload) {
   if (fd_ < 0) throw std::runtime_error("Client: not connected");
-  SendAllOrThrow(fd_, EncodeWireFrame(static_cast<uint16_t>(type), payload));
+  SendAllOrThrow(fd_, EncodeWireFrame(static_cast<uint16_t>(type), payload,
+                                      max_frame_payload_));
   return RecvFrame();
 }
 
@@ -90,7 +98,8 @@ WireFrame Client::RecvFrame() {
   char chunk[64 * 1024];
   while (true) {
     WireFrame reply;
-    const FrameStatus status = DecodeWireFrame(rx_, &rx_offset_, &reply);
+    const FrameStatus status =
+        DecodeWireFrame(rx_, &rx_offset_, &reply, max_frame_payload_);
     if (status == FrameStatus::kOk) {
       if (rx_offset_ == rx_.size()) {
         rx_.clear();
@@ -141,7 +150,7 @@ std::vector<nn::Vector> Client::EncodeMany(
   std::string out;
   for (const Trajectory& traj : trajs) {
     out += EncodeWireFrame(static_cast<uint16_t>(MsgType::kEncodeRequest),
-                           SerializeEncodeRequest({traj}));
+                           SerializeEncodeRequest({traj}), max_frame_payload_);
   }
   SendAllOrThrow(fd_, out);
 

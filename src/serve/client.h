@@ -51,6 +51,15 @@ class Client {
   bool connected() const { return fd_ >= 0; }
   void Close();
 
+  /// Per-frame payload cap applied to sent requests and received replies,
+  /// mirroring ServerOptions::max_frame_payload. Values above
+  /// kWireMaxPayload (the protocol-wide encoder limit both sides are held
+  /// to) are clamped, matching the server-side clamp — so the default is
+  /// always enough to decode any conforming server's replies. The cap
+  /// survives Connect()/Close().
+  void set_max_frame_payload(size_t bytes);
+  size_t max_frame_payload() const { return max_frame_payload_; }
+
   /// Embeds one trajectory server-side.
   nn::Vector Encode(const Trajectory& traj);
 
@@ -90,6 +99,7 @@ class Client {
   int fd_ = -1;
   std::string rx_;      ///< Receive buffer (bytes not yet framed).
   size_t rx_offset_ = 0;
+  size_t max_frame_payload_ = kWireMaxPayload;
 };
 
 }  // namespace neutraj::serve

@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "common/framing.h"
 #include "geo/trajectory.h"
 #include "nn/matrix.h"
 #include "serve/stats.h"
@@ -92,6 +93,14 @@ struct TopKResponse {
   std::vector<uint64_t> ids;
   std::vector<double> dists;
 };
+
+/// Hard cap on the result count of one kTopKResponse: the uint32 count
+/// prefix plus 16 bytes per (id, dist) pair must fit a kWireMaxPayload
+/// frame. The service clamps a request's k to this before searching, so no
+/// well-formed request — however large its k or the corpus — can produce a
+/// reply the frame encoder refuses.
+inline constexpr uint32_t kMaxTopKResults = static_cast<uint32_t>(
+    (kWireMaxPayload - sizeof(uint32_t)) / (sizeof(uint64_t) + sizeof(double)));
 
 struct InsertRequest {
   Trajectory traj;

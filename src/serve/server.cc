@@ -34,6 +34,23 @@ bool SendAll(int fd, const std::string& bytes) {
   return true;
 }
 
+/// Encodes one reply frame. A reply whose payload exceeds the wire limit
+/// (a handler bug — request-side caps keep every legitimate reply under
+/// it) degrades to a kInternal error frame and flags the connection for
+/// disconnect; letting std::length_error escape here would unwind a
+/// detached handler thread and terminate the whole process.
+std::string EncodeReplyFrame(const WireFrame& reply, bool* oversize) {
+  try {
+    return EncodeWireFrame(reply.type, reply.payload);
+  } catch (const std::length_error&) {
+    *oversize = true;
+    const ErrorReply err{ErrorCode::kInternal,
+                         "reply exceeds the wire frame payload limit"};
+    return EncodeWireFrame(static_cast<uint16_t>(MsgType::kError),
+                           SerializeError(err));
+  }
+}
+
 /// The one server the process-wide stop signals are routed to.
 std::atomic<Server*> g_signal_server{nullptr};
 
@@ -48,6 +65,12 @@ Server::Server(QueryService* service, const ServerOptions& opts)
     : service_(service), opts_(opts) {
   if (service == nullptr) {
     throw std::invalid_argument("Server: null QueryService");
+  }
+  // Replies are encoded under the protocol-wide kWireMaxPayload, so an
+  // inbound cap above it could only admit frames whose replies the peer
+  // cannot be guaranteed to accept; clamp rather than reject.
+  if (opts_.max_frame_payload > kWireMaxPayload) {
+    opts_.max_frame_payload = kWireMaxPayload;
   }
 }
 
@@ -117,13 +140,14 @@ void Server::RequestStop() {
 void Server::Wait() {
   std::lock_guard<std::mutex> lock(wait_mu_);
   if (accept_thread_.joinable()) accept_thread_.join();
-  // The accept loop has exited and no new connections can appear;
-  // conn_threads_ is final. Handlers observe draining mode and wake from
-  // blocked reads via the SHUT_RD issued during the accept loop teardown.
-  for (std::thread& t : conn_threads_) {
-    if (t.joinable()) t.join();
-  }
-  conn_threads_.clear();
+  // The accept loop has exited and no new handlers can be spawned.
+  // Handlers run detached and wake from blocked reads via the SHUT_RD
+  // issued during the accept loop teardown (or their own late-registration
+  // check); each counts itself out of the latch after writing its
+  // in-flight response.
+  std::unique_lock<std::mutex> conn_lock(conn_mu_);
+  conn_cv_.wait(conn_lock, [this] { return live_handlers_ == 0; });
+  conn_lock.unlock();
   running_.store(false);
 }
 
@@ -151,17 +175,32 @@ void Server::AcceptLoop() {
       break;
     }
     ++accepted_;
-    if (active_connections_.load() >= opts_.max_connections) {
-      // Over the connection cap: close immediately — the client sees EOF
-      // and can retry — rather than spawn unbounded handler threads.
-      ::close(fd);
-      continue;
+    {
+      std::lock_guard<std::mutex> lock(conn_mu_);
+      if (live_handlers_ >= opts_.max_connections) {
+        // Over the connection cap: close immediately — the client sees EOF
+        // and can retry — rather than spawn unbounded handler threads.
+        ::close(fd);
+        continue;
+      }
+      ++live_handlers_;
     }
-    ++active_connections_;
-    conn_threads_.emplace_back([this, fd] { ConnectionLoop(fd); });
+    try {
+      std::thread([this, fd] { ConnectionLoop(fd); }).detach();
+    } catch (const std::system_error&) {
+      // Thread creation failed (resource exhaustion): shed this connection
+      // and keep serving the ones already up.
+      ::close(fd);
+      std::lock_guard<std::mutex> lock(conn_mu_);
+      --live_handlers_;
+    }
   }
 
-  // Drain: stop accepting, refuse new work, wake blocked readers.
+  // Drain: stop accepting, refuse new work, wake blocked readers. The flag
+  // store is authoritative even when the loop broke on a poll/accept error,
+  // and it is what a handler still between spawn and fd registration checks
+  // to shut itself down after missing this SHUT_RD pass.
+  stop_requested_.store(true);
   ::close(listen_fd_);
   listen_fd_ = -1;
   service_->SetDraining(true);
@@ -173,6 +212,11 @@ void Server::ConnectionLoop(int fd) {
   {
     std::lock_guard<std::mutex> lock(conn_mu_);
     conn_fds_.insert(fd);
+    // Registration can lose the race with the drain's SHUT_RD pass (spawn
+    // happens-before the pass, insertion after). The pass could not see
+    // this fd, so wake the reads below ourselves or the drain waits on a
+    // recv() nothing will interrupt.
+    if (stop_requested_.load()) ::shutdown(fd, SHUT_RD);
   }
 
   std::string buf;
@@ -216,21 +260,25 @@ void Server::ConnectionLoop(int fd) {
     if (pending.has_value()) {
       encode_replies = service_->FinishEncodes(std::move(*pending));
     }
+    bool oversize = false;
     for (Slot& slot : burst) {
       const WireFrame reply = slot.is_encode
                                   ? std::move(encode_replies[slot.encode_index])
                                   : service_->Handle(slot.request);
-      out += EncodeWireFrame(reply.type, reply.payload);
+      out += EncodeReplyFrame(reply, &oversize);
+      // Dropping the rest of the burst is fine: the connection is closed
+      // below, so the peer sees the error frame and then EOF.
+      if (oversize) break;
     }
     // Hard framing error: typed error reply, then drop the connection — a
     // stream that failed magic/version/CRC cannot be resynchronized.
     const bool hard_error = stream_status != FrameStatus::kIncomplete;
-    if (hard_error) {
+    if (hard_error && !oversize) {
       const WireFrame reply = QueryService::FrameErrorReply(stream_status);
-      out += EncodeWireFrame(reply.type, reply.payload);
+      out += EncodeReplyFrame(reply, &oversize);
     }
     if (!out.empty() && !SendAll(fd, out)) open = false;
-    if (hard_error || !open) break;
+    if (hard_error || oversize || !open) break;
     if (offset > 0) {
       buf.erase(0, offset);
       offset = 0;
@@ -247,7 +295,12 @@ void Server::ConnectionLoop(int fd) {
     conn_fds_.erase(fd);
   }
   ::close(fd);
-  --active_connections_;
+  // Last touch of *this. Notify under the lock: Wait() may return — and
+  // the Server be destroyed — the moment the latch hits zero, so the
+  // notify must land before any waiter can observe the new count.
+  std::lock_guard<std::mutex> lock(conn_mu_);
+  --live_handlers_;
+  conn_cv_.notify_all();
 }
 
 void InstallStopSignalHandlers(Server* server) {

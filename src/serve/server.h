@@ -12,20 +12,24 @@
 // so InstallStopSignalHandlers wires SIGTERM/SIGINT straight to it. The
 // drain sequence is: stop accepting; flip the service into draining mode
 // (new work is refused with kShuttingDown); shut down connection sockets
-// for reading so blocked handlers wake at EOF; join handlers — each one
-// finishes writing its in-flight response first; then join the batcher via
-// the service's destructor order. Wait() returns once the drain completes.
+// for reading so blocked handlers wake at EOF — a handler that registers
+// after that pass sees the stop flag and shuts its own socket down. Handler
+// threads run detached and count themselves out of a latch as they finish
+// writing their in-flight response (so a long-lived server reclaims thread
+// resources as connections close, not at shutdown); Wait() blocks until
+// the latch reaches zero, then the batcher joins via the service's
+// destructor order.
 
 #ifndef NEUTRAJ_SERVE_SERVER_H_
 #define NEUTRAJ_SERVE_SERVER_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <mutex>
 #include <set>
 #include <string>
 #include <thread>
-#include <vector>
 
 #include "serve/service.h"
 
@@ -35,6 +39,10 @@ struct ServerOptions {
   std::string host = "127.0.0.1";  ///< Bind address.
   uint16_t port = 0;               ///< 0 = pick an ephemeral port.
   size_t max_connections = 64;     ///< Concurrent connection cap.
+  /// Cap on an inbound frame's declared payload size. Values above
+  /// kWireMaxPayload — the protocol-wide encoder limit, which replies are
+  /// also held to — are clamped, so a default-configured Client can decode
+  /// everything any server sends.
   size_t max_frame_payload = kWireMaxPayload;
 };
 
@@ -90,13 +98,15 @@ class Server {
   std::thread accept_thread_;
   std::mutex wait_mu_;  ///< Serializes Wait()/Stop() joins.
 
-  // Connection bookkeeping. Handler threads are spawned and collected only
-  // by the accept thread / Wait(); live fds are tracked so a drain can
-  // shutdown(SHUT_RD) blocked readers awake.
-  std::atomic<size_t> active_connections_{0};
-  std::vector<std::thread> conn_threads_;
+  // Connection bookkeeping, all guarded by conn_mu_. Handler threads run
+  // detached; live_handlers_ is the completion latch Wait() blocks on, and
+  // live fds are tracked so a drain can shutdown(SHUT_RD) blocked readers
+  // awake. A handler that registers its fd after the drain's SHUT_RD pass
+  // detects stop_requested_ under conn_mu_ and shuts itself down.
   std::mutex conn_mu_;
-  std::set<int> conn_fds_;  ///< Guarded by conn_mu_.
+  std::condition_variable conn_cv_;
+  size_t live_handlers_ = 0;
+  std::set<int> conn_fds_;
 };
 
 /// Routes SIGTERM and SIGINT to server->RequestStop(). One server per

@@ -212,6 +212,7 @@ WireFrame QueryService::Dispatch(const WireFrame& request, Endpoint* endpoint) {
       if (req.k == 0) {
         return ErrorFrame(ErrorCode::kBadRequest, "k must be >= 1");
       }
+      if (req.k > kMaxTopKResults) req.k = kMaxTopKResults;
       const nn::Vector query = batcher_.Encode(req.query);
       const SearchResult r = db_->TopK(query, req.k, req.exclude);
       TopKResponse resp;

@@ -301,6 +301,27 @@ TEST(ProtocolTest, TopKMessagesRoundTrip) {
   ExpectExactFraming<TopKResponse>(resp_bytes, ParseTopKResponse);
 }
 
+TEST(ProtocolTest, MaxTopKResultsSaturatesTheFrameLimit) {
+  // kMaxTopKResults is derived from the serialized layout: a uint32 count
+  // prefix plus 16 bytes per (id, dist) pair. Pin the layout so a codec
+  // change cannot silently invalidate the service-side clamp that keeps
+  // every TopK reply encodable.
+  TopKResponse m;
+  for (uint64_t i = 0; i < 3; ++i) {
+    m.ids.push_back(i);
+    m.dists.push_back(static_cast<double>(i) * 0.5);
+  }
+  EXPECT_EQ(SerializeTopKResponse(m).size(), 4u + 3u * 16u);
+  // The bound is tight: exactly kMaxTopKResults entries fit a frame, one
+  // more does not.
+  const size_t per_entry = sizeof(uint64_t) + sizeof(double);
+  EXPECT_LE(sizeof(uint32_t) + static_cast<size_t>(kMaxTopKResults) * per_entry,
+            kWireMaxPayload);
+  EXPECT_GT(sizeof(uint32_t) +
+                (static_cast<size_t>(kMaxTopKResults) + 1) * per_entry,
+            kWireMaxPayload);
+}
+
 TEST(ProtocolTest, InsertMessagesRoundTrip) {
   Rng rng(9);
   InsertRequest req;

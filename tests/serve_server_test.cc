@@ -13,6 +13,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdint>
+#include <limits>
 #include <mutex>
 #include <stdexcept>
 #include <string>
@@ -331,6 +332,93 @@ TEST_F(ServerTest, CorruptFramesGetTypedErrorsThenDisconnect) {
   Client client = Connect(server);
   EXPECT_TRUE(client.Health().ok);
   client.Close();
+  server.Stop();
+}
+
+TEST_F(ServerTest, HugeKIsClampedNeverFatal) {
+  Server server(&svc_, ServerOptions{});
+  server.Start();
+  Client client = Connect(server);
+
+  // k far above kMaxTopKResults must be clamped server-side, not allowed
+  // to build a reply the frame encoder would refuse (which formerly threw
+  // std::length_error out of the handler thread and aborted the process).
+  const TopKResponse got =
+      client.TopK(corpus_[0], std::numeric_limits<uint32_t>::max());
+  EXPECT_EQ(got.ids.size(), db_.size());
+  EXPECT_TRUE(std::is_sorted(got.dists.begin(), got.dists.end()));
+
+  // The server is alive and still serving afterwards.
+  EXPECT_TRUE(client.Health().ok);
+  client.Close();
+  server.Stop();
+}
+
+TEST_F(ServerTest, ManyShortLivedConnectionsAreReaped) {
+  // Handler threads run detached and release their resources as each
+  // connection closes; a long-lived server must absorb an arbitrary number
+  // of short-lived connections and still drain cleanly.
+  Server server(&svc_, ServerOptions{});
+  server.Start();
+  for (int i = 0; i < 64; ++i) {
+    Client c = Connect(server);
+    ASSERT_TRUE(c.Health().ok) << "connection " << i;
+    c.Close();
+  }
+  EXPECT_EQ(server.connections_accepted(), 64u);
+  server.Stop();
+  EXPECT_FALSE(server.running());
+}
+
+TEST_F(ServerTest, ClientFramePayloadCapIsConfigurable) {
+  Server server(&svc_, ServerOptions{});
+  server.Start();
+
+  // A deliberately tiny client-side cap rejects the stats reply as
+  // oversized — proof the configured limit governs the decode path.
+  Client strict = Connect(server);
+  strict.set_max_frame_payload(8);
+  EXPECT_EQ(strict.max_frame_payload(), 8u);
+  EXPECT_THROW(strict.Stats(), std::runtime_error);
+  EXPECT_FALSE(strict.connected());  // An unsyncable stream is dropped.
+
+  // Caps above the protocol-wide encoder limit are clamped, mirroring the
+  // server-side clamp.
+  strict.set_max_frame_payload(kWireMaxPayload * 4);
+  EXPECT_EQ(strict.max_frame_payload(), kWireMaxPayload);
+
+  // The default cap decodes everything a conforming server sends.
+  Client fresh = Connect(server);
+  EXPECT_TRUE(fresh.Health().ok);
+  fresh.Close();
+  server.Stop();
+}
+
+TEST_F(ServerTest, InboundCapAboveProtocolLimitIsClamped) {
+  ServerOptions opts;
+  opts.max_frame_payload = kWireMaxPayload * 2;
+  Server server(&svc_, opts);
+  server.Start();
+
+  // A header declaring a payload above kWireMaxPayload must be rejected
+  // as oversized from the header alone. Without the clamp the server would
+  // honor the configured cap and block waiting for gigabytes that never
+  // arrive. Hand-build the header; EncodeWireFrame refuses to.
+  std::string header = "NTJW";
+  const auto put16 = [&header](uint16_t v) {
+    header.push_back(static_cast<char>(v & 0xff));
+    header.push_back(static_cast<char>(v >> 8));
+  };
+  const auto put32 = [&header](uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      header.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+    }
+  };
+  put16(kWireVersion);
+  put16(static_cast<uint16_t>(MsgType::kHealthRequest));
+  put32(static_cast<uint32_t>(kWireMaxPayload) + 1);
+  put32(0);
+  ExpectErrorThenDisconnect(server.port(), header, ErrorCode::kOversizedFrame);
   server.Stop();
 }
 
