@@ -1,12 +1,20 @@
-// Hot-path microbenchmark: blocked dense kernels, one training epoch, and
-// bulk corpus encoding at 1/2/4/8 threads. Emits BENCH_hotpaths.json with
-// the raw timings so perf regressions are diffable across commits.
+// Hot-path microbenchmark: blocked dense kernels, one training epoch, bulk
+// corpus encoding at 1/2/4/8 threads, and the observability overhead of
+// trace spans on the encode path. Emits BENCH_hotpaths.json with the raw
+// timings so perf regressions are diffable across commits.
 //
 // Two invariants are asserted while timing, not just measured:
 //   - the blocked kernels agree with the textbook loops they replaced;
 //   - the epoch loss is identical (bit for bit) at every thread count.
 // Wall-clock speedups depend on the machine's core count; the JSON records
 // the detected hardware_concurrency alongside every timing for context.
+//
+// The observability section compares encoding with tracing off (the default:
+// one relaxed atomic load per instrumented scope) against coarse tracing on
+// (clock reads + histogram records per encode). The enabled overhead is
+// gated at <= 2%; builds with -DNEUTRAJ_OBS_NOTRACE remove the spans at the
+// preprocessor level, so their compiled-out cost is exactly zero by
+// construction and needs no measurement.
 
 #include <algorithm>
 #include <cstdio>
@@ -169,6 +177,57 @@ std::vector<ThreadTiming> BenchTraining() {
   return out;
 }
 
+struct ObsTiming {
+  double off_s;       ///< Encode corpus, tracing off (runtime-disabled).
+  double coarse_s;    ///< Encode corpus, coarse spans recording.
+  double overhead;    ///< coarse_s / off_s - 1.
+};
+
+/// Measures the cost of the nn/encode trace span on the serial encode path,
+/// best-of-N to shake scheduler noise out of the comparison.
+ObsTiming BenchObservability() {
+  GeneratorConfig gen = PortoLikeConfig(0.1);
+  gen.num_trajectories = 400;
+  gen.seed = 777;
+  const TrajectoryDataset data = GeneratePortoLike(gen);
+  std::vector<Trajectory> seeds(data.trajectories.begin(),
+                                data.trajectories.begin() +
+                                    std::min<size_t>(40, data.trajectories.size()));
+  const DistanceMatrix dists =
+      ComputePairwiseDistances(seeds, Measure::kFrechet);
+  BoundingBox region = BoundingBox::Empty();
+  for (const Trajectory& t : data.trajectories) region.Extend(t.Bounds());
+  const Grid grid(region.Inflated(10.0), 100.0);
+
+  NeuTrajConfig cfg = NeuTrajConfig::NeuTraj();
+  cfg.embedding_dim = 32;
+  cfg.epochs = 1;
+  Trainer trainer(cfg, grid, seeds, dists);
+  trainer.Train();
+  const NeuTrajModel model = trainer.TakeModel();
+
+  constexpr int kRounds = 5;
+  auto best_of = [&](obs::TraceLevel level) {
+    obs::SetTraceLevel(level);
+    double best = 1e300;
+    for (int r = 0; r < kRounds; ++r) {
+      Stopwatch sw;
+      const auto embeds = model.EmbedAll(data.trajectories);
+      best = std::min(best, sw.ElapsedSeconds());
+      if (embeds.empty()) std::exit(1);  // Keeps the encode from being DCE'd.
+    }
+    return best;
+  };
+
+  best_of(obs::TraceLevel::kOff);  // Warm-up round set.
+  ObsTiming t;
+  t.off_s = best_of(obs::TraceLevel::kOff);
+  t.coarse_s = best_of(obs::TraceLevel::kCoarse);
+  obs::SetTraceLevel(obs::TraceLevel::kOff);
+  t.overhead = t.coarse_s / t.off_s - 1.0;
+  return t;
+}
+
 }  // namespace
 
 int main() {
@@ -176,7 +235,7 @@ int main() {
   std::printf("hardware_concurrency: %u\n",
               std::thread::hardware_concurrency());
 
-  std::printf("\n[1/2] dense kernels (blocked vs naive)\n");
+  std::printf("\n[1/3] dense kernels (blocked vs naive)\n");
   const auto kernels = BenchKernels();
   for (const KernelTiming& k : kernels) {
     std::printf("  %-16s %4zux%-4zu  naive %8.1f ns  blocked %8.1f ns  (%.2fx)\n",
@@ -184,8 +243,19 @@ int main() {
                 k.naive_ns / k.blocked_ns);
   }
 
-  std::printf("\n[2/2] training epoch + corpus encoding by thread count\n");
+  std::printf("\n[2/3] training epoch + corpus encoding by thread count\n");
   const auto threads = BenchTraining();
+
+  std::printf("\n[3/3] trace-span overhead on the encode path\n");
+  const ObsTiming obs_t = BenchObservability();
+  std::printf("  tracing off %.4fs  coarse %.4fs  overhead %+.2f%%\n",
+              obs_t.off_s, obs_t.coarse_s, obs_t.overhead * 100.0);
+  if (obs_t.overhead > 0.02) {
+    std::fprintf(stderr,
+                 "FATAL: enabled trace spans cost %.2f%% > 2%% budget\n",
+                 obs_t.overhead * 100.0);
+    return 1;
+  }
 
   FILE* f = std::fopen("BENCH_hotpaths.json", "w");
   if (f == nullptr) {
@@ -217,7 +287,14 @@ int main() {
                  t.encode_s, threads.front().encode_s / t.encode_s,
                  t.first_loss, i + 1 < threads.size() ? "," : "");
   }
-  std::fprintf(f, "  ]\n}\n");
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f,
+               "  \"observability\": {\"encode_trace_off_seconds\": %.4f, "
+               "\"encode_trace_coarse_seconds\": %.4f, "
+               "\"enabled_span_overhead\": %.4f, "
+               "\"compiled_out_overhead\": 0.0}\n",
+               obs_t.off_s, obs_t.coarse_s, obs_t.overhead);
+  std::fprintf(f, "}\n");
   std::fclose(f);
   std::printf("\nwrote BENCH_hotpaths.json\n");
   return 0;

@@ -7,6 +7,7 @@
 #include "common/check.h"
 #include "common/file_util.h"
 #include "common/framing.h"
+#include "common/stopwatch.h"
 
 namespace neutraj {
 
@@ -16,25 +17,49 @@ constexpr char kDbKind[] = "embdb";
 
 }  // namespace
 
+EmbeddingDatabase::EmbeddingDatabase() {
+  AttachMetrics(&obs::MetricsRegistry::Global());
+}
+
 EmbeddingDatabase::EmbeddingDatabase(EmbeddingDatabase&& other) noexcept
-    : dim_(other.dim_), embeddings_(std::move(other.embeddings_)) {}
+    : dim_(other.dim_),
+      embeddings_(std::move(other.embeddings_)),
+      build_us_(other.build_us_),
+      insert_us_(other.insert_us_),
+      topk_us_(other.topk_us_),
+      corpus_size_(other.corpus_size_) {}
 
 EmbeddingDatabase& EmbeddingDatabase::operator=(
     EmbeddingDatabase&& other) noexcept {
   if (this != &other) {
     dim_ = other.dim_;
     embeddings_ = std::move(other.embeddings_);
+    build_us_ = other.build_us_;
+    insert_us_ = other.insert_us_;
+    topk_us_ = other.topk_us_;
+    corpus_size_ = other.corpus_size_;
   }
   return *this;
+}
+
+void EmbeddingDatabase::AttachMetrics(obs::MetricsRegistry* registry) {
+  build_us_ = &registry->GetHistogram("db/build_us");
+  insert_us_ = &registry->GetHistogram("db/insert_us");
+  topk_us_ = &registry->GetHistogram("db/topk_us");
+  corpus_size_ = &registry->GetGauge("db/corpus_size");
+  corpus_size_->Set(static_cast<double>(embeddings_.size()));
 }
 
 EmbeddingDatabase EmbeddingDatabase::Build(const NeuTrajModel& model,
                                            const std::vector<Trajectory>& corpus,
                                            size_t threads) {
+  Stopwatch sw;
   EmbeddingDatabase db;
   db.embeddings_ = threads > 1 ? model.EmbedAllParallel(corpus, threads)
                                : model.EmbedAll(corpus);
   db.dim_ = db.embeddings_.empty() ? 0 : db.embeddings_.front().size();
+  db.build_us_->Record(sw.ElapsedMillis() * 1e3);
+  db.corpus_size_->Set(static_cast<double>(db.embeddings_.size()));
   return db;
 }
 
@@ -53,17 +78,26 @@ size_t EmbeddingDatabase::Insert(const nn::Vector& embedding) {
     throw std::invalid_argument("EmbeddingDatabase::Insert: empty embedding");
   }
   NEUTRAJ_DCHECK_FINITE(embedding);
-  std::unique_lock<std::shared_mutex> lock(mu_);
-  if (embeddings_.empty()) {
-    dim_ = embedding.size();
-  } else if (embedding.size() != dim_) {
-    throw std::invalid_argument(
-        "EmbeddingDatabase::Insert: embedding dimension " +
-        std::to_string(embedding.size()) + " != database dimension " +
-        std::to_string(dim_));
+  Stopwatch sw;
+  size_t id = 0;
+  size_t new_size = 0;
+  {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    if (embeddings_.empty()) {
+      dim_ = embedding.size();
+    } else if (embedding.size() != dim_) {
+      throw std::invalid_argument(
+          "EmbeddingDatabase::Insert: embedding dimension " +
+          std::to_string(embedding.size()) + " != database dimension " +
+          std::to_string(dim_));
+    }
+    embeddings_.push_back(embedding);
+    new_size = embeddings_.size();
+    id = new_size - 1;
   }
-  embeddings_.push_back(embedding);
-  return embeddings_.size() - 1;
+  insert_us_->Record(sw.ElapsedMillis() * 1e3);
+  corpus_size_->Set(static_cast<double>(new_size));
+  return id;
 }
 
 size_t EmbeddingDatabase::Insert(const NeuTrajModel& model,
@@ -75,6 +109,7 @@ size_t EmbeddingDatabase::Insert(const NeuTrajModel& model,
 
 SearchResult EmbeddingDatabase::TopK(const nn::Vector& query, size_t k,
                                      int64_t exclude) const {
+  Stopwatch sw;
   std::shared_lock<std::shared_mutex> lock(mu_);
   if (!embeddings_.empty() && query.size() != dim_) {
     throw std::invalid_argument("EmbeddingDatabase::TopK: query dimension " +
@@ -85,7 +120,9 @@ SearchResult EmbeddingDatabase::TopK(const nn::Vector& query, size_t k,
   // EmbeddingTopK resolves distance ties by ascending id (see
   // core/search.cc TopKImpl), so results are deterministic for a fixed
   // corpus state regardless of duplicate embeddings.
-  return EmbeddingTopK(embeddings_, query, k, exclude);
+  SearchResult result = EmbeddingTopK(embeddings_, query, k, exclude);
+  topk_us_->Record(sw.ElapsedMillis() * 1e3);
+  return result;
 }
 
 SearchResult EmbeddingDatabase::TopK(const NeuTrajModel& model,
@@ -136,6 +173,7 @@ EmbeddingDatabase EmbeddingDatabase::Load(const std::string& path) {
     }
     NEUTRAJ_DCHECK_FINITE(e);
   }
+  db.corpus_size_->Set(static_cast<double>(db.embeddings_.size()));
   return db;
 }
 

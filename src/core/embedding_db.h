@@ -25,13 +25,14 @@
 
 #include "core/model.h"
 #include "core/search.h"
+#include "obs/metrics.h"
 
 namespace neutraj {
 
 /// Corpus embeddings plus the query primitives over them.
 class EmbeddingDatabase {
  public:
-  EmbeddingDatabase() = default;
+  EmbeddingDatabase();
 
   // The internal reader/writer lock is not movable; moves transfer only the
   // data and require that no other thread touches either operand (the usual
@@ -86,10 +87,26 @@ class EmbeddingDatabase {
   /// malformed or truncated files.
   static EmbeddingDatabase Load(const std::string& path);
 
+  /// Re-points this database's telemetry (db/build_us, db/insert_us,
+  /// db/topk_us histograms; db/corpus_size gauge) at `registry`. The
+  /// constructor attaches the process-global registry; the serve layer
+  /// re-attaches its per-service one. `registry` must outlive the database.
+  /// Not thread-safe against concurrent operations — call before serving
+  /// traffic.
+  void AttachMetrics(obs::MetricsRegistry* registry);
+
  private:
   mutable std::shared_mutex mu_;
   size_t dim_ = 0;                       ///< Guarded by mu_.
   std::vector<nn::Vector> embeddings_;   ///< Guarded by mu_.
+
+  // Registry-owned; re-resolved by AttachMetrics, copied by moves (both
+  // operands end up recording to the same registry, which is correct for
+  // the build-then-move-then-serve lifecycle).
+  obs::ConcurrentHistogram* build_us_ = nullptr;
+  obs::ConcurrentHistogram* insert_us_ = nullptr;
+  obs::ConcurrentHistogram* topk_us_ = nullptr;
+  obs::Gauge* corpus_size_ = nullptr;
 };
 
 }  // namespace neutraj

@@ -15,6 +15,9 @@
 #include "common/thread_pool.h"
 #include "core/loss.h"
 #include "geo/traj_io.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace neutraj {
 
@@ -22,6 +25,16 @@ namespace {
 
 constexpr char kCheckpointKind[] = "checkpoint";
 constexpr char kCheckpointFile[] = "neutraj.ckpt";
+
+/// Shannon entropy (nats) of an attention weight vector; masked rows are
+/// exact zeros and contribute nothing.
+double AttentionEntropy(const nn::Vector& a) {
+  double h = 0.0;
+  for (const double p : a) {
+    if (p > 0.0) h -= p * std::log(p);
+  }
+  return h;
+}
 
 nn::AdamOptions MakeAdamOptions(const NeuTrajConfig& cfg) {
   nn::AdamOptions o;
@@ -109,12 +122,15 @@ Trainer::Trainer(const NeuTrajConfig& cfg, const Grid& grid,
   model_.InitializeWeights(&rng_);
 }
 
-double Trainer::ProcessAnchor(size_t anchor, Rng* rng, nn::GradBuffer* sink,
-                              nn::MemoryWriteLog* write_log,
-                              AnchorScratch* scratch) {
+Trainer::AnchorStats Trainer::ProcessAnchor(size_t anchor, Rng* rng,
+                                            nn::GradBuffer* sink,
+                                            nn::MemoryWriteLog* write_log,
+                                            AnchorScratch* scratch) {
   NEUTRAJ_DCHECK_MSG(anchor < seeds_.size(), "ProcessAnchor: anchor id range");
+  AnchorStats out;
   const AnchorSample sample = SampleAnchorPairs(
       guidance_, anchor, cfg_.sampling_num, cfg_.sampling, rng);
+  out.pairs = sample.similar.size() + sample.dissimilar.size();
 
   // Deduplicate the trajectories involved so each is encoded once.
   std::vector<size_t>& ids = scratch->ids;
@@ -125,7 +141,7 @@ double Trainer::ProcessAnchor(size_t anchor, Rng* rng, nn::GradBuffer* sink,
   };
   for (size_t id : sample.similar) add_unique(id);
   for (size_t id : sample.dissimilar) add_unique(id);
-  if (ids.size() < 2) return 0.0;
+  if (ids.size() < 2) return out;
 
   nn::Encoder& enc = model_.encoder();
   // Grow-only: shrinking would destroy warmed-up tape capacity.
@@ -141,6 +157,27 @@ double Trainer::ProcessAnchor(size_t anchor, Rng* rng, nn::GradBuffer* sink,
     embeds[k] = enc.Encode(seeds_[ids[k]], /*update_memory=*/true, &tapes[k],
                            &scratch->ws, write_log);
     grads[k].assign(cfg_.embedding_dim, 0.0);
+  }
+  out.encodes = ids.size();
+  if (metrics_sink_ != nullptr) {
+    // SAM read-attention entropy off the tapes just recorded. Gated on the
+    // sink: a log per attention weight per step is too hot to always pay,
+    // and the aggregate is only surfaced through the JSONL record.
+    for (size_t k = 0; k < ids.size(); ++k) {
+      const size_t steps = tapes[k].length;
+      for (size_t t = 0; t < steps; ++t) {
+        const nn::AttentionTape* att = nullptr;
+        if (t < tapes[k].sam_steps.size() && tapes[k].sam_steps[t].used_memory) {
+          att = &tapes[k].sam_steps[t].att;
+        } else if (t < tapes[k].gru_steps.size() &&
+                   tapes[k].gru_steps[t].used_memory) {
+          att = &tapes[k].gru_steps[t].att;
+        }
+        if (att == nullptr || att->all_masked) continue;
+        out.entropy_sum += AttentionEntropy(att->a);
+        ++out.entropy_steps;
+      }
+    }
   }
   // seed id -> local index; the id lists are ~2n entries, linear scan wins
   // over a hash map and allocates nothing.
@@ -191,7 +228,8 @@ double Trainer::ProcessAnchor(size_t anchor, Rng* rng, nn::GradBuffer* sink,
       enc.Backward(tapes[k], grads[k], sink, &scratch->ws);
     }
   }
-  return total_loss;
+  out.loss = total_loss;
+  return out;
 }
 
 std::string Trainer::RunFingerprint() const {
@@ -342,12 +380,27 @@ TrainResult Trainer::Train(const EpochCallback& callback) {
   anchor_grads.reserve(cfg_.batch_size);
   for (size_t k = 0; k < cfg_.batch_size; ++k) anchor_grads.emplace_back(params);
   std::vector<nn::MemoryWriteLog> anchor_writes(cfg_.batch_size);
-  std::vector<double> anchor_losses(cfg_.batch_size, 0.0);
+  std::vector<AnchorStats> anchor_stats(cfg_.batch_size);
   std::vector<uint64_t> anchor_seeds(cfg_.batch_size, 0);
+
+  // Global-registry training gauges/counters, resolved once. These mirror
+  // the per-epoch EpochStats for processes that scrape the registry
+  // (RenderPrometheus) instead of reading the JSONL stream.
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  obs::Gauge& g_epoch = reg.GetGauge("train/epoch");
+  obs::Gauge& g_loss = reg.GetGauge("train/mean_loss");
+  obs::Gauge& g_grad_norm = reg.GetGauge("train/grad_norm");
+  obs::Gauge& g_lr = reg.GetGauge("train/learning_rate");
+  obs::Gauge& g_tps = reg.GetGauge("train/trajs_per_sec");
+  obs::Counter& c_epochs = reg.GetCounter("train/epochs_completed");
+  obs::Counter& c_pairs = reg.GetCounter("train/sampled_pairs");
+  obs::Counter& c_encodes = reg.GetCounter("train/encoded_trajs");
+  obs::Counter& c_rollbacks = reg.GetCounter("train/watchdog_rollbacks");
 
   size_t rollbacks = 0;          // Total watchdog trips this Train() call.
   size_t consecutive_trips = 0;  // Trips since the last clean epoch.
   while (next_epoch_ < cfg_.epochs) {
+    NEUTRAJ_TRACE_SPAN("trainer/epoch");
     const size_t epoch = next_epoch_;
     Stopwatch sw;
     // The anchor order must be a pure function of the checkpointed RNG
@@ -358,6 +411,12 @@ TrainResult Trainer::Train(const EpochCallback& callback) {
     rng_.Shuffle(&anchors);
     double epoch_loss = 0.0;
     size_t processed = 0;
+    uint64_t epoch_pairs = 0;
+    uint64_t epoch_encodes = 0;
+    double entropy_sum = 0.0;
+    uint64_t entropy_steps = 0;
+    double grad_norm_sum = 0.0;
+    size_t opt_steps = 0;
     std::string trip;  // Non-empty once the watchdog fires.
     for (size_t start = 0; start < anchors.size() && trip.empty();
          start += cfg_.batch_size) {
@@ -375,7 +434,7 @@ TrainResult Trainer::Train(const EpochCallback& callback) {
       auto run_range = [&](size_t lo, size_t hi, AnchorScratch* scratch) {
         for (size_t k = lo; k < hi; ++k) {
           Rng anchor_rng(anchor_seeds[k]);
-          anchor_losses[k] =
+          anchor_stats[k] =
               ProcessAnchor(anchors[start + k], &anchor_rng, &anchor_grads[k],
                             &anchor_writes[k], scratch);
         }
@@ -397,7 +456,7 @@ TrainResult Trainer::Train(const EpochCallback& callback) {
       // Ordered commit: watchdog checks, gradient reduction and memory
       // writes all happen in anchor order, on one thread.
       for (size_t k = 0; k < bs && trip.empty(); ++k) {
-        const double loss = anchor_losses[k];
+        const double loss = anchor_stats[k].loss;
         if (cfg_.watchdog && !std::isfinite(loss)) {
           trip = StrFormat("non-finite loss %g for anchor %zu", loss,
                            anchors[start + k]);
@@ -415,7 +474,11 @@ TrainResult Trainer::Train(const EpochCallback& callback) {
         if (model_.encoder().has_memory()) {
           model_.encoder().memory().ApplyWrites(anchor_writes[k]);
         }
-        epoch_loss += anchor_losses[k];
+        epoch_loss += anchor_stats[k].loss;
+        epoch_pairs += anchor_stats[k].pairs;
+        epoch_encodes += anchor_stats[k].encodes;
+        entropy_sum += anchor_stats[k].entropy_sum;
+        entropy_steps += anchor_stats[k].entropy_steps;
         ++processed;
       }
       // Average gradients over the anchors in the batch.
@@ -423,7 +486,8 @@ TrainResult Trainer::Train(const EpochCallback& callback) {
       for (nn::Param* p : params) {
         for (double& g : p->grad.values()) g *= inv;
       }
-      adam_.Step();
+      grad_norm_sum += adam_.Step();
+      ++opt_steps;
       if (cfg_.watchdog && nn::HasNonFiniteValues(params)) {
         trip = "non-finite parameter after optimizer step";
       }
@@ -433,6 +497,10 @@ TrainResult Trainer::Train(const EpochCallback& callback) {
       DivergenceEvent ev;
       ev.epoch = epoch;
       ev.reason = trip;
+      c_rollbacks.Increment();
+      obs::FlightRecorder::Global().RecordEvent("trainer/watchdog_rollback",
+                                               static_cast<double>(epoch));
+      obs::FlightRecorder::Global().DumpToStderr("divergence watchdog rollback");
       // Roll back to the last good epoch boundary; the abandoned epoch's
       // gradients, memory writes and RNG draws are all discarded.
       RestoreState(last_good, "Trainer watchdog rollback");
@@ -461,6 +529,49 @@ TrainResult Trainer::Train(const EpochCallback& callback) {
     stats.epoch = epoch;
     stats.mean_loss = processed > 0 ? epoch_loss / static_cast<double>(processed) : 0.0;
     stats.seconds = sw.ElapsedSeconds();
+    stats.grad_norm =
+        opt_steps > 0 ? grad_norm_sum / static_cast<double>(opt_steps) : 0.0;
+    stats.learning_rate = adam_.options().learning_rate;
+    stats.sampled_pairs = epoch_pairs;
+    stats.encoded_trajs = epoch_encodes;
+    stats.trajs_per_sec =
+        stats.seconds > 0.0
+            ? static_cast<double>(epoch_encodes) / stats.seconds
+            : 0.0;
+    const uint64_t requested_pairs =
+        static_cast<uint64_t>(processed) * 2 * cfg_.sampling_num;
+    stats.sampler_fill =
+        requested_pairs > 0 ? static_cast<double>(epoch_pairs) /
+                                  static_cast<double>(requested_pairs)
+                            : 0.0;
+    stats.sam_attention_entropy =
+        entropy_steps > 0 ? entropy_sum / static_cast<double>(entropy_steps)
+                          : 0.0;
+
+    g_epoch.Set(static_cast<double>(epoch));
+    g_loss.Set(stats.mean_loss);
+    g_grad_norm.Set(stats.grad_norm);
+    g_lr.Set(stats.learning_rate);
+    g_tps.Set(stats.trajs_per_sec);
+    c_epochs.Increment();
+    c_pairs.Add(epoch_pairs);
+    c_encodes.Add(epoch_encodes);
+
+    if (metrics_sink_ != nullptr) {
+      metrics_sink_->Write({
+          {"epoch", static_cast<double>(stats.epoch)},
+          {"mean_loss", stats.mean_loss},
+          {"seconds", stats.seconds},
+          {"grad_norm", stats.grad_norm},
+          {"learning_rate", stats.learning_rate},
+          {"sampled_pairs", static_cast<double>(stats.sampled_pairs)},
+          {"encoded_trajs", static_cast<double>(stats.encoded_trajs)},
+          {"trajs_per_sec", stats.trajs_per_sec},
+          {"sampler_fill", stats.sampler_fill},
+          {"sam_attention_entropy", stats.sam_attention_entropy},
+      });
+    }
+
     result.epochs.push_back(stats);
     history_.push_back(stats);
     ++next_epoch_;

@@ -24,6 +24,7 @@
 #ifndef NEUTRAJ_CORE_TRAINER_H_
 #define NEUTRAJ_CORE_TRAINER_H_
 
+#include <cstdint>
 #include <functional>
 #include <limits>
 #include <string>
@@ -33,14 +34,31 @@
 #include "core/sampler.h"
 #include "nn/adam.h"
 #include "nn/workspace.h"
+#include "obs/jsonl.h"
 
 namespace neutraj {
 
 /// Per-epoch training telemetry.
+///
+/// Only epoch / mean_loss / seconds are checkpointed (they existed before
+/// the observability layer); the remaining fields are live-run telemetry and
+/// read zero for epochs restored from a checkpoint.
 struct EpochStats {
   size_t epoch = 0;        ///< 0-based epoch index.
   double mean_loss = 0.0;  ///< Mean anchor loss over the epoch.
   double seconds = 0.0;    ///< Wall-clock epoch time.
+  double grad_norm = 0.0;  ///< Mean pre-clip global gradient norm per step.
+  double learning_rate = 0.0;   ///< LR in effect when the epoch completed.
+  uint64_t sampled_pairs = 0;   ///< Similar + dissimilar pairs drawn.
+  uint64_t encoded_trajs = 0;   ///< Trajectory encodes (deduplicated).
+  double trajs_per_sec = 0.0;   ///< encoded_trajs / seconds.
+  /// Fraction of requested pairs (2 * sampling_num per anchor) the sampler
+  /// actually produced; < 1 when neighborhoods run dry.
+  double sampler_fill = 0.0;
+  /// Mean SAM read-attention entropy (nats) over memory-reading steps.
+  /// Computed only when a metrics sink is attached (it costs a log per
+  /// attention weight); 0 otherwise and for non-SAM backbones.
+  double sam_attention_entropy = 0.0;
 };
 
 /// One divergence-watchdog trip.
@@ -103,6 +121,14 @@ class Trainer {
   /// Releases the trained model (trainer is unusable afterwards).
   NeuTrajModel TakeModel() { return std::move(model_); }
 
+  /// Streams one JSON line of telemetry per completed epoch to `sink`
+  /// (which must outlive training; nullptr detaches). Attaching a sink also
+  /// enables the per-step SAM attention-entropy aggregation, which is too
+  /// hot to compute when nobody is listening. Telemetry never feeds back
+  /// into training: losses, gradients and RNG draws are bit-for-bit
+  /// identical with and without a sink.
+  void SetMetricsSink(obs::JsonlSink* sink) { metrics_sink_ = sink; }
+
  private:
   /// Reusable per-worker buffers for ProcessAnchor: the cell workspace plus
   /// the tapes/embeddings/gradient vectors of one anchor's trajectory set.
@@ -115,14 +141,25 @@ class Trainer {
     std::vector<nn::Vector> grads;
   };
 
+  /// What one anchor contributed: the loss the watchdog inspects plus the
+  /// telemetry the epoch record aggregates.
+  struct AnchorStats {
+    double loss = 0.0;
+    uint64_t pairs = 0;          ///< Sampled similar + dissimilar pairs.
+    uint64_t encodes = 0;        ///< Deduplicated trajectory encodes.
+    double entropy_sum = 0.0;    ///< Σ read-attention entropies (nats).
+    uint64_t entropy_steps = 0;  ///< Steps contributing to entropy_sum.
+  };
+
   /// Processes one anchor: samples pairs (drawing only from `rng`), encodes
   /// against the current memory snapshot (SAM writes recorded into
   /// `write_log`, not applied), computes the loss and accumulates gradients
-  /// into `sink`. Returns the anchor's loss. Safe to call concurrently for
-  /// distinct (rng, sink, write_log, scratch) tuples: every shared input —
-  /// parameters, guidance, seeds, memory — is only read.
-  double ProcessAnchor(size_t anchor, Rng* rng, nn::GradBuffer* sink,
-                       nn::MemoryWriteLog* write_log, AnchorScratch* scratch);
+  /// into `sink`. Safe to call concurrently for distinct (rng, sink,
+  /// write_log, scratch) tuples: every shared input — parameters, guidance,
+  /// seeds, memory — is only read.
+  AnchorStats ProcessAnchor(size_t anchor, Rng* rng, nn::GradBuffer* sink,
+                            nn::MemoryWriteLog* write_log,
+                            AnchorScratch* scratch);
 
   /// Identity of this run (config fingerprint + seed-pool hash); guards
   /// checkpoints against being resumed into a different run.
@@ -148,6 +185,8 @@ class Trainer {
   size_t stall_ = 0;
   std::vector<EpochStats> history_;
   bool resumed_ = false;
+
+  obs::JsonlSink* metrics_sink_ = nullptr;  ///< Not owned; may be null.
 };
 
 }  // namespace neutraj

@@ -58,6 +58,10 @@
 #include "index/inverted_grid.h"
 #include "index/rtree.h"
 #include "index/vp_tree.h"
+#include "obs/flight_recorder.h"
+#include "obs/jsonl.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/client.h"
 #include "serve/micro_batcher.h"
 #include "serve/protocol.h"

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "common/check.h"
+#include "obs/trace.h"
 
 namespace neutraj::nn {
 
@@ -49,6 +50,7 @@ void Encoder::Initialize(Rng* rng) {
 Vector Encoder::Encode(const Trajectory& traj, bool update_memory,
                        EncodeTape* tape, CellWorkspace* ws,
                        MemoryWriteLog* write_log) {
+  NEUTRAJ_TRACE_SPAN("nn/encode");
   if (traj.empty()) throw std::invalid_argument("Encode: empty trajectory");
   const size_t len = traj.size();
   if (tape != nullptr) {
@@ -127,6 +129,7 @@ Vector Encoder::Encode(const Trajectory& traj, bool update_memory,
 
 void Encoder::Backward(const EncodeTape& tape, const Vector& d_embedding,
                        GradBuffer* sink, CellWorkspace* ws) {
+  NEUTRAJ_TRACE_SPAN("nn/backward");
   if (d_embedding.size() != hidden_) {
     throw std::invalid_argument("Backward: gradient dimension mismatch");
   }

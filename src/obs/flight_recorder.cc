@@ -1,0 +1,96 @@
+#include "obs/flight_recorder.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace neutraj::obs {
+
+FlightRecorder::FlightRecorder(size_t capacity)
+    : ring_(std::max<size_t>(1, capacity)) {}
+
+void FlightRecorder::Push(const char* name, double value, bool is_span) {
+  std::lock_guard<std::mutex> lock(mu_);
+  FlightEvent& slot = ring_[next_];
+  slot.t_seconds = clock_.ElapsedSeconds();
+  slot.name = name;
+  slot.value = value;
+  slot.is_span = is_span;
+  next_ = (next_ + 1) % ring_.size();
+  ++total_;
+}
+
+void FlightRecorder::RecordSpan(const char* name, double micros) {
+  Push(name, micros, /*is_span=*/true);
+}
+
+void FlightRecorder::RecordEvent(const char* name, double value) {
+  Push(name, value, /*is_span=*/false);
+}
+
+std::vector<FlightEvent> FlightRecorder::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<FlightEvent> out;
+  const size_t n = std::min<uint64_t>(total_, ring_.size());
+  out.reserve(n);
+  // Oldest event sits at next_ once the ring has wrapped, at 0 before.
+  const size_t start = total_ > ring_.size() ? next_ : 0;
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(ring_[(start + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::string FlightRecorder::DumpText() const {
+  const std::vector<FlightEvent> events = Snapshot();
+  std::string out;
+  for (const FlightEvent& e : events) {
+    if (e.is_span) {
+      out += StrFormat("%12.6fs  span   %-32s %12.1f us\n", e.t_seconds,
+                       e.name, e.value);
+    } else {
+      out += StrFormat("%12.6fs  event  %-32s %12.6g\n", e.t_seconds, e.name,
+                       e.value);
+    }
+  }
+  return out;
+}
+
+void FlightRecorder::DumpToStderr(const char* reason) const {
+  const std::string text = DumpText();
+  if (text.empty()) return;
+  std::fprintf(stderr, "flight-recorder dump (%s), %llu events total:\n%s",
+               reason, static_cast<unsigned long long>(total_recorded()),
+               text.c_str());
+}
+
+void FlightRecorder::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  next_ = 0;
+  total_ = 0;
+  std::fill(ring_.begin(), ring_.end(), FlightEvent{});
+}
+
+uint64_t FlightRecorder::total_recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_;
+}
+
+FlightRecorder& FlightRecorder::Global() {
+  struct GlobalRecorder {
+    FlightRecorder recorder;
+    GlobalRecorder() {
+      // Installed after `recorder` is fully constructed; a later fatal
+      // NEUTRAJ_ASSERT prints the ring tail before aborting.
+      check_internal::SetCheckFailureHook([] {
+        FlightRecorder::Global().DumpToStderr("fatal contract violation");
+      });
+    }
+  };
+  static GlobalRecorder holder;
+  return holder.recorder;
+}
+
+}  // namespace neutraj::obs

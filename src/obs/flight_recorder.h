@@ -1,0 +1,82 @@
+// Bounded in-memory flight recorder: a ring buffer of the most recent spans
+// and events, cheap enough to leave on and dumpable when something goes
+// wrong — a divergence-watchdog rollback, a fatal NEUTRAJ_ASSERT — so the
+// crash report shows what the process was doing just before, not only where
+// it died.
+//
+// Event names must be string literals (or otherwise have static storage
+// duration): the ring stores the pointer, never a copy, so recording is one
+// short critical section over POD writes. Timestamps are seconds since the
+// recorder's construction on the steady clock — never the wall clock.
+//
+// The global recorder installs itself as the NEUTRAJ_ASSERT failure hook on
+// first use: if the process dies on a contract violation after anything was
+// recorded, the tail of the ring is printed to stderr before the abort.
+
+#ifndef NEUTRAJ_OBS_FLIGHT_RECORDER_H_
+#define NEUTRAJ_OBS_FLIGHT_RECORDER_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/stopwatch.h"
+
+namespace neutraj::obs {
+
+/// One recorded span completion or point event.
+struct FlightEvent {
+  double t_seconds = 0.0;     ///< Since recorder construction (steady clock).
+  const char* name = "";      ///< Static-storage string, not owned.
+  double value = 0.0;         ///< Span: duration µs. Event: caller-defined.
+  bool is_span = false;
+};
+
+/// Fixed-capacity ring of recent FlightEvents. Thread-safe.
+class FlightRecorder {
+ public:
+  static constexpr size_t kDefaultCapacity = 1024;
+
+  explicit FlightRecorder(size_t capacity = kDefaultCapacity);
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// `name` must have static storage duration (macro span names and the
+  /// literal event names used by the trainer qualify).
+  void RecordSpan(const char* name, double micros);
+  void RecordEvent(const char* name, double value);
+
+  /// Events oldest-to-newest (at most `capacity` of them).
+  std::vector<FlightEvent> Snapshot() const;
+
+  /// Human-readable dump, one event per line; empty string when nothing was
+  /// recorded.
+  std::string DumpText() const;
+
+  /// Writes DumpText() to stderr with a reason header; silent when the ring
+  /// is empty. This is the only sanctioned stderr telemetry path for
+  /// src/core + src/nn + src/serve (see tools/lint.sh rule 5).
+  void DumpToStderr(const char* reason) const;
+
+  void Clear();
+
+  /// Lifetime total, including overwritten events.
+  uint64_t total_recorded() const;
+
+  /// Process-wide recorder; first use installs the NEUTRAJ_ASSERT dump hook.
+  static FlightRecorder& Global();
+
+ private:
+  void Push(const char* name, double value, bool is_span);
+
+  mutable std::mutex mu_;
+  Stopwatch clock_;                ///< Guarded by mu_.
+  std::vector<FlightEvent> ring_;  ///< Guarded by mu_.
+  size_t next_ = 0;                ///< Guarded by mu_.
+  uint64_t total_ = 0;             ///< Guarded by mu_.
+};
+
+}  // namespace neutraj::obs
+
+#endif  // NEUTRAJ_OBS_FLIGHT_RECORDER_H_

@@ -1,0 +1,75 @@
+#include "obs/jsonl.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/string_util.h"
+
+namespace neutraj::obs {
+
+JsonlSink::JsonlSink(const std::string& path)
+    : path_(path), file_(std::fopen(path.c_str(), "w")) {
+  if (file_ == nullptr) {
+    throw std::runtime_error("JsonlSink: cannot open '" + path +
+                             "' for writing");
+  }
+}
+
+JsonlSink::~JsonlSink() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void JsonlSink::Write(
+    const std::vector<std::pair<std::string, double>>& fields) {
+  std::string line = "{";
+  bool first = true;
+  for (const auto& [key, value] : fields) {
+    if (!first) line += ", ";
+    first = false;
+    line += '"';
+    line += JsonEscape(key);
+    line += "\": ";
+    if (std::isfinite(value)) {
+      line += StrFormat("%.17g", value);
+    } else {
+      line += "null";  // JSON has no NaN/Inf literals.
+    }
+  }
+  line += "}\n";
+  std::lock_guard<std::mutex> lock(mu_);
+  std::fwrite(line.data(), 1, line.size(), file_);
+  std::fflush(file_);
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace neutraj::obs

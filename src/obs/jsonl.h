@@ -1,0 +1,49 @@
+// JSONL metrics sink: one flat JSON object per line, flushed after every
+// write so a crashed or killed run still leaves parseable telemetry up to
+// its last completed epoch. Values are rendered with %.17g (round-trippable
+// doubles); NaN and infinities — which JSON cannot represent — become null.
+//
+// The trainer calls Write once per epoch with the flattened epoch record;
+// any consumer that can read newline-delimited JSON (jq, pandas
+// `read_json(lines=True)`) can plot a run directly.
+
+#ifndef NEUTRAJ_OBS_JSONL_H_
+#define NEUTRAJ_OBS_JSONL_H_
+
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace neutraj::obs {
+
+/// Thread-safe newline-delimited JSON writer over a file.
+class JsonlSink {
+ public:
+  /// Opens (truncates) `path`; throws std::runtime_error when the file
+  /// cannot be created.
+  explicit JsonlSink(const std::string& path);
+  ~JsonlSink();
+  JsonlSink(const JsonlSink&) = delete;
+  JsonlSink& operator=(const JsonlSink&) = delete;
+
+  /// Writes one JSON object line {"k": v, ...} and flushes. Keys are emitted
+  /// in the order given; duplicate keys are the caller's bug.
+  void Write(const std::vector<std::pair<std::string, double>>& fields);
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::mutex mu_;
+  std::string path_;
+  std::FILE* file_;  ///< Guarded by mu_.
+};
+
+/// Escapes a string for use inside a JSON string literal (quotes not
+/// included). Metric names are plain ASCII so this mostly passes through.
+std::string JsonEscape(const std::string& s);
+
+}  // namespace neutraj::obs
+
+#endif  // NEUTRAJ_OBS_JSONL_H_

@@ -1,0 +1,43 @@
+#include "obs/trace.h"
+
+#include <string>
+
+#include "obs/flight_recorder.h"
+
+namespace neutraj::obs {
+
+namespace trace_internal {
+
+std::atomic<int> g_trace_level{static_cast<int>(TraceLevel::kOff)};
+
+SpanSite::SpanSite(const char* name)
+    : name_(name),
+      hist_(&MetricsRegistry::Global().GetHistogram(
+          "trace/" + std::string(name) + "_us")) {}
+
+void ScopedSpan::Finish() {
+  const auto end = std::chrono::steady_clock::now();
+  const double micros =
+      std::chrono::duration_cast<std::chrono::duration<double, std::micro>>(
+          end - start_)
+          .count();
+  site_->hist().Record(micros);
+  FlightRecorder::Global().RecordSpan(site_->name(), micros);
+}
+
+}  // namespace trace_internal
+
+void SetTraceLevel(TraceLevel level) {
+  trace_internal::g_trace_level.store(static_cast<int>(level),
+                                      std::memory_order_relaxed);
+  MetricsRegistry::Global()
+      .GetGauge("obs/trace_level")
+      .Set(static_cast<double>(static_cast<int>(level)));
+}
+
+TraceLevel trace_level() {
+  return static_cast<TraceLevel>(
+      trace_internal::g_trace_level.load(std::memory_order_relaxed));
+}
+
+}  // namespace neutraj::obs

@@ -1,0 +1,125 @@
+// Lightweight scoped tracing: RAII spans that feed per-name timing
+// histograms in the global metrics registry and the flight recorder.
+//
+//   void Trainer::Train() {
+//     NEUTRAJ_TRACE_SPAN("trainer/epoch");   // one histogram sample / scope
+//     ...
+//   }
+//
+// Cost model, so hot paths can carry spans without guilt:
+//   - Compiled out (-DNEUTRAJ_OBS_NOTRACE): the macros expand to nothing.
+//     Zero code, zero branches — the encode hot loop is bit-identical to an
+//     uninstrumented build.
+//   - Compiled in, tracing off (the default): one relaxed atomic load and a
+//     predictable branch per scope, plus a one-time lazily-initialized
+//     static per call site. No clock reads.
+//   - Tracing on: two steady_clock reads per scope, one lock-free histogram
+//     record, one flight-recorder push. Suitable for per-trajectory /
+//     per-epoch scopes; the per-step FINE spans (inside the SAM cell) stay
+//     silent unless the level is raised to kFine, because a clock read per
+//     recurrence step is measurable.
+//
+// Span timings land in MetricsRegistry::Global() as histograms named
+// `trace/<name>_us`. Levels are process-wide (SetTraceLevel), mirrored in
+// the `obs/trace_level` gauge.
+
+#ifndef NEUTRAJ_OBS_TRACE_H_
+#define NEUTRAJ_OBS_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+
+#include "obs/metrics.h"
+
+namespace neutraj::obs {
+
+enum class TraceLevel : int {
+  kOff = 0,     ///< Spans cost one relaxed load each.
+  kCoarse = 1,  ///< Per-call / per-epoch spans (NEUTRAJ_TRACE_SPAN).
+  kFine = 2,    ///< Also per-step spans (NEUTRAJ_TRACE_FINE_SPAN).
+};
+
+void SetTraceLevel(TraceLevel level);
+TraceLevel trace_level();
+
+namespace trace_internal {
+
+extern std::atomic<int> g_trace_level;
+
+inline bool TraceActive(TraceLevel required) {
+  return g_trace_level.load(std::memory_order_relaxed) >=
+         static_cast<int>(required);
+}
+
+/// One static call site: resolves its histogram in the global registry once
+/// (function-local static init is thread-safe) and hands the span the
+/// pointer, so the enabled path never does a name lookup.
+class SpanSite {
+ public:
+  explicit SpanSite(const char* name);
+
+  const char* name() const { return name_; }
+  ConcurrentHistogram& hist() const { return *hist_; }
+
+ private:
+  const char* name_;
+  ConcurrentHistogram* hist_;
+};
+
+/// RAII span; inert (a null pointer) when the level is below `required` at
+/// construction time.
+class ScopedSpan {
+ public:
+  ScopedSpan(const SpanSite& site, TraceLevel required)
+      : site_(TraceActive(required) ? &site : nullptr) {
+    if (site_ != nullptr) start_ = std::chrono::steady_clock::now();
+  }
+  ~ScopedSpan() {
+    if (site_ != nullptr) Finish();
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  void Finish();  // Out of line: histogram + flight-recorder record.
+
+  const SpanSite* site_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace trace_internal
+}  // namespace neutraj::obs
+
+#ifdef NEUTRAJ_OBS_NOTRACE
+
+// Compiled out entirely: release builds that want provably-zero span cost.
+#define NEUTRAJ_TRACE_SPAN(name) \
+  do {                           \
+  } while (false)
+#define NEUTRAJ_TRACE_FINE_SPAN(name) \
+  do {                                \
+  } while (false)
+
+#else  // !NEUTRAJ_OBS_NOTRACE
+
+#define NEUTRAJ_OBS_CONCAT_INNER(a, b) a##b
+#define NEUTRAJ_OBS_CONCAT(a, b) NEUTRAJ_OBS_CONCAT_INNER(a, b)
+
+#define NEUTRAJ_TRACE_SPAN_AT(name, level)                            \
+  static const ::neutraj::obs::trace_internal::SpanSite               \
+      NEUTRAJ_OBS_CONCAT(neutraj_obs_site_, __LINE__){name};          \
+  const ::neutraj::obs::trace_internal::ScopedSpan NEUTRAJ_OBS_CONCAT( \
+      neutraj_obs_span_, __LINE__){                                   \
+      NEUTRAJ_OBS_CONCAT(neutraj_obs_site_, __LINE__), (level)}
+
+/// Times the enclosing scope into `trace/<name>_us` at coarse level.
+#define NEUTRAJ_TRACE_SPAN(name) \
+  NEUTRAJ_TRACE_SPAN_AT(name, ::neutraj::obs::TraceLevel::kCoarse)
+
+/// Per-step hot-path span; records only at TraceLevel::kFine.
+#define NEUTRAJ_TRACE_FINE_SPAN(name) \
+  NEUTRAJ_TRACE_SPAN_AT(name, ::neutraj::obs::TraceLevel::kFine)
+
+#endif  // NEUTRAJ_OBS_NOTRACE
+
+#endif  // NEUTRAJ_OBS_TRACE_H_

@@ -11,6 +11,13 @@ MicroBatcher::MicroBatcher(const NeuTrajModel& model, const Options& opts)
       opts_(opts),
       pool_(std::max<size_t>(1, opts.threads)),
       workspaces_(std::max<size_t>(1, opts.threads)) {
+  obs::MetricsRegistry& reg = opts_.registry != nullptr
+                                  ? *opts_.registry
+                                  : obs::MetricsRegistry::Global();
+  batch_size_hist_ = &reg.GetHistogram("serve/batcher/batch_size");
+  wait_us_hist_ = &reg.GetHistogram("serve/batcher/wait_us");
+  requests_counter_ = &reg.GetCounter("serve/batcher/requests");
+  batches_counter_ = &reg.GetCounter("serve/batcher/batches");
   if (model.config().update_memory_at_inference) {
     throw std::logic_error(
         "MicroBatcher: memory-updating inference cannot be batched across "
@@ -46,6 +53,7 @@ std::future<MicroBatcher::BatchResult> MicroBatcher::SubmitBatch(
     for (size_t i = 0; i < n; ++i) queue_.push_back(Item{group, i});
     stats_.requests += n;
   }
+  requests_counter_->Add(n);
   work_ready_.notify_one();
   return fut;
 }
@@ -80,6 +88,8 @@ void MicroBatcher::BatcherLoop() {
   std::vector<Item> batch;
   while (true) {
     batch.clear();
+    double waited_us = 0.0;
+    size_t take = 0;
     {
       std::unique_lock<std::mutex> lock(mu_);
       work_ready_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
@@ -88,18 +98,24 @@ void MicroBatcher::BatcherLoop() {
       // Straggler window: once work exists, give concurrent submitters a
       // short chance to join this batch. Bounded by max_batch so a firehose
       // never waits, and skipped entirely during shutdown (drain fast).
-      if (opts_.max_wait_micros > 0 && !shutdown_) {
-        const auto deadline = std::chrono::steady_clock::now() +
-                              std::chrono::microseconds(opts_.max_wait_micros);
+      if (opts_.max_wait_micros > 0 && !shutdown_ &&
+          queue_.size() < opts_.max_batch) {
+        const auto wait_start = std::chrono::steady_clock::now();
+        const auto deadline =
+            wait_start + std::chrono::microseconds(opts_.max_wait_micros);
         while (queue_.size() < opts_.max_batch && !shutdown_) {
           if (work_ready_.wait_until(lock, deadline) ==
               std::cv_status::timeout) {
             break;
           }
         }
+        waited_us = std::chrono::duration_cast<
+                        std::chrono::duration<double, std::micro>>(
+                        std::chrono::steady_clock::now() - wait_start)
+                        .count();
       }
 
-      const size_t take = std::min(queue_.size(), opts_.max_batch);
+      take = std::min(queue_.size(), opts_.max_batch);
       batch.reserve(take);
       for (size_t i = 0; i < take; ++i) {
         batch.push_back(std::move(queue_.front()));
@@ -108,6 +124,9 @@ void MicroBatcher::BatcherLoop() {
       ++stats_.batches;
       stats_.max_batch = std::max<uint64_t>(stats_.max_batch, take);
     }
+    batches_counter_->Increment();
+    batch_size_hist_->Record(static_cast<double>(take));
+    wait_us_hist_->Record(waited_us);
     RunBatch(&batch);
   }
 }

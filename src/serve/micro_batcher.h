@@ -35,6 +35,7 @@
 #include "common/thread_pool.h"
 #include "core/model.h"
 #include "nn/workspace.h"
+#include "obs/metrics.h"
 
 namespace neutraj::serve {
 
@@ -46,6 +47,10 @@ class MicroBatcher {
     size_t max_batch = 32;       ///< Hard cap on one batch's size.
     int64_t max_wait_micros = 200;  ///< Straggler window after the first
                                     ///< item of a batch arrives; 0 = none.
+    /// Where batcher metrics (batch-size distribution, straggler waits,
+    /// request/batch counters) register. nullptr = the process-global
+    /// registry; QueryService points this at its own instance.
+    obs::MetricsRegistry* registry = nullptr;
   };
 
   struct Stats {
@@ -124,6 +129,15 @@ class MicroBatcher {
   std::deque<Item> queue_;
   bool shutdown_ = false;
   Stats stats_;
+
+  // Registry-owned metrics, resolved once in the constructor. batch_size_
+  // records how many items each executed batch carried; wait_us_ records the
+  // straggler window actually spent per batch (0 when the queue was already
+  // full or the window is disabled).
+  obs::ConcurrentHistogram* batch_size_hist_;
+  obs::ConcurrentHistogram* wait_us_hist_;
+  obs::Counter* requests_counter_;
+  obs::Counter* batches_counter_;
 
   // Batch execution resources, touched only by the batcher thread.
   ThreadPool pool_;

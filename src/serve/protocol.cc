@@ -288,6 +288,16 @@ std::string SerializeStatsResponse(const StatsResponse& m) {
     w.F64(e.p99_micros);
     w.F64(e.max_micros);
   }
+  // Optional trailing registry-metrics section (added after the original
+  // format froze). Old parsers required Done() right after the endpoints,
+  // so new servers talking to old clients would fail — but the compat
+  // direction that matters is new CLIENT / old SERVER, and there the old
+  // payload simply ends early and the parser below accepts it.
+  w.U32(static_cast<uint32_t>(s.metrics.size()));
+  for (const auto& [name, value] : s.metrics) {
+    w.Str(name);
+    w.F64(value);
+  }
   return w.Take();
 }
 
@@ -310,6 +320,16 @@ bool ParseStatsResponse(const std::string& in, StatsResponse* out) {
       return false;
     }
     s.endpoints.push_back(std::move(e));
+  }
+  s.metrics.clear();
+  if (r.Done()) return true;  // Pre-metrics payload: valid, no registry data.
+  uint32_t m_count = 0;
+  if (!r.U32(&m_count)) return false;
+  for (uint32_t i = 0; i < m_count; ++i) {
+    std::string name;
+    double value = 0.0;
+    if (!r.Str(&name) || !r.F64(&value)) return false;
+    s.metrics.emplace_back(std::move(name), value);
   }
   return r.Done();
 }

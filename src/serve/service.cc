@@ -34,14 +34,28 @@ void CheckTrajectory(const Trajectory& t, const char* what) {
   }
 }
 
+/// The batcher must register into the service's own registry, whatever the
+/// caller put (or left unset) in the options.
+MicroBatcher::Options WithRegistry(MicroBatcher::Options opts,
+                                   obs::MetricsRegistry* registry) {
+  opts.registry = registry;
+  return opts;
+}
+
 }  // namespace
 
 QueryService::QueryService(const NeuTrajModel& model, EmbeddingDatabase* db,
                            const MicroBatcher::Options& batch_opts)
-    : model_(model), db_(db), batcher_(model, batch_opts) {
+    : model_(model),
+      db_(db),
+      batcher_(model, WithRegistry(batch_opts, &registry_)),
+      stats_(&registry_) {
   if (db == nullptr) {
     throw std::invalid_argument("QueryService: null EmbeddingDatabase");
   }
+  // Route the live corpus's build/insert/TopK timings into this service's
+  // registry so kStatsRequest ships them alongside the endpoint latencies.
+  db_->AttachMetrics(&registry_);
 }
 
 WireFrame QueryService::FrameErrorReply(FrameStatus status) {
@@ -113,6 +127,7 @@ StatsSnapshot QueryService::Snapshot() const {
   snap.batched_requests = bs.requests;
   snap.batches = bs.batches;
   snap.mean_batch_size = bs.mean_batch_size();
+  snap.metrics = registry_.Snapshot().Flatten();
   return snap;
 }
 

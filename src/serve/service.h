@@ -24,6 +24,7 @@
 #include "common/stopwatch.h"
 #include "core/embedding_db.h"
 #include "core/model.h"
+#include "obs/metrics.h"
 #include "serve/micro_batcher.h"
 #include "serve/protocol.h"
 #include "serve/stats.h"
@@ -79,18 +80,24 @@ class QueryService {
   void SetDraining(bool draining) { draining_.store(draining); }
   bool draining() const { return draining_.load(); }
 
-  /// Endpoint counters plus corpus/batcher gauges, ready to serialize.
+  /// Endpoint counters plus corpus/batcher gauges and the flattened
+  /// registry metrics, ready to serialize.
   StatsSnapshot Snapshot() const;
 
   const NeuTrajModel& model() const { return model_; }
   EmbeddingDatabase& db() { return *db_; }
   MicroBatcher& batcher() { return batcher_; }
+  obs::MetricsRegistry& registry() { return registry_; }
 
  private:
   WireFrame Dispatch(const WireFrame& request, Endpoint* endpoint);
 
   const NeuTrajModel& model_;
   EmbeddingDatabase* db_;
+  /// Per-service registry (declared before the members that register into
+  /// it): two services in one process — routine in tests — never share
+  /// counters, and a stats snapshot covers exactly this server's traffic.
+  obs::MetricsRegistry registry_;
   MicroBatcher batcher_;
   ServerStats stats_;
   std::atomic<bool> draining_{false};

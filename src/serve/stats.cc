@@ -20,55 +20,39 @@ const char* EndpointName(Endpoint e) {
   return "unknown";
 }
 
-void LatencyHistogram::Record(double micros) {
-  const double m = std::max(0.0, micros);
-  // Bucket i covers (2^(i-1), 2^i] µs; everything above the last bound
-  // lands in the final bucket.
-  size_t b = 0;
-  while (b + 1 < kNumBuckets && m > static_cast<double>(1ull << b)) ++b;
-  ++buckets_[b];
-  ++count_;
-  sum_ += m;
-  max_ = std::max(max_, m);
-}
-
-double LatencyHistogram::PercentileMicros(double p) const {
-  if (count_ == 0) return 0.0;
-  const double target = std::clamp(p, 0.0, 1.0) * static_cast<double>(count_);
-  uint64_t seen = 0;
-  for (size_t b = 0; b < kNumBuckets; ++b) {
-    seen += buckets_[b];
-    if (static_cast<double>(seen) >= target) {
-      return static_cast<double>(1ull << b);
-    }
+ServerStats::ServerStats(obs::MetricsRegistry* registry) {
+  obs::MetricsRegistry& reg =
+      registry != nullptr ? *registry : obs::MetricsRegistry::Global();
+  for (size_t i = 0; i < per_.size(); ++i) {
+    const std::string base =
+        std::string("serve/") + EndpointName(static_cast<Endpoint>(i));
+    per_[i].hist = &reg.GetHistogram(base + "/latency_us");
+    per_[i].errors = &reg.GetCounter(base + "/errors");
   }
-  return static_cast<double>(1ull << (kNumBuckets - 1));
 }
 
 void ServerStats::Record(Endpoint e, double micros, bool error) {
-  const size_t i = static_cast<size_t>(e);
-  std::lock_guard<std::mutex> lock(mu_);
-  per_[i].hist.Record(micros);
-  if (error) ++per_[i].errors;
+  const PerEndpoint& pe = per_[static_cast<size_t>(e)];
+  pe.hist->Record(micros);
+  if (error) pe.errors->Increment();
 }
 
 StatsSnapshot ServerStats::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
   StatsSnapshot snap;
   snap.uptime_seconds = uptime_.ElapsedSeconds();
   const double uptime = std::max(snap.uptime_seconds, 1e-9);
   for (size_t i = 0; i < per_.size(); ++i) {
-    const PerEndpoint& pe = per_[i];
+    const LatencyHistogram hist = per_[i].hist->Snapshot();
     EndpointSnapshot es;
     es.name = EndpointName(static_cast<Endpoint>(i));
-    es.requests = pe.hist.count();
-    es.errors = pe.errors;
+    es.requests = hist.count();
+    es.errors = per_[i].errors->Value();
     es.qps = static_cast<double>(es.requests) / uptime;
-    es.mean_micros = pe.hist.mean_micros();
-    es.p50_micros = pe.hist.PercentileMicros(0.50);
-    es.p90_micros = pe.hist.PercentileMicros(0.90);
-    es.p99_micros = pe.hist.PercentileMicros(0.99);
-    es.max_micros = pe.hist.max_micros();
+    es.mean_micros = hist.mean_micros();
+    es.p50_micros = hist.PercentileMicros(0.50);
+    es.p90_micros = hist.PercentileMicros(0.90);
+    es.p99_micros = hist.PercentileMicros(0.99);
+    es.max_micros = hist.max_micros();
     snap.endpoints.push_back(std::move(es));
   }
   return snap;
@@ -89,6 +73,45 @@ std::string StatsSnapshot::ToString() const {
                      e.name.c_str(), static_cast<unsigned long long>(e.requests),
                      static_cast<unsigned long long>(e.errors), e.qps,
                      e.mean_micros, e.p50_micros, e.p99_micros, e.max_micros);
+  }
+  if (!metrics.empty()) {
+    out += "metrics:\n";
+    for (const auto& [name, value] : metrics) {
+      out += StrFormat("  %-44s %.6g\n", name.c_str(), value);
+    }
+  }
+  return out;
+}
+
+std::string StatsSnapshot::ToPrometheus() const {
+  std::string out;
+  {
+    const std::string p = obs::PrometheusName("serve/uptime_seconds");
+    out += StrFormat("# TYPE %s gauge\n%s %.17g\n", p.c_str(), p.c_str(),
+                     uptime_seconds);
+  }
+  {
+    const std::string p = obs::PrometheusName("serve/corpus_size");
+    out += StrFormat("# TYPE %s gauge\n%s %llu\n", p.c_str(), p.c_str(),
+                     static_cast<unsigned long long>(corpus_size));
+  }
+  for (const EndpointSnapshot& e : endpoints) {
+    const std::string base = "serve/" + e.name;
+    const std::string req = obs::PrometheusName(base + "/requests");
+    out += StrFormat("# TYPE %s counter\n%s %llu\n", req.c_str(), req.c_str(),
+                     static_cast<unsigned long long>(e.requests));
+    const std::string err = obs::PrometheusName(base + "/errors");
+    out += StrFormat("# TYPE %s counter\n%s %llu\n", err.c_str(), err.c_str(),
+                     static_cast<unsigned long long>(e.errors));
+  }
+  // The flattened registry metrics (already name/value pairs) as gauges; the
+  // full-resolution histogram buckets are available server-side via
+  // RenderPrometheus over the registry, but a remote scrape only sees the
+  // snapshot the wire carries.
+  for (const auto& [name, value] : metrics) {
+    const std::string p = obs::PrometheusName(name);
+    out += StrFormat("# TYPE %s gauge\n%s %.17g\n", p.c_str(), p.c_str(),
+                     value);
   }
   return out;
 }

@@ -1,15 +1,19 @@
-// Serving-side observability: per-endpoint latency histograms and QPS.
+// Serving-side observability, built on the src/obs metrics primitives.
 //
-// The server records one (endpoint, latency, ok/error) sample per request
-// under a single mutex — sampling is two array increments, so contention is
-// negligible next to an encode. Snapshot() freezes everything into a plain
-// struct that the protocol layer ships to clients over kStatsRequest.
+// ServerStats is a thin per-endpoint view over an obs::MetricsRegistry: each
+// endpoint resolves its latency histogram ("serve/<name>/latency_us") and
+// error counter ("serve/<name>/errors") once at construction, so Record is
+// entirely lock-free — per-endpoint atomic increments, no shared mutex. That
+// removes the single-lock contention the old implementation put on every
+// request when many handler threads record concurrently.
 //
-// Latencies use log2 microsecond buckets: bucket i counts samples in
-// (2^(i-1), 2^i] µs, so 28 buckets span 1 µs to ~134 s with ≤ 2x relative
-// error on reported percentiles — plenty for spotting a batching or
-// locking regression. All timing flows through Stopwatch (steady_clock);
-// nothing here reads the wall clock.
+// The histogram type itself (log2 microsecond buckets, bucket 0 = [0, 1] µs
+// inclusive, bucket i >= 1 = (2^(i-1), 2^i] µs) now lives in obs/metrics.h so
+// trainer and database timings share the serving bucket layout; the alias
+// below keeps existing serve-side call sites compiling unchanged.
+//
+// All timing flows through Stopwatch (steady_clock); nothing here reads the
+// wall clock.
 
 #ifndef NEUTRAJ_SERVE_STATS_H_
 #define NEUTRAJ_SERVE_STATS_H_
@@ -18,11 +22,16 @@
 #include <cstdint>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/stopwatch.h"
+#include "obs/metrics.h"
 
 namespace neutraj::serve {
+
+/// The histogram moved to obs/metrics.h; serve code keeps its old name.
+using LatencyHistogram = obs::LatencyHistogram;
 
 /// The service's request kinds, indexing the per-endpoint counters.
 enum class Endpoint : size_t {
@@ -36,30 +45,6 @@ enum class Endpoint : size_t {
 };
 
 const char* EndpointName(Endpoint e);
-
-/// Log2-bucketed latency histogram over microseconds.
-class LatencyHistogram {
- public:
-  static constexpr size_t kNumBuckets = 28;
-
-  void Record(double micros);
-
-  uint64_t count() const { return count_; }
-  double mean_micros() const { return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_); }
-  double max_micros() const { return max_; }
-
-  /// Latency below which fraction `p` (in [0, 1]) of samples fall; reported
-  /// as the upper bound of the containing bucket. 0 with no samples.
-  double PercentileMicros(double p) const;
-
-  const std::array<uint64_t, kNumBuckets>& buckets() const { return buckets_; }
-
- private:
-  std::array<uint64_t, kNumBuckets> buckets_{};
-  uint64_t count_ = 0;
-  double sum_ = 0.0;
-  double max_ = 0.0;
-};
 
 /// One endpoint's frozen counters inside a StatsSnapshot.
 struct EndpointSnapshot {
@@ -84,26 +69,44 @@ struct StatsSnapshot {
   uint64_t batches = 0;
   double mean_batch_size = 0.0;
   std::vector<EndpointSnapshot> endpoints;
+  /// Flattened registry metrics (batcher wait/batch-size distributions,
+  /// embedding-DB timings, corpus gauge, ...). Serialized as an optional
+  /// trailing wire section, so old clients parse everything above this field
+  /// and new clients get the full registry.
+  std::vector<std::pair<std::string, double>> metrics;
 
   /// Human-readable multi-line rendering (client CLI, logs).
   std::string ToString() const;
+
+  /// Prometheus text exposition rendering of the flattened metrics plus the
+  /// endpoint counters, for scraping via `neutraj_client stats --prometheus`.
+  std::string ToPrometheus() const;
 };
 
-/// Thread-safe registry of per-endpoint histograms + error counts.
+/// Per-endpoint latency/error view over a MetricsRegistry. Record is
+/// lock-free: each endpoint's histogram and error counter are resolved once
+/// at construction and shared with the registry, so a stats snapshot sees
+/// them under their registry names too.
 class ServerStats {
  public:
+  /// Metrics are registered in (and owned by) `registry`, which must outlive
+  /// this object. nullptr uses the process-global registry.
+  explicit ServerStats(obs::MetricsRegistry* registry = nullptr);
+  ServerStats(const ServerStats&) = delete;
+  ServerStats& operator=(const ServerStats&) = delete;
+
   void Record(Endpoint e, double micros, bool error);
 
-  /// Frozen endpoint counters; the caller fills the corpus/batcher fields.
+  /// Frozen endpoint counters; the caller fills the corpus/batcher/metrics
+  /// fields.
   StatsSnapshot Snapshot() const;
 
  private:
   struct PerEndpoint {
-    LatencyHistogram hist;
-    uint64_t errors = 0;
+    obs::ConcurrentHistogram* hist = nullptr;  ///< Owned by the registry.
+    obs::Counter* errors = nullptr;            ///< Owned by the registry.
   };
 
-  mutable std::mutex mu_;
   Stopwatch uptime_;  ///< Started at construction = server start.
   std::array<PerEndpoint, static_cast<size_t>(Endpoint::kCount)> per_{};
 };

@@ -8,6 +8,7 @@
 #include <future>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -19,6 +20,7 @@
 #include "core/model.h"
 #include "core/similarity.h"
 #include "geo/grid.h"
+#include "obs/metrics.h"
 #include "serve/micro_batcher.h"
 #include "serve/protocol.h"
 #include "serve/service.h"
@@ -366,6 +368,8 @@ TEST(ProtocolTest, StatsResponseRoundTrip) {
   topk.name = "topk";
   topk.requests = 5;
   resp.stats.endpoints.push_back(topk);
+  resp.stats.metrics = {{"serve/batcher/wait_us/p99_us", 128.0},
+                        {"trainer/mean_loss", 0.0625}};
 
   const std::string bytes = SerializeStatsResponse(resp);
   StatsResponse out;
@@ -388,8 +392,62 @@ TEST(ProtocolTest, StatsResponseRoundTrip) {
   EXPECT_EQ(out.stats.endpoints[0].max_micros, 300.25);
   EXPECT_EQ(out.stats.endpoints[1].name, "topk");
   EXPECT_EQ(out.stats.endpoints[1].requests, 5u);
-  ExpectExactFraming<StatsResponse>(bytes, ParseStatsResponse);
+  ASSERT_EQ(out.stats.metrics.size(), 2u);
+  EXPECT_EQ(out.stats.metrics[0].first, "serve/batcher/wait_us/p99_us");
+  EXPECT_EQ(out.stats.metrics[0].second, 128.0);
+  EXPECT_EQ(out.stats.metrics[1].first, "trainer/mean_loss");
+  EXPECT_EQ(out.stats.metrics[1].second, 0.0625);
   EXPECT_FALSE(out.stats.ToString().empty());
+  EXPECT_FALSE(out.stats.ToPrometheus().empty());
+
+  // Exact framing holds for every prefix except the single designed-in
+  // compatibility point: a payload ending exactly where the pre-metrics
+  // format ended still parses (old servers keep answering new clients).
+  StatsResponse no_metrics = resp;
+  no_metrics.stats.metrics.clear();
+  // The empty metrics vector still serializes its u32 count; strip it to
+  // find the legacy payload boundary.
+  const size_t legacy_len =
+      SerializeStatsResponse(no_metrics).size() - sizeof(uint32_t);
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    StatsResponse p;
+    if (len == legacy_len) {
+      EXPECT_TRUE(ParseStatsResponse(bytes.substr(0, len), &p));
+      EXPECT_TRUE(p.stats.metrics.empty());
+    } else {
+      EXPECT_FALSE(ParseStatsResponse(bytes.substr(0, len), &p))
+          << "accepted a " << len << "-byte prefix";
+    }
+  }
+  StatsResponse p;
+  EXPECT_FALSE(ParseStatsResponse(bytes + "x", &p))
+      << "accepted trailing garbage";
+}
+
+TEST(ProtocolTest, StatsResponseParsesLegacyPayloadsWithoutMetrics) {
+  // A payload from a pre-observability server carries no trailing metrics
+  // section at all. Reconstruct one by serializing with empty metrics and
+  // stripping the (empty) section's u32 count: the parser must accept it
+  // and leave `metrics` empty, so old servers and new clients interoperate.
+  StatsResponse resp;
+  resp.stats.uptime_seconds = 3.5;
+  resp.stats.corpus_size = 10;
+  resp.stats.dim = 8;
+  EndpointSnapshot encode;
+  encode.name = "encode";
+  encode.requests = 17;
+  resp.stats.endpoints.push_back(encode);
+
+  std::string legacy = SerializeStatsResponse(resp);
+  legacy.resize(legacy.size() - sizeof(uint32_t));
+  StatsResponse out;
+  out.stats.metrics = {{"stale", 1.0}};  // Must be cleared by the parser.
+  ASSERT_TRUE(ParseStatsResponse(legacy, &out));
+  EXPECT_EQ(out.stats.uptime_seconds, 3.5);
+  EXPECT_EQ(out.stats.corpus_size, 10u);
+  ASSERT_EQ(out.stats.endpoints.size(), 1u);
+  EXPECT_EQ(out.stats.endpoints[0].requests, 17u);
+  EXPECT_TRUE(out.stats.metrics.empty());
 }
 
 TEST(ProtocolTest, HealthResponseRoundTrip) {
@@ -913,7 +971,10 @@ TEST(LatencyHistogramTest, BucketsMeanMaxAndPercentiles) {
 }
 
 TEST(ServerStatsTest, SnapshotFreezesPerEndpointCounters) {
-  ServerStats stats;
+  // A dedicated registry keeps this test's counts isolated from anything
+  // else in the binary that records into MetricsRegistry::Global().
+  obs::MetricsRegistry registry;
+  ServerStats stats(&registry);
   stats.Record(Endpoint::kEncode, 10.0, /*error=*/false);
   stats.Record(Endpoint::kEncode, 20.0, /*error=*/true);
   stats.Record(Endpoint::kTopK, 5.0, /*error=*/false);
@@ -933,6 +994,38 @@ TEST(ServerStatsTest, SnapshotFreezesPerEndpointCounters) {
       snap.endpoints[static_cast<size_t>(Endpoint::kInsert)];
   EXPECT_EQ(idle.requests, 0u);
   EXPECT_GT(snap.uptime_seconds, 0.0);
+}
+
+TEST(ServerStatsTest, LockFreeRecordingKeepsExactCountsUnderContention) {
+  // Record() is per-endpoint atomics (no shared mutex); hammer two
+  // endpoints from several threads and demand exact request/error totals.
+  obs::MetricsRegistry registry;
+  ServerStats stats(&registry);
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 5000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&stats] {
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        stats.Record(Endpoint::kEncode, 2.0, /*error=*/i % 10 == 0);
+        stats.Record(Endpoint::kTopK, 5.0, /*error=*/false);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  const StatsSnapshot snap = stats.Snapshot();
+  constexpr uint64_t kTotal = uint64_t{kThreads} * kOpsPerThread;
+  const EndpointSnapshot& encode =
+      snap.endpoints[static_cast<size_t>(Endpoint::kEncode)];
+  EXPECT_EQ(encode.requests, kTotal);
+  EXPECT_EQ(encode.errors, kTotal / 10);
+  EXPECT_DOUBLE_EQ(encode.mean_micros, 2.0);
+  const EndpointSnapshot& topk =
+      snap.endpoints[static_cast<size_t>(Endpoint::kTopK)];
+  EXPECT_EQ(topk.requests, kTotal);
+  EXPECT_EQ(topk.errors, 0u);
 }
 
 }  // namespace

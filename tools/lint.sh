@@ -15,6 +15,11 @@
 #   4. Every src/ .cc has a matching test reference: each implementation
 #      stem must be mentioned by at least one tests/*.cc, so new subsystems
 #      cannot land untested.
+#   5. No raw stderr/stdout telemetry in src/core, src/nn, src/serve: ad-hoc
+#      printf debugging does not survive review. Telemetry flows through
+#      src/obs/ (metrics registry, trace spans, JSONL sink); the only
+#      sanctioned stderr paths are common/check.cc's contract-failure
+#      reporting and the flight recorder's crash dump.
 #
 # Usage: tools/lint.sh   (from anywhere; exits non-zero on any violation)
 
@@ -60,6 +65,16 @@ for cc in $(find src -name '*.cc' | sort); do
 done
 if [[ -n "$missing" ]]; then
   report "src/ files with no reference from any test" "$missing"
+fi
+
+# -- Rule 5: no raw telemetry in core/nn/serve ------------------------------
+# All printf/cerr reporting in the numerical core and the serving layer must
+# go through src/obs/ so it is structured, rate-controlled and testable.
+hits=$(grep -rnE 'std::cerr|std::cout|\bprintf\(|\bfprintf\(' \
+    src/core/ src/nn/ src/serve/ --include='*.cc' --include='*.h' \
+    | grep -vE '^[^:]*:[0-9]+: *//' || true)
+if [[ -n "$hits" ]]; then
+  report "raw stderr/stdout telemetry in src/core|nn|serve (use src/obs/)" "$hits"
 fi
 
 if [[ "$fail" -ne 0 ]]; then

@@ -4,7 +4,7 @@
 //   generate  --preset porto|geolife --scale S --out corpus.csv [--seed N]
 //   train     --data corpus.csv --out model.ntj [--measure M] [--variant V]
 //             [--epochs N] [--dim D] [--width W] [--seed-fraction F]
-//             [--threads T]
+//             [--threads T] [--metrics-out run.jsonl] [--trace]
 //   embed     --model model.ntj --data corpus.csv --out embeds.txt [--threads T]
 //   search    --model model.ntj --data corpus.csv --query I [--k K] [--rerank]
 //             [--threads T]
@@ -16,6 +16,7 @@
 
 #include <cstdio>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -98,7 +99,7 @@ void PrintUsage() {
       "no-sam|no-ws]\n"
       "            [--epochs N] [--dim D] [--width W] [--seed-fraction F]\n"
       "            [--checkpoint-dir D [--checkpoint-every N] [--resume]]\n"
-      "            [--threads T]\n"
+      "            [--threads T] [--metrics-out run.jsonl] [--trace]\n"
       "  embed     --model M --data F --out E [--threads T]\n"
       "  search    --model M --data F --query I [--k K] [--rerank] "
       "[--threads T]\n"
@@ -153,12 +154,27 @@ int CmdTrain(const Args& args) {
               MeasureName(cfg.measure).c_str(), cfg.embedding_dim,
               cfg.scan_width, cfg.epochs);
 
+  // --trace turns on coarse spans (trainer/epoch, nn/encode, nn/backward);
+  // the collected timing histograms are printed in Prometheus text format
+  // after training so a run can be profiled without a scraper.
+  if (args.Has("trace")) {
+    obs::SetTraceLevel(obs::TraceLevel::kCoarse);
+  }
+
   Stopwatch sw;
   DistanceMatrix d = ComputePairwiseDistances(split.seeds, cfg.measure);
   std::printf("seed distances: %.1fs\n", sw.ElapsedSeconds());
   Grid grid(db.region.Inflated(50.0), 100.0);
   sw.Restart();
   Trainer trainer(cfg, grid, split.seeds, d);
+
+  // --metrics-out streams one JSON line of telemetry per epoch (loss, grad
+  // norm, sampler stats, throughput) for live tailing or offline plotting.
+  std::unique_ptr<obs::JsonlSink> metrics;
+  if (args.Has("metrics-out")) {
+    metrics = std::make_unique<obs::JsonlSink>(args.Get("metrics-out"));
+    trainer.SetMetricsSink(metrics.get());
+  }
   if (args.Has("resume")) {
     const std::string ckpt = cfg.checkpoint_dir.empty()
                                  ? args.Get("resume")
@@ -168,8 +184,8 @@ int CmdTrain(const Args& args) {
                 trainer.next_epoch());
   }
   const TrainResult tr = trainer.Train([](const EpochStats& e, NeuTrajModel&) {
-    std::printf("  epoch %3zu  loss %.5f  (%.1fs)\n", e.epoch, e.mean_loss,
-                e.seconds);
+    std::printf("  epoch %3zu  loss %.5f  grad %.3g  (%.1fs, %.0f traj/s)\n",
+                e.epoch, e.mean_loss, e.grad_norm, e.seconds, e.trajs_per_sec);
     return true;
   });
   for (const DivergenceEvent& ev : tr.divergence_events) {
@@ -184,6 +200,14 @@ int CmdTrain(const Args& args) {
   std::printf("training: %.1fs\n", sw.ElapsedSeconds());
   trainer.TakeModel().Save(args.Require("out"));
   std::printf("model written to %s\n", args.Get("out").c_str());
+  if (metrics != nullptr) {
+    std::printf("epoch telemetry written to %s\n", metrics->path().c_str());
+  }
+  if (args.Has("trace")) {
+    std::printf("--- collected metrics (Prometheus text format) ---\n%s",
+                obs::RenderPrometheus(obs::MetricsRegistry::Global().Snapshot())
+                    .c_str());
+  }
   return 0;
 }
 

@@ -2,7 +2,8 @@
 //
 // Subcommands (all take --host H (default 127.0.0.1) and --port P):
 //   health                                    liveness + corpus shape
-//   stats                                     per-endpoint latency/QPS table
+//   stats [--prometheus]                      per-endpoint latency/QPS table
+//                                             (or Prometheus text format)
 //   encode   --traj "x,y;x,y;..."             embed one trajectory
 //   pairsim  --a "..." --b "..."              distance + similarity
 //   topk     --traj "..." [--k K] [--exclude I]
@@ -67,7 +68,7 @@ void PrintUsage() {
   std::printf(
       "neutraj_client <command> [--host H] [--port P] [flags]\n"
       "  health\n"
-      "  stats\n"
+      "  stats   [--prometheus]\n"
       "  encode  --traj \"x,y;x,y;...\" | --data F --id N\n"
       "  pairsim --a \"...\" --b \"...\"\n"
       "  topk    --traj \"...\" [--k K] [--exclude I]\n"
@@ -116,7 +117,9 @@ int Run(const Args& args) {
     return h.ok ? 0 : 1;
   }
   if (args.command == "stats") {
-    std::printf("%s", client.Stats().ToString().c_str());
+    const serve::StatsSnapshot snap = client.Stats();
+    std::printf("%s", args.Has("prometheus") ? snap.ToPrometheus().c_str()
+                                             : snap.ToString().c_str());
     return 0;
   }
   if (args.command == "encode") {
