@@ -12,9 +12,16 @@
 // O(L d^2) encode compute; that ratio, not raw model speed, is what this
 // benchmark tracks. Emits BENCH_serving.json; exits non-zero unless the
 // batched configuration sustains >= 2x the unbatched baseline.
+//
+// A third phase measures the durable-ack insert tax: the same embedding
+// sequence appended to a plain in-memory EmbeddingDatabase versus through
+// DurableStore (WAL append + fsync before ack). The encode step is excluded
+// on purpose — it would dominate and hide the durability cost this phase
+// exists to track.
 
 #include <algorithm>
 #include <cstdio>
+#include <filesystem>
 #include <string>
 #include <thread>
 #include <vector>
@@ -117,6 +124,53 @@ PhaseResult RunPhase(const std::string& name, const NeuTrajModel& model,
   return r;
 }
 
+struct InsertResult {
+  size_t inserts = 0;
+  double plain_qps = 0.0;
+  double durable_qps = 0.0;
+  double overhead = 0.0;  ///< plain_qps / durable_qps (>= 1: the ack tax).
+};
+
+/// Phase 3: durable-ack insert overhead, measured without the encode step.
+InsertResult RunInsertPhase(const EmbeddingDatabase& source) {
+  constexpr size_t kDurableInserts = 1000;
+  std::vector<nn::Vector> rows;
+  rows.reserve(kDurableInserts);
+  for (size_t i = 0; i < kDurableInserts; ++i) {
+    rows.push_back(source.embeddings()[i % source.size()]);
+  }
+
+  InsertResult r;
+  r.inserts = kDurableInserts;
+  {
+    EmbeddingDatabase plain;
+    Stopwatch sw;
+    for (const nn::Vector& v : rows) plain.Insert(v);
+    r.plain_qps = static_cast<double>(kDurableInserts) / sw.ElapsedSeconds();
+  }
+  {
+    const std::string dir =
+        (std::filesystem::temp_directory_path() / "neutraj_bench_store")
+            .string();
+    std::filesystem::remove_all(dir);
+    EmbeddingDatabase db;
+    store::DurableStore::Options opts;
+    opts.data_dir = dir;
+    store::DurableStore durable(&db, opts);
+    durable.Open();
+    Stopwatch sw;
+    for (const nn::Vector& v : rows) durable.Insert(v);
+    r.durable_qps = static_cast<double>(kDurableInserts) / sw.ElapsedSeconds();
+    std::filesystem::remove_all(dir);
+  }
+  r.overhead = r.plain_qps / r.durable_qps;
+  std::printf("  plain    %6zu inserts  %10.1f qps\n", r.inserts, r.plain_qps);
+  std::printf("  durable  %6zu inserts  %10.1f qps  (%.1fx ack tax: "
+              "WAL append + fsync)\n",
+              r.inserts, r.durable_qps, r.overhead);
+  return r;
+}
+
 }  // namespace
 
 int main() {
@@ -144,7 +198,7 @@ int main() {
   std::printf("corpus: %zu trajectories (mean length %.1f, d=%zu)\n\n",
               data.size(), data.MeanLength(), db.dim());
 
-  std::printf("[1/2] unbatched baseline (batch=1, 1 sequential client)\n");
+  std::printf("[1/3] unbatched baseline (batch=1, 1 sequential client)\n");
   serve::MicroBatcher::Options unbatched;
   unbatched.threads = kServerThreads;
   unbatched.max_batch = 1;
@@ -153,7 +207,7 @@ int main() {
       RunPhase("unbatched", model, &db, data.trajectories, 1,
                /*pipelined=*/false, unbatched);
 
-  std::printf("[2/2] micro-batched (batch=%zu, wait=200us, %zu pipelined "
+  std::printf("[2/3] micro-batched (batch=%zu, wait=200us, %zu pipelined "
               "clients)\n",
               kBurstSize, kConcurrentClients);
   serve::MicroBatcher::Options batched;
@@ -163,6 +217,9 @@ int main() {
   const PhaseResult fast =
       RunPhase("batched", model, &db, data.trajectories, kConcurrentClients,
                /*pipelined=*/true, batched);
+
+  std::printf("[3/3] durable-ack insert overhead (WAL fsync before ack)\n");
+  const InsertResult ins = RunInsertPhase(db);
 
   const double speedup = fast.qps / base.qps;
   std::printf("\nbatched/unbatched throughput: %.2fx\n", speedup);
@@ -189,7 +246,12 @@ int main() {
                  r.mean_batch, static_cast<unsigned long long>(r.batches),
                  i == 0 ? "," : "");
   }
-  std::fprintf(f, "  ],\n  \"speedup\": %.3f\n}\n", speedup);
+  std::fprintf(f, "  ],\n  \"speedup\": %.3f,\n", speedup);
+  std::fprintf(f,
+               "  \"durable_inserts\": %zu,\n  \"insert_plain_qps\": %.1f,\n"
+               "  \"insert_durable_qps\": %.1f,\n"
+               "  \"durable_insert_overhead\": %.3f\n}\n",
+               ins.inserts, ins.plain_qps, ins.durable_qps, ins.overhead);
   std::fclose(f);
   std::printf("wrote BENCH_serving.json\n");
   return speedup >= 2.0 ? 0 : 1;

@@ -1,0 +1,58 @@
+// Typed error for damaged on-disk artifacts.
+//
+// Everything this repo persists (models, checkpoints, embedding databases,
+// snapshots) is CRC-framed, so corruption is *detected* at a precise place;
+// CorruptionError carries that place — the artifact, the section, and a
+// position — so callers can report "file X, section 'embeddings', offset N"
+// instead of a bare what() string, and can distinguish a corrupt file from
+// every other runtime failure by type. It derives from std::runtime_error,
+// so pre-existing catch sites keep working unchanged.
+
+#ifndef NEUTRAJ_COMMON_ERRORS_H_
+#define NEUTRAJ_COMMON_ERRORS_H_
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace neutraj {
+
+/// A framed on-disk artifact failed validation (bad header, truncation,
+/// checksum mismatch, malformed payload).
+class CorruptionError : public std::runtime_error {
+ public:
+  /// `source` names the artifact (typically "<operation>: <path>");
+  /// `section` the framed section involved ("" when the failure precedes
+  /// section parsing); `offset` the byte or element position of the damage
+  /// (0 when unknown); `detail` the human-readable diagnosis.
+  CorruptionError(std::string source, std::string section, size_t offset,
+                  const std::string& detail)
+      : std::runtime_error(Render(source, section, offset, detail)),
+        source_(std::move(source)),
+        section_(std::move(section)),
+        offset_(offset) {}
+
+  const std::string& source() const { return source_; }
+  const std::string& section() const { return section_; }
+  size_t offset() const { return offset_; }
+
+ private:
+  static std::string Render(const std::string& source,
+                            const std::string& section, size_t offset,
+                            const std::string& detail) {
+    std::string out = source;
+    if (!section.empty()) out += ": section '" + section + "'";
+    if (offset != 0) out += " (offset " + std::to_string(offset) + ")";
+    out += ": " + detail;
+    return out;
+  }
+
+  std::string source_;
+  std::string section_;
+  size_t offset_;
+};
+
+}  // namespace neutraj
+
+#endif  // NEUTRAJ_COMMON_ERRORS_H_

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "common/checksum.h"
+#include "common/errors.h"
 #include "common/string_util.h"
 
 namespace neutraj {
@@ -55,23 +56,28 @@ SectionReader::SectionReader(const std::string& contents,
 
   std::string line;
   if (!next_line(&line) || line.rfind(kMagic, 0) != 0) {
-    throw std::runtime_error(source_ + ": not a NEUTRAJ-FILE (bad or missing header)");
+    throw CorruptionError(source_, "", 0,
+                          "not a NEUTRAJ-FILE (bad or missing header)");
   }
   const std::string kind = line.substr(sizeof(kMagic) - 1);
   if (kind != expected_kind) {
-    throw std::runtime_error(source_ + ": wrong artifact kind '" + kind +
-                             "' (expected '" + expected_kind + "')");
+    throw CorruptionError(source_, "", 0,
+                          "wrong artifact kind '" + kind + "' (expected '" +
+                              expected_kind + "')");
   }
 
   bool saw_end = false;
-  while (next_line(&line)) {
+  while (true) {
+    const size_t header_pos = pos;
+    if (!next_line(&line)) break;
     if (line == kEnd) {
       saw_end = true;
       break;
     }
     const auto fields = Split(line, ' ');
     if (fields.size() != 4 || fields[0] != "SECTION") {
-      throw std::runtime_error(source_ + ": malformed section header '" + line + "'");
+      throw CorruptionError(source_, "", header_pos,
+                            "malformed section header '" + line + "'");
     }
     const std::string& name = fields[1];
     size_t size = 0;
@@ -80,32 +86,35 @@ SectionReader::SectionReader(const std::string& contents,
       size = std::stoull(fields[2]);
       stored_crc = std::stoul(fields[3], nullptr, 16);
     } catch (const std::exception&) {
-      throw std::runtime_error(source_ + ": malformed section header '" + line + "'");
+      throw CorruptionError(source_, name, header_pos,
+                            "malformed section header '" + line + "'");
     }
+    const size_t payload_pos = pos;
     if (pos + size > contents.size()) {
-      throw std::runtime_error(
-          source_ + ": section '" + name + "' truncated (need " +
-          std::to_string(size) + " bytes, have " +
-          std::to_string(contents.size() - pos) + ")");
+      throw CorruptionError(source_, name, payload_pos,
+                            "truncated (need " + std::to_string(size) +
+                                " bytes, have " +
+                                std::to_string(contents.size() - pos) + ")");
     }
     std::string payload = contents.substr(pos, size);
     pos += size;
     if (pos >= contents.size() || contents[pos] != '\n') {
-      throw std::runtime_error(source_ + ": section '" + name +
-                               "' framing error (missing terminator)");
+      throw CorruptionError(source_, name, payload_pos,
+                            "framing error (missing terminator)");
     }
     ++pos;
     const uint32_t crc = Crc32(payload);
     if (crc != static_cast<uint32_t>(stored_crc)) {
-      throw std::runtime_error(
-          source_ + ": checksum mismatch in section '" + name + "' (stored " +
-          StrFormat("%08lx", stored_crc) + ", computed " +
-          StrFormat("%08x", crc) + ") — file is corrupt");
+      throw CorruptionError(
+          source_, name, payload_pos,
+          "checksum mismatch (stored " + StrFormat("%08lx", stored_crc) +
+              ", computed " + StrFormat("%08x", crc) + ") — file is corrupt");
     }
     sections_.emplace_back(name, std::move(payload));
   }
   if (!saw_end) {
-    throw std::runtime_error(source_ + ": missing END marker (file truncated)");
+    throw CorruptionError(source_, "", contents.size(),
+                          "missing END marker (file truncated)");
   }
 }
 
@@ -209,7 +218,7 @@ const std::string& SectionReader::Get(const std::string& name) const {
   for (const auto& [n, p] : sections_) {
     if (n == name) return p;
   }
-  throw std::runtime_error(source_ + ": missing section '" + name + "'");
+  throw CorruptionError(source_, name, 0, "missing section");
 }
 
 }  // namespace neutraj

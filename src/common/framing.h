@@ -64,9 +64,10 @@ class SectionWriter {
 
 /// Parses and verifies a framed file in one pass.
 ///
-/// Throws std::runtime_error naming `source` on a bad header, a kind
-/// mismatch, a truncated section, a checksum mismatch, or a missing END
-/// marker. After construction every section is verified.
+/// Throws CorruptionError (common/errors.h; a std::runtime_error carrying
+/// source/section/offset context) on a bad header, a kind mismatch, a
+/// truncated section, a checksum mismatch, or a missing END marker. After
+/// construction every section is verified.
 class SectionReader {
  public:
   SectionReader(const std::string& contents, const std::string& expected_kind,

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "common/check.h"
+#include "common/errors.h"
 #include "common/file_util.h"
 #include "common/framing.h"
 #include "common/stopwatch.h"
@@ -131,7 +132,7 @@ SearchResult EmbeddingDatabase::TopK(const NeuTrajModel& model,
   return TopK(model.Embed(query), k, exclude);
 }
 
-void EmbeddingDatabase::Save(const std::string& path) const {
+std::string EmbeddingDatabase::Serialize() const {
   std::shared_lock<std::shared_mutex> lock(mu_);
   SectionWriter w(kDbKind);
   std::ostringstream head;
@@ -148,33 +149,46 @@ void EmbeddingDatabase::Save(const std::string& path) const {
     data << '\n';
   }
   w.Add("embeddings", data.str());
-  WriteFileAtomic(path, w.Finish());
+  return w.Finish();
 }
 
-EmbeddingDatabase EmbeddingDatabase::Load(const std::string& path) {
-  const std::string source = "EmbeddingDatabase::Load: " + path;
-  const SectionReader r(ReadFile(path), kDbKind, source);
+void EmbeddingDatabase::Save(const std::string& path) const {
+  WriteFileAtomic(path, Serialize());
+}
+
+EmbeddingDatabase EmbeddingDatabase::Deserialize(const std::string& contents,
+                                                 const std::string& source) {
+  const SectionReader r(contents, kDbKind, source);
 
   std::istringstream head(r.Get("shape"));
   size_t count = 0, dim = 0;
   if (!(head >> count >> dim) || (count > 0 && dim == 0)) {
-    throw std::runtime_error(source + ": bad shape section");
+    throw CorruptionError(source, "shape", 0,
+                          "bad shape '" + r.Get("shape") + "'");
   }
 
   EmbeddingDatabase db;
   db.dim_ = dim;
   db.embeddings_.assign(count, nn::Vector(dim));
   std::istringstream data(r.Get("embeddings"));
-  for (nn::Vector& e : db.embeddings_) {
+  for (size_t i = 0; i < db.embeddings_.size(); ++i) {
+    nn::Vector& e = db.embeddings_[i];
     for (double& v : e) {
       if (!(data >> v)) {
-        throw std::runtime_error(source + ": truncated embedding values");
+        throw CorruptionError(source, "embeddings", i,
+                              "truncated values (at embedding " +
+                                  std::to_string(i) + " of " +
+                                  std::to_string(count) + ")");
       }
     }
     NEUTRAJ_DCHECK_FINITE(e);
   }
   db.corpus_size_->Set(static_cast<double>(db.embeddings_.size()));
   return db;
+}
+
+EmbeddingDatabase EmbeddingDatabase::Load(const std::string& path) {
+  return Deserialize(ReadFile(path), "EmbeddingDatabase::Load: " + path);
 }
 
 }  // namespace neutraj

@@ -83,9 +83,20 @@ class EmbeddingDatabase {
   /// common/framing.h), written atomically. Takes the reader lock.
   void Save(const std::string& path) const;
 
-  /// Restores a database saved by Save(). Throws std::runtime_error on
-  /// malformed or truncated files.
+  /// The serialized container bytes Save() would write; takes the reader
+  /// lock. The durability layer (src/store/) uses this to route snapshot
+  /// writes through its own checked, fault-injectable I/O path.
+  std::string Serialize() const;
+
+  /// Restores a database saved by Save(). Throws CorruptionError
+  /// (common/errors.h, with section/offset context) on malformed,
+  /// truncated, or bit-flipped files.
   static EmbeddingDatabase Load(const std::string& path);
+
+  /// Load() over in-memory container bytes; `source` names the artifact in
+  /// error messages.
+  static EmbeddingDatabase Deserialize(const std::string& contents,
+                                       const std::string& source);
 
   /// Re-points this database's telemetry (db/build_us, db/insert_us,
   /// db/topk_us histograms; db/corpus_size gauge) at `registry`. The

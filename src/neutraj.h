@@ -68,5 +68,7 @@
 #include "serve/server.h"
 #include "serve/service.h"
 #include "serve/stats.h"
+#include "store/durable_store.h"
+#include "store/wal.h"
 
 #endif  // NEUTRAJ_NEUTRAJ_H_

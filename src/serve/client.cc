@@ -1,20 +1,58 @@
 #include "serve/client.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 #include <utility>
 
 #include "common/framing.h"
+#include "common/random.h"
 
 namespace neutraj::serve {
 
 namespace {
+
+/// Closes the wrapped fd on scope exit unless released — keeps the
+/// multi-exit connect path leak-free.
+class FdGuard {
+ public:
+  explicit FdGuard(int fd) : fd_(fd) {}
+  ~FdGuard() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  FdGuard(const FdGuard&) = delete;
+  FdGuard& operator=(const FdGuard&) = delete;
+  int Release() { return std::exchange(fd_, -1); }
+
+ private:
+  int fd_;
+};
+
+/// Connect failures worth retrying: the server not being up yet or the
+/// network transiently dropping the handshake. Address/config errors are
+/// permanent and retrying them only hides the bug.
+bool IsTransientConnectErrno(int err) {
+  return err == ECONNREFUSED || err == ECONNRESET || err == ETIMEDOUT ||
+         err == ENETUNREACH || err == EHOSTUNREACH || err == EAGAIN ||
+         err == EINTR;
+}
+
+void SetNonBlocking(int fd, bool enable) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return;
+  const int want = enable ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  ::fcntl(fd, F_SETFL, want);
+}
 
 void SendAllOrThrow(int fd, const std::string& bytes) {
   size_t sent = 0;
@@ -23,6 +61,9 @@ void SendAllOrThrow(int fd, const std::string& bytes) {
         ::send(fd, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        throw std::runtime_error("Client: send timed out");
+      }
       throw std::runtime_error(std::string("Client: send failed: ") +
                                std::strerror(errno));
     }
@@ -38,7 +79,10 @@ Client::Client(Client&& other) noexcept
     : fd_(std::exchange(other.fd_, -1)),
       rx_(std::move(other.rx_)),
       rx_offset_(other.rx_offset_),
-      max_frame_payload_(other.max_frame_payload_) {}
+      max_frame_payload_(other.max_frame_payload_),
+      connect_timeout_ms_(other.connect_timeout_ms_),
+      io_timeout_ms_(other.io_timeout_ms_),
+      retry_(other.retry_) {}
 
 Client& Client::operator=(Client&& other) noexcept {
   if (this != &other) {
@@ -47,6 +91,9 @@ Client& Client::operator=(Client&& other) noexcept {
     rx_ = std::move(other.rx_);
     rx_offset_ = other.rx_offset_;
     max_frame_payload_ = other.max_frame_payload_;
+    connect_timeout_ms_ = other.connect_timeout_ms_;
+    io_timeout_ms_ = other.io_timeout_ms_;
+    retry_ = other.retry_;
   }
   return *this;
 }
@@ -55,26 +102,95 @@ void Client::set_max_frame_payload(size_t bytes) {
   max_frame_payload_ = std::min(bytes, kWireMaxPayload);
 }
 
-void Client::Connect(const std::string& host, uint16_t port) {
-  Close();
-  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd_ < 0) {
-    throw std::runtime_error(std::string("Client: socket failed: ") +
-                             std::strerror(errno));
-  }
+int Client::ConnectOnce(const std::string& host, uint16_t port,
+                        bool* transient) {
+  *transient = false;
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(port);
   if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
-    Close();
     throw std::runtime_error("Client: bad address '" + host + "'");
   }
-  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
-      0) {
-    const std::string err = std::strerror(errno);
-    Close();
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    throw std::runtime_error(std::string("Client: socket failed: ") +
+                             std::strerror(errno));
+  }
+  FdGuard guard(fd);
+
+  const auto fail = [&](const std::string& what, bool is_transient) -> int {
+    *transient = is_transient;
     throw std::runtime_error("Client: cannot connect to " + host + ":" +
-                             std::to_string(port) + ": " + err);
+                             std::to_string(port) + ": " + what);
+  };
+
+  if (connect_timeout_ms_ == 0) {
+    // Historic path: blocking connect, OS-default timeout.
+    while (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                     sizeof(addr)) != 0) {
+      if (errno == EINTR) continue;
+      fail(std::strerror(errno), IsTransientConnectErrno(errno));
+    }
+  } else {
+    // Non-blocking connect bounded by poll(), then back to blocking mode so
+    // the send/recv paths keep their plain semantics.
+    SetNonBlocking(fd, true);
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) != 0) {
+      if (errno != EINPROGRESS && errno != EINTR) {
+        fail(std::strerror(errno), IsTransientConnectErrno(errno));
+      }
+      pollfd pfd{fd, POLLOUT, 0};
+      int rc;
+      do {
+        rc = ::poll(&pfd, 1, static_cast<int>(connect_timeout_ms_));
+      } while (rc < 0 && errno == EINTR);
+      if (rc == 0) fail("connect timed out", true);
+      if (rc < 0) fail(std::strerror(errno), false);
+      int soerr = 0;
+      socklen_t len = sizeof(soerr);
+      if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &soerr, &len) != 0) {
+        fail(std::strerror(errno), false);
+      }
+      if (soerr != 0) {
+        fail(std::strerror(soerr), IsTransientConnectErrno(soerr));
+      }
+    }
+    SetNonBlocking(fd, false);
+  }
+
+  if (io_timeout_ms_ > 0) {
+    timeval tv{};
+    tv.tv_sec = io_timeout_ms_ / 1000;
+    tv.tv_usec = static_cast<suseconds_t>(io_timeout_ms_ % 1000) * 1000;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  }
+  return guard.Release();
+}
+
+void Client::Connect(const std::string& host, uint16_t port) {
+  Close();
+  Rng jitter(retry_.jitter_seed);
+  const uint32_t attempts = std::max<uint32_t>(retry_.max_attempts, 1);
+  for (uint32_t attempt = 1;; ++attempt) {
+    bool transient = false;
+    try {
+      fd_ = ConnectOnce(host, port, &transient);
+      return;
+    } catch (const std::runtime_error&) {
+      if (!transient || attempt >= attempts) throw;
+    }
+    // Bounded exponential backoff with uniform jitter: base << (attempt-1),
+    // capped, plus up to the same again — deterministic per jitter_seed.
+    const uint32_t shift = std::min<uint32_t>(attempt - 1, 20);
+    const uint64_t raw = static_cast<uint64_t>(retry_.backoff_base_ms) << shift;
+    const uint64_t capped = std::min<uint64_t>(raw, retry_.backoff_max_ms);
+    const uint64_t delay_ms =
+        capped + static_cast<uint64_t>(jitter.Uniform(0.0, 1.0) *
+                                       static_cast<double>(capped));
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
   }
 }
 
@@ -114,6 +230,12 @@ WireFrame Client::RecvFrame() {
     }
     const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
     if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      // SO_RCVTIMEO fired mid-reply. The stream may now hold a partial
+      // frame, so the connection cannot be reused — close and report.
+      Close();
+      throw std::runtime_error("Client: receive timed out");
+    }
     if (n <= 0) {
       Close();
       throw std::runtime_error("Client: connection closed by server");

@@ -8,6 +8,13 @@
 // thread-safe — the serving protocol is strictly request/response per
 // connection, so concurrent callers must each open their own Client
 // (connections are cheap; the server multiplexes them).
+//
+// Robustness knobs (all off by default, preserving historic blocking
+// behavior): set_connect_timeout_ms bounds connection establishment,
+// set_io_timeout_ms bounds each send/recv, and set_retry_policy makes
+// Connect() retry transient failures (ECONNREFUSED while a server is
+// still starting, timeouts, EINTR races) with bounded exponential backoff
+// and deterministic seeded jitter.
 
 #ifndef NEUTRAJ_SERVE_CLIENT_H_
 #define NEUTRAJ_SERVE_CLIENT_H_
@@ -34,6 +41,21 @@ class ServeError : public std::runtime_error {
   ErrorCode code_;
 };
 
+/// Bounded-exponential-backoff schedule for Connect() retries.
+///
+/// Attempt n (1-based) that fails with a transient error sleeps
+/// `min(backoff_base_ms << (n - 1), backoff_max_ms)` plus a uniform jitter
+/// in [0, that delay) drawn from a generator seeded with `jitter_seed` —
+/// deterministic per Client, decorrelated across clients that pick
+/// different seeds. Non-transient failures (bad address, protocol errors)
+/// are never retried.
+struct RetryPolicy {
+  uint32_t max_attempts = 1;     ///< Total tries; 1 = no retries.
+  uint32_t backoff_base_ms = 50;
+  uint32_t backoff_max_ms = 2000;
+  uint64_t jitter_seed = 42;
+};
+
 /// One blocking request/response connection to a query server.
 class Client {
  public:
@@ -45,7 +67,8 @@ class Client {
   Client(Client&& other) noexcept;
   Client& operator=(Client&& other) noexcept;
 
-  /// Connects to host:port. Throws std::runtime_error on failure.
+  /// Connects to host:port, honoring the connect timeout and retry policy.
+  /// Throws std::runtime_error on (final) failure.
   void Connect(const std::string& host, uint16_t port);
 
   bool connected() const { return fd_ >= 0; }
@@ -59,6 +82,23 @@ class Client {
   /// survives Connect()/Close().
   void set_max_frame_payload(size_t bytes);
   size_t max_frame_payload() const { return max_frame_payload_; }
+
+  /// Bounds connection establishment (non-blocking connect + poll). 0 (the
+  /// default) blocks on the OS's own connect timeout. Survives
+  /// Connect()/Close(); applies to the next Connect().
+  void set_connect_timeout_ms(uint32_t ms) { connect_timeout_ms_ = ms; }
+  uint32_t connect_timeout_ms() const { return connect_timeout_ms_; }
+
+  /// Bounds each send/recv on the connection (SO_SNDTIMEO/SO_RCVTIMEO). A
+  /// request whose reply does not arrive in time throws std::runtime_error
+  /// and closes the connection (a timed-out stream cannot be resynced). 0
+  /// (the default) blocks indefinitely. Applies to the next Connect().
+  void set_io_timeout_ms(uint32_t ms) { io_timeout_ms_ = ms; }
+  uint32_t io_timeout_ms() const { return io_timeout_ms_; }
+
+  /// Retry schedule for Connect(). Default: one attempt, no retries.
+  void set_retry_policy(const RetryPolicy& policy) { retry_ = policy; }
+  const RetryPolicy& retry_policy() const { return retry_; }
 
   /// Embeds one trajectory server-side.
   nn::Vector Encode(const Trajectory& traj);
@@ -96,10 +136,17 @@ class Client {
   /// ServeError if the server replied kError.
   static void ExpectType(const WireFrame& reply, MsgType expected);
 
+  /// One connection attempt. Returns a connected fd, or throws; transient
+  /// failures are marked for the retry loop via *transient.
+  int ConnectOnce(const std::string& host, uint16_t port, bool* transient);
+
   int fd_ = -1;
   std::string rx_;      ///< Receive buffer (bytes not yet framed).
   size_t rx_offset_ = 0;
   size_t max_frame_payload_ = kWireMaxPayload;
+  uint32_t connect_timeout_ms_ = 0;
+  uint32_t io_timeout_ms_ = 0;
+  RetryPolicy retry_;
 };
 
 }  // namespace neutraj::serve

@@ -139,6 +139,7 @@ const char* ErrorCodeName(ErrorCode c) {
     case ErrorCode::kUnknownType: return "unknown-type";
     case ErrorCode::kInternal: return "internal";
     case ErrorCode::kShuttingDown: return "shutting-down";
+    case ErrorCode::kDegraded: return "degraded";
   }
   return "unknown";
 }

@@ -58,6 +58,9 @@ enum class ErrorCode : uint32_t {
   kUnknownType = 4,      ///< Frame type is not a known request.
   kInternal = 5,         ///< Handler threw; message carries e.what().
   kShuttingDown = 6,     ///< Server is draining and rejects new work.
+  kDegraded = 7,         ///< Durable store lost its log device; the server
+                         ///< is read-only and refuses Insert (queries over
+                         ///< the already-durable corpus keep working).
 };
 
 const char* ErrorCodeName(ErrorCode c);

@@ -4,6 +4,7 @@
 #include <netinet/in.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -209,6 +210,12 @@ void Server::AcceptLoop() {
 }
 
 void Server::ConnectionLoop(int fd) {
+  if (opts_.idle_timeout_ms > 0) {
+    timeval tv{};
+    tv.tv_sec = opts_.idle_timeout_ms / 1000;
+    tv.tv_usec = static_cast<suseconds_t>(opts_.idle_timeout_ms % 1000) * 1000;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  }
   {
     std::lock_guard<std::mutex> lock(conn_mu_);
     conn_fds_.insert(fd);
@@ -286,6 +293,9 @@ void Server::ConnectionLoop(int fd) {
 
     const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
     if (n < 0 && errno == EINTR) continue;
+    // EAGAIN/EWOULDBLOCK here is the SO_RCVTIMEO idle timeout firing:
+    // the peer went silent between requests, so drop the connection and
+    // free its handler slot (falls through the n < 0 break).
     if (n <= 0) break;  // EOF (peer close or drain SHUT_RD) or error.
     buf.append(chunk, static_cast<size_t>(n));
   }

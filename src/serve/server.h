@@ -44,6 +44,11 @@ struct ServerOptions {
   /// also held to — are clamped, so a default-configured Client can decode
   /// everything any server sends.
   size_t max_frame_payload = kWireMaxPayload;
+  /// Per-connection idle/read timeout in milliseconds (SO_RCVTIMEO on the
+  /// handler socket). A connection that sends nothing for this long is
+  /// closed, so stalled or half-dead peers cannot pin handler slots against
+  /// max_connections forever. 0 disables the timeout (block indefinitely).
+  uint32_t idle_timeout_ms = 0;
 };
 
 /// A long-lived loopback/TCP server bound to one QueryService.

@@ -45,9 +45,11 @@ MicroBatcher::Options WithRegistry(MicroBatcher::Options opts,
 }  // namespace
 
 QueryService::QueryService(const NeuTrajModel& model, EmbeddingDatabase* db,
-                           const MicroBatcher::Options& batch_opts)
+                           const MicroBatcher::Options& batch_opts,
+                           store::DurableStore* store)
     : model_(model),
       db_(db),
+      store_(store),
       batcher_(model, WithRegistry(batch_opts, &registry_)),
       stats_(&registry_) {
   if (db == nullptr) {
@@ -56,6 +58,8 @@ QueryService::QueryService(const NeuTrajModel& model, EmbeddingDatabase* db,
   // Route the live corpus's build/insert/TopK timings into this service's
   // registry so kStatsRequest ships them alongside the endpoint latencies.
   db_->AttachMetrics(&registry_);
+  // Likewise the WAL/snapshot/recovery counters when durability is on.
+  if (store_ != nullptr) store_->AttachMetrics(&registry_);
 }
 
 WireFrame QueryService::FrameErrorReply(FrameStatus status) {
@@ -159,7 +163,10 @@ WireFrame QueryService::Dispatch(const WireFrame& request, Endpoint* endpoint) {
       resp.ok = true;
       resp.corpus_size = db_->size();
       resp.dim = static_cast<uint32_t>(db_->dim());
-      resp.status = draining_.load() ? "draining" : "serving";
+      resp.status = draining_.load() ? "draining"
+                    : store_ != nullptr && store_->read_only()
+                        ? "degraded"
+                        : "serving";
       return Reply(MsgType::kHealthResponse, SerializeHealthResponse(resp));
     }
 
@@ -246,9 +253,24 @@ WireFrame QueryService::Dispatch(const WireFrame& request, Endpoint* endpoint) {
         return ErrorFrame(ErrorCode::kBadRequest, "malformed insert request");
       }
       CheckTrajectory(req.traj, "trajectory");
+      // A degraded store refuses before the (expensive) encode, not after.
+      if (store_ != nullptr && store_->read_only()) {
+        return ErrorFrame(ErrorCode::kDegraded,
+                          "store is read-only: " + store_->degraded_reason());
+      }
       const nn::Vector embedding = batcher_.Encode(req.traj);
       InsertResponse resp;
-      resp.id = db_->Insert(embedding);
+      if (store_ != nullptr) {
+        try {
+          // Durable ack: the WAL record is on stable storage before this
+          // returns, so the reply below is a promise recovery can keep.
+          resp.id = store_->Insert(embedding);
+        } catch (const store::StoreError& e) {
+          return ErrorFrame(ErrorCode::kDegraded, e.what());
+        }
+      } else {
+        resp.id = db_->Insert(embedding);
+      }
       // id+1, not db_->size(): a concurrent insert may land between the two
       // calls, and the reply should be a consistent snapshot of *this* op.
       resp.corpus_size = resp.id + 1;

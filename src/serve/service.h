@@ -28,6 +28,7 @@
 #include "serve/micro_batcher.h"
 #include "serve/protocol.h"
 #include "serve/stats.h"
+#include "store/durable_store.h"
 
 namespace neutraj::serve {
 
@@ -36,8 +37,15 @@ class QueryService {
  public:
   /// Both references must outlive the service. `db` may start empty and be
   /// populated purely through Insert requests.
+  ///
+  /// `store` (optional, must outlive the service, already Open()ed, and
+  /// wrapping the same `db`) makes Insert durable: the WAL record is
+  /// fsync'd before the reply is sent, and a store that has degraded to
+  /// read-only turns Insert into a typed kDegraded error while every query
+  /// endpoint keeps serving.
   QueryService(const NeuTrajModel& model, EmbeddingDatabase* db,
-               const MicroBatcher::Options& batch_opts);
+               const MicroBatcher::Options& batch_opts,
+               store::DurableStore* store = nullptr);
 
   /// Maps one request frame to its response frame. Never throws: parse
   /// failures, unknown types, and handler exceptions all become kError
@@ -88,12 +96,14 @@ class QueryService {
   EmbeddingDatabase& db() { return *db_; }
   MicroBatcher& batcher() { return batcher_; }
   obs::MetricsRegistry& registry() { return registry_; }
+  store::DurableStore* durable_store() { return store_; }
 
  private:
   WireFrame Dispatch(const WireFrame& request, Endpoint* endpoint);
 
   const NeuTrajModel& model_;
   EmbeddingDatabase* db_;
+  store::DurableStore* store_;  ///< Nullable: no durability configured.
   /// Per-service registry (declared before the members that register into
   /// it): two services in one process — routine in tests — never share
   /// counters, and a stats snapshot covers exactly this server's traffic.

@@ -1,0 +1,206 @@
+#include "store/durable_store.h"
+
+#include <filesystem>
+#include <utility>
+
+#include "common/check.h"
+#include "common/file_util.h"
+#include "common/framing.h"
+#include "common/stopwatch.h"
+
+namespace neutraj::store {
+
+namespace {
+
+constexpr char kSnapshotName[] = "snapshot.embdb";
+constexpr char kWalName[] = "wal.log";
+constexpr char kSnapshotTmpSuffix[] = ".tmp";
+
+}  // namespace
+
+DurableStore::DurableStore(EmbeddingDatabase* db, Options opts)
+    : db_(db),
+      opts_(std::move(opts)),
+      files_(opts_.files != nullptr ? opts_.files : &FileFactory::Posix()),
+      snapshot_path_(opts_.data_dir + "/" + kSnapshotName),
+      wal_path_(opts_.data_dir + "/" + kWalName) {
+  if (db_ == nullptr) {
+    throw std::invalid_argument("DurableStore: null EmbeddingDatabase");
+  }
+  if (opts_.data_dir.empty()) {
+    throw std::invalid_argument("DurableStore: empty data_dir");
+  }
+  AttachMetrics(&obs::MetricsRegistry::Global());
+}
+
+void DurableStore::AttachMetrics(obs::MetricsRegistry* registry) {
+  append_us_ = &registry->GetHistogram("wal/append_us");
+  compact_us_ = &registry->GetHistogram("store/compact_us");
+  recovery_us_ = &registry->GetHistogram("store/recovery_us");
+  wal_appends_ = &registry->GetCounter("wal/records");
+  wal_bytes_ = &registry->GetCounter("wal/bytes");
+  compactions_ = &registry->GetCounter("store/compactions");
+  recovered_records_ = &registry->GetCounter("store/recovered_records");
+  replay_skipped_ = &registry->GetCounter("store/replay_skipped");
+  tail_truncations_ = &registry->GetCounter("store/tail_truncations");
+  degraded_gauge_ = &registry->GetGauge("store/degraded");
+  live_wal_records_ = &registry->GetGauge("store/wal_records");
+  degraded_gauge_->Set(degraded_.load() ? 1.0 : 0.0);
+}
+
+std::string DurableStore::degraded_reason() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return degraded_reason_;
+}
+
+size_t DurableStore::wal_records() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return wal_records_;
+}
+
+void DurableStore::DegradeLocked(const std::string& reason) {
+  if (!degraded_.load()) {
+    degraded_reason_ = reason;
+    degraded_.store(true);
+    degraded_gauge_->Set(1.0);
+  }
+}
+
+DurableStore::RecoveryInfo DurableStore::Open() {
+  Stopwatch sw;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (opened_) throw StoreError("DurableStore: already opened");
+  if (!EnsureDirectory(opts_.data_dir)) {
+    throw StoreError("DurableStore: cannot create data dir " + opts_.data_dir);
+  }
+  // A crash during a previous compaction can leave a half-written snapshot
+  // temp file; it was never renamed into place, so it is dead weight.
+  {
+    std::error_code ec;
+    std::filesystem::remove(snapshot_path_ + kSnapshotTmpSuffix, ec);
+  }
+
+  RecoveryInfo info;
+  const bool has_snapshot = FileExists(snapshot_path_);
+  std::string wal_bytes;
+  if (FileExists(wal_path_)) wal_bytes = ReadFile(wal_path_);
+
+  if ((has_snapshot || !wal_bytes.empty()) && !db_->empty()) {
+    throw StoreError(
+        "DurableStore: data dir " + opts_.data_dir +
+        " already holds a corpus but the database is not empty — recover "
+        "into an empty database or point at a fresh directory");
+  }
+
+  if (has_snapshot) {
+    // CorruptionError propagates: a damaged snapshot must never be served.
+    *db_ = EmbeddingDatabase::Load(snapshot_path_);
+    info.snapshot_records = db_->size();
+  }
+
+  if (!wal_bytes.empty()) {
+    const WalReplayResult r = ReplayWal(wal_bytes, db_);
+    info.replayed = r.applied;
+    info.skipped = r.skipped;
+    info.tail = r.tail;
+    info.tail_detail = r.detail;
+    recovered_records_->Add(r.applied);
+    replay_skipped_->Add(r.skipped);
+    if (r.tail != WalTail::kClean) tail_truncations_->Increment();
+  }
+
+  wal_ = std::make_unique<WalWriter>(wal_path_, files_, opts_.sync_writes);
+  wal_records_ = 0;
+  opened_ = true;
+
+  if (!wal_bytes.empty()) {
+    // Fold the replayed tail into a fresh snapshot and truncate the log:
+    // torn/corrupt trailing bytes must not precede future appends, and a
+    // crash inside THIS compaction is safe by replay idempotence.
+    CompactLocked();
+  } else if (!db_->empty() && !has_snapshot) {
+    // Pre-seeded database (corpus built from --data) over a fresh
+    // directory: make it durable before the first request.
+    CompactLocked();
+  }
+  recovery_us_->Record(sw.ElapsedMillis() * 1e3);
+  return info;
+}
+
+size_t DurableStore::Insert(const nn::Vector& embedding) {
+  Stopwatch sw;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!opened_) throw StoreError("DurableStore: Insert before Open");
+  if (degraded_.load()) {
+    throw StoreError("DurableStore: store is read-only (degraded): " +
+                     degraded_reason_);
+  }
+  // All corpus mutations are serialized through mu_, so the id the
+  // database will assign is its current size.
+  const uint64_t seq = db_->size();
+  try {
+    wal_->Append({seq, embedding});
+  } catch (const StoreError& e) {
+    // Not logged => must not be applied or acknowledged.
+    DegradeLocked(e.what());
+    throw;
+  }
+  const size_t id = db_->Insert(embedding);
+  NEUTRAJ_ASSERT_MSG(id == seq, "DurableStore: WAL seq diverged from corpus id");
+  ++wal_records_;
+  append_us_->Record(sw.ElapsedMillis() * 1e3);
+  wal_appends_->Increment();
+  wal_bytes_->Add(kWireHeaderSize + 12 + 8 * embedding.size());
+  live_wal_records_->Set(static_cast<double>(wal_records_));
+
+  if (opts_.compact_every > 0 && wal_records_ >= opts_.compact_every) {
+    try {
+      CompactLocked();
+    } catch (const StoreError& e) {
+      // The insert itself is durable and applied; only future writes are
+      // in doubt, so degrade but still acknowledge this id.
+      DegradeLocked(e.what());
+    }
+  }
+  return id;
+}
+
+void DurableStore::Compact() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!opened_) throw StoreError("DurableStore: Compact before Open");
+  if (degraded_.load()) {
+    throw StoreError("DurableStore: store is read-only (degraded): " +
+                     degraded_reason_);
+  }
+  try {
+    CompactLocked();
+  } catch (const StoreError& e) {
+    DegradeLocked(e.what());
+    throw;
+  }
+}
+
+void DurableStore::CompactLocked() {
+  Stopwatch sw;
+  // Atomic-replace with the same discipline as WriteFileAtomic, but routed
+  // through the (injectable, checked) FileFactory: write the full snapshot
+  // to a temp file, fsync it, rename over the live name, fsync the
+  // directory, and only then truncate the log. Every prefix of this
+  // sequence leaves a recoverable directory.
+  const std::string tmp = snapshot_path_ + kSnapshotTmpSuffix;
+  const std::string bytes = db_->Serialize();
+  {
+    std::unique_ptr<File> f = files_->CreateTruncate(tmp);
+    f->Append(bytes);
+    f->Sync();
+  }
+  files_->Rename(tmp, snapshot_path_);
+  files_->SyncDirectory(opts_.data_dir);
+  wal_->Reset();
+  wal_records_ = 0;
+  live_wal_records_->Set(0.0);
+  compactions_->Increment();
+  compact_us_->Record(sw.ElapsedMillis() * 1e3);
+}
+
+}  // namespace neutraj::store

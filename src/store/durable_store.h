@@ -1,0 +1,141 @@
+// Crash-durable persistence under the serving corpus.
+//
+// DurableStore wraps a live EmbeddingDatabase with a write-ahead log plus
+// periodic compacted snapshots, both living in one data directory:
+//
+//   <data_dir>/snapshot.embdb   — compacted corpus (the EmbeddingDatabase
+//                                 container format, written atomically via
+//                                 tmp + fsync + rename)
+//   <data_dir>/wal.log          — CRC-framed insert records appended (and
+//                                 fsync'd) since the last snapshot
+//
+// Invariants, in the order they matter:
+//
+//   1. WAL-before-ack. Insert() appends and syncs the record before the
+//      embedding enters the in-memory database, so anything a client saw
+//      acknowledged is on stable storage. A kill at any instant recovers a
+//      corpus that contains every acknowledged insert and is a prefix of
+//      the submitted sequence (the at-most-one in-flight record may or may
+//      not survive; nothing later can).
+//   2. Idempotent replay. WAL records carry their corpus id; recovery
+//      skips records already covered by the snapshot. Compaction can
+//      therefore crash anywhere between "snapshot renamed" and "log
+//      truncated" — the stale log records are skipped on the next replay,
+//      never double-applied.
+//   3. Tolerant tail, strict body. Recovery stops cleanly at a truncated
+//      or bit-flipped log record (the expected shape of a crash) and
+//      truncates it away; a corrupt *snapshot* is typed CorruptionError —
+//      serving corrupt vectors is never an option.
+//   4. Degrade, don't lie. If the log device fails mid-flight the store
+//      flips to read-only: the failed insert and all later ones throw
+//      StoreError (the serving layer answers kDegraded), while queries
+//      over the already-durable corpus keep working.
+
+#ifndef NEUTRAJ_STORE_DURABLE_STORE_H_
+#define NEUTRAJ_STORE_DURABLE_STORE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "core/embedding_db.h"
+#include "obs/metrics.h"
+#include "store/file.h"
+#include "store/wal.h"
+
+namespace neutraj::store {
+
+class DurableStore {
+ public:
+  struct Options {
+    std::string data_dir;
+    /// WAL records that trigger an automatic compaction from Insert();
+    /// 0 compacts only on explicit Compact() / Open().
+    size_t compact_every = 1024;
+    /// fsync each WAL append. Production default; the fault harness turns
+    /// it off because FaultyFile intercepts syncs anyway.
+    bool sync_writes = true;
+    /// I/O seam; nullptr uses FileFactory::Posix().
+    FileFactory* files = nullptr;
+  };
+
+  /// What recovery found. Returned by Open() and echoed by the server log.
+  struct RecoveryInfo {
+    size_t snapshot_records = 0;  ///< Embeddings restored from the snapshot.
+    size_t replayed = 0;          ///< WAL records applied on top.
+    size_t skipped = 0;           ///< Duplicate records ignored (idempotence).
+    WalTail tail = WalTail::kClean;
+    std::string tail_detail;      ///< Stop reason when tail != kClean.
+  };
+
+  /// `db` must outlive the store; all mutations of `db` must go through
+  /// Insert() once the store owns it (readers are unrestricted).
+  DurableStore(EmbeddingDatabase* db, Options opts);
+
+  /// Recovers snapshot + WAL tail into the database and opens the log for
+  /// appending. If the directory holds prior state the database must be
+  /// empty (recovery IS the corpus); if the database already has rows and
+  /// the directory is fresh, they are snapshotted immediately so a corpus
+  /// built from --data is durable from request one. Ends with a compaction
+  /// whenever the log had content, so torn tails never linger. Throws
+  /// StoreError on I/O failure and CorruptionError on a corrupt snapshot.
+  RecoveryInfo Open();
+
+  /// Durably logs and applies one insert; returns the assigned corpus id.
+  /// Throws StoreError (without applying) if the store is degraded or the
+  /// append fails — an insert that was not logged is never acknowledged.
+  size_t Insert(const nn::Vector& embedding);
+
+  /// Snapshots the corpus and truncates the WAL. Throws StoreError.
+  void Compact();
+
+  /// True once a log/snapshot I/O failure has flipped the store read-only.
+  bool read_only() const { return degraded_.load(); }
+  std::string degraded_reason() const;
+
+  /// Live WAL records since the last compaction.
+  size_t wal_records() const;
+
+  const std::string& snapshot_path() const { return snapshot_path_; }
+  const std::string& wal_path() const { return wal_path_; }
+
+  /// Re-points the store's telemetry (wal/* and store/* metrics) at
+  /// `registry`; same contract as EmbeddingDatabase::AttachMetrics.
+  void AttachMetrics(obs::MetricsRegistry* registry);
+
+ private:
+  void CompactLocked();
+  void DegradeLocked(const std::string& reason);
+
+  EmbeddingDatabase* db_;
+  Options opts_;
+  FileFactory* files_;
+  std::string snapshot_path_;
+  std::string wal_path_;
+
+  mutable std::mutex mu_;                 ///< Serializes all mutations.
+  std::unique_ptr<WalWriter> wal_;        ///< Guarded by mu_.
+  size_t wal_records_ = 0;                ///< Guarded by mu_.
+  bool opened_ = false;                   ///< Guarded by mu_.
+  std::string degraded_reason_;           ///< Guarded by mu_.
+  std::atomic<bool> degraded_{false};
+
+  // Registry-owned; re-resolved by AttachMetrics.
+  obs::ConcurrentHistogram* append_us_ = nullptr;
+  obs::ConcurrentHistogram* compact_us_ = nullptr;
+  obs::ConcurrentHistogram* recovery_us_ = nullptr;
+  obs::Counter* wal_appends_ = nullptr;
+  obs::Counter* wal_bytes_ = nullptr;
+  obs::Counter* compactions_ = nullptr;
+  obs::Counter* recovered_records_ = nullptr;
+  obs::Counter* replay_skipped_ = nullptr;
+  obs::Counter* tail_truncations_ = nullptr;
+  obs::Gauge* degraded_gauge_ = nullptr;
+  obs::Gauge* live_wal_records_ = nullptr;
+};
+
+}  // namespace neutraj::store
+
+#endif  // NEUTRAJ_STORE_DURABLE_STORE_H_

@@ -1,0 +1,85 @@
+#include "store/faulty_file.h"
+
+#include <utility>
+
+namespace neutraj::store {
+
+namespace {
+
+/// Wraps one File, routing every operation through the factory's counter.
+class FaultyFile : public File {
+ public:
+  FaultyFile(std::unique_ptr<File> base, FaultyFileFactory* factory)
+      : base_(std::move(base)), factory_(factory) {}
+
+  void Append(const std::string& bytes) override {
+    // A torn crash must persist the first half *before* the throw, so the
+    // trigger check runs first and decides what reaches the file.
+    FaultPlan* plan = factory_->plan();
+    const bool fires = plan->ops_seen + 1 == plan->fault_at_op &&
+                       plan->action == FaultAction::kTornCrash;
+    if (fires && !bytes.empty()) {
+      base_->Append(bytes.substr(0, bytes.size() / 2));
+    }
+    factory_->CountOp("write");
+    base_->Append(bytes);
+  }
+
+  void Sync() override {
+    factory_->CountOp("sync");
+    // Not forwarded: see the header. The harness re-reads from the same
+    // process, so page-cache contents are what recovery observes anyway.
+  }
+
+  void Truncate() override {
+    factory_->CountOp("truncate");
+    base_->Truncate();
+  }
+
+ private:
+  std::unique_ptr<File> base_;
+  FaultyFileFactory* factory_;
+};
+
+}  // namespace
+
+FaultyFileFactory::FaultyFileFactory(FileFactory* base, FaultPlan* plan)
+    : base_(base), plan_(plan) {}
+
+void FaultyFileFactory::CountOp(const char* what) {
+  ++plan_->ops_seen;
+  if (plan_->ops_seen < plan_->fault_at_op) return;
+  switch (plan_->action) {
+    case FaultAction::kFailOp:
+      throw StoreError(std::string("injected I/O failure at op ") +
+                       std::to_string(plan_->ops_seen) + " (" + what + ")");
+    case FaultAction::kCrash:
+    case FaultAction::kTornCrash:
+      // Only the trigger op crashes; a test that keeps running after
+      // catching SimulatedCrash (recovery phase) must see a healthy disk.
+      if (plan_->ops_seen == plan_->fault_at_op) throw SimulatedCrash();
+      break;
+  }
+}
+
+std::unique_ptr<File> FaultyFileFactory::OpenAppend(const std::string& path) {
+  return std::make_unique<FaultyFile>(base_->OpenAppend(path), this);
+}
+
+std::unique_ptr<File> FaultyFileFactory::CreateTruncate(
+    const std::string& path) {
+  return std::make_unique<FaultyFile>(base_->CreateTruncate(path), this);
+}
+
+void FaultyFileFactory::Rename(const std::string& from, const std::string& to) {
+  CountOp("rename");
+  base_->Rename(from, to);
+}
+
+void FaultyFileFactory::SyncDirectory(const std::string& dir) {
+  CountOp("dirsync");
+  // Like Sync(): counted as a crash point, not forwarded.
+  (void)dir;
+}
+
+}  // namespace neutraj::store

@@ -1,0 +1,84 @@
+// Deterministic fault injection for the durability layer.
+//
+// FaultyFileFactory wraps another FileFactory and counts every mutating
+// I/O operation (write, sync, truncate, rename) across all files it has
+// opened. At the Nth operation it triggers the configured fault:
+//
+//   kFailOp     — the operation throws StoreError without touching the
+//                 underlying file, and every later operation fails too
+//                 (a dead log device). The store reacts by degrading to
+//                 read-only mode.
+//   kCrash      — the operation throws SimulatedCrash without touching
+//                 the file. Everything persisted before the crash point
+//                 stays on disk, exactly like a SIGKILL between syscalls.
+//   kTornCrash  — for a write, the first half of the bytes reach the
+//                 underlying file before SimulatedCrash is thrown — a torn
+//                 record, like a kill mid-write or a partial sector flush.
+//                 For non-write operations this behaves like kCrash.
+//
+// Sync is counted as an operation but not forwarded: the harness re-reads
+// the files from the same process, so real fsyncs would only slow the
+// kill-grid down without changing what recovery can observe.
+
+#ifndef NEUTRAJ_STORE_FAULTY_FILE_H_
+#define NEUTRAJ_STORE_FAULTY_FILE_H_
+
+#include <cstddef>
+#include <limits>
+#include <memory>
+#include <string>
+
+#include "store/file.h"
+
+namespace neutraj::store {
+
+/// Thrown at an injected crash point. Deliberately NOT derived from
+/// StoreError: a real crash gives the code under test no chance to react,
+/// so nothing in src/store may catch and absorb it.
+class SimulatedCrash : public std::exception {
+ public:
+  const char* what() const noexcept override { return "simulated crash"; }
+};
+
+enum class FaultAction {
+  kFailOp,     ///< Throw StoreError at (and after) the trigger op.
+  kCrash,      ///< Throw SimulatedCrash at the trigger op.
+  kTornCrash,  ///< Half-write, then throw SimulatedCrash.
+};
+
+/// Shared fault schedule. `fault_at_op` is 1-based: the Nth counted
+/// operation triggers the fault; SIZE_MAX (default) never triggers.
+struct FaultPlan {
+  size_t fault_at_op = std::numeric_limits<size_t>::max();
+  FaultAction action = FaultAction::kCrash;
+  size_t ops_seen = 0;  ///< Updated by the factory; read by tests.
+};
+
+/// FileFactory decorator that applies a FaultPlan to every file it opens.
+/// `plan` and `base` must outlive the factory and all files created by it.
+class FaultyFileFactory : public FileFactory {
+ public:
+  FaultyFileFactory(FileFactory* base, FaultPlan* plan);
+
+  std::unique_ptr<File> OpenAppend(const std::string& path) override;
+  std::unique_ptr<File> CreateTruncate(const std::string& path) override;
+  void Rename(const std::string& from, const std::string& to) override;
+  void SyncDirectory(const std::string& dir) override;
+
+  /// Counts one operation; throws per the plan when the trigger is hit.
+  /// Exposed for FaultyFile; not part of the FileFactory interface.
+  void CountOp(const char* what);
+
+  /// True once the trigger operation has been reached.
+  bool triggered() const { return plan_->ops_seen >= plan_->fault_at_op; }
+
+  FaultPlan* plan() { return plan_; }
+
+ private:
+  FileFactory* base_;
+  FaultPlan* plan_;
+};
+
+}  // namespace neutraj::store
+
+#endif  // NEUTRAJ_STORE_FAULTY_FILE_H_

@@ -1,0 +1,75 @@
+// Checked file I/O for the durability layer.
+//
+// Every byte the write-ahead log and snapshot writer persist flows through
+// this interface, for two reasons:
+//
+//   1. Checked syscalls. A dropped write()/fsync() return value in a
+//      durability path silently loses acknowledged data; File methods
+//      either complete fully or throw StoreError (tools/lint.sh rule 6
+//      bans raw POSIX I/O everywhere else in src/store).
+//   2. Fault injection. FileFactory is the seam the fault-injection
+//      harness (store/faulty_file.h) plugs into: tests swap the posix
+//      factory for one that fails, short-writes, or "crashes" at the Nth
+//      I/O operation, so crash-recovery invariants are provable in-process
+//      without actually killing anything.
+
+#ifndef NEUTRAJ_STORE_FILE_H_
+#define NEUTRAJ_STORE_FILE_H_
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+namespace neutraj::store {
+
+/// A durability-layer I/O failure (open/write/fsync/rename). The store
+/// reacts by entering read-only degraded mode; the serving layer maps it to
+/// the typed kDegraded wire error.
+class StoreError : public std::runtime_error {
+ public:
+  explicit StoreError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// One writable file. All methods throw StoreError on failure; none return
+/// status codes, so a call site cannot forget to check.
+class File {
+ public:
+  virtual ~File() = default;
+
+  /// Appends all of `bytes` (retrying short writes and EINTR).
+  virtual void Append(const std::string& bytes) = 0;
+
+  /// Flushes written data to stable storage (fsync).
+  virtual void Sync() = 0;
+
+  /// Truncates the file to zero length and syncs the truncation.
+  virtual void Truncate() = 0;
+};
+
+/// Creates Files and performs the path-level operations (rename, directory
+/// sync) an atomic-replace protocol needs. The default implementation is
+/// Posix(); tests inject FaultyFileFactory.
+class FileFactory {
+ public:
+  virtual ~FileFactory() = default;
+
+  /// Opens `path` for appending, creating it if absent.
+  virtual std::unique_ptr<File> OpenAppend(const std::string& path) = 0;
+
+  /// Opens `path` truncated to empty, creating it if absent.
+  virtual std::unique_ptr<File> CreateTruncate(const std::string& path) = 0;
+
+  /// Atomically renames `from` onto `to`.
+  virtual void Rename(const std::string& from, const std::string& to) = 0;
+
+  /// Syncs the directory entry metadata of `dir` so a completed rename
+  /// survives a crash.
+  virtual void SyncDirectory(const std::string& dir) = 0;
+
+  /// The process-wide real-POSIX factory.
+  static FileFactory& Posix();
+};
+
+}  // namespace neutraj::store
+
+#endif  // NEUTRAJ_STORE_FILE_H_

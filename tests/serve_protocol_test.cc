@@ -236,6 +236,17 @@ TEST(ProtocolTest, ErrorReplyRoundTrip) {
   ExpectExactFraming<ErrorReply>(bytes, ParseError);
 }
 
+TEST(ProtocolTest, ErrorCodesHaveStableNames) {
+  EXPECT_STREQ(ErrorCodeName(ErrorCode::kDegraded), "degraded");
+  EXPECT_STREQ(ErrorCodeName(ErrorCode::kShuttingDown), "shutting-down");
+  EXPECT_STREQ(ErrorCodeName(ErrorCode::kBadRequest), "bad-request");
+
+  const ErrorReply in{ErrorCode::kDegraded, "store is read-only"};
+  ErrorReply out;
+  ASSERT_TRUE(ParseError(SerializeError(in), &out));
+  EXPECT_EQ(out.code, ErrorCode::kDegraded);
+}
+
 TEST(ProtocolTest, EncodeMessagesRoundTrip) {
   Rng rng(5);
   EncodeRequest req;

@@ -12,7 +12,9 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <filesystem>
 #include <limits>
 #include <mutex>
 #include <stdexcept>
@@ -32,6 +34,8 @@
 #include "serve/client.h"
 #include "serve/server.h"
 #include "serve/service.h"
+#include "store/durable_store.h"
+#include "store/faulty_file.h"
 #include "test_util.h"
 
 namespace neutraj::serve {
@@ -428,6 +432,140 @@ TEST_F(ServerTest, StartTwiceThrows) {
   EXPECT_THROW(server.Start(), std::logic_error);
   EXPECT_GE(server.connections_accepted(), 0u);
   server.Stop();
+}
+
+// -- Timeouts, retries, and degraded mode -------------------------------------
+
+TEST_F(ServerTest, IdleTimeoutClosesStalledConnections) {
+  ServerOptions opts;
+  opts.idle_timeout_ms = 100;
+  Server server(&svc_, opts);
+  server.Start();
+
+  Client client = Connect(server);
+  EXPECT_TRUE(client.Health().ok);  // Active connections are unaffected.
+  std::this_thread::sleep_for(std::chrono::milliseconds(400));
+  // The server reaped the silent connection; the next request sees EOF.
+  EXPECT_THROW(client.Health(), std::runtime_error);
+
+  // Reaping freed the handler slot — fresh connections serve normally.
+  Client fresh = Connect(server);
+  EXPECT_TRUE(fresh.Health().ok);
+  fresh.Close();
+  server.Stop();
+}
+
+TEST_F(ServerTest, ClientIoTimeoutFiresAgainstSilentPeer) {
+  // A listener that completes the TCP handshake (backlog) but never reads
+  // or replies: without SO_RCVTIMEO the client would block forever.
+  const int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(listen_fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = 0;
+  ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(::bind(listen_fd, reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof(addr)),
+            0);
+  ASSERT_EQ(::listen(listen_fd, 8), 0);
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  ASSERT_EQ(::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&bound), &len),
+            0);
+
+  Client client;
+  client.set_io_timeout_ms(150);
+  client.Connect("127.0.0.1", ntohs(bound.sin_port));
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_THROW(client.Health(), std::runtime_error);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_LT(elapsed, std::chrono::seconds(5));
+  EXPECT_FALSE(client.connected());  // A timed-out stream is dropped.
+  ::close(listen_fd);
+}
+
+TEST_F(ServerTest, ClientRetriesUntilServerComesUp) {
+  // Learn a free port, release it, then bring the real server up on it
+  // only after a delay — the client's backoff must ride out the gap.
+  uint16_t port = 0;
+  {
+    Server probe(&svc_, ServerOptions{});
+    probe.Start();
+    port = probe.port();
+    probe.Stop();
+  }
+  svc_.SetDraining(false);  // probe.Stop() flipped the shared service.
+
+  ServerOptions opts;
+  opts.port = port;
+  Server late(&svc_, opts);
+  std::thread starter([&late] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(250));
+    late.Start();
+  });
+
+  // Without retries the refused connection fails immediately.
+  Client impatient;
+  impatient.set_connect_timeout_ms(500);
+  EXPECT_THROW(impatient.Connect("127.0.0.1", port), std::runtime_error);
+
+  Client patient;
+  patient.set_connect_timeout_ms(500);
+  patient.set_retry_policy(
+      {.max_attempts = 10, .backoff_base_ms = 50, .backoff_max_ms = 400});
+  patient.Connect("127.0.0.1", port);
+  EXPECT_TRUE(patient.Health().ok);
+  patient.Close();
+  starter.join();
+  late.Stop();
+}
+
+TEST_F(ServerTest, DegradedStoreRefusesInsertsButKeepsServingQueries) {
+  const std::string data_dir =
+      (std::filesystem::temp_directory_path() / "neutraj_serve_degraded")
+          .string();
+  std::filesystem::remove_all(data_dir);
+  std::filesystem::create_directories(data_dir);
+
+  store::FaultPlan plan;
+  store::FaultyFileFactory faulty(&store::FileFactory::Posix(), &plan);
+  EmbeddingDatabase db = EmbeddingDatabase::Build(model_, corpus_, 2);
+  store::DurableStore durable(
+      &db, {.data_dir = data_dir, .sync_writes = true, .files = &faulty});
+  durable.Open();
+  QueryService svc(model_, &db, BatchOpts(), &durable);
+  Server server(&svc, ServerOptions{});
+  server.Start();
+  Client client = Connect(server);
+
+  // Durable insert works while the disk is healthy.
+  Rng rng(11);
+  const InsertResponse ok = client.Insert(RandomTrajectory(5, 100.0, &rng));
+  EXPECT_EQ(ok.id, corpus_.size());
+  EXPECT_EQ(client.Health().status, "serving");
+
+  // The log device dies: the next insert gets the typed kDegraded error.
+  plan.fault_at_op = plan.ops_seen + 1;
+  plan.action = store::FaultAction::kFailOp;
+  try {
+    client.Insert(RandomTrajectory(5, 100.0, &rng));
+    FAIL() << "insert on a dead log device must surface as ServeError";
+  } catch (const ServeError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kDegraded);
+  }
+
+  // Degrade, don't die: queries over the durable corpus keep answering,
+  // health reports the state, and later inserts stay refused.
+  const HealthResponse health = client.Health();
+  EXPECT_TRUE(health.ok);
+  EXPECT_EQ(health.status, "degraded");
+  EXPECT_EQ(health.corpus_size, corpus_.size() + 1);
+  EXPECT_FALSE(client.TopK(corpus_[0], 3).ids.empty());
+  EXPECT_THROW(client.Insert(RandomTrajectory(5, 100.0, &rng)), ServeError);
+
+  client.Close();
+  server.Stop();
+  std::filesystem::remove_all(data_dir);
 }
 
 }  // namespace

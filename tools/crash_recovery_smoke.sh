@@ -1,0 +1,130 @@
+#!/usr/bin/env bash
+# End-to-end crash-recovery smoke test for the durable serving corpus:
+# train a throwaway model, start neutraj_server with --data-dir, SIGKILL it
+# in the middle of an insert burst, restart from the data directory alone,
+# and assert that every insert the client saw acknowledged survived.
+#
+# This is the out-of-process counterpart to tests/store_faultinject_test.cc:
+# the unit harness proves recovery at every simulated kill point; this script
+# proves the same property against a real SIGKILL, real sockets, and a real
+# filesystem.
+#
+# Usage: tools/crash_recovery_smoke.sh <build-dir>
+set -euo pipefail
+
+BUILD="${1:-build}"
+WORK="$(mktemp -d)"
+SERVER_PID=""
+cleanup() {
+  if [[ -n "${SERVER_PID}" ]] && kill -0 "${SERVER_PID}" 2>/dev/null; then
+    kill -KILL "${SERVER_PID}" 2>/dev/null || true
+  fi
+  rm -rf "${WORK}"
+}
+trap cleanup EXIT
+
+CLI="${BUILD}/tools/neutraj_cli"
+SERVER="${BUILD}/tools/neutraj_server"
+CLIENT="${BUILD}/tools/neutraj_client"
+for bin in "${CLI}" "${SERVER}" "${CLIENT}"; do
+  [[ -x "${bin}" ]] || { echo "missing binary: ${bin}" >&2; exit 1; }
+done
+
+DATA_DIR="${WORK}/data"
+TRAJ="0.0,0.0;30.0,40.0;60.0,80.0;90.0,120.0"
+
+start_server() {  # args: extra server flags...
+  rm -f "${WORK}/port"
+  "${SERVER}" --model "${WORK}/model.ntj" --data-dir "${DATA_DIR}" \
+    --port 0 --port-file "${WORK}/port" --threads 2 --compact-every 16 \
+    "$@" >>"${WORK}/server.log" 2>&1 &
+  SERVER_PID=$!
+  PORT=""
+  for _ in $(seq 1 100); do
+    if [[ -s "${WORK}/port" ]]; then PORT="$(cat "${WORK}/port")"; break; fi
+    kill -0 "${SERVER_PID}" 2>/dev/null || {
+      echo "server died during startup:" >&2; cat "${WORK}/server.log" >&2
+      exit 1
+    }
+    sleep 0.1
+  done
+  [[ -n "${PORT}" ]] || { echo "server never wrote port file" >&2; exit 1; }
+}
+
+corpus_size() {  # prints the corpus size reported by health
+  "${CLIENT}" health --port "${PORT}" --retries 5 \
+    | sed -n 's/.*corpus: \([0-9]*\).*/\1/p'
+}
+
+echo "== generate + train a tiny model =="
+"${CLI}" generate --preset porto --scale 0.05 --seed 7 --out "${WORK}/corpus.csv"
+"${CLI}" train --data "${WORK}/corpus.csv" --epochs 2 --dim 16 \
+  --out "${WORK}/model.ntj"
+
+echo "== run 1: seed the durable corpus from the CSV =="
+start_server --data "${WORK}/corpus.csv"
+BASELINE="$(corpus_size)"
+[[ "${BASELINE}" -gt 0 ]] || { echo "empty baseline corpus" >&2; exit 1; }
+echo "baseline corpus: ${BASELINE}"
+
+echo "== insert burst, SIGKILL mid-flight =="
+ACKED=0
+: >"${WORK}/acked.log"
+(
+  for i in $(seq 1 200); do
+    "${CLIENT}" insert --port "${PORT}" --traj "${TRAJ}" \
+      >>"${WORK}/acked.log" 2>/dev/null || exit 0
+  done
+) &
+BURST_PID=$!
+# Let some inserts land, then kill the server with no warning.
+for _ in $(seq 1 100); do
+  [[ "$(grep -c 'inserted as id' "${WORK}/acked.log" || true)" -ge 5 ]] && break
+  sleep 0.05
+done
+kill -KILL "${SERVER_PID}"
+wait "${SERVER_PID}" 2>/dev/null || true
+SERVER_PID=""
+wait "${BURST_PID}" 2>/dev/null || true
+ACKED="$(grep -c 'inserted as id' "${WORK}/acked.log" || true)"
+[[ "${ACKED}" -ge 1 ]] || { echo "no insert was acknowledged before the kill" >&2; exit 1; }
+echo "acknowledged before SIGKILL: ${ACKED}"
+
+echo "== run 2: recover from --data-dir alone =="
+start_server
+grep -q "durable store" "${WORK}/server.log"
+RECOVERED="$(corpus_size)"
+echo "recovered corpus: ${RECOVERED} (need >= $((BASELINE + ACKED)))"
+if [[ "${RECOVERED}" -lt $((BASELINE + ACKED)) ]]; then
+  echo "acknowledged inserts were lost across the crash" >&2
+  cat "${WORK}/server.log" >&2
+  exit 1
+fi
+
+echo "== recovered corpus still answers queries and accepts inserts =="
+"${CLIENT}" topk --port "${PORT}" --data "${WORK}/corpus.csv" --id 0 --k 5
+"${CLIENT}" insert --port "${PORT}" --traj "${TRAJ}" | grep -q "inserted as id"
+
+echo "== graceful drain on SIGTERM =="
+kill -TERM "${SERVER_PID}"
+RC=0
+wait "${SERVER_PID}" || RC=$?
+SERVER_PID=""
+if [[ "${RC}" -ne 0 ]]; then
+  echo "server exited with ${RC} after SIGTERM:" >&2
+  cat "${WORK}/server.log" >&2
+  exit 1
+fi
+
+echo "== run 3: the drained state reopens clean =="
+start_server
+FINAL="$(corpus_size)"
+[[ "${FINAL}" -ge $((RECOVERED + 1)) ]] || {
+  echo "post-drain reopen lost rows (${FINAL} < $((RECOVERED + 1)))" >&2
+  exit 1
+}
+kill -TERM "${SERVER_PID}"
+wait "${SERVER_PID}" || true
+SERVER_PID=""
+
+echo "crash recovery smoke test: OK"

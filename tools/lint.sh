@@ -20,6 +20,11 @@
 #      src/obs/ (metrics registry, trace spans, JSONL sink); the only
 #      sanctioned stderr paths are common/check.cc's contract-failure
 #      reporting and the flight recorder's crash dump.
+#   6. No raw POSIX I/O in src/store outside store/file.cc: every durability
+#      write must flow through the File/FileFactory seam so the fault
+#      harness can intercept it and so short writes / EINTR are handled in
+#      exactly one place. An unchecked write()/fsync() elsewhere is a
+#      durability hole the crash tests cannot see.
 #
 # Usage: tools/lint.sh   (from anywhere; exits non-zero on any violation)
 
@@ -75,6 +80,17 @@ hits=$(grep -rnE 'std::cerr|std::cout|\bprintf\(|\bfprintf\(' \
     | grep -vE '^[^:]*:[0-9]+: *//' || true)
 if [[ -n "$hits" ]]; then
   report "raw stderr/stdout telemetry in src/core|nn|serve (use src/obs/)" "$hits"
+fi
+
+# -- Rule 6: raw POSIX I/O in src/store outside the File seam ----------------
+# store/file.cc is the single sanctioned syscall site; everything else in
+# src/store must go through File/FileFactory so FaultyFile can intercept it.
+hits=$(grep -rnE '::write\(|::pwrite\(|::fsync\(|::fdatasync\(|::ftruncate\(|::rename\(|\bfwrite\(|\bfopen\(' \
+    src/store/ --include='*.cc' --include='*.h' \
+    | grep -v '^src/store/file\.cc:' \
+    | grep -vE '^[^:]*:[0-9]+: *//' || true)
+if [[ -n "$hits" ]]; then
+  report "raw POSIX I/O in src/store outside store/file.cc (use the File seam)" "$hits"
 fi
 
 if [[ "$fail" -ne 0 ]]; then

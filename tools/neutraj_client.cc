@@ -11,6 +11,14 @@
 //
 // Trajectories can come inline via --traj/--a/--b (the corpus CSV line
 // format) or from a file: --data corpus.csv --id N picks line N.
+//
+// Robustness knobs (all optional):
+//   --connect-timeout-ms MS   bound the TCP connect (default: OS default)
+//   --io-timeout-ms MS        bound each send/recv (default: unbounded)
+//   --retries N               retry transient connect failures up to N
+//                             attempts with exponential backoff (default 1,
+//                             i.e. no retry) — lets scripts start the client
+//                             before the server has bound its port.
 
 #include <cstdio>
 #include <map>
@@ -67,6 +75,7 @@ Args ParseArgs(int argc, char** argv) {
 void PrintUsage() {
   std::printf(
       "neutraj_client <command> [--host H] [--port P] [flags]\n"
+      "  (global: --connect-timeout-ms MS --io-timeout-ms MS --retries N)\n"
       "  health\n"
       "  stats   [--prometheus]\n"
       "  encode  --traj \"x,y;x,y;...\" | --data F --id N\n"
@@ -98,6 +107,13 @@ Trajectory GetTrajectory(const Args& args, const std::string& key) {
 
 serve::Client Connect(const Args& args) {
   serve::Client client;
+  client.set_connect_timeout_ms(
+      static_cast<uint32_t>(args.GetInt("connect-timeout-ms", 0)));
+  client.set_io_timeout_ms(
+      static_cast<uint32_t>(args.GetInt("io-timeout-ms", 0)));
+  serve::RetryPolicy retry;
+  retry.max_attempts = static_cast<uint32_t>(args.GetInt("retries", 1));
+  client.set_retry_policy(retry);
   client.Connect(args.Get("host", "127.0.0.1"),
                  static_cast<uint16_t>(args.GetInt("port", 0)));
   return client;

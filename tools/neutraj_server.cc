@@ -11,17 +11,28 @@
 //   neutraj_server --model model.ntj [--data corpus.csv | --db corpus.embdb]
 //                  [--host H] [--port P] [--port-file F]
 //                  [--threads N] [--batch B] [--batch-wait-us U]
-//                  [--save-db F]
+//                  [--save-db F] [--data-dir D] [--compact-every N]
+//                  [--idle-timeout-ms MS]
 //
 // --port 0 (default) picks an ephemeral port; --port-file writes the bound
 // port for scripts (see tools/serve_smoke_test.sh). --save-db persists the
 // final corpus embeddings (including live inserts) on shutdown.
+//
+// --data-dir turns on durability: every Insert is written to a CRC-framed
+// write-ahead log before it is acknowledged, and the corpus is periodically
+// compacted into <data-dir>/snapshot.embdb. On restart the directory is
+// recovered (snapshot + WAL tail) — pass --data-dir WITHOUT --data/--db to
+// resume a prior corpus; seeding flags are only for the first run, when the
+// directory is empty. A corrupt snapshot aborts startup with the corrupt
+// section and offset; a torn WAL tail is truncated and reported.
 
 #include <cstdio>
 #include <map>
+#include <memory>
 #include <string>
 
 #include "neutraj.h"
+#include "common/errors.h"
 #include "common/file_util.h"
 
 namespace {
@@ -72,7 +83,8 @@ void PrintUsage() {
       "neutraj_server --model M [--data F.csv | --db F.embdb]\n"
       "               [--host H] [--port P] [--port-file F]\n"
       "               [--threads N] [--batch B] [--batch-wait-us U]\n"
-      "               [--save-db F]\n");
+      "               [--save-db F] [--data-dir D] [--compact-every N]\n"
+      "               [--idle-timeout-ms MS]\n");
 }
 
 int Run(const Args& args) {
@@ -103,15 +115,34 @@ int Run(const Args& args) {
     std::printf("starting with an empty corpus (populate via Insert)\n");
   }
 
+  std::unique_ptr<store::DurableStore> durable;
+  if (args.Has("data-dir")) {
+    store::DurableStore::Options store_opts;
+    store_opts.data_dir = args.Get("data-dir");
+    store_opts.compact_every =
+        static_cast<size_t>(args.GetInt("compact-every", 1024));
+    durable = std::make_unique<store::DurableStore>(&db, store_opts);
+    const store::DurableStore::RecoveryInfo info = durable->Open();
+    std::printf(
+        "durable store %s: snapshot %zu records, wal replayed %zu "
+        "(skipped %zu), tail %s%s%s\n",
+        args.Get("data-dir").c_str(), info.snapshot_records, info.replayed,
+        info.skipped, store::WalTailName(info.tail),
+        info.tail_detail.empty() ? "" : " — ", info.tail_detail.c_str());
+    std::printf("corpus after recovery: %zu embeddings\n", db.size());
+  }
+
   serve::MicroBatcher::Options batch_opts;
   batch_opts.threads = threads;
   batch_opts.max_batch = static_cast<size_t>(args.GetInt("batch", 32));
   batch_opts.max_wait_micros = args.GetInt("batch-wait-us", 200);
-  serve::QueryService service(model, &db, batch_opts);
+  serve::QueryService service(model, &db, batch_opts, durable.get());
 
   serve::ServerOptions server_opts;
   server_opts.host = args.Get("host", "127.0.0.1");
   server_opts.port = static_cast<uint16_t>(args.GetInt("port", 0));
+  server_opts.idle_timeout_ms =
+      static_cast<uint32_t>(args.GetInt("idle-timeout-ms", 0));
   serve::Server server(&service, server_opts);
   server.Start();
   serve::InstallStopSignalHandlers(&server);
@@ -130,6 +161,10 @@ int Run(const Args& args) {
 
   const serve::StatsSnapshot stats = service.Snapshot();
   std::printf("drained; final stats:\n%s", stats.ToString().c_str());
+  if (durable != nullptr && durable->read_only()) {
+    std::fprintf(stderr, "warning: store degraded to read-only: %s\n",
+                 durable->degraded_reason().c_str());
+  }
   if (args.Has("save-db")) {
     db.Save(args.Get("save-db"));
     std::printf("saved %zu embeddings to %s\n", db.size(),
@@ -143,6 +178,14 @@ int Run(const Args& args) {
 int main(int argc, char** argv) {
   try {
     return Run(ParseArgs(argc, argv));
+  } catch (const neutraj::CorruptionError& e) {
+    // Corrupt persistent state is an operational problem, not a usage one:
+    // report the typed context (source file, section, byte offset) and stop.
+    std::fprintf(stderr, "error: corrupt store: %s\n", e.what());
+    return 1;
+  } catch (const neutraj::store::StoreError& e) {
+    std::fprintf(stderr, "error: store: %s\n", e.what());
+    return 1;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     PrintUsage();
