@@ -6,11 +6,12 @@
 #include <atomic>
 #include <cerrno>
 #include <cstdio>
-#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
+
+#include "common/string_util.h"
 
 namespace neutraj {
 
@@ -48,7 +49,7 @@ void WriteFileAtomic(const std::string& path, const std::string& content) {
   const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
   if (fd < 0) {
     throw std::runtime_error("WriteFileAtomic: cannot open " + tmp + ": " +
-                             std::strerror(errno));
+                             ErrnoMessage(errno));
   }
   size_t written = 0;
   while (written < content.size()) {
@@ -60,7 +61,7 @@ void WriteFileAtomic(const std::string& path, const std::string& content) {
       ::close(fd);
       ::unlink(tmp.c_str());
       throw std::runtime_error("WriteFileAtomic: write failed " + tmp + ": " +
-                               std::strerror(err));
+                               ErrnoMessage(err));
     }
     written += static_cast<size_t>(n);
   }
@@ -71,13 +72,13 @@ void WriteFileAtomic(const std::string& path, const std::string& content) {
     ::close(fd);
     ::unlink(tmp.c_str());
     throw std::runtime_error("WriteFileAtomic: fsync failed " + tmp + ": " +
-                             std::strerror(err));
+                             ErrnoMessage(err));
   }
   if (::close(fd) != 0) {
     const int err = errno;
     ::unlink(tmp.c_str());
     throw std::runtime_error("WriteFileAtomic: close failed " + tmp + ": " +
-                             std::strerror(err));
+                             ErrnoMessage(err));
   }
 
   std::error_code ec;

@@ -1,5 +1,7 @@
 #include "common/string_util.h"
 
+#include <string.h>
+
 #include <cstdarg>
 #include <cstdio>
 #include <cctype>
@@ -52,6 +54,23 @@ uint64_t Fnv1aHash(const std::string& s) {
     h *= 1099511628211ull;
   }
   return h;
+}
+
+namespace {
+
+// strerror_r comes in two shapes: GNU (returns char*, may ignore the
+// buffer) and XSI (returns int, fills the buffer). Overload resolution
+// picks the right adapter for whichever one the libc declared.
+inline const char* StrErrorAdapter(char* r, const char* /*buf*/) { return r; }
+inline const char* StrErrorAdapter(int r, const char* buf) {
+  return r == 0 ? buf : "Unknown error";
+}
+
+}  // namespace
+
+std::string ErrnoMessage(int err) {
+  char buf[256] = "Unknown error";
+  return StrErrorAdapter(strerror_r(err, buf, sizeof(buf)), buf);
 }
 
 std::string ToLower(const std::string& s) {

@@ -21,6 +21,11 @@ std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2))
 /// Stable 64-bit FNV-1a hash of a byte string; used to key the model cache.
 uint64_t Fnv1aHash(const std::string& s);
 
+/// The system error message for errno value `err`. Thread-safe replacement
+/// for std::strerror (whose shared static buffer is flagged by clang-tidy's
+/// concurrency-mt-unsafe check and can be clobbered across threads).
+std::string ErrnoMessage(int err);
+
 /// Lower-cases ASCII characters.
 std::string ToLower(const std::string& s);
 

@@ -14,39 +14,39 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shutting_down_ = true;
   }
-  task_ready_.notify_all();
+  task_ready_.NotifyAll();
   for (std::thread& w : workers_) w.join();
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     tasks_.push(std::move(task));
     ++in_flight_;
   }
-  task_ready_.notify_one();
+  task_ready_.NotifyOne();
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  all_done_.wait(lock, [this] { return in_flight_ == 0; });
-  if (first_error_) {
-    std::exception_ptr err = first_error_;
+  std::exception_ptr err;
+  {
+    MutexLock lock(mu_);
+    while (in_flight_ != 0) all_done_.Wait(mu_);
+    err = first_error_;
     first_error_ = nullptr;
-    lock.unlock();
-    std::rethrow_exception(err);
   }
+  if (err) std::rethrow_exception(err);
 }
 
 void ThreadPool::WorkerLoop() {
   while (true) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      task_ready_.wait(lock, [this] { return shutting_down_ || !tasks_.empty(); });
+      MutexLock lock(mu_);
+      while (!shutting_down_ && tasks_.empty()) task_ready_.Wait(mu_);
       if (tasks_.empty()) {
         if (shutting_down_) return;
         continue;
@@ -57,12 +57,12 @@ void ThreadPool::WorkerLoop() {
     try {
       task();
     } catch (...) {
-      std::unique_lock<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (!first_error_) first_error_ = std::current_exception();
     }
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      if (--in_flight_ == 0) all_done_.notify_all();
+      MutexLock lock(mu_);
+      if (--in_flight_ == 0) all_done_.NotifyAll();
     }
   }
 }

@@ -8,14 +8,14 @@
 #ifndef NEUTRAJ_COMMON_THREAD_POOL_H_
 #define NEUTRAJ_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "common/sync.h"
 
 namespace neutraj {
 
@@ -34,25 +34,28 @@ class ThreadPool {
   size_t num_threads() const { return workers_.size(); }
 
   /// Enqueues a task. Must not be called after destruction begins.
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) NEUTRAJ_EXCLUDES(mu_);
 
   /// Blocks until every submitted task has finished executing. If any task
   /// threw, rethrows the first captured exception (later ones are dropped)
   /// and clears it, leaving the pool usable for further submissions. A
   /// worker that throws keeps running — an exception never takes a worker
   /// down or deadlocks Wait().
-  void Wait();
+  void Wait() NEUTRAJ_EXCLUDES(mu_);
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() NEUTRAJ_EXCLUDES(mu_);
 
-  std::mutex mu_;
-  std::condition_variable task_ready_;
-  std::condition_variable all_done_;
-  std::queue<std::function<void()>> tasks_;
-  size_t in_flight_ = 0;
-  bool shutting_down_ = false;
-  std::exception_ptr first_error_;  ///< First task exception since last Wait.
+  /// Leaf lock: never held while running a task, so task bodies may take
+  /// any other lock in the system (rank table in common/sync.h).
+  Mutex mu_{lock_rank::kThreadPool};
+  CondVar task_ready_;
+  CondVar all_done_;
+  std::queue<std::function<void()>> tasks_ NEUTRAJ_GUARDED_BY(mu_);
+  size_t in_flight_ NEUTRAJ_GUARDED_BY(mu_) = 0;
+  bool shutting_down_ NEUTRAJ_GUARDED_BY(mu_) = false;
+  /// First task exception since last Wait.
+  std::exception_ptr first_error_ NEUTRAJ_GUARDED_BY(mu_);
   std::vector<std::thread> workers_;
 };
 

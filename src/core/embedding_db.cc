@@ -1,6 +1,5 @@
 #include "core/embedding_db.h"
 
-#include <mutex>
 #include <sstream>
 #include <stdexcept>
 
@@ -31,7 +30,7 @@ EmbeddingDatabase::EmbeddingDatabase(EmbeddingDatabase&& other) noexcept
       corpus_size_(other.corpus_size_) {}
 
 EmbeddingDatabase& EmbeddingDatabase::operator=(
-    EmbeddingDatabase&& other) noexcept {
+    EmbeddingDatabase&& other) noexcept NEUTRAJ_NO_THREAD_SAFETY_ANALYSIS {
   if (this != &other) {
     dim_ = other.dim_;
     embeddings_ = std::move(other.embeddings_);
@@ -48,29 +47,45 @@ void EmbeddingDatabase::AttachMetrics(obs::MetricsRegistry* registry) {
   insert_us_ = &registry->GetHistogram("db/insert_us");
   topk_us_ = &registry->GetHistogram("db/topk_us");
   corpus_size_ = &registry->GetGauge("db/corpus_size");
-  corpus_size_->Set(static_cast<double>(embeddings_.size()));
+  size_t count = 0;
+  {
+    ReaderLock lock(mu_);
+    count = embeddings_.size();
+  }
+  corpus_size_->Set(static_cast<double>(count));
 }
 
 EmbeddingDatabase EmbeddingDatabase::Build(const NeuTrajModel& model,
                                            const std::vector<Trajectory>& corpus,
                                            size_t threads) {
   Stopwatch sw;
+  // Encode into locals, then publish under the writer lock: the database is
+  // not shared yet, but static member functions are inside the thread-safety
+  // analysis boundary, so the guarded members are only touched while their
+  // capability is held.
+  std::vector<nn::Vector> embeddings = threads > 1
+                                           ? model.EmbedAllParallel(corpus, threads)
+                                           : model.EmbedAll(corpus);
+  const size_t dim = embeddings.empty() ? 0 : embeddings.front().size();
+  const size_t count = embeddings.size();
   EmbeddingDatabase db;
-  db.embeddings_ = threads > 1 ? model.EmbedAllParallel(corpus, threads)
-                               : model.EmbedAll(corpus);
-  db.dim_ = db.embeddings_.empty() ? 0 : db.embeddings_.front().size();
+  {
+    WriterLock lock(db.mu_);
+    db.embeddings_ = std::move(embeddings);
+    db.dim_ = dim;
+  }
   db.build_us_->Record(sw.ElapsedMillis() * 1e3);
-  db.corpus_size_->Set(static_cast<double>(db.embeddings_.size()));
+  db.corpus_size_->Set(static_cast<double>(count));
   return db;
 }
 
 size_t EmbeddingDatabase::size() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderLock lock(mu_);
   return embeddings_.size();
 }
 
 size_t EmbeddingDatabase::dim() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderLock lock(mu_);
   return dim_;
 }
 
@@ -83,7 +98,7 @@ size_t EmbeddingDatabase::Insert(const nn::Vector& embedding) {
   size_t id = 0;
   size_t new_size = 0;
   {
-    std::unique_lock<std::shared_mutex> lock(mu_);
+    WriterLock lock(mu_);
     if (embeddings_.empty()) {
       dim_ = embedding.size();
     } else if (embedding.size() != dim_) {
@@ -111,7 +126,7 @@ size_t EmbeddingDatabase::Insert(const NeuTrajModel& model,
 SearchResult EmbeddingDatabase::TopK(const nn::Vector& query, size_t k,
                                      int64_t exclude) const {
   Stopwatch sw;
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderLock lock(mu_);
   if (!embeddings_.empty() && query.size() != dim_) {
     throw std::invalid_argument("EmbeddingDatabase::TopK: query dimension " +
                                 std::to_string(query.size()) +
@@ -133,7 +148,7 @@ SearchResult EmbeddingDatabase::TopK(const NeuTrajModel& model,
 }
 
 std::string EmbeddingDatabase::Serialize() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderLock lock(mu_);
   SectionWriter w(kDbKind);
   std::ostringstream head;
   head << embeddings_.size() << ' ' << dim_;
@@ -167,12 +182,11 @@ EmbeddingDatabase EmbeddingDatabase::Deserialize(const std::string& contents,
                           "bad shape '" + r.Get("shape") + "'");
   }
 
-  EmbeddingDatabase db;
-  db.dim_ = dim;
-  db.embeddings_.assign(count, nn::Vector(dim));
+  // Same shape as Build: parse into locals, publish under the writer lock.
+  std::vector<nn::Vector> embeddings(count, nn::Vector(dim));
   std::istringstream data(r.Get("embeddings"));
-  for (size_t i = 0; i < db.embeddings_.size(); ++i) {
-    nn::Vector& e = db.embeddings_[i];
+  for (size_t i = 0; i < embeddings.size(); ++i) {
+    nn::Vector& e = embeddings[i];
     for (double& v : e) {
       if (!(data >> v)) {
         throw CorruptionError(source, "embeddings", i,
@@ -183,7 +197,13 @@ EmbeddingDatabase EmbeddingDatabase::Deserialize(const std::string& contents,
     }
     NEUTRAJ_DCHECK_FINITE(e);
   }
-  db.corpus_size_->Set(static_cast<double>(db.embeddings_.size()));
+  EmbeddingDatabase db;
+  {
+    WriterLock lock(db.mu_);
+    db.dim_ = dim;
+    db.embeddings_ = std::move(embeddings);
+  }
+  db.corpus_size_->Set(static_cast<double>(count));
   return db;
 }
 

@@ -19,10 +19,10 @@
 #define NEUTRAJ_CORE_EMBEDDING_DB_H_
 
 #include <cstdint>
-#include <shared_mutex>
 #include <string>
 #include <vector>
 
+#include "common/sync.h"
 #include "core/model.h"
 #include "core/search.h"
 #include "obs/metrics.h"
@@ -38,7 +38,12 @@ class EmbeddingDatabase {
   // data and require that no other thread touches either operand (the usual
   // build-then-serve lifecycle).
   EmbeddingDatabase(EmbeddingDatabase&& other) noexcept;
-  EmbeddingDatabase& operator=(EmbeddingDatabase&& other) noexcept;
+  // Analysis disabled deliberately: a move writes this->dim_/embeddings_ and
+  // reads other's without either lock, which is exactly the documented
+  // contract above — both operands must be externally quiesced. Taking both
+  // locks here would suggest a concurrency guarantee moves do not provide.
+  EmbeddingDatabase& operator=(EmbeddingDatabase&& other) noexcept
+      NEUTRAJ_NO_THREAD_SAFETY_ANALYSIS;
   EmbeddingDatabase(const EmbeddingDatabase&) = delete;
   EmbeddingDatabase& operator=(const EmbeddingDatabase&) = delete;
 
@@ -49,30 +54,40 @@ class EmbeddingDatabase {
                                  const std::vector<Trajectory>& corpus,
                                  size_t threads = 1);
 
-  size_t size() const;
+  size_t size() const NEUTRAJ_EXCLUDES(mu_);
   bool empty() const { return size() == 0; }
   /// Embedding width d; 0 for an empty database.
-  size_t dim() const;
+  size_t dim() const NEUTRAJ_EXCLUDES(mu_);
 
-  /// Unlocked accessors; see the header comment for when they are safe.
-  const nn::Vector& at(size_t i) const { return embeddings_[i]; }
-  const std::vector<nn::Vector>& embeddings() const { return embeddings_; }
+  // Unlocked accessors; see the header comment for when they are safe.
+  // Analysis disabled deliberately: these hand out references into guarded
+  // state for the single-threaded / externally-quiesced lifecycle (offline
+  // experiments, post-build serving setup), where holding the reader lock
+  // for the reference's lifetime is impossible by design.
+  const nn::Vector& at(size_t i) const NEUTRAJ_NO_THREAD_SAFETY_ANALYSIS {
+    return embeddings_[i];
+  }
+  const std::vector<nn::Vector>& embeddings() const
+      NEUTRAJ_NO_THREAD_SAFETY_ANALYSIS {
+    return embeddings_;
+  }
 
   /// Appends one embedding under the writer lock and returns its id (ids
   /// are dense indices in insertion order, continuing the build order).
   /// The first insert into an empty database fixes the dimension; later
   /// inserts must match it or throw std::invalid_argument.
-  size_t Insert(const nn::Vector& embedding);
+  size_t Insert(const nn::Vector& embedding) NEUTRAJ_EXCLUDES(mu_);
 
   /// Embeds `traj` with `model` (outside the lock) and appends it.
-  size_t Insert(const NeuTrajModel& model, const Trajectory& traj);
+  size_t Insert(const NeuTrajModel& model, const Trajectory& traj)
+      NEUTRAJ_EXCLUDES(mu_);
 
   /// Top-k nearest stored embeddings to `query` under L2. Deterministic
   /// under distance ties: equal distances are broken by ascending id.
   /// `exclude` (if >= 0) removes one id — typically the query itself when
   /// it is part of the corpus. Takes the reader lock.
   SearchResult TopK(const nn::Vector& query, size_t k,
-                    int64_t exclude = -1) const;
+                    int64_t exclude = -1) const NEUTRAJ_EXCLUDES(mu_);
 
   /// Embeds `query` with `model` and runs TopK. The model must be the one
   /// the database was built with for the distances to be meaningful.
@@ -81,12 +96,12 @@ class EmbeddingDatabase {
 
   /// Serializes the embeddings to `path` (CRC-checksummed sections; see
   /// common/framing.h), written atomically. Takes the reader lock.
-  void Save(const std::string& path) const;
+  void Save(const std::string& path) const NEUTRAJ_EXCLUDES(mu_);
 
   /// The serialized container bytes Save() would write; takes the reader
   /// lock. The durability layer (src/store/) uses this to route snapshot
   /// writes through its own checked, fault-injectable I/O path.
-  std::string Serialize() const;
+  std::string Serialize() const NEUTRAJ_EXCLUDES(mu_);
 
   /// Restores a database saved by Save(). Throws CorruptionError
   /// (common/errors.h, with section/offset context) on malformed,
@@ -107,9 +122,9 @@ class EmbeddingDatabase {
   void AttachMetrics(obs::MetricsRegistry* registry);
 
  private:
-  mutable std::shared_mutex mu_;
-  size_t dim_ = 0;                       ///< Guarded by mu_.
-  std::vector<nn::Vector> embeddings_;   ///< Guarded by mu_.
+  mutable SharedMutex mu_{lock_rank::kDb};
+  size_t dim_ NEUTRAJ_GUARDED_BY(mu_) = 0;
+  std::vector<nn::Vector> embeddings_ NEUTRAJ_GUARDED_BY(mu_);
 
   // Registry-owned; re-resolved by AttachMetrics, copied by moves (both
   // operands end up recording to the same registry, which is correct for

@@ -12,7 +12,7 @@ FlightRecorder::FlightRecorder(size_t capacity)
     : ring_(std::max<size_t>(1, capacity)) {}
 
 void FlightRecorder::Push(const char* name, double value, bool is_span) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   FlightEvent& slot = ring_[next_];
   slot.t_seconds = clock_.ElapsedSeconds();
   slot.name = name;
@@ -31,7 +31,7 @@ void FlightRecorder::RecordEvent(const char* name, double value) {
 }
 
 std::vector<FlightEvent> FlightRecorder::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<FlightEvent> out;
   const size_t n = std::min<uint64_t>(total_, ring_.size());
   out.reserve(n);
@@ -67,14 +67,14 @@ void FlightRecorder::DumpToStderr(const char* reason) const {
 }
 
 void FlightRecorder::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   next_ = 0;
   total_ = 0;
   std::fill(ring_.begin(), ring_.end(), FlightEvent{});
 }
 
 uint64_t FlightRecorder::total_recorded() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return total_;
 }
 

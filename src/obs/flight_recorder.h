@@ -17,11 +17,11 @@
 #define NEUTRAJ_OBS_FLIGHT_RECORDER_H_
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/stopwatch.h"
+#include "common/sync.h"
 
 namespace neutraj::obs {
 
@@ -44,11 +44,11 @@ class FlightRecorder {
 
   /// `name` must have static storage duration (macro span names and the
   /// literal event names used by the trainer qualify).
-  void RecordSpan(const char* name, double micros);
-  void RecordEvent(const char* name, double value);
+  void RecordSpan(const char* name, double micros) NEUTRAJ_EXCLUDES(mu_);
+  void RecordEvent(const char* name, double value) NEUTRAJ_EXCLUDES(mu_);
 
   /// Events oldest-to-newest (at most `capacity` of them).
-  std::vector<FlightEvent> Snapshot() const;
+  std::vector<FlightEvent> Snapshot() const NEUTRAJ_EXCLUDES(mu_);
 
   /// Human-readable dump, one event per line; empty string when nothing was
   /// recorded.
@@ -59,22 +59,28 @@ class FlightRecorder {
   /// src/core + src/nn + src/serve (see tools/lint.sh rule 5).
   void DumpToStderr(const char* reason) const;
 
-  void Clear();
+  void Clear() NEUTRAJ_EXCLUDES(mu_);
 
   /// Lifetime total, including overwritten events.
-  uint64_t total_recorded() const;
+  uint64_t total_recorded() const NEUTRAJ_EXCLUDES(mu_);
 
   /// Process-wide recorder; first use installs the NEUTRAJ_ASSERT dump hook.
   static FlightRecorder& Global();
 
  private:
-  void Push(const char* name, double value, bool is_span);
+  void Push(const char* name, double value, bool is_span)
+      NEUTRAJ_EXCLUDES(mu_);
 
-  mutable std::mutex mu_;
-  Stopwatch clock_;                ///< Guarded by mu_.
-  std::vector<FlightEvent> ring_;  ///< Guarded by mu_.
-  size_t next_ = 0;                ///< Guarded by mu_.
-  uint64_t total_ = 0;             ///< Guarded by mu_.
+  /// Deliberately UNRANKED (default-constructed): the global recorder is the
+  /// NEUTRAJ_ASSERT failure hook, so this lock is taken while the process is
+  /// dying with arbitrary other locks held. A rank check firing here would
+  /// recurse into the very assert machinery that is dumping the ring. The
+  /// static analysis layer still covers it in full.
+  mutable Mutex mu_;
+  Stopwatch clock_ NEUTRAJ_GUARDED_BY(mu_);
+  std::vector<FlightEvent> ring_ NEUTRAJ_GUARDED_BY(mu_);
+  size_t next_ NEUTRAJ_GUARDED_BY(mu_) = 0;
+  uint64_t total_ NEUTRAJ_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace neutraj::obs

@@ -36,7 +36,7 @@ void JsonlSink::Write(
     }
   }
   line += "}\n";
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::fwrite(line.data(), 1, line.size(), file_);
   std::fflush(file_);
 }

@@ -11,10 +11,11 @@
 #define NEUTRAJ_OBS_JSONL_H_
 
 #include <cstdio>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "common/sync.h"
 
 namespace neutraj::obs {
 
@@ -30,14 +31,17 @@ class JsonlSink {
 
   /// Writes one JSON object line {"k": v, ...} and flushes. Keys are emitted
   /// in the order given; duplicate keys are the caller's bug.
-  void Write(const std::vector<std::pair<std::string, double>>& fields);
+  void Write(const std::vector<std::pair<std::string, double>>& fields)
+      NEUTRAJ_EXCLUDES(mu_);
 
   const std::string& path() const { return path_; }
 
  private:
-  std::mutex mu_;
+  /// Leaf of the obs subtree: writers may hold the metrics registry lock
+  /// (rank kObs) when flushing a snapshot, never the reverse.
+  Mutex mu_{lock_rank::kObsSink};
   std::string path_;
-  std::FILE* file_;  ///< Guarded by mu_.
+  std::FILE* file_ NEUTRAJ_GUARDED_BY(mu_) NEUTRAJ_PT_GUARDED_BY(mu_);
 };
 
 /// Escapes a string for use inside a JSON string literal (quotes not

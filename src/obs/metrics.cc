@@ -70,7 +70,7 @@ LatencyHistogram ConcurrentHistogram::Snapshot() const {
 }
 
 Counter& MetricsRegistry::GetCounter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Entry& e = entries_[name];
   if (e.gauge != nullptr || e.histogram != nullptr) {
     throw std::invalid_argument("MetricsRegistry: '" + name +
@@ -81,7 +81,7 @@ Counter& MetricsRegistry::GetCounter(const std::string& name) {
 }
 
 Gauge& MetricsRegistry::GetGauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Entry& e = entries_[name];
   if (e.counter != nullptr || e.histogram != nullptr) {
     throw std::invalid_argument("MetricsRegistry: '" + name +
@@ -92,7 +92,7 @@ Gauge& MetricsRegistry::GetGauge(const std::string& name) {
 }
 
 ConcurrentHistogram& MetricsRegistry::GetHistogram(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Entry& e = entries_[name];
   if (e.counter != nullptr || e.gauge != nullptr) {
     throw std::invalid_argument("MetricsRegistry: '" + name +
@@ -103,7 +103,7 @@ ConcurrentHistogram& MetricsRegistry::GetHistogram(const std::string& name) {
 }
 
 MetricsSnapshot MetricsRegistry::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   MetricsSnapshot snap;
   for (const auto& [name, entry] : entries_) {
     if (entry.counter != nullptr) {

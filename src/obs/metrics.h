@@ -28,10 +28,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "common/sync.h"
 
 namespace neutraj::obs {
 
@@ -153,11 +154,12 @@ class MetricsRegistry {
   MetricsRegistry(const MetricsRegistry&) = delete;
   MetricsRegistry& operator=(const MetricsRegistry&) = delete;
 
-  Counter& GetCounter(const std::string& name);
-  Gauge& GetGauge(const std::string& name);
-  ConcurrentHistogram& GetHistogram(const std::string& name);
+  Counter& GetCounter(const std::string& name) NEUTRAJ_EXCLUDES(mu_);
+  Gauge& GetGauge(const std::string& name) NEUTRAJ_EXCLUDES(mu_);
+  ConcurrentHistogram& GetHistogram(const std::string& name)
+      NEUTRAJ_EXCLUDES(mu_);
 
-  MetricsSnapshot Snapshot() const;
+  MetricsSnapshot Snapshot() const NEUTRAJ_EXCLUDES(mu_);
 
   /// The process-wide default registry (trainer, encoder, embedding DB).
   static MetricsRegistry& Global();
@@ -169,8 +171,12 @@ class MetricsRegistry {
     std::unique_ptr<ConcurrentHistogram> histogram;
   };
 
-  mutable std::mutex mu_;
-  std::map<std::string, Entry> entries_;  ///< Ordered: snapshots sort free.
+  /// Guards registration only; recording goes through the returned
+  /// references lock-free. Near-leaf rank: holders may only take the JSONL
+  /// sink lock below it, never serve/store/db locks.
+  mutable Mutex mu_{lock_rank::kObs};
+  /// Ordered: snapshots sort free.
+  std::map<std::string, Entry> entries_ NEUTRAJ_GUARDED_BY(mu_);
 };
 
 /// Sanitizes a metric name for the Prometheus exposition format:

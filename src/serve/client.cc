@@ -11,12 +11,12 @@
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
-#include <cstring>
 #include <thread>
 #include <utility>
 
 #include "common/framing.h"
 #include "common/random.h"
+#include "common/string_util.h"
 
 namespace neutraj::serve {
 
@@ -65,7 +65,7 @@ void SendAllOrThrow(int fd, const std::string& bytes) {
         throw std::runtime_error("Client: send timed out");
       }
       throw std::runtime_error(std::string("Client: send failed: ") +
-                               std::strerror(errno));
+                               ErrnoMessage(errno));
     }
     sent += static_cast<size_t>(n);
   }
@@ -115,7 +115,7 @@ int Client::ConnectOnce(const std::string& host, uint16_t port,
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) {
     throw std::runtime_error(std::string("Client: socket failed: ") +
-                             std::strerror(errno));
+                             ErrnoMessage(errno));
   }
   FdGuard guard(fd);
 
@@ -130,7 +130,7 @@ int Client::ConnectOnce(const std::string& host, uint16_t port,
     while (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
                      sizeof(addr)) != 0) {
       if (errno == EINTR) continue;
-      fail(std::strerror(errno), IsTransientConnectErrno(errno));
+      fail(ErrnoMessage(errno), IsTransientConnectErrno(errno));
     }
   } else {
     // Non-blocking connect bounded by poll(), then back to blocking mode so
@@ -139,7 +139,7 @@ int Client::ConnectOnce(const std::string& host, uint16_t port,
     if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
                   sizeof(addr)) != 0) {
       if (errno != EINPROGRESS && errno != EINTR) {
-        fail(std::strerror(errno), IsTransientConnectErrno(errno));
+        fail(ErrnoMessage(errno), IsTransientConnectErrno(errno));
       }
       pollfd pfd{fd, POLLOUT, 0};
       int rc;
@@ -147,14 +147,14 @@ int Client::ConnectOnce(const std::string& host, uint16_t port,
         rc = ::poll(&pfd, 1, static_cast<int>(connect_timeout_ms_));
       } while (rc < 0 && errno == EINTR);
       if (rc == 0) fail("connect timed out", true);
-      if (rc < 0) fail(std::strerror(errno), false);
+      if (rc < 0) fail(ErrnoMessage(errno), false);
       int soerr = 0;
       socklen_t len = sizeof(soerr);
       if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &soerr, &len) != 0) {
-        fail(std::strerror(errno), false);
+        fail(ErrnoMessage(errno), false);
       }
       if (soerr != 0) {
-        fail(std::strerror(soerr), IsTransientConnectErrno(soerr));
+        fail(ErrnoMessage(soerr), IsTransientConnectErrno(soerr));
       }
     }
     SetNonBlocking(fd, false);

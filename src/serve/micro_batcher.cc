@@ -46,7 +46,7 @@ std::future<MicroBatcher::BatchResult> MicroBatcher::SubmitBatch(
     return fut;
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (shutdown_) {
       throw std::runtime_error("MicroBatcher: submit after shutdown");
     }
@@ -54,7 +54,7 @@ std::future<MicroBatcher::BatchResult> MicroBatcher::SubmitBatch(
     stats_.requests += n;
   }
   requests_counter_->Add(n);
-  work_ready_.notify_one();
+  work_ready_.NotifyOne();
   return fut;
 }
 
@@ -71,16 +71,16 @@ nn::Vector MicroBatcher::Encode(const Trajectory& traj) {
 
 void MicroBatcher::Shutdown() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shutdown_ = true;
   }
-  work_ready_.notify_all();
-  std::lock_guard<std::mutex> join_lock(join_mu_);
+  work_ready_.NotifyAll();
+  MutexLock join_lock(join_mu_);
   if (batcher_.joinable()) batcher_.join();
 }
 
 MicroBatcher::Stats MicroBatcher::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return stats_;
 }
 
@@ -91,8 +91,8 @@ void MicroBatcher::BatcherLoop() {
     double waited_us = 0.0;
     size_t take = 0;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_ready_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      while (!shutdown_ && queue_.empty()) work_ready_.Wait(mu_);
       if (queue_.empty() && shutdown_) return;
 
       // Straggler window: once work exists, give concurrent submitters a
@@ -104,10 +104,7 @@ void MicroBatcher::BatcherLoop() {
         const auto deadline =
             wait_start + std::chrono::microseconds(opts_.max_wait_micros);
         while (queue_.size() < opts_.max_batch && !shutdown_) {
-          if (work_ready_.wait_until(lock, deadline) ==
-              std::cv_status::timeout) {
-            break;
-          }
+          if (!work_ready_.WaitUntil(mu_, deadline)) break;
         }
         waited_us = std::chrono::duration_cast<
                         std::chrono::duration<double, std::micro>>(

@@ -22,16 +22,15 @@
 #define NEUTRAJ_SERVE_MICRO_BATCHER_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/sync.h"
 #include "common/thread_pool.h"
 #include "core/model.h"
 #include "nn/workspace.h"
@@ -90,17 +89,18 @@ class MicroBatcher {
   /// group may be split across batches (and coalesced with other groups)
   /// freely. Per-item failures land in BatchResult::errors, never as a
   /// future exception. Throws std::runtime_error after Shutdown().
-  std::future<BatchResult> SubmitBatch(std::vector<Trajectory> trajs);
+  std::future<BatchResult> SubmitBatch(std::vector<Trajectory> trajs)
+      NEUTRAJ_EXCLUDES(mu_);
 
   /// Submit-one + wait: the blocking form used by simple handlers. Per-item
   /// failure is rethrown (std::invalid_argument for bad input).
-  nn::Vector Encode(const Trajectory& traj);
+  nn::Vector Encode(const Trajectory& traj) NEUTRAJ_EXCLUDES(mu_);
 
   /// Stops accepting work, finishes everything queued, joins the batcher
   /// thread. Idempotent; also run by the destructor.
-  void Shutdown();
+  void Shutdown() NEUTRAJ_EXCLUDES(mu_, join_mu_);
 
-  Stats stats() const;
+  Stats stats() const NEUTRAJ_EXCLUDES(mu_);
 
  private:
   /// One submitted group; shared by its queued items, completed (promise
@@ -117,18 +117,18 @@ class MicroBatcher {
     size_t index = 0;
   };
 
-  void BatcherLoop();
+  void BatcherLoop() NEUTRAJ_EXCLUDES(mu_);
   void RunBatch(std::vector<Item>* batch);
 
   const NeuTrajModel& model_;
   const Options opts_;
 
-  mutable std::mutex mu_;
-  std::mutex join_mu_;  ///< Serializes Shutdown()'s join.
-  std::condition_variable work_ready_;
-  std::deque<Item> queue_;
-  bool shutdown_ = false;
-  Stats stats_;
+  mutable Mutex mu_{lock_rank::kBatcher};
+  Mutex join_mu_{lock_rank::kBatcherJoin};  ///< Serializes Shutdown()'s join.
+  CondVar work_ready_;
+  std::deque<Item> queue_ NEUTRAJ_GUARDED_BY(mu_);
+  bool shutdown_ NEUTRAJ_GUARDED_BY(mu_) = false;
+  Stats stats_ NEUTRAJ_GUARDED_BY(mu_);
 
   // Registry-owned metrics, resolved once in the constructor. batch_size_
   // records how many items each executed batch carried; wait_us_ records the
@@ -143,6 +143,9 @@ class MicroBatcher {
   ThreadPool pool_;
   std::vector<nn::CellWorkspace> workspaces_;
 
+  // Written once by the constructor before any other thread exists, joined
+  // under join_mu_; not lock-annotated because the constructor-time write
+  // needs no lock.
   std::thread batcher_;
 };
 

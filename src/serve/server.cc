@@ -9,11 +9,12 @@
 
 #include <cerrno>
 #include <csignal>
-#include <cstring>
 #include <optional>
 #include <stdexcept>
 #include <string>
 #include <vector>
+
+#include "common/string_util.h"
 
 namespace neutraj::serve {
 
@@ -88,13 +89,13 @@ void Server::Start() {
   }
   if (::pipe(stop_pipe_) != 0) {
     throw std::runtime_error(std::string("Server: pipe failed: ") +
-                             std::strerror(errno));
+                             ErrnoMessage(errno));
   }
 
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0) {
     throw std::runtime_error(std::string("Server: socket failed: ") +
-                             std::strerror(errno));
+                             ErrnoMessage(errno));
   }
   const int one = 1;
   ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
@@ -109,11 +110,11 @@ void Server::Start() {
              sizeof(addr)) != 0) {
     throw std::runtime_error("Server: cannot bind " + opts_.host + ":" +
                              std::to_string(opts_.port) + ": " +
-                             std::strerror(errno));
+                             ErrnoMessage(errno));
   }
   if (::listen(listen_fd_, 128) != 0) {
     throw std::runtime_error(std::string("Server: listen failed: ") +
-                             std::strerror(errno));
+                             ErrnoMessage(errno));
   }
 
   sockaddr_in bound{};
@@ -121,7 +122,7 @@ void Server::Start() {
   if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) !=
       0) {
     throw std::runtime_error(std::string("Server: getsockname failed: ") +
-                             std::strerror(errno));
+                             ErrnoMessage(errno));
   }
   port_ = ntohs(bound.sin_port);
 
@@ -139,16 +140,17 @@ void Server::RequestStop() {
 }
 
 void Server::Wait() {
-  std::lock_guard<std::mutex> lock(wait_mu_);
+  MutexLock lock(wait_mu_);
   if (accept_thread_.joinable()) accept_thread_.join();
   // The accept loop has exited and no new handlers can be spawned.
   // Handlers run detached and wake from blocked reads via the SHUT_RD
   // issued during the accept loop teardown (or their own late-registration
   // check); each counts itself out of the latch after writing its
   // in-flight response.
-  std::unique_lock<std::mutex> conn_lock(conn_mu_);
-  conn_cv_.wait(conn_lock, [this] { return live_handlers_ == 0; });
-  conn_lock.unlock();
+  {
+    MutexLock conn_lock(conn_mu_);
+    while (live_handlers_ != 0) conn_cv_.Wait(conn_mu_);
+  }
   running_.store(false);
 }
 
@@ -177,7 +179,7 @@ void Server::AcceptLoop() {
     }
     ++accepted_;
     {
-      std::lock_guard<std::mutex> lock(conn_mu_);
+      MutexLock lock(conn_mu_);
       if (live_handlers_ >= opts_.max_connections) {
         // Over the connection cap: close immediately — the client sees EOF
         // and can retry — rather than spawn unbounded handler threads.
@@ -192,7 +194,7 @@ void Server::AcceptLoop() {
       // Thread creation failed (resource exhaustion): shed this connection
       // and keep serving the ones already up.
       ::close(fd);
-      std::lock_guard<std::mutex> lock(conn_mu_);
+      MutexLock lock(conn_mu_);
       --live_handlers_;
     }
   }
@@ -205,7 +207,7 @@ void Server::AcceptLoop() {
   ::close(listen_fd_);
   listen_fd_ = -1;
   service_->SetDraining(true);
-  std::lock_guard<std::mutex> lock(conn_mu_);
+  MutexLock lock(conn_mu_);
   for (int fd : conn_fds_) ::shutdown(fd, SHUT_RD);
 }
 
@@ -217,7 +219,7 @@ void Server::ConnectionLoop(int fd) {
     ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
   }
   {
-    std::lock_guard<std::mutex> lock(conn_mu_);
+    MutexLock lock(conn_mu_);
     conn_fds_.insert(fd);
     // Registration can lose the race with the drain's SHUT_RD pass (spawn
     // happens-before the pass, insertion after). The pass could not see
@@ -301,16 +303,16 @@ void Server::ConnectionLoop(int fd) {
   }
 
   {
-    std::lock_guard<std::mutex> lock(conn_mu_);
+    MutexLock lock(conn_mu_);
     conn_fds_.erase(fd);
   }
   ::close(fd);
   // Last touch of *this. Notify under the lock: Wait() may return — and
   // the Server be destroyed — the moment the latch hits zero, so the
   // notify must land before any waiter can observe the new count.
-  std::lock_guard<std::mutex> lock(conn_mu_);
+  MutexLock lock(conn_mu_);
   --live_handlers_;
-  conn_cv_.notify_all();
+  conn_cv_.NotifyAll();
 }
 
 void InstallStopSignalHandlers(Server* server) {

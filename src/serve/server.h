@@ -24,13 +24,12 @@
 #define NEUTRAJ_SERVE_SERVER_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
-#include <mutex>
 #include <set>
 #include <string>
 #include <thread>
 
+#include "common/sync.h"
 #include "serve/service.h"
 
 namespace neutraj::serve {
@@ -75,10 +74,10 @@ class Server {
 
   /// Blocks until a requested stop has fully drained: no accepts, all
   /// connection threads joined, all in-flight responses written.
-  void Wait();
+  void Wait() NEUTRAJ_EXCLUDES(wait_mu_, conn_mu_);
 
   /// RequestStop() + Wait().
-  void Stop();
+  void Stop() NEUTRAJ_EXCLUDES(wait_mu_, conn_mu_);
 
   bool running() const { return running_.load(); }
 
@@ -86,8 +85,8 @@ class Server {
   uint64_t connections_accepted() const { return accepted_.load(); }
 
  private:
-  void AcceptLoop();
-  void ConnectionLoop(int fd);
+  void AcceptLoop() NEUTRAJ_EXCLUDES(conn_mu_);
+  void ConnectionLoop(int fd) NEUTRAJ_EXCLUDES(conn_mu_);
 
   QueryService* service_;
   ServerOptions opts_;
@@ -101,17 +100,19 @@ class Server {
   std::atomic<uint64_t> accepted_{0};
 
   std::thread accept_thread_;
-  std::mutex wait_mu_;  ///< Serializes Wait()/Stop() joins.
+  /// Serializes Wait()/Stop() joins; ranked below conn_mu_ because Wait()
+  /// blocks on the handler latch while holding it.
+  Mutex wait_mu_{lock_rank::kServerWait};
 
   // Connection bookkeeping, all guarded by conn_mu_. Handler threads run
   // detached; live_handlers_ is the completion latch Wait() blocks on, and
   // live fds are tracked so a drain can shutdown(SHUT_RD) blocked readers
   // awake. A handler that registers its fd after the drain's SHUT_RD pass
   // detects stop_requested_ under conn_mu_ and shuts itself down.
-  std::mutex conn_mu_;
-  std::condition_variable conn_cv_;
-  size_t live_handlers_ = 0;
-  std::set<int> conn_fds_;
+  Mutex conn_mu_{lock_rank::kConn};
+  CondVar conn_cv_;
+  size_t live_handlers_ NEUTRAJ_GUARDED_BY(conn_mu_) = 0;
+  std::set<int> conn_fds_ NEUTRAJ_GUARDED_BY(conn_mu_);
 };
 
 /// Routes SIGTERM and SIGINT to server->RequestStop(). One server per

@@ -49,12 +49,12 @@ void DurableStore::AttachMetrics(obs::MetricsRegistry* registry) {
 }
 
 std::string DurableStore::degraded_reason() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return degraded_reason_;
 }
 
 size_t DurableStore::wal_records() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return wal_records_;
 }
 
@@ -68,7 +68,7 @@ void DurableStore::DegradeLocked(const std::string& reason) {
 
 DurableStore::RecoveryInfo DurableStore::Open() {
   Stopwatch sw;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (opened_) throw StoreError("DurableStore: already opened");
   if (!EnsureDirectory(opts_.data_dir)) {
     throw StoreError("DurableStore: cannot create data dir " + opts_.data_dir);
@@ -129,7 +129,7 @@ DurableStore::RecoveryInfo DurableStore::Open() {
 
 size_t DurableStore::Insert(const nn::Vector& embedding) {
   Stopwatch sw;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (!opened_) throw StoreError("DurableStore: Insert before Open");
   if (degraded_.load()) {
     throw StoreError("DurableStore: store is read-only (degraded): " +
@@ -166,7 +166,7 @@ size_t DurableStore::Insert(const nn::Vector& embedding) {
 }
 
 void DurableStore::Compact() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (!opened_) throw StoreError("DurableStore: Compact before Open");
   if (degraded_.load()) {
     throw StoreError("DurableStore: store is read-only (degraded): " +

@@ -37,9 +37,9 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 
+#include "common/sync.h"
 #include "core/embedding_db.h"
 #include "obs/metrics.h"
 #include "store/file.h"
@@ -81,22 +81,24 @@ class DurableStore {
   /// built from --data is durable from request one. Ends with a compaction
   /// whenever the log had content, so torn tails never linger. Throws
   /// StoreError on I/O failure and CorruptionError on a corrupt snapshot.
-  RecoveryInfo Open();
+  RecoveryInfo Open() NEUTRAJ_EXCLUDES(mu_);
 
   /// Durably logs and applies one insert; returns the assigned corpus id.
   /// Throws StoreError (without applying) if the store is degraded or the
   /// append fails — an insert that was not logged is never acknowledged.
-  size_t Insert(const nn::Vector& embedding);
+  /// WAL-then-db ordering is enforced under mu_: the record is appended and
+  /// synced before EmbeddingDatabase::Insert runs (store rank < db rank).
+  size_t Insert(const nn::Vector& embedding) NEUTRAJ_EXCLUDES(mu_);
 
   /// Snapshots the corpus and truncates the WAL. Throws StoreError.
-  void Compact();
+  void Compact() NEUTRAJ_EXCLUDES(mu_);
 
   /// True once a log/snapshot I/O failure has flipped the store read-only.
   bool read_only() const { return degraded_.load(); }
-  std::string degraded_reason() const;
+  std::string degraded_reason() const NEUTRAJ_EXCLUDES(mu_);
 
   /// Live WAL records since the last compaction.
-  size_t wal_records() const;
+  size_t wal_records() const NEUTRAJ_EXCLUDES(mu_);
 
   const std::string& snapshot_path() const { return snapshot_path_; }
   const std::string& wal_path() const { return wal_path_; }
@@ -106,8 +108,8 @@ class DurableStore {
   void AttachMetrics(obs::MetricsRegistry* registry);
 
  private:
-  void CompactLocked();
-  void DegradeLocked(const std::string& reason);
+  void CompactLocked() NEUTRAJ_REQUIRES(mu_);
+  void DegradeLocked(const std::string& reason) NEUTRAJ_REQUIRES(mu_);
 
   EmbeddingDatabase* db_;
   Options opts_;
@@ -115,11 +117,15 @@ class DurableStore {
   std::string snapshot_path_;
   std::string wal_path_;
 
-  mutable std::mutex mu_;                 ///< Serializes all mutations.
-  std::unique_ptr<WalWriter> wal_;        ///< Guarded by mu_.
-  size_t wal_records_ = 0;                ///< Guarded by mu_.
-  bool opened_ = false;                   ///< Guarded by mu_.
-  std::string degraded_reason_;           ///< Guarded by mu_.
+  /// Serializes all mutations; ranked below the database lock because
+  /// Insert/Compact call into the EmbeddingDatabase while holding it
+  /// (the WAL-then-db ordering seam).
+  mutable Mutex mu_{lock_rank::kStore};
+  std::unique_ptr<WalWriter> wal_ NEUTRAJ_GUARDED_BY(mu_)
+      NEUTRAJ_PT_GUARDED_BY(mu_);
+  size_t wal_records_ NEUTRAJ_GUARDED_BY(mu_) = 0;
+  bool opened_ NEUTRAJ_GUARDED_BY(mu_) = false;
+  std::string degraded_reason_ NEUTRAJ_GUARDED_BY(mu_);
   std::atomic<bool> degraded_{false};
 
   // Registry-owned; re-resolved by AttachMetrics.

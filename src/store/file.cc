@@ -5,7 +5,8 @@
 
 #include <cerrno>
 #include <cstdio>
-#include <cstring>
+
+#include "common/string_util.h"
 
 namespace neutraj::store {
 
@@ -30,7 +31,7 @@ class PosixFile : public File {
       if (n < 0) {
         if (errno == EINTR) continue;
         throw StoreError("write failed on " + path_ + ": " +
-                         std::strerror(errno));
+                         ErrnoMessage(errno));
       }
       written += static_cast<size_t>(n);
     }
@@ -39,14 +40,14 @@ class PosixFile : public File {
   void Sync() override {
     if (::fsync(fd_) != 0) {
       throw StoreError("fsync failed on " + path_ + ": " +
-                       std::strerror(errno));
+                       ErrnoMessage(errno));
     }
   }
 
   void Truncate() override {
     if (::ftruncate(fd_, 0) != 0) {
       throw StoreError("ftruncate failed on " + path_ + ": " +
-                       std::strerror(errno));
+                       ErrnoMessage(errno));
     }
     Sync();
   }
@@ -69,7 +70,7 @@ class PosixFileFactory : public FileFactory {
   void Rename(const std::string& from, const std::string& to) override {
     if (std::rename(from.c_str(), to.c_str()) != 0) {
       throw StoreError("rename " + from + " -> " + to + " failed: " +
-                       std::strerror(errno));
+                       ErrnoMessage(errno));
     }
   }
 
@@ -78,14 +79,14 @@ class PosixFileFactory : public FileFactory {
     const int fd = ::open(d.c_str(), O_RDONLY | O_DIRECTORY);
     if (fd < 0) {
       throw StoreError("cannot open directory " + d + " for sync: " +
-                       std::strerror(errno));
+                       ErrnoMessage(errno));
     }
     const int rc = ::fsync(fd);
     const int err = errno;
     ::close(fd);
     if (rc != 0) {
       throw StoreError("directory fsync failed on " + d + ": " +
-                       std::strerror(err));
+                       ErrnoMessage(err));
     }
   }
 
@@ -93,7 +94,7 @@ class PosixFileFactory : public FileFactory {
   static std::unique_ptr<File> Open(const std::string& path, int flags) {
     const int fd = ::open(path.c_str(), flags, 0644);
     if (fd < 0) {
-      throw StoreError("cannot open " + path + ": " + std::strerror(errno));
+      throw StoreError("cannot open " + path + ": " + ErrnoMessage(errno));
     }
     return std::make_unique<PosixFile>(fd, path);
   }

@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Asserts one negative-compile snippet behaves as designed:
+#   1. the -DNEGCOMPILE_OK control variant compiles cleanly, and
+#   2. the violation variant FAILS to compile, with a thread-safety
+#      diagnostic (not some unrelated error).
+#
+# Usage: check_negcompile.sh <clang++> <src_include_dir> <snippet.cc>
+# Exit 0 iff both assertions hold. Registered per-snippet as the
+# negcompile_* ctest cases (see tests/CMakeLists.txt).
+
+set -u
+
+if [[ $# -ne 3 ]]; then
+  echo "usage: $0 <clang++> <src_include_dir> <snippet.cc>" >&2
+  exit 2
+fi
+cxx="$1"
+inc="$2"
+snippet="$3"
+
+flags=(-std=c++20 -fsyntax-only -Wthread-safety -Wthread-safety-beta
+       -Werror -I "$inc")
+
+# 1. Control: the fixed variant must compile, or the snippet is broken and a
+#    "failure" below would prove nothing.
+if ! control_err=$("$cxx" "${flags[@]}" -DNEGCOMPILE_OK "$snippet" 2>&1); then
+  echo "FAIL: control variant (-DNEGCOMPILE_OK) of $snippet did not compile:" >&2
+  echo "$control_err" >&2
+  exit 1
+fi
+
+# 2. Violation: must be rejected...
+if violation_err=$("$cxx" "${flags[@]}" "$snippet" 2>&1); then
+  echo "FAIL: violation variant of $snippet compiled — the annotation it" >&2
+  echo "      pins is no longer load-bearing" >&2
+  exit 1
+fi
+
+# ...and rejected by the thread-safety analysis specifically.
+if ! grep -q 'thread-safety' <<<"$violation_err"; then
+  echo "FAIL: violation variant of $snippet failed for a non-thread-safety" >&2
+  echo "      reason:" >&2
+  echo "$violation_err" >&2
+  exit 1
+fi
+
+echo "OK: $snippet (control compiles, violation rejected by thread-safety)"

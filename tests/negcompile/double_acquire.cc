@@ -1,0 +1,30 @@
+// MUST NOT COMPILE (without -DNEGCOMPILE_OK): acquires a capability the
+// scope already holds (with a non-recursive mutex this is a guaranteed
+// self-deadlock at runtime; TSA rejects it statically).
+
+#include "common/sync.h"
+
+namespace negcompile {
+
+class Queue {
+ public:
+  void Touch() {
+    neutraj::MutexLock lock(mu_);
+#ifndef NEGCOMPILE_OK
+    neutraj::MutexLock again(mu_);  // mu_ is already held.
+#endif
+    ++n_;
+  }
+
+ private:
+  neutraj::Mutex mu_;
+  int n_ NEUTRAJ_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace negcompile
+
+int main() {
+  negcompile::Queue q;
+  q.Touch();
+  return 0;
+}

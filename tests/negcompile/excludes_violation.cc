@@ -1,0 +1,41 @@
+// MUST NOT COMPILE (without -DNEGCOMPILE_OK): calls a NEUTRAJ_EXCLUDES(mu_)
+// function while holding mu_ — the callee takes the same non-recursive lock
+// itself, so this is a self-deadlock.
+
+#include "common/sync.h"
+
+namespace negcompile {
+
+class Pool {
+ public:
+  void Drain() NEUTRAJ_EXCLUDES(mu_) {
+    neutraj::MutexLock lock(mu_);
+    n_ = 0;
+  }
+
+  void Reset() NEUTRAJ_EXCLUDES(mu_) {
+#ifdef NEGCOMPILE_OK
+    {
+      neutraj::MutexLock lock(mu_);
+      n_ = 1;
+    }
+    Drain();  // Lock released: the EXCLUDES contract holds.
+#else
+    neutraj::MutexLock lock(mu_);
+    n_ = 1;
+    Drain();  // EXCLUDES(mu_) callee invoked with mu_ held.
+#endif
+  }
+
+ private:
+  neutraj::Mutex mu_;
+  int n_ NEUTRAJ_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace negcompile
+
+int main() {
+  negcompile::Pool p;
+  p.Reset();
+  return 0;
+}

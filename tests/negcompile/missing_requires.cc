@@ -1,0 +1,30 @@
+// MUST NOT COMPILE (without -DNEGCOMPILE_OK): calls a NEUTRAJ_REQUIRES(mu_)
+// function without holding mu_.
+
+#include "common/sync.h"
+
+namespace negcompile {
+
+class Table {
+ public:
+  void Insert() {
+#ifdef NEGCOMPILE_OK
+    neutraj::MutexLock lock(mu_);
+#endif
+    InsertLocked();  // REQUIRES(mu_) callee.
+  }
+
+ private:
+  void InsertLocked() NEUTRAJ_REQUIRES(mu_) { ++n_; }
+
+  neutraj::Mutex mu_;
+  int n_ NEUTRAJ_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace negcompile
+
+int main() {
+  negcompile::Table t;
+  t.Insert();
+  return 0;
+}

@@ -1,0 +1,30 @@
+// MUST NOT COMPILE (without -DNEGCOMPILE_OK): Lock() with no matching
+// Unlock() before the function returns — the capability leaks out of a
+// function that is not annotated to return it held.
+
+#include "common/sync.h"
+
+namespace negcompile {
+
+class Registry {
+ public:
+  void Bump() {
+    mu_.Lock();
+    ++n_;
+#ifdef NEGCOMPILE_OK
+    mu_.Unlock();
+#endif
+  }  // Still held here in the violation variant.
+
+ private:
+  neutraj::Mutex mu_;
+  int n_ NEUTRAJ_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace negcompile
+
+int main() {
+  negcompile::Registry r;
+  r.Bump();
+  return 0;
+}

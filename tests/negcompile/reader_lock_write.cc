@@ -1,0 +1,31 @@
+// MUST NOT COMPILE (without -DNEGCOMPILE_OK): writes a NEUTRAJ_GUARDED_BY
+// member while holding only a shared (reader) capability — writers need the
+// exclusive side.
+
+#include "common/sync.h"
+
+namespace negcompile {
+
+class Db {
+ public:
+  void Set(int v) {
+#ifdef NEGCOMPILE_OK
+    neutraj::WriterLock lock(mu_);
+#else
+    neutraj::ReaderLock lock(mu_);  // Shared hold cannot write.
+#endif
+    v_ = v;
+  }
+
+ private:
+  neutraj::SharedMutex mu_;
+  int v_ NEUTRAJ_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace negcompile
+
+int main() {
+  negcompile::Db db;
+  db.Set(1);
+  return 0;
+}

@@ -1,0 +1,29 @@
+// MUST NOT COMPILE (without -DNEGCOMPILE_OK): reads a NEUTRAJ_GUARDED_BY
+// member with no lock held.
+
+#include "common/sync.h"
+
+namespace negcompile {
+
+class Stat {
+ public:
+  int Get() const {
+#ifdef NEGCOMPILE_OK
+    neutraj::MutexLock lock(mu_);
+    return x_;
+#else
+    return x_;  // Guarded read, no capability held.
+#endif
+  }
+
+ private:
+  mutable neutraj::Mutex mu_;
+  int x_ NEUTRAJ_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace negcompile
+
+int main() {
+  negcompile::Stat s;
+  return s.Get();
+}

@@ -25,6 +25,14 @@
 #      harness can intercept it and so short writes / EINTR are handled in
 #      exactly one place. An unchecked write()/fsync() elsewhere is a
 #      durability hole the crash tests cannot see.
+#   7. No raw std:: locking primitives in src/ outside common/sync.{h,cc}:
+#      every mutex must be a neutraj::Mutex / SharedMutex so it carries the
+#      Clang Thread Safety capability annotations and a lock rank. A raw
+#      std::mutex is invisible to both enforcement layers — the static
+#      analysis cannot see what it guards and the runtime rank checker
+#      cannot order it. common/sync.cc itself is exempt: it wraps the std
+#      primitives (including CondVar's internal std::unique_lock adoption,
+#      which is how a wrapped mutex waits on a std::condition_variable).
 #
 # Usage: tools/lint.sh   (from anywhere; exits non-zero on any violation)
 
@@ -91,6 +99,17 @@ hits=$(grep -rnE '::write\(|::pwrite\(|::fsync\(|::fdatasync\(|::ftruncate\(|::r
     | grep -vE '^[^:]*:[0-9]+: *//' || true)
 if [[ -n "$hits" ]]; then
   report "raw POSIX I/O in src/store outside store/file.cc (use the File seam)" "$hits"
+fi
+
+# -- Rule 7: raw std:: locking primitives outside common/sync ----------------
+# All locking goes through the annotated wrappers in common/sync.h so the
+# thread-safety analysis and the lock-rank checker both see every mutex.
+hits=$(grep -rnE 'std::(mutex|shared_mutex|recursive_mutex|timed_mutex|recursive_timed_mutex|shared_timed_mutex|lock_guard|unique_lock|shared_lock|scoped_lock|condition_variable)\b' \
+    src/ --include='*.cc' --include='*.h' \
+    | grep -vE '^src/common/sync\.(h|cc):' \
+    | grep -vE '^[^:]*:[0-9]+: *(//|\*)' || true)
+if [[ -n "$hits" ]]; then
+  report "raw std:: locking primitive in src/ (use common/sync.h wrappers)" "$hits"
 fi
 
 if [[ "$fail" -ne 0 ]]; then
