@@ -1,6 +1,8 @@
-// Serving benchmark: micro-batched encoding throughput over the wire.
+// Serving benchmark: micro-batched encoding throughput over the wire, the
+// durable-ack insert tax, and million-scale retrieval.
 //
-// Starts a real loopback server twice against the same model + corpus:
+// Phases 1-2 start a real loopback server twice against the same model +
+// corpus:
 //   - unbatched baseline: max_batch=1, no straggler window, one sequential
 //     client issuing single Encode requests back to back — the
 //     one-request-at-a-time cost every serving stack starts from;
@@ -10,18 +12,38 @@
 // Trajectories are kept short so the per-request transport + dispatch
 // overhead — the cost micro-batching amortizes — is visible next to the
 // O(L d^2) encode compute; that ratio, not raw model speed, is what this
-// benchmark tracks. Emits BENCH_serving.json; exits non-zero unless the
-// batched configuration sustains >= 2x the unbatched baseline.
+// benchmark tracks. Each phase also reports the server-side p50/p99 encode
+// latency from the endpoint histogram snapshot.
 //
-// A third phase measures the durable-ack insert tax: the same embedding
-// sequence appended to a plain in-memory EmbeddingDatabase versus through
+// Phase 3 measures the durable-ack insert tax: the same embedding sequence
+// appended to a plain in-memory EmbeddingDatabase versus through
 // DurableStore (WAL append + fsync before ack). The encode step is excluded
 // on purpose — it would dominate and hide the durability cost this phase
 // exists to track.
+//
+// Phase 4 is the retrieval subsystem at the scale it was built for: a
+// seeded, clustered 1M x dim-8 synthetic corpus queried three ways —
+//   - exact: the flat EmbeddingDatabase O(N * d) scan (the baseline and the
+//     ground truth for recall);
+//   - sharded: ShardedEmbeddingDatabase scatter-gather, which must return
+//     BIT-IDENTICAL results to the exact scan (a correctness gate — on one
+//     box it is the same total work, the shards buy lock scaling);
+//   - ivf: IvfBackend — IVF probe over the int8 quantized tier, then exact
+//     float re-rank, so scores match the exact path and only recall is
+//     approximate.
+// Reports qps and per-query p50/p99 per backend plus recall@10 for the ANN
+// path, and records the knobs (shards, nlist, nprobe, rerank, seed, kernel)
+// next to the numbers in BENCH_serving.json.
+//
+// Exit status is the acceptance gate: batched >= 2x unbatched, the sharded
+// scan bit-identical to exact, and IVF+int8 >= 10x exact-scan qps at
+// recall@10 >= 0.95.
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <filesystem>
+#include <functional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -41,6 +63,19 @@ constexpr size_t kConcurrentClients = 8;
 constexpr size_t kBurstSize = 64;
 constexpr size_t kBurstsPerClient = 16;
 
+// Phase 4 (retrieval) shape: a clustered corpus — the regime IVF exists
+// for — with queries drawn as small perturbations of corpus rows, the way
+// trajectory-similarity queries sit near the embedding manifold.
+constexpr size_t kRetrievalCorpus = 1000000;
+constexpr size_t kRetrievalCenters = 200;
+constexpr double kCenterSigma = 4.0;
+constexpr double kSpreadSigma = 0.3;
+constexpr uint64_t kRetrievalSeed = 97;
+constexpr size_t kRetrievalQueries = 64;
+constexpr size_t kRetrievalK = 10;
+constexpr size_t kRetrievalRepeats = 3;  ///< Best-of, after one warm-up.
+constexpr size_t kShards = 8;
+
 struct PhaseResult {
   std::string name;
   size_t clients = 0;
@@ -49,6 +84,8 @@ struct PhaseResult {
   double qps = 0.0;
   double mean_batch = 0.0;
   uint64_t batches = 0;
+  double p50_micros = 0.0;  ///< Server-side encode endpoint latency.
+  double p99_micros = 0.0;
 };
 
 /// Runs one serving phase: spins up a server with the given batching
@@ -117,10 +154,19 @@ PhaseResult RunPhase(const std::string& name, const NeuTrajModel& model,
   r.qps = static_cast<double>(total) / best;
   r.mean_batch = snap.mean_batch_size;
   r.batches = snap.batches;
+  // The encode endpoint histogram spans warm-up + all passes — it is a
+  // latency distribution, where best-of would make no sense anyway.
+  for (const serve::EndpointSnapshot& es : snap.endpoints) {
+    if (es.name == "encode") {
+      r.p50_micros = es.p50_micros;
+      r.p99_micros = es.p99_micros;
+    }
+  }
   std::printf("  %-10s %zu clients  %5zu reqs  %6.3fs  %8.1f qps  "
-              "(mean batch %.2f over %llu batches)\n",
+              "p50 %.0fus  p99 %.0fus  (mean batch %.2f over %llu batches)\n",
               r.name.c_str(), r.clients, r.requests, r.seconds, r.qps,
-              r.mean_batch, static_cast<unsigned long long>(r.batches));
+              r.p50_micros, r.p99_micros, r.mean_batch,
+              static_cast<unsigned long long>(r.batches));
   return r;
 }
 
@@ -171,6 +217,172 @@ InsertResult RunInsertPhase(const EmbeddingDatabase& source) {
   return r;
 }
 
+// ---------------------------------------------------------------------------
+// Phase 4: million-scale retrieval.
+
+struct LatencyStats {
+  double qps = 0.0;
+  double p50_micros = 0.0;
+  double p99_micros = 0.0;
+};
+
+struct RetrievalResult {
+  retrieval::IvfIndex::Options ivf;  ///< Knobs, recorded with the numbers.
+  double build_seconds = 0.0;
+  LatencyStats exact;
+  LatencyStats sharded;
+  bool sharded_identical = false;
+  LatencyStats ivf_stats;
+  double recall = 0.0;       ///< recall@kRetrievalK vs the exact scan.
+  double ivf_speedup = 0.0;  ///< ivf qps / exact qps.
+};
+
+/// Nearest-rank percentile of `micros` (q in (0, 1]).
+double Percentile(std::vector<double> micros, double q) {
+  if (micros.empty()) return 0.0;
+  std::sort(micros.begin(), micros.end());
+  const size_t rank = static_cast<size_t>(
+      std::ceil(q * static_cast<double>(micros.size())));
+  return micros[std::min(micros.size() - 1, rank == 0 ? 0 : rank - 1)];
+}
+
+/// Times `run(i)` for i in [0, n): one warm-up pass, then best-of-N passes
+/// by total wall time; p50/p99 come from the per-query latencies of the
+/// best pass.
+LatencyStats MeasureQueries(size_t n, const std::function<void(size_t)>& run) {
+  for (size_t i = 0; i < n; ++i) run(i);
+  LatencyStats best;
+  double best_seconds = 0.0;
+  for (size_t rep = 0; rep < kRetrievalRepeats; ++rep) {
+    std::vector<double> lat(n);
+    Stopwatch total;
+    for (size_t i = 0; i < n; ++i) {
+      Stopwatch sw;
+      run(i);
+      lat[i] = sw.ElapsedSeconds() * 1e6;
+    }
+    const double seconds = total.ElapsedSeconds();
+    if (rep == 0 || seconds < best_seconds) {
+      best_seconds = seconds;
+      best.qps = static_cast<double>(n) / seconds;
+      best.p50_micros = Percentile(lat, 0.5);
+      best.p99_micros = Percentile(lat, 0.99);
+    }
+  }
+  return best;
+}
+
+RetrievalResult RunRetrievalPhase() {
+  RetrievalResult r;
+  r.ivf.nlist = 256;
+  r.ivf.train_sample = 20000;
+  r.ivf.kmeans_iters = 6;
+  r.ivf.seed = 42;
+  r.ivf.default_nprobe = 16;
+  r.ivf.rerank = 128;
+
+  // Seeded clustered corpus: centers well separated (sigma 4) next to the
+  // in-cluster spread (sigma 0.3); queries perturbed off corpus rows.
+  Rng rng(kRetrievalSeed);
+  std::vector<nn::Vector> centers(kRetrievalCenters,
+                                  nn::Vector(kEmbeddingDim));
+  for (nn::Vector& c : centers) {
+    for (double& x : c) x = rng.Gaussian(0.0, kCenterSigma);
+  }
+  std::vector<nn::Vector> rows;
+  rows.reserve(kRetrievalCorpus);
+  for (size_t i = 0; i < kRetrievalCorpus; ++i) {
+    nn::Vector v = centers[i % centers.size()];
+    for (double& x : v) x += rng.Gaussian(0.0, kSpreadSigma);
+    rows.push_back(std::move(v));
+  }
+  std::vector<nn::Vector> queries(kRetrievalQueries,
+                                  nn::Vector(kEmbeddingDim));
+  for (nn::Vector& q : queries) {
+    const nn::Vector& base = rows[static_cast<size_t>(rng.UniformInt(
+        0, static_cast<int64_t>(kRetrievalCorpus) - 1))];
+    for (size_t d = 0; d < kEmbeddingDim; ++d) {
+      q[d] = base[d] + rng.Gaussian(0.0, 0.1);
+    }
+  }
+
+  EmbeddingDatabase exact_db;
+  for (const nn::Vector& v : rows) exact_db.Insert(v);
+
+  // Ground truth (and recall reference): the exact scan's answers.
+  std::vector<SearchResult> truth(kRetrievalQueries);
+  for (size_t i = 0; i < kRetrievalQueries; ++i) {
+    truth[i] = exact_db.TopK(queries[i], kRetrievalK);
+  }
+
+  r.exact = MeasureQueries(kRetrievalQueries, [&](size_t i) {
+    exact_db.TopK(queries[i], kRetrievalK);
+  });
+  std::printf("  exact    %8.1f qps  p50 %.0fus  p99 %.0fus  "
+              "(flat O(N*d) scan)\n",
+              r.exact.qps, r.exact.p50_micros, r.exact.p99_micros);
+
+  // Sharded scatter-gather, scoped so its corpus copy is freed before the
+  // IVF build (caps peak memory at two corpus copies).
+  {
+    retrieval::ShardedEmbeddingDatabase sharded(kShards);
+    sharded.BulkLoad(rows);
+    ThreadPool pool(kServerThreads);
+    r.sharded_identical = true;
+    for (size_t i = 0; i < kRetrievalQueries; ++i) {
+      const SearchResult got =
+          sharded.TopK(queries[i], kRetrievalK, -1, &pool);
+      if (got.ids != truth[i].ids || got.dists != truth[i].dists) {
+        r.sharded_identical = false;
+      }
+    }
+    r.sharded = MeasureQueries(kRetrievalQueries, [&](size_t i) {
+      sharded.TopK(queries[i], kRetrievalK, -1, &pool);
+    });
+    std::printf("  sharded  %8.1f qps  p50 %.0fus  p99 %.0fus  "
+                "(%zu shards, bit-identical: %s)\n",
+                r.sharded.qps, r.sharded.p50_micros, r.sharded.p99_micros,
+                kShards, r.sharded_identical ? "yes" : "NO");
+  }
+  std::vector<nn::Vector>().swap(rows);
+
+  retrieval::IvfBackend ivf(&exact_db, r.ivf);
+  {
+    Stopwatch sw;
+    ivf.Build(kServerThreads);
+    r.build_seconds = sw.ElapsedSeconds();
+  }
+  std::printf("  ivf build: %.2fs  (nlist=%zu, sample=%zu, seed=%llu, "
+              "kernel=%s)\n",
+              r.build_seconds, ivf.index().nlist(), r.ivf.train_sample,
+              static_cast<unsigned long long>(r.ivf.seed),
+              retrieval::QuantizedKernelName());
+
+  size_t hits = 0;
+  for (size_t i = 0; i < kRetrievalQueries; ++i) {
+    const SearchResult got = ivf.TopK(queries[i], kRetrievalK, -1, 0);
+    for (size_t id : got.ids) {
+      if (std::find(truth[i].ids.begin(), truth[i].ids.end(), id) !=
+          truth[i].ids.end()) {
+        ++hits;
+      }
+    }
+  }
+  r.recall = static_cast<double>(hits) /
+             static_cast<double>(kRetrievalQueries * kRetrievalK);
+
+  r.ivf_stats = MeasureQueries(kRetrievalQueries, [&](size_t i) {
+    ivf.TopK(queries[i], kRetrievalK, -1, 0);
+  });
+  r.ivf_speedup = r.ivf_stats.qps / r.exact.qps;
+  std::printf("  ivf      %8.1f qps  p50 %.0fus  p99 %.0fus  "
+              "(nprobe=%zu, rerank=%zu, recall@%zu %.4f, %.1fx exact)\n",
+              r.ivf_stats.qps, r.ivf_stats.p50_micros,
+              r.ivf_stats.p99_micros, r.ivf.default_nprobe, r.ivf.rerank,
+              kRetrievalK, r.recall, r.ivf_speedup);
+  return r;
+}
+
 }  // namespace
 
 int main() {
@@ -198,7 +410,7 @@ int main() {
   std::printf("corpus: %zu trajectories (mean length %.1f, d=%zu)\n\n",
               data.size(), data.MeanLength(), db.dim());
 
-  std::printf("[1/3] unbatched baseline (batch=1, 1 sequential client)\n");
+  std::printf("[1/4] unbatched baseline (batch=1, 1 sequential client)\n");
   serve::MicroBatcher::Options unbatched;
   unbatched.threads = kServerThreads;
   unbatched.max_batch = 1;
@@ -207,7 +419,7 @@ int main() {
       RunPhase("unbatched", model, &db, data.trajectories, 1,
                /*pipelined=*/false, unbatched);
 
-  std::printf("[2/3] micro-batched (batch=%zu, wait=200us, %zu pipelined "
+  std::printf("[2/4] micro-batched (batch=%zu, wait=200us, %zu pipelined "
               "clients)\n",
               kBurstSize, kConcurrentClients);
   serve::MicroBatcher::Options batched;
@@ -218,11 +430,18 @@ int main() {
       RunPhase("batched", model, &db, data.trajectories, kConcurrentClients,
                /*pipelined=*/true, batched);
 
-  std::printf("[3/3] durable-ack insert overhead (WAL fsync before ack)\n");
+  std::printf("[3/4] durable-ack insert overhead (WAL fsync before ack)\n");
   const InsertResult ins = RunInsertPhase(db);
+
+  std::printf("[4/4] million-scale retrieval (%zu rows, d=%zu, %zu queries, "
+              "k=%zu)\n",
+              kRetrievalCorpus, kEmbeddingDim, kRetrievalQueries, kRetrievalK);
+  const RetrievalResult ret = RunRetrievalPhase();
 
   const double speedup = fast.qps / base.qps;
   std::printf("\nbatched/unbatched throughput: %.2fx\n", speedup);
+  std::printf("ivf/exact retrieval throughput: %.2fx at recall@%zu %.4f\n",
+              ret.ivf_speedup, kRetrievalK, ret.recall);
 
   FILE* f = std::fopen("BENCH_serving.json", "w");
   if (f == nullptr) {
@@ -240,19 +459,58 @@ int main() {
     const PhaseResult& r = *phases[i];
     std::fprintf(f,
                  "    {\"name\": \"%s\", \"clients\": %zu, \"requests\": %zu, "
-                 "\"seconds\": %.4f, \"qps\": %.1f, \"mean_batch\": %.3f, "
+                 "\"seconds\": %.4f, \"qps\": %.1f, \"p50_micros\": %.1f, "
+                 "\"p99_micros\": %.1f, \"mean_batch\": %.3f, "
                  "\"batches\": %llu}%s\n",
                  r.name.c_str(), r.clients, r.requests, r.seconds, r.qps,
-                 r.mean_batch, static_cast<unsigned long long>(r.batches),
+                 r.p50_micros, r.p99_micros, r.mean_batch,
+                 static_cast<unsigned long long>(r.batches),
                  i == 0 ? "," : "");
   }
   std::fprintf(f, "  ],\n  \"speedup\": %.3f,\n", speedup);
   std::fprintf(f,
                "  \"durable_inserts\": %zu,\n  \"insert_plain_qps\": %.1f,\n"
                "  \"insert_durable_qps\": %.1f,\n"
-               "  \"durable_insert_overhead\": %.3f\n}\n",
+               "  \"durable_insert_overhead\": %.3f,\n",
                ins.inserts, ins.plain_qps, ins.durable_qps, ins.overhead);
+  std::fprintf(f,
+               "  \"retrieval\": {\n"
+               "    \"corpus\": %zu,\n    \"dim\": %zu,\n"
+               "    \"queries\": %zu,\n    \"k\": %zu,\n"
+               "    \"shards\": %zu,\n    \"nlist\": %zu,\n"
+               "    \"nprobe\": %zu,\n    \"rerank\": %zu,\n"
+               "    \"seed\": %llu,\n    \"kernel\": \"%s\",\n"
+               "    \"build_seconds\": %.3f,\n",
+               kRetrievalCorpus, kEmbeddingDim, kRetrievalQueries, kRetrievalK,
+               kShards, ret.ivf.nlist, ret.ivf.default_nprobe, ret.ivf.rerank,
+               static_cast<unsigned long long>(ret.ivf.seed),
+               retrieval::QuantizedKernelName(), ret.build_seconds);
+  std::fprintf(f,
+               "    \"exact\": {\"qps\": %.1f, \"p50_micros\": %.1f, "
+               "\"p99_micros\": %.1f},\n"
+               "    \"sharded\": {\"qps\": %.1f, \"p50_micros\": %.1f, "
+               "\"p99_micros\": %.1f, \"bit_identical\": %s},\n"
+               "    \"ivf\": {\"qps\": %.1f, \"p50_micros\": %.1f, "
+               "\"p99_micros\": %.1f},\n"
+               "    \"recall_at_k\": %.4f,\n    \"ivf_speedup\": %.3f\n"
+               "  }\n}\n",
+               ret.exact.qps, ret.exact.p50_micros, ret.exact.p99_micros,
+               ret.sharded.qps, ret.sharded.p50_micros,
+               ret.sharded.p99_micros,
+               ret.sharded_identical ? "true" : "false", ret.ivf_stats.qps,
+               ret.ivf_stats.p50_micros, ret.ivf_stats.p99_micros, ret.recall,
+               ret.ivf_speedup);
   std::fclose(f);
   std::printf("wrote BENCH_serving.json\n");
-  return speedup >= 2.0 ? 0 : 1;
+
+  const bool ok = speedup >= 2.0 && ret.sharded_identical &&
+                  ret.ivf_speedup >= 10.0 && ret.recall >= 0.95;
+  if (!ok) {
+    std::fprintf(stderr,
+                 "GATE FAILED: batched %.2fx (need >= 2), sharded identical "
+                 "%d, ivf %.2fx (need >= 10) at recall %.4f (need >= 0.95)\n",
+                 speedup, static_cast<int>(ret.sharded_identical),
+                 ret.ivf_speedup, ret.recall);
+  }
+  return ok ? 0 : 1;
 }

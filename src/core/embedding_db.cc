@@ -147,6 +147,30 @@ SearchResult EmbeddingDatabase::TopK(const NeuTrajModel& model,
   return TopK(model.Embed(query), k, exclude);
 }
 
+SearchResult EmbeddingDatabase::TopKOf(const nn::Vector& query,
+                                       const std::vector<size_t>& candidates,
+                                       size_t k, int64_t exclude) const {
+  Stopwatch sw;
+  ReaderLock lock(mu_);
+  if (!embeddings_.empty() && query.size() != dim_) {
+    throw std::invalid_argument(
+        "EmbeddingDatabase::TopKOf: query dimension " +
+        std::to_string(query.size()) + " != database dimension " +
+        std::to_string(dim_));
+  }
+  for (const size_t id : candidates) {
+    if (id >= embeddings_.size()) {
+      throw std::out_of_range("EmbeddingDatabase::TopKOf: candidate id " +
+                              std::to_string(id) + " >= corpus size " +
+                              std::to_string(embeddings_.size()));
+    }
+  }
+  SearchResult result = EmbeddingTopKOf(embeddings_, query, candidates, k,
+                                        exclude);
+  topk_us_->Record(sw.ElapsedMillis() * 1e3);
+  return result;
+}
+
 std::string EmbeddingDatabase::Serialize() const {
   ReaderLock lock(mu_);
   SectionWriter w(kDbKind);

@@ -83,11 +83,23 @@ class EmbeddingDatabase {
       NEUTRAJ_EXCLUDES(mu_);
 
   /// Top-k nearest stored embeddings to `query` under L2. Deterministic
-  /// under distance ties: equal distances are broken by ascending id.
+  /// under distance ties: equal distances are broken by ascending id. That
+  /// tie-break is a pinned API contract (tests/core_test.cc) — the sharded
+  /// and ANN retrieval paths (src/retrieval/) reproduce it to stay
+  /// bit-identical with this scan, so changing it is a breaking change.
   /// `exclude` (if >= 0) removes one id — typically the query itself when
   /// it is part of the corpus. Takes the reader lock.
   SearchResult TopK(const nn::Vector& query, size_t k,
                     int64_t exclude = -1) const NEUTRAJ_EXCLUDES(mu_);
+
+  /// TopK restricted to `candidates` — the exact re-rank behind an ANN
+  /// prefilter (see EmbeddingTopKOf). Scores and tie-breaks are
+  /// bit-identical to TopK whenever `candidates` covers the true top-k.
+  /// Candidate ids must be < size() (throws std::out_of_range otherwise);
+  /// duplicates are scored once. Takes the reader lock.
+  SearchResult TopKOf(const nn::Vector& query,
+                      const std::vector<size_t>& candidates, size_t k,
+                      int64_t exclude = -1) const NEUTRAJ_EXCLUDES(mu_);
 
   /// Embeds `query` with `model` and runs TopK. The model must be the one
   /// the database was built with for the distances to be meaningful.

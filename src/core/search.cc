@@ -48,6 +48,31 @@ SearchResult EmbeddingTopK(const std::vector<nn::Vector>& corpus,
   return TopKImpl(corpus.size(), k, exclude, dists);
 }
 
+SearchResult EmbeddingTopKOf(const std::vector<nn::Vector>& corpus,
+                             const nn::Vector& query,
+                             const std::vector<size_t>& candidates, size_t k,
+                             int64_t exclude) {
+  std::vector<std::pair<double, size_t>> scored;
+  scored.reserve(candidates.size());
+  for (const size_t id : candidates) {
+    if (exclude >= 0 && id == static_cast<size_t>(exclude)) continue;
+    // nn::L2Distance — the same call EmbeddingTopK makes, so the scores
+    // (and therefore the merged ordering) are bit-identical to the scan.
+    scored.emplace_back(nn::L2Distance(corpus[id], query), id);
+  }
+  std::sort(scored.begin(), scored.end());
+  scored.erase(std::unique(scored.begin(), scored.end()), scored.end());
+  const size_t kk = std::min(k, scored.size());
+  SearchResult r;
+  r.ids.reserve(kk);
+  r.dists.reserve(kk);
+  for (size_t i = 0; i < kk; ++i) {
+    r.ids.push_back(scored[i].second);
+    r.dists.push_back(scored[i].first);
+  }
+  return r;
+}
+
 SearchResult ExactTopK(const std::vector<Trajectory>& corpus,
                        const Trajectory& query, const DistanceFn& fn, size_t k,
                        int64_t exclude) {

@@ -33,6 +33,16 @@ SearchResult EmbeddingTopK(const std::vector<nn::Vector>& corpus,
                            const nn::Vector& query, size_t k,
                            int64_t exclude = -1);
 
+/// EmbeddingTopK restricted to `candidates` — the exact re-rank step behind
+/// an ANN prefilter (src/retrieval/). Distances and the (distance, then
+/// ascending id) tie-break are computed exactly as EmbeddingTopK computes
+/// them, so when `candidates` contains the true top-k the result is
+/// bit-identical to the full scan. Duplicate candidate ids are scored once.
+SearchResult EmbeddingTopKOf(const std::vector<nn::Vector>& corpus,
+                             const nn::Vector& query,
+                             const std::vector<size_t>& candidates, size_t k,
+                             int64_t exclude = -1);
+
 /// Top-k nearest corpus trajectories to `query` under the exact measure —
 /// the BruteForce baseline and the experiments' ground truth.
 SearchResult ExactTopK(const std::vector<Trajectory>& corpus,

@@ -62,6 +62,11 @@
 #include "obs/jsonl.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "retrieval/backend.h"
+#include "retrieval/ivf_index.h"
+#include "retrieval/kernels.h"
+#include "retrieval/quantized.h"
+#include "retrieval/sharded_db.h"
 #include "serve/client.h"
 #include "serve/micro_batcher.h"
 #include "serve/protocol.h"

@@ -1,0 +1,113 @@
+// Retrieval backends: the strategy seam between the query service and the
+// corpus scan.
+//
+// QueryService answers TopK through a RetrievalBackend. ExactBackend is the
+// existing behavior — the full O(N * d) EmbeddingDatabase scan. IvfBackend
+// is the ANN path: an IvfIndex prefilter (coarse probe + int8 proxy scan)
+// followed by an exact re-rank through EmbeddingDatabase::TopKOf, so its
+// scores are bit-identical to the exact path and only recall is
+// approximate. Both backends are views over the service's primary
+// EmbeddingDatabase — inserts land in the database (and WAL) first, then
+// NotifyInsert keeps the backend's index current.
+//
+// Telemetry (IvfBackend, re-resolved by AttachMetrics):
+//   retrieval/probe_us            histogram  coarse probe + proxy scan
+//   retrieval/rerank_us           histogram  exact re-rank over candidates
+//   retrieval/candidates_scanned  counter    postings visited
+//   retrieval/lists_probed        counter    cells probed
+//   retrieval/queries             counter    TopK calls served
+//   retrieval/proxy_top1_hits     counter    queries whose proxy-best
+//                                            candidate survived as the exact
+//                                            top-1 — a cheap recall proxy
+//                                            (hits / queries ~ recall@1).
+
+#ifndef NEUTRAJ_RETRIEVAL_BACKEND_H_
+#define NEUTRAJ_RETRIEVAL_BACKEND_H_
+
+#include <cstdint>
+
+#include "core/embedding_db.h"
+#include "core/search.h"
+#include "nn/matrix.h"
+#include "obs/metrics.h"
+#include "retrieval/ivf_index.h"
+
+namespace neutraj::retrieval {
+
+/// Strategy interface for answering embedding top-k queries.
+class RetrievalBackend {
+ public:
+  virtual ~RetrievalBackend() = default;
+
+  /// Stable identifier ("exact", "ivf") for logs and stats.
+  virtual const char* name() const = 0;
+
+  /// Top-k for `query`; `exclude` as in EmbeddingDatabase::TopK. `nprobe`
+  /// is the ANN breadth knob (0 = backend default); exact backends ignore
+  /// it.
+  virtual SearchResult TopK(const nn::Vector& query, size_t k,
+                            int64_t exclude, size_t nprobe) = 0;
+
+  /// Called after row `id` has landed in the primary database (and WAL).
+  virtual void NotifyInsert(size_t id, const nn::Vector& embedding) = 0;
+
+  /// Re-points backend telemetry at `registry` (no-op for backends without
+  /// metrics of their own).
+  virtual void AttachMetrics(obs::MetricsRegistry* registry) = 0;
+};
+
+/// The full exact scan — delegates straight to EmbeddingDatabase::TopK.
+class ExactBackend final : public RetrievalBackend {
+ public:
+  /// `db` must outlive the backend.
+  explicit ExactBackend(const EmbeddingDatabase* db) : db_(db) {}
+
+  const char* name() const override { return "exact"; }
+  SearchResult TopK(const nn::Vector& query, size_t k, int64_t exclude,
+                    size_t nprobe) override;
+  void NotifyInsert(size_t /*id*/, const nn::Vector& /*embedding*/) override {
+  }
+  void AttachMetrics(obs::MetricsRegistry* /*registry*/) override {}
+
+ private:
+  const EmbeddingDatabase* db_;
+};
+
+/// IVF prefilter + exact re-rank. Build() must run on a quiesced database
+/// before the backend serves traffic; NotifyInsert keeps it current after.
+class IvfBackend final : public RetrievalBackend {
+ public:
+  /// `db` must outlive the backend. Metrics register in `registry`
+  /// (nullptr = the process-global registry).
+  IvfBackend(const EmbeddingDatabase* db, IvfIndex::Options options,
+             obs::MetricsRegistry* registry = nullptr);
+
+  /// Deterministically builds the index from the database's current rows
+  /// over `threads` workers (call once, before serving). The database must
+  /// be quiesced (uses the unlocked embeddings() accessor) and non-empty.
+  void Build(size_t threads = 1);
+
+  const char* name() const override { return "ivf"; }
+  SearchResult TopK(const nn::Vector& query, size_t k, int64_t exclude,
+                    size_t nprobe) override;
+  void NotifyInsert(size_t id, const nn::Vector& embedding) override;
+  void AttachMetrics(obs::MetricsRegistry* registry) override;
+
+  const IvfIndex& index() const { return index_; }
+
+ private:
+  const EmbeddingDatabase* db_;
+  IvfIndex index_;
+
+  // Registry-owned; re-resolved by AttachMetrics.
+  obs::ConcurrentHistogram* probe_us_ = nullptr;
+  obs::ConcurrentHistogram* rerank_us_ = nullptr;
+  obs::Counter* candidates_scanned_ = nullptr;
+  obs::Counter* lists_probed_ = nullptr;
+  obs::Counter* queries_ = nullptr;
+  obs::Counter* proxy_top1_hits_ = nullptr;
+};
+
+}  // namespace neutraj::retrieval
+
+#endif  // NEUTRAJ_RETRIEVAL_BACKEND_H_

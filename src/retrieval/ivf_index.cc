@@ -1,0 +1,229 @@
+#include "retrieval/ivf_index.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "common/check.h"
+#include "common/random.h"
+#include "common/thread_pool.h"
+#include "retrieval/kernels.h"
+
+namespace neutraj::retrieval {
+
+namespace {
+
+/// Nearest centroid by exact squared L2, ties toward the lower list id
+/// (the scan order makes the tie-break implicit: strict < keeps the first).
+size_t NearestCentroid(const std::vector<nn::Vector>& centroids,
+                       const double* row, size_t dim) {
+  size_t best = 0;
+  double best_dist = ExactSquaredL2(centroids[0].data(), row, dim);
+  for (size_t c = 1; c < centroids.size(); ++c) {
+    const double dist = ExactSquaredL2(centroids[c].data(), row, dim);
+    if (dist < best_dist) {
+      best_dist = dist;
+      best = c;
+    }
+  }
+  return best;
+}
+
+/// Worst-first ordering for the bounded candidate heap, by (proxy, id) —
+/// exact integer comparisons, so eviction order is fully deterministic.
+bool ProxyWorseThan(const std::pair<int64_t, size_t>& a,
+                    const std::pair<int64_t, size_t>& b) {
+  if (a.first != b.first) return a.first < b.first;
+  return a.second < b.second;
+}
+
+}  // namespace
+
+void IvfIndex::Build(const std::vector<nn::Vector>& rows, size_t threads) {
+  if (built()) {
+    throw std::logic_error("IvfIndex::Build: index already built");
+  }
+  if (rows.empty()) {
+    throw std::invalid_argument("IvfIndex::Build: empty corpus");
+  }
+  const size_t n = rows.size();
+  const size_t dim = rows.front().size();
+  if (dim == 0) {
+    throw std::invalid_argument("IvfIndex::Build: zero-dimension rows");
+  }
+  for (const nn::Vector& row : rows) {
+    if (row.size() != dim) {
+      throw std::invalid_argument("IvfIndex::Build: ragged corpus rows");
+    }
+    NEUTRAJ_DCHECK_FINITE(row);
+  }
+
+  // The quantizer trains on the full corpus (one O(n * d) max pass), so no
+  // build-time row ever clamps; only live inserts beyond the built range do.
+  quantizer_ = Int8Quantizer::Train(rows);
+
+  // Seeded k-means over a sample: deterministic init, fixed Lloyd
+  // iterations, empty cells keep their previous centroid.
+  Rng rng(options_.seed);
+  std::vector<size_t> sample;
+  if (n <= options_.train_sample) {
+    sample.resize(n);
+    for (size_t i = 0; i < n; ++i) sample[i] = i;
+  } else {
+    sample = rng.SampleIndices(n, options_.train_sample);
+  }
+  const size_t nlist = std::max<size_t>(
+      1, std::min(options_.nlist, sample.size()));
+
+  std::vector<nn::Vector> centroids;
+  centroids.reserve(nlist);
+  for (const size_t idx : rng.SampleIndices(sample.size(), nlist)) {
+    centroids.push_back(rows[sample[idx]]);
+  }
+  std::vector<size_t> assign(sample.size(), 0);
+  std::vector<nn::Vector> sums(nlist);
+  std::vector<size_t> counts(nlist);
+  for (size_t iter = 0; iter < options_.kmeans_iters; ++iter) {
+    for (size_t s = 0; s < sample.size(); ++s) {
+      assign[s] = NearestCentroid(centroids, rows[sample[s]].data(), dim);
+    }
+    for (size_t c = 0; c < nlist; ++c) {
+      sums[c].assign(dim, 0.0);
+      counts[c] = 0;
+    }
+    for (size_t s = 0; s < sample.size(); ++s) {
+      const nn::Vector& row = rows[sample[s]];
+      nn::Vector& sum = sums[assign[s]];
+      for (size_t d = 0; d < dim; ++d) sum[d] += row[d];
+      ++counts[assign[s]];
+    }
+    for (size_t c = 0; c < nlist; ++c) {
+      if (counts[c] == 0) continue;  // Empty cell keeps its old centroid.
+      for (size_t d = 0; d < dim; ++d) {
+        centroids[c][d] = sums[c][d] / static_cast<double>(counts[c]);
+      }
+    }
+  }
+
+  // Assignment pass over the full corpus. Each slot is written exactly once,
+  // so the parallel chunking cannot change the result.
+  std::vector<size_t> full_assign(n);
+  ParallelFor(n, threads, [&](size_t i) {
+    full_assign[i] = NearestCentroid(centroids, rows[i].data(), dim);
+  });
+
+  std::vector<Cell> cells(nlist);
+  for (size_t c = 0; c < nlist; ++c) counts[c] = 0;
+  for (size_t i = 0; i < n; ++i) ++counts[full_assign[i]];
+  for (size_t c = 0; c < nlist; ++c) {
+    cells[c].ids.reserve(counts[c]);
+    cells[c].codes.reserve(counts[c] * dim);
+  }
+  for (size_t i = 0; i < n; ++i) {
+    Cell& cell = cells[full_assign[i]];
+    cell.ids.push_back(i);
+    quantizer_.EncodeAppend(rows[i], &cell.codes);
+  }
+
+  {
+    WriterLock lock(mu_);
+    centroids_ = std::move(centroids);
+    cells_ = std::move(cells);
+    rows_ = n;
+  }
+  built_.store(true, std::memory_order_release);
+}
+
+size_t IvfIndex::nlist() const {
+  ReaderLock lock(mu_);
+  return centroids_.size();
+}
+
+size_t IvfIndex::size() const {
+  ReaderLock lock(mu_);
+  return rows_;
+}
+
+void IvfIndex::Insert(size_t id, const nn::Vector& embedding) {
+  if (!built()) {
+    throw std::logic_error("IvfIndex::Insert: index not built");
+  }
+  if (embedding.size() != dim()) {
+    throw std::invalid_argument(
+        "IvfIndex::Insert: embedding dimension " +
+        std::to_string(embedding.size()) + " != index dimension " +
+        std::to_string(dim()));
+  }
+  NEUTRAJ_DCHECK_FINITE(embedding);
+  WriterLock lock(mu_);
+  Cell& cell =
+      cells_[NearestCentroid(centroids_, embedding.data(), embedding.size())];
+  cell.ids.push_back(id);
+  quantizer_.EncodeAppend(embedding, &cell.codes);
+  ++rows_;
+}
+
+IvfIndex::CandidateSet IvfIndex::Candidates(const nn::Vector& query, size_t k,
+                                            size_t nprobe) const {
+  if (!built()) {
+    throw std::logic_error("IvfIndex::Candidates: index not built");
+  }
+  if (query.size() != dim()) {
+    throw std::invalid_argument(
+        "IvfIndex::Candidates: query dimension " +
+        std::to_string(query.size()) + " != index dimension " +
+        std::to_string(dim()));
+  }
+  const std::vector<int8_t> query_code = quantizer_.Encode(query);
+  const size_t target = std::max(k, options_.rerank);
+
+  CandidateSet out;
+  std::vector<std::pair<int64_t, size_t>> heap;  // Worst-first bounded heap.
+  heap.reserve(target + 1);
+  {
+    ReaderLock lock(mu_);
+    // Rank cells by exact centroid distance, ties toward the lower list id.
+    const size_t probe =
+        std::max<size_t>(1, std::min(nprobe == 0 ? options_.default_nprobe
+                                                 : nprobe,
+                                     centroids_.size()));
+    std::vector<std::pair<double, size_t>> order;
+    order.reserve(centroids_.size());
+    for (size_t c = 0; c < centroids_.size(); ++c) {
+      order.emplace_back(
+          ExactSquaredL2(centroids_[c].data(), query.data(), query.size()),
+          c);
+    }
+    std::partial_sort(order.begin(),
+                      order.begin() + static_cast<ptrdiff_t>(probe),
+                      order.end());
+    out.probed = probe;
+
+    for (size_t p = 0; p < probe; ++p) {
+      const Cell& cell = cells_[order[p].second];
+      const size_t d = dim();
+      for (size_t i = 0; i < cell.ids.size(); ++i) {
+        const int64_t proxy =
+            quantizer_.WeightedCodeAccum(query_code.data(),
+                                         cell.codes.data() + i * d);
+        const std::pair<int64_t, size_t> cand{proxy, cell.ids[i]};
+        if (heap.size() < target) {
+          heap.push_back(cand);
+          std::push_heap(heap.begin(), heap.end(), ProxyWorseThan);
+        } else if (target > 0 && ProxyWorseThan(cand, heap.front())) {
+          std::pop_heap(heap.begin(), heap.end(), ProxyWorseThan);
+          heap.back() = cand;
+          std::push_heap(heap.begin(), heap.end(), ProxyWorseThan);
+        }
+      }
+      out.scanned += cell.ids.size();
+    }
+  }
+  std::sort_heap(heap.begin(), heap.end(), ProxyWorseThan);  // Ascending.
+  out.ids.reserve(heap.size());
+  for (const auto& cand : heap) out.ids.push_back(cand.second);
+  return out;
+}
+
+}  // namespace neutraj::retrieval

@@ -1,0 +1,119 @@
+#include "retrieval/kernels.h"
+
+#include <cmath>
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+#endif
+
+namespace neutraj::retrieval {
+
+double ExactSquaredL2(const double* a, const double* b, size_t dim) {
+  // Same accumulation order as nn::L2Distance: one left-to-right sum of
+  // squared diffs. Do not "optimize" into blocked partial sums — the exact
+  // tier's contract is bit-identity with the core scan.
+  double acc = 0.0;
+  for (size_t d = 0; d < dim; ++d) {
+    const double diff = a[d] - b[d];
+    acc += diff * diff;
+  }
+  return acc;
+}
+
+double ExactL2(const double* a, const double* b, size_t dim) {
+  return std::sqrt(ExactSquaredL2(a, b, dim));
+}
+
+namespace {
+
+/// Portable integer kernel: 4-way unrolled so the compiler's auto-vectorizer
+/// has independent accumulation chains; every product is exact integer math,
+/// so the unroll cannot change the result.
+[[maybe_unused]] int64_t WeightedPortable(const int8_t* a, const int8_t* b,
+                                          const int32_t* w, size_t dim) {
+  int64_t acc0 = 0, acc1 = 0, acc2 = 0, acc3 = 0;
+  size_t d = 0;
+  for (; d + 4 <= dim; d += 4) {
+    const int32_t d0 = static_cast<int32_t>(a[d]) - b[d];
+    const int32_t d1 = static_cast<int32_t>(a[d + 1]) - b[d + 1];
+    const int32_t d2 = static_cast<int32_t>(a[d + 2]) - b[d + 2];
+    const int32_t d3 = static_cast<int32_t>(a[d + 3]) - b[d + 3];
+    acc0 += w[d] * (d0 * d0);
+    acc1 += w[d + 1] * (d1 * d1);
+    acc2 += w[d + 2] * (d2 * d2);
+    acc3 += w[d + 3] * (d3 * d3);
+  }
+  int64_t acc = acc0 + acc1 + acc2 + acc3;
+  for (; d < dim; ++d) {
+    const int32_t diff = static_cast<int32_t>(a[d]) - b[d];
+    acc += w[d] * (diff * diff);
+  }
+  return acc;
+}
+
+#if defined(__AVX2__)
+/// AVX2 kernel: widen int8 lanes to i32, diff², multiply by the i32 weights,
+/// accumulate in four i64 lanes. Integer end to end — bit-identical to the
+/// portable kernel by construction.
+int64_t WeightedAvx2(const int8_t* a, const int8_t* b, const int32_t* w,
+                     size_t dim) {
+  __m256i acc = _mm256_setzero_si256();
+  size_t d = 0;
+  for (; d + 8 <= dim; d += 8) {
+    const __m128i a8 = _mm_loadl_epi64(
+        reinterpret_cast<const __m128i*>(a + d));
+    const __m128i b8 = _mm_loadl_epi64(
+        reinterpret_cast<const __m128i*>(b + d));
+    const __m256i ai = _mm256_cvtepi8_epi32(a8);
+    const __m256i bi = _mm256_cvtepi8_epi32(b8);
+    const __m256i diff = _mm256_sub_epi32(ai, bi);
+    const __m256i sq = _mm256_mullo_epi32(diff, diff);
+    const __m256i wi = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(w + d));
+    const __m256i prod = _mm256_mullo_epi32(sq, wi);
+    // Widen the 8 i32 products to i64 in two halves and accumulate.
+    const __m256i lo = _mm256_cvtepi32_epi64(_mm256_castsi256_si128(prod));
+    const __m256i hi =
+        _mm256_cvtepi32_epi64(_mm256_extracti128_si256(prod, 1));
+    acc = _mm256_add_epi64(acc, _mm256_add_epi64(lo, hi));
+  }
+  alignas(32) int64_t lanes[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc);
+  int64_t total = lanes[0] + lanes[1] + lanes[2] + lanes[3];
+  for (; d < dim; ++d) {
+    const int32_t diff = static_cast<int32_t>(a[d]) - b[d];
+    total += w[d] * (diff * diff);
+  }
+  return total;
+}
+#endif  // __AVX2__
+
+}  // namespace
+
+int64_t WeightedCodeSquaredL2(const int8_t* a, const int8_t* b,
+                              const int32_t* w, size_t dim) {
+#if defined(__AVX2__)
+  return WeightedAvx2(a, b, w, dim);
+#else
+  return WeightedPortable(a, b, w, dim);
+#endif
+}
+
+int64_t CodeSquaredL2(const int8_t* a, const int8_t* b, size_t dim) {
+  int64_t acc = 0;
+  for (size_t d = 0; d < dim; ++d) {
+    const int32_t diff = static_cast<int32_t>(a[d]) - b[d];
+    acc += diff * diff;
+  }
+  return acc;
+}
+
+const char* QuantizedKernelName() {
+#if defined(__AVX2__)
+  return "avx2";
+#else
+  return "portable";
+#endif
+}
+
+}  // namespace neutraj::retrieval

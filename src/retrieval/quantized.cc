@@ -1,0 +1,98 @@
+#include "retrieval/quantized.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/check.h"
+#include "retrieval/kernels.h"
+
+namespace neutraj::retrieval {
+
+namespace {
+
+/// Scales below this are floored so a constant-zero dimension still has a
+/// well-defined (if useless) code and no division by zero.
+constexpr double kMinScale = 1e-12;
+
+}  // namespace
+
+Int8Quantizer Int8Quantizer::Train(const std::vector<nn::Vector>& sample) {
+  if (sample.empty()) {
+    throw std::invalid_argument("Int8Quantizer::Train: empty sample");
+  }
+  const size_t dim = sample.front().size();
+  if (dim == 0) {
+    throw std::invalid_argument("Int8Quantizer::Train: zero-dimension rows");
+  }
+  std::vector<double> max_abs(dim, 0.0);
+  for (const nn::Vector& v : sample) {
+    if (v.size() != dim) {
+      throw std::invalid_argument("Int8Quantizer::Train: ragged sample");
+    }
+    NEUTRAJ_DCHECK_FINITE(v);
+    for (size_t d = 0; d < dim; ++d) {
+      max_abs[d] = std::max(max_abs[d], std::fabs(v[d]));
+    }
+  }
+
+  Int8Quantizer q;
+  q.scales_.resize(dim);
+  q.weights_.resize(dim);
+  double s_max = kMinScale;
+  for (size_t d = 0; d < dim; ++d) {
+    q.scales_[d] = std::max(max_abs[d], kMinScale) / 127.0;
+    s_max = std::max(s_max, q.scales_[d]);
+  }
+  for (size_t d = 0; d < dim; ++d) {
+    const double ratio = q.scales_[d] / s_max;
+    q.weights_[d] = std::max(
+        1, static_cast<int32_t>(std::lround(ratio * ratio * 256.0)));
+  }
+  q.proxy_to_l2_ = s_max * s_max / 256.0;
+  return q;
+}
+
+std::vector<int8_t> Int8Quantizer::Encode(const nn::Vector& v) const {
+  std::vector<int8_t> code;
+  code.reserve(dim());
+  EncodeAppend(v, &code);
+  return code;
+}
+
+void Int8Quantizer::EncodeAppend(const nn::Vector& v,
+                                 std::vector<int8_t>* out) const {
+  if (v.size() != dim()) {
+    throw std::invalid_argument(
+        "Int8Quantizer: vector dimension " + std::to_string(v.size()) +
+        " != quantizer dimension " + std::to_string(dim()));
+  }
+  for (size_t d = 0; d < dim(); ++d) {
+    const double scaled = v[d] / scales_[d];
+    const long q = std::lround(std::clamp(scaled, -127.0, 127.0));
+    out->push_back(static_cast<int8_t>(q));
+  }
+}
+
+nn::Vector Int8Quantizer::Decode(const int8_t* code) const {
+  nn::Vector v(dim());
+  for (size_t d = 0; d < dim(); ++d) {
+    v[d] = scales_[d] * static_cast<double>(code[d]);
+  }
+  return v;
+}
+
+int64_t Int8Quantizer::WeightedCodeAccum(const int8_t* a,
+                                         const int8_t* b) const {
+  return WeightedCodeSquaredL2(a, b, weights_.data(), dim());
+}
+
+double Int8Quantizer::SquaredErrorBound() const {
+  double acc = 0.0;
+  for (const double s : scales_) {
+    acc += (s / 2.0) * (s / 2.0);
+  }
+  return acc;
+}
+
+}  // namespace neutraj::retrieval

@@ -1,0 +1,90 @@
+// Int8 symmetric quantization tier for cheap candidate scans.
+//
+// The paper's online protocol ranks the corpus by embedding-space L2; at
+// millions of rows the double-precision scan is memory-bound (64 bytes per
+// row at d=8). This tier stores an 8x smaller int8 code per row and scans
+// candidates with an integer-only kernel, after which the top survivors are
+// re-ranked with the exact float distance — so quantization can only affect
+// WHICH candidates reach the re-rank, never the scores the caller sees.
+//
+// Scheme: symmetric per-dimension scalar quantization. Training scans a
+// corpus (or sample) for per-dimension max magnitudes m_d and fixes
+//
+//   s_d     = max(m_d, epsilon) / 127          (the per-dimension scale)
+//   code_d  = clamp(round(x_d / s_d), -127, 127)
+//
+// so decode(code)_d = s_d * code_d and the per-dimension reconstruction
+// error is at most s_d / 2 for in-range inputs (inputs beyond the trained
+// range clamp; live inserts therefore inherit the build-time range). The
+// scan distance is the integer form of the scale-weighted code L2:
+//
+//   w_d   = max(1, round((s_d / s_max)² · 256))         (integer weights)
+//   D(a,b) = Σ w_d (a_d - b_d)²                          (pure i32/i64)
+//   approx squared L2 ≈ D(a,b) · s_max² / 256
+//
+// which honors per-dimension scales while keeping the inner loop integer —
+// see kernels.h. Deterministic everywhere: same corpus → same scales →
+// same codes → same candidate ranking, on every machine and kernel.
+
+#ifndef NEUTRAJ_RETRIEVAL_QUANTIZED_H_
+#define NEUTRAJ_RETRIEVAL_QUANTIZED_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/matrix.h"
+
+namespace neutraj::retrieval {
+
+/// Per-dimension symmetric int8 quantizer + its integer scan distance.
+/// Immutable after Train(); safe to share across threads.
+class Int8Quantizer {
+ public:
+  Int8Quantizer() = default;
+
+  /// Fixes scales from the per-dimension max magnitudes of `sample` (must
+  /// be non-empty, all rows the same dimension). Throws
+  /// std::invalid_argument on an empty sample or ragged rows.
+  static Int8Quantizer Train(const std::vector<nn::Vector>& sample);
+
+  bool trained() const { return !scales_.empty(); }
+  size_t dim() const { return scales_.size(); }
+
+  /// Quantizes one vector (dimension must match; throws otherwise).
+  std::vector<int8_t> Encode(const nn::Vector& v) const;
+
+  /// Appends the code of `v` to `out` (bulk storage without per-row
+  /// allocations; `out` grows by dim()).
+  void EncodeAppend(const nn::Vector& v, std::vector<int8_t>* out) const;
+
+  /// Reconstruction: decode(code)_d = s_d * code_d.
+  nn::Vector Decode(const int8_t* code) const;
+
+  /// Approximate squared L2 between two codes: the integer weighted kernel
+  /// mapped back to L2 units. Exceeds/undershoots the true squared L2 only
+  /// by quantization + weight-rounding error; ties in the integer
+  /// accumulator are exact, so rankings are deterministic.
+  double ApproxSquaredL2(const int8_t* a, const int8_t* b) const {
+    return proxy_to_l2_ *
+           static_cast<double>(WeightedCodeAccum(a, b));
+  }
+
+  /// The raw integer accumulator (exposed so callers can rank candidates in
+  /// exact integer arithmetic and defer the float mapping entirely).
+  int64_t WeightedCodeAccum(const int8_t* a, const int8_t* b) const;
+
+  const std::vector<double>& scales() const { return scales_; }
+
+  /// Worst-case per-vector reconstruction error bound in squared-L2 terms
+  /// for in-range inputs: Σ_d (s_d / 2)².
+  double SquaredErrorBound() const;
+
+ private:
+  std::vector<double> scales_;    ///< s_d.
+  std::vector<int32_t> weights_;  ///< w_d in [1, 256].
+  double proxy_to_l2_ = 0.0;      ///< s_max² / 256.
+};
+
+}  // namespace neutraj::retrieval
+
+#endif  // NEUTRAJ_RETRIEVAL_QUANTIZED_H_

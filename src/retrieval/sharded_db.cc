@@ -1,0 +1,213 @@
+#include "retrieval/sharded_db.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "common/check.h"
+#include "common/stopwatch.h"
+#include "retrieval/kernels.h"
+
+namespace neutraj::retrieval {
+
+namespace {
+
+/// Worst-first ordering for the bounded heap: the heap root is the pair the
+/// next better candidate evicts. (dist, id) lexicographic — the same total
+/// order the core TopKImpl sorts by, so eviction can never drop a pair the
+/// final merge would have kept.
+bool WorseThan(const std::pair<double, size_t>& a,
+               const std::pair<double, size_t>& b) {
+  if (a.first != b.first) return a.first < b.first;
+  return a.second < b.second;
+}
+
+}  // namespace
+
+ShardedEmbeddingDatabase::ShardedEmbeddingDatabase(
+    size_t num_shards, obs::MetricsRegistry* registry) {
+  const size_t n = std::max<size_t>(1, num_shards);
+  shards_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  AttachMetrics(registry != nullptr ? registry
+                                    : &obs::MetricsRegistry::Global());
+}
+
+void ShardedEmbeddingDatabase::AttachMetrics(obs::MetricsRegistry* registry) {
+  insert_us_ = &registry->GetHistogram("retrieval/sharded_insert_us");
+  topk_us_ = &registry->GetHistogram("retrieval/sharded_topk_us");
+  shard_rows_.clear();
+  shard_rows_.reserve(shards_.size());
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    shard_rows_.push_back(
+        &registry->GetGauge("retrieval/shard" + std::to_string(i) + "/rows"));
+  }
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    size_t filled = 0;
+    {
+      ReaderLock lock(shards_[i]->mu);
+      filled = shards_[i]->filled;
+    }
+    shard_rows_[i]->Set(static_cast<double>(filled));
+  }
+}
+
+size_t ShardedEmbeddingDatabase::size() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    ReaderLock lock(shard->mu);
+    total += shard->filled;
+  }
+  return total;
+}
+
+void ShardedEmbeddingDatabase::BulkLoad(const std::vector<nn::Vector>& rows) {
+  if (next_id_.load(std::memory_order_acquire) != 0) {
+    throw std::logic_error(
+        "ShardedEmbeddingDatabase::BulkLoad: database is not empty");
+  }
+  const size_t n = shards_.size();
+  for (const auto& shard : shards_) {
+    WriterLock lock(shard->mu);
+    shard->rows.reserve(rows.size() / n + 1);
+  }
+  for (const nn::Vector& row : rows) Insert(row);
+}
+
+size_t ShardedEmbeddingDatabase::Insert(const nn::Vector& embedding) {
+  if (embedding.empty()) {
+    throw std::invalid_argument(
+        "ShardedEmbeddingDatabase::Insert: empty embedding");
+  }
+  NEUTRAJ_DCHECK_FINITE(embedding);
+  size_t expected = dim_.load(std::memory_order_acquire);
+  if (expected == 0) {
+    size_t zero = 0;
+    dim_.compare_exchange_strong(zero, embedding.size(),
+                                 std::memory_order_acq_rel);
+    expected = dim_.load(std::memory_order_acquire);
+  }
+  if (embedding.size() != expected) {
+    throw std::invalid_argument(
+        "ShardedEmbeddingDatabase::Insert: embedding dimension " +
+        std::to_string(embedding.size()) + " != database dimension " +
+        std::to_string(expected));
+  }
+
+  Stopwatch sw;
+  // Claim the dense id first, then lock only the owning shard: concurrent
+  // inserts to distinct shards never share a lock. The slot may land ahead
+  // of a racing neighbor's — the filled prefix hides it until the gap
+  // closes.
+  const size_t id = next_id_.fetch_add(1, std::memory_order_acq_rel);
+  const size_t shard_index = id % shards_.size();
+  const size_t slot = id / shards_.size();
+  Shard& shard = *shards_[shard_index];
+  size_t filled = 0;
+  {
+    WriterLock lock(shard.mu);
+    if (slot >= shard.rows.size()) shard.rows.resize(slot + 1);
+    shard.rows[slot] = embedding;
+    while (shard.filled < shard.rows.size() &&
+           !shard.rows[shard.filled].empty()) {
+      ++shard.filled;
+    }
+    filled = shard.filled;
+  }
+  insert_us_->Record(sw.ElapsedMillis() * 1e3);
+  shard_rows_[shard_index]->Set(static_cast<double>(filled));
+  return id;
+}
+
+nn::Vector ShardedEmbeddingDatabase::At(size_t id) const {
+  const size_t shard_index = id % shards_.size();
+  const size_t slot = id / shards_.size();
+  const Shard& shard = *shards_[shard_index];
+  ReaderLock lock(shard.mu);
+  if (slot >= shard.filled) {
+    throw std::out_of_range("ShardedEmbeddingDatabase::At: id " +
+                            std::to_string(id) + " is not visible");
+  }
+  return shard.rows[slot];
+}
+
+std::vector<std::pair<double, size_t>> ShardedEmbeddingDatabase::ScanShard(
+    size_t shard_index, const nn::Vector& query, size_t k,
+    int64_t exclude) const {
+  const size_t n = shards_.size();
+  const Shard& shard = *shards_[shard_index];
+  std::vector<std::pair<double, size_t>> heap;  // Worst-first bounded heap.
+  heap.reserve(k + 1);
+  {
+    ReaderLock lock(shard.mu);
+    for (size_t slot = 0; slot < shard.filled; ++slot) {
+      const size_t id = slot * n + shard_index;
+      if (exclude >= 0 && id == static_cast<size_t>(exclude)) continue;
+      const double dist =
+          ExactL2(shard.rows[slot].data(), query.data(), query.size());
+      const std::pair<double, size_t> cand{dist, id};
+      if (heap.size() < k) {
+        heap.push_back(cand);
+        std::push_heap(heap.begin(), heap.end(), WorseThan);
+      } else if (k > 0 && WorseThan(cand, heap.front())) {
+        std::pop_heap(heap.begin(), heap.end(), WorseThan);
+        heap.back() = cand;
+        std::push_heap(heap.begin(), heap.end(), WorseThan);
+      }
+    }
+  }
+  std::sort_heap(heap.begin(), heap.end(), WorseThan);  // Ascending.
+  return heap;
+}
+
+SearchResult ShardedEmbeddingDatabase::TopK(const nn::Vector& query, size_t k,
+                                            int64_t exclude,
+                                            ThreadPool* pool) const {
+  const size_t expected = dim_.load(std::memory_order_acquire);
+  if (expected != 0 && query.size() != expected) {
+    throw std::invalid_argument(
+        "ShardedEmbeddingDatabase::TopK: query dimension " +
+        std::to_string(query.size()) + " != database dimension " +
+        std::to_string(expected));
+  }
+  Stopwatch sw;
+  const size_t n = shards_.size();
+  std::vector<std::vector<std::pair<double, size_t>>> per_shard(n);
+  if (pool != nullptr && n > 1) {
+    for (size_t s = 0; s < n; ++s) {
+      pool->Submit([this, s, &query, k, exclude, &per_shard] {
+        per_shard[s] = ScanShard(s, query, k, exclude);
+      });
+    }
+    pool->Wait();
+  } else {
+    for (size_t s = 0; s < n; ++s) {
+      per_shard[s] = ScanShard(s, query, k, exclude);
+    }
+  }
+
+  // Gather: merge N ascending k-bounded lists by (dist, id). The global
+  // top-k is a subset of the union, so one sort of <= N*k pairs reproduces
+  // the flat scan's order exactly.
+  std::vector<std::pair<double, size_t>> merged;
+  merged.reserve(n * k);
+  for (auto& list : per_shard) {
+    merged.insert(merged.end(), list.begin(), list.end());
+  }
+  std::sort(merged.begin(), merged.end(), WorseThan);
+  const size_t kk = std::min(k, merged.size());
+  SearchResult r;
+  r.ids.reserve(kk);
+  r.dists.reserve(kk);
+  for (size_t i = 0; i < kk; ++i) {
+    r.ids.push_back(merged[i].second);
+    r.dists.push_back(merged[i].first);
+  }
+  topk_us_->Record(sw.ElapsedMillis() * 1e3);
+  return r;
+}
+
+}  // namespace neutraj::retrieval

@@ -1,0 +1,125 @@
+// Sharded embedding corpus: N independently-locked shards, scatter-gather
+// top-k, and dense global ids — the scaling replacement for the single
+// reader/writer lock the flat EmbeddingDatabase puts in front of a
+// million-row corpus.
+//
+// Layout. Global ids stay dense and insertion-ordered (the serving corpus
+// contract): id i lives in shard i % N at slot i / N. Ids are assigned by
+// one atomic counter, so concurrent Insert calls on different shards touch
+// different writer locks and stop serializing on a single mutex. Because
+// the counter is claimed before the shard lock, a slot can be briefly
+// written out of order under concurrency; every shard therefore exposes
+// only its contiguous filled PREFIX to readers — an insert becomes visible
+// once all earlier ids of its shard have landed, which in single-threaded
+// use is immediately and under concurrency is as soon as the racing
+// neighbors finish (no torn or half-visible rows ever).
+//
+// TopK. Scatter-gather: each shard scans its prefix with the exact kernel
+// (bit-identical distances to the core scan — see retrieval/kernels.h)
+// into a bounded k-element heap, and the gather step merges the N bounded
+// heaps by (distance, id). Any global top-k element is necessarily in its
+// own shard's top-k, so for a quiesced corpus the merged result is
+// BIT-IDENTICAL — ids, distances, and the ascending-id tie-break — to
+// EmbeddingDatabase::TopK over the same rows, for every shard count. The
+// scatter runs on a caller-provided ThreadPool (or inline without one).
+//
+// Locking. Every shard lock shares rank lock_rank::kDbShard and the
+// discipline is one-shard-at-a-time: scatter workers lock only their own
+// shard, Insert locks only the target shard, and sequential walkers
+// (size(), merge fallback) release each shard before the next. Holding two
+// shards at once trips the equal-rank check in NEUTRAJ_CHECKS builds — by
+// design, since that is the deadlock shape.
+
+#ifndef NEUTRAJ_RETRIEVAL_SHARDED_DB_H_
+#define NEUTRAJ_RETRIEVAL_SHARDED_DB_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/sync.h"
+#include "common/thread_pool.h"
+#include "core/search.h"
+#include "nn/matrix.h"
+#include "obs/metrics.h"
+
+namespace neutraj::retrieval {
+
+/// N-shard embedding corpus with per-shard locks and scatter-gather TopK.
+class ShardedEmbeddingDatabase {
+ public:
+  /// `num_shards` is clamped to >= 1. Metrics register in `registry`
+  /// (nullptr = the process-global registry).
+  explicit ShardedEmbeddingDatabase(size_t num_shards,
+                                    obs::MetricsRegistry* registry = nullptr);
+
+  ShardedEmbeddingDatabase(const ShardedEmbeddingDatabase&) = delete;
+  ShardedEmbeddingDatabase& operator=(const ShardedEmbeddingDatabase&) =
+      delete;
+
+  /// Bulk load into an empty database: inserts `rows` in id order (ids
+  /// 0..rows.size()-1), reserving shard capacity up front. Throws
+  /// std::logic_error if the database already has rows.
+  void BulkLoad(const std::vector<nn::Vector>& rows);
+
+  size_t num_shards() const { return shards_.size(); }
+
+  /// Visible rows: the sum of every shard's contiguous filled prefix.
+  /// Equals the number of completed Inserts whenever no insert is racing.
+  size_t size() const;
+
+  /// Embedding width; 0 until the first insert fixes it.
+  size_t dim() const { return dim_.load(std::memory_order_acquire); }
+
+  /// Appends one embedding and returns its dense global id. Thread-safe;
+  /// concurrent inserts proceed on distinct shard locks. The first insert
+  /// fixes the dimension; later inserts must match it or throw
+  /// std::invalid_argument.
+  size_t Insert(const nn::Vector& embedding);
+
+  /// Copy of row `id` (throws std::out_of_range if not yet visible).
+  nn::Vector At(size_t id) const;
+
+  /// Exact top-k by L2 over all visible rows, ties broken by ascending id —
+  /// bit-identical to EmbeddingDatabase::TopK over the same rows for every
+  /// shard count. `exclude` (if >= 0) removes one id. The per-shard scans
+  /// run on `pool` when given (one task per shard), inline otherwise.
+  SearchResult TopK(const nn::Vector& query, size_t k, int64_t exclude = -1,
+                    ThreadPool* pool = nullptr) const;
+
+  /// Re-points telemetry (retrieval/sharded_insert_us, _topk_us histograms;
+  /// retrieval/shard<i>/rows gauges) at `registry`; same contract as
+  /// EmbeddingDatabase::AttachMetrics.
+  void AttachMetrics(obs::MetricsRegistry* registry);
+
+ private:
+  struct Shard {
+    mutable SharedMutex mu{lock_rank::kDbShard};
+    /// Slot s holds global id s * N + shard_index; an empty vector marks a
+    /// slot whose racing insert has not landed yet.
+    std::vector<nn::Vector> rows NEUTRAJ_GUARDED_BY(mu);
+    /// Length of the contiguous non-empty prefix of rows — the part
+    /// readers may scan.
+    size_t filled NEUTRAJ_GUARDED_BY(mu) = 0;
+  };
+
+  /// Bounded top-k scan of one shard; returns ascending (dist, id) pairs.
+  std::vector<std::pair<double, size_t>> ScanShard(size_t shard_index,
+                                                   const nn::Vector& query,
+                                                   size_t k,
+                                                   int64_t exclude) const;
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<size_t> next_id_{0};
+  std::atomic<size_t> dim_{0};
+
+  // Registry-owned; re-resolved by AttachMetrics.
+  obs::ConcurrentHistogram* insert_us_ = nullptr;
+  obs::ConcurrentHistogram* topk_us_ = nullptr;
+  std::vector<obs::Gauge*> shard_rows_;
+};
+
+}  // namespace neutraj::retrieval
+
+#endif  // NEUTRAJ_RETRIEVAL_SHARDED_DB_H_

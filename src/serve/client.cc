@@ -307,11 +307,12 @@ PairSimResponse Client::PairSim(const Trajectory& a, const Trajectory& b) {
 }
 
 TopKResponse Client::TopK(const Trajectory& query, uint32_t k,
-                          int64_t exclude) {
+                          int64_t exclude, uint32_t nprobe) {
   TopKRequest req;
   req.query = query;
   req.k = k;
   req.exclude = exclude;
+  req.nprobe = nprobe;
   const WireFrame reply =
       RoundTrip(MsgType::kTopKRequest, SerializeTopKRequest(req));
   ExpectType(reply, MsgType::kTopKResponse);

@@ -115,8 +115,11 @@ class Client {
   /// Embedding distance + similarity of a pair.
   PairSimResponse PairSim(const Trajectory& a, const Trajectory& b);
 
-  /// Top-k over the server's live corpus.
-  TopKResponse TopK(const Trajectory& query, uint32_t k, int64_t exclude = -1);
+  /// Top-k over the server's live corpus. `nprobe` tunes an ANN-backed
+  /// server's probe breadth (0 = server default; ignored — and omitted from
+  /// the wire payload — for exact servers, so old servers stay compatible).
+  TopKResponse TopK(const Trajectory& query, uint32_t k, int64_t exclude = -1,
+                    uint32_t nprobe = 0);
 
   /// Appends a trajectory to the live corpus; returns the assigned id and
   /// the corpus size after the insert.

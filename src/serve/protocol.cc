@@ -210,13 +210,20 @@ std::string SerializeTopKRequest(const TopKRequest& m) {
   w.Traj(m.query);
   w.U32(m.k);
   w.I64(m.exclude);
+  // Optional trailing section: omitted when nprobe is 0 (the default), so
+  // default-knob payloads are byte-identical to the pre-nprobe format.
+  if (m.nprobe != 0) w.U32(m.nprobe);
   return w.Take();
 }
 
 bool ParseTopKRequest(const std::string& in, TopKRequest* out) {
   PayloadReader r(in);
-  return r.Traj(&out->query) && r.U32(&out->k) && r.I64(&out->exclude) &&
-         r.Done();
+  if (!r.Traj(&out->query) || !r.U32(&out->k) || !r.I64(&out->exclude)) {
+    return false;
+  }
+  out->nprobe = 0;
+  if (r.Done()) return true;  // Pre-nprobe payload: valid, default breadth.
+  return r.U32(&out->nprobe) && r.Done();
 }
 
 std::string SerializeTopKResponse(const TopKResponse& m) {

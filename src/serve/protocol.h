@@ -91,6 +91,13 @@ struct TopKRequest {
   Trajectory query;
   uint32_t k = 10;
   int64_t exclude = -1;  ///< Corpus id to omit, or -1.
+  /// ANN probe breadth (cells scanned by an IVF backend; see
+  /// src/retrieval/). 0 = server default; exact backends ignore it. Wire
+  /// compatibility: serialized as an OPTIONAL trailing section only when
+  /// non-zero (the same pattern as kStatsResponse's metrics section), so
+  /// old clients' payloads still parse and old servers reject new payloads
+  /// cleanly rather than misreading them.
+  uint32_t nprobe = 0;
 };
 struct TopKResponse {
   std::vector<uint64_t> ids;

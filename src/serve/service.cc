@@ -236,7 +236,12 @@ WireFrame QueryService::Dispatch(const WireFrame& request, Endpoint* endpoint) {
       }
       if (req.k > kMaxTopKResults) req.k = kMaxTopKResults;
       const nn::Vector query = batcher_.Encode(req.query);
-      const SearchResult r = db_->TopK(query, req.k, req.exclude);
+      // The backend (when configured) owns the scan strategy; its exact
+      // re-rank keeps scores bit-identical to the direct db_ path.
+      const SearchResult r =
+          backend_ != nullptr
+              ? backend_->TopK(query, req.k, req.exclude, req.nprobe)
+              : db_->TopK(query, req.k, req.exclude);
       TopKResponse resp;
       resp.ids.assign(r.ids.begin(), r.ids.end());
       resp.dists = r.dists;
@@ -271,6 +276,10 @@ WireFrame QueryService::Dispatch(const WireFrame& request, Endpoint* endpoint) {
       } else {
         resp.id = db_->Insert(embedding);
       }
+      // Mirror into the ANN backend only after the row is in the primary
+      // (and durable) corpus: a query racing this insert may briefly miss
+      // the row, but can never surface an id the database cannot re-rank.
+      if (backend_ != nullptr) backend_->NotifyInsert(resp.id, embedding);
       // id+1, not db_->size(): a concurrent insert may land between the two
       // calls, and the reply should be a consistent snapshot of *this* op.
       resp.corpus_size = resp.id + 1;

@@ -25,6 +25,7 @@
 #include "core/embedding_db.h"
 #include "core/model.h"
 #include "obs/metrics.h"
+#include "retrieval/backend.h"
 #include "serve/micro_batcher.h"
 #include "serve/protocol.h"
 #include "serve/stats.h"
@@ -88,6 +89,19 @@ class QueryService {
   void SetDraining(bool draining) { draining_.store(draining); }
   bool draining() const { return draining_.load(); }
 
+  /// Routes TopK through `backend` (must outlive the service; typically a
+  /// retrieval::IvfBackend already Build()t over this service's database).
+  /// Inserts keep landing in the database/store first and are then mirrored
+  /// to the backend via NotifyInsert, so the backend stays a view of the
+  /// durable corpus. The backend's metrics re-register into this service's
+  /// registry. Pass nullptr (the default state) for the plain exact scan.
+  /// Not thread-safe against in-flight requests — call before serving.
+  void set_retrieval_backend(retrieval::RetrievalBackend* backend) {
+    backend_ = backend;
+    if (backend_ != nullptr) backend_->AttachMetrics(&registry_);
+  }
+  retrieval::RetrievalBackend* retrieval_backend() { return backend_; }
+
   /// Endpoint counters plus corpus/batcher gauges and the flattened
   /// registry metrics, ready to serialize.
   StatsSnapshot Snapshot() const;
@@ -104,6 +118,8 @@ class QueryService {
   const NeuTrajModel& model_;
   EmbeddingDatabase* db_;
   store::DurableStore* store_;  ///< Nullable: no durability configured.
+  /// Nullable: no ANN backend configured — TopK scans db_ directly.
+  retrieval::RetrievalBackend* backend_ = nullptr;
   /// Per-service registry (declared before the members that register into
   /// it): two services in one process — routine in tests — never share
   /// counters, and a stats snapshot covers exactly this server's traffic.

@@ -6,8 +6,10 @@
 #include <set>
 
 #include "core/config.h"
+#include "core/embedding_db.h"
 #include "core/loss.h"
 #include "core/sampler.h"
+#include "core/search.h"
 #include "core/similarity.h"
 #include "test_util.h"
 
@@ -279,6 +281,35 @@ TEST(LossTest, BackpropSkipsCoincidentEmbeddings) {
   BackpropPairSimilarity(e, e, 1.0, 5.0, &de_a, &de_b);
   EXPECT_DOUBLE_EQ(de_a[0], 0.0);
   EXPECT_DOUBLE_EQ(de_b[1], 0.0);
+}
+
+TEST(EmbeddingDatabaseTest, TopKBreaksDistanceTiesByAscendingId) {
+  // The ascending-id tie-break is a pinned API contract: the sharded and
+  // ANN retrieval paths (src/retrieval/) replicate it to stay bit-identical
+  // with this scan, and the serving protocol's determinism guarantees lean
+  // on it. If this test fails, those paths silently diverge.
+  EmbeddingDatabase db;
+  const nn::Vector near = {1.0, 0.0};
+  const nn::Vector far = {3.0, 0.0};
+  db.Insert(far);   // id 0
+  db.Insert(near);  // id 1
+  db.Insert(near);  // id 2 — exact duplicate of 1
+  db.Insert(far);   // id 3 — exact duplicate of 0
+  db.Insert(near);  // id 4 — exact duplicate of 1
+
+  const nn::Vector query = {0.0, 0.0};
+  const SearchResult r = db.TopK(query, 5);
+  EXPECT_EQ(r.ids, (std::vector<size_t>{1, 2, 4, 0, 3}));
+  EXPECT_EQ(r.dists, (std::vector<double>{1.0, 1.0, 1.0, 3.0, 3.0}));
+
+  // The tie-break survives exclusion (ids do not renumber) …
+  const SearchResult ex = db.TopK(query, 5, /*exclude=*/2);
+  EXPECT_EQ(ex.ids, (std::vector<size_t>{1, 4, 0, 3}));
+
+  // … and TopKOf, the re-rank primitive, orders candidates identically.
+  const SearchResult of = db.TopKOf(query, {3, 4, 2, 0, 1}, 5);
+  EXPECT_EQ(of.ids, r.ids);
+  EXPECT_EQ(of.dists, r.dists);
 }
 
 TEST(EmbeddingSimilarityTest, RangeAndMonotonicity) {

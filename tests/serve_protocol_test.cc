@@ -314,6 +314,52 @@ TEST(ProtocolTest, TopKMessagesRoundTrip) {
   ExpectExactFraming<TopKResponse>(resp_bytes, ParseTopKResponse);
 }
 
+TEST(ProtocolTest, TopKRequestNprobeRoundTripsWhenSet) {
+  Rng rng(81);
+  TopKRequest req;
+  req.query = RandomTrajectory(4, 100.0, &rng);
+  req.k = 9;
+  req.exclude = 3;
+  req.nprobe = 17;
+  const std::string bytes = SerializeTopKRequest(req);
+  TopKRequest out;
+  ASSERT_TRUE(ParseTopKRequest(bytes, &out));
+  EXPECT_EQ(out.nprobe, 17u);
+  EXPECT_EQ(out.k, req.k);
+  EXPECT_EQ(out.exclude, req.exclude);
+  // Trailing garbage after the optional section is still rejected.
+  TopKRequest junk;
+  EXPECT_FALSE(ParseTopKRequest(bytes + "x", &junk));
+}
+
+TEST(ProtocolTest, TopKRequestNprobeSectionIsBackwardCompatible) {
+  // Compatibility contract (same pattern as the kStatsResponse metrics
+  // section): nprobe == 0 serializes to the byte-identical pre-nprobe
+  // payload, and a pre-nprobe payload parses with nprobe == 0. Pin both
+  // directions so neither side of a mixed-version deployment breaks.
+  Rng rng(82);
+  TopKRequest req;
+  req.query = RandomTrajectory(4, 100.0, &rng);
+  req.k = 5;
+  req.exclude = -1;
+  req.nprobe = 4;
+
+  // Old-format bytes: the new payload minus its 4-byte trailing section.
+  const std::string new_bytes = SerializeTopKRequest(req);
+  const std::string old_bytes = new_bytes.substr(0, new_bytes.size() - 4);
+
+  // An old client's payload parses, defaulting the knob …
+  TopKRequest out;
+  ASSERT_TRUE(ParseTopKRequest(old_bytes, &out));
+  EXPECT_EQ(out.nprobe, 0u);
+  EXPECT_EQ(out.k, req.k);
+
+  // … and a new client with the default knob emits byte-identical legacy
+  // payloads, so old servers never see the section at all.
+  req.nprobe = 0;
+  EXPECT_EQ(SerializeTopKRequest(req), old_bytes);
+}
+
 TEST(ProtocolTest, MaxTopKResultsSaturatesTheFrameLimit) {
   // kMaxTopKResults is derived from the serialized layout: a uint32 count
   // prefix plus 16 bytes per (id, dist) pair. Pin the layout so a codec

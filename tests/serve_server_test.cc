@@ -31,6 +31,8 @@
 #include "core/model.h"
 #include "geo/grid.h"
 #include "nn/workspace.h"
+#include "retrieval/backend.h"
+#include "retrieval/ivf_index.h"
 #include "serve/client.h"
 #include "serve/server.h"
 #include "serve/service.h"
@@ -356,6 +358,58 @@ TEST_F(ServerTest, HugeKIsClampedNeverFatal) {
   EXPECT_TRUE(client.Health().ok);
   client.Close();
   server.Stop();
+}
+
+TEST_F(ServerTest, IvfBackedServiceServesBitIdenticalTopKAtFullProbe) {
+  // An IVF-backed service probing every cell must be indistinguishable on
+  // the wire from the exact service: the ANN layer is a prefilter plus an
+  // exact re-rank, never an approximation of the returned scores.
+  retrieval::IvfIndex::Options opts;
+  opts.nlist = 8;
+  opts.train_sample = 64;
+  opts.kmeans_iters = 4;
+  opts.rerank = db_.size();
+  retrieval::IvfBackend backend(&db_, opts);
+  backend.Build();
+
+  EmbeddingDatabase exact_db = EmbeddingDatabase::Build(model_, corpus_, 2);
+  QueryService exact_svc(model_, &exact_db, BatchOpts());
+  svc_.set_retrieval_backend(&backend);
+
+  Server ivf_server(&svc_, ServerOptions{});
+  Server exact_server(&exact_svc, ServerOptions{});
+  ivf_server.Start();
+  exact_server.Start();
+  Client ivf_client = Connect(ivf_server);
+  Client exact_client = Connect(exact_server);
+
+  Rng rng(77);
+  for (int i = 0; i < 6; ++i) {
+    const Trajectory q = testing::RandomTrajectory(8, 100.0, &rng);
+    const TopKResponse e = exact_client.TopK(q, 5);
+    // Full probe via the per-request knob; also covers the wire nprobe path.
+    const TopKResponse g = ivf_client.TopK(
+        q, 5, -1, /*nprobe=*/static_cast<uint32_t>(opts.nlist));
+    EXPECT_EQ(g.ids, e.ids);
+    EXPECT_EQ(g.dists, e.dists);
+  }
+
+  // A live insert reaches the IVF view through NotifyInsert: the inserted
+  // trajectory's own query must return it at distance 0.
+  const Trajectory novel = testing::RandomTrajectory(9, 100.0, &rng);
+  const InsertResponse ins = ivf_client.Insert(novel);
+  const TopKResponse after =
+      ivf_client.TopK(novel, 1, -1,
+                      /*nprobe=*/static_cast<uint32_t>(opts.nlist));
+  ASSERT_EQ(after.ids.size(), 1u);
+  EXPECT_EQ(after.ids.front(), ins.id);
+  EXPECT_EQ(after.dists.front(), 0.0);
+
+  ivf_client.Close();
+  exact_client.Close();
+  ivf_server.Stop();
+  exact_server.Stop();
+  svc_.set_retrieval_backend(nullptr);
 }
 
 TEST_F(ServerTest, ManyShortLivedConnectionsAreReaped) {

@@ -33,6 +33,14 @@
 #      cannot order it. common/sync.cc itself is exempt: it wraps the std
 #      primitives (including CondVar's internal std::unique_lock adoption,
 #      which is how a wrapped mutex waits on a std::condition_variable).
+#   8. No hand-rolled float distance math in src/retrieval outside
+#      retrieval/kernels.{h,cc}: the retrieval subsystem's answers are
+#      bit-identical to the exact scan only because every float distance
+#      flows through the kernel seam (whose accumulation order mirrors
+#      nn::L2Distance) or through the core scan itself. A stray
+#      nn::L2Distance call or sqrt in a shard/IVF scan loop is a second
+#      accumulation order waiting to diverge. (Raw std:: locking in
+#      src/retrieval is already banned repo-wide by rule 7.)
 #
 # Usage: tools/lint.sh   (from anywhere; exits non-zero on any violation)
 
@@ -110,6 +118,18 @@ hits=$(grep -rnE 'std::(mutex|shared_mutex|recursive_mutex|timed_mutex|recursive
     | grep -vE '^[^:]*:[0-9]+: *(//|\*)' || true)
 if [[ -n "$hits" ]]; then
   report "raw std:: locking primitive in src/ (use common/sync.h wrappers)" "$hits"
+fi
+
+# -- Rule 8: retrieval distance math outside the kernel seam -----------------
+# retrieval/kernels.{h,cc} is the single sanctioned float-distance site in
+# src/retrieval; everything else delegates to it (or to the core scan, which
+# it mirrors bit for bit). See DESIGN.md "Retrieval architecture".
+hits=$(grep -rnE 'nn::L2Distance|std::sqrt\(|std::hypot\(|std::pow\(' \
+    src/retrieval/ --include='*.cc' --include='*.h' \
+    | grep -vE '^src/retrieval/kernels\.(h|cc):' \
+    | grep -vE '^[^:]*:[0-9]+: *(//|\*)' || true)
+if [[ -n "$hits" ]]; then
+  report "float distance math in src/retrieval outside kernels.{h,cc}" "$hits"
 fi
 
 if [[ "$fail" -ne 0 ]]; then

@@ -6,7 +6,7 @@
 //                                             (or Prometheus text format)
 //   encode   --traj "x,y;x,y;..."             embed one trajectory
 //   pairsim  --a "..." --b "..."              distance + similarity
-//   topk     --traj "..." [--k K] [--exclude I]
+//   topk     --traj "..." [--k K] [--exclude I] [--nprobe N]
 //   insert   --traj "..."                     append to the live corpus
 //
 // Trajectories can come inline via --traj/--a/--b (the corpus CSV line
@@ -80,7 +80,7 @@ void PrintUsage() {
       "  stats   [--prometheus]\n"
       "  encode  --traj \"x,y;x,y;...\" | --data F --id N\n"
       "  pairsim --a \"...\" --b \"...\"\n"
-      "  topk    --traj \"...\" [--k K] [--exclude I]\n"
+      "  topk    --traj \"...\" [--k K] [--exclude I] [--nprobe N]\n"
       "  insert  --traj \"...\"\n");
 }
 
@@ -156,7 +156,8 @@ int Run(const Args& args) {
     const serve::TopKResponse r =
         client.TopK(GetTrajectory(args, "traj"),
                     static_cast<uint32_t>(args.GetInt("k", 10)),
-                    args.GetInt("exclude", -1));
+                    args.GetInt("exclude", -1),
+                    static_cast<uint32_t>(args.GetInt("nprobe", 0)));
     for (size_t i = 0; i < r.ids.size(); ++i) {
       std::printf("%2zu. trajectory %-6llu dist %.6f\n", i + 1,
                   static_cast<unsigned long long>(r.ids[i]), r.dists[i]);

@@ -13,10 +13,21 @@
 //                  [--threads N] [--batch B] [--batch-wait-us U]
 //                  [--save-db F] [--data-dir D] [--compact-every N]
 //                  [--idle-timeout-ms MS]
+//                  [--retrieval exact|ivf] [--ivf-nlist N] [--ivf-nprobe N]
+//                  [--ivf-seed S]
 //
 // --port 0 (default) picks an ephemeral port; --port-file writes the bound
 // port for scripts (see tools/serve_smoke_test.sh). --save-db persists the
 // final corpus embeddings (including live inserts) on shutdown.
+//
+// --retrieval ivf answers TopK through an IVF ANN index (src/retrieval/):
+// built deterministically over the corpus after load/recovery (so a
+// restarted --data-dir server probes the exact same index a fresh build
+// would produce), probing --ivf-nprobe of --ivf-nlist cells and exactly
+// re-ranking the survivors — returned distances are bit-identical to
+// --retrieval exact; only recall is approximate. Clients can widen one
+// query's probe breadth with the request's nprobe knob. Requires a
+// non-empty corpus at startup; live inserts are indexed as they arrive.
 //
 // --data-dir turns on durability: every Insert is written to a CRC-framed
 // write-ahead log before it is acknowledged, and the corpus is periodically
@@ -84,7 +95,9 @@ void PrintUsage() {
       "               [--host H] [--port P] [--port-file F]\n"
       "               [--threads N] [--batch B] [--batch-wait-us U]\n"
       "               [--save-db F] [--data-dir D] [--compact-every N]\n"
-      "               [--idle-timeout-ms MS]\n");
+      "               [--idle-timeout-ms MS]\n"
+      "               [--retrieval exact|ivf] [--ivf-nlist N]\n"
+      "               [--ivf-nprobe N] [--ivf-seed S]\n");
 }
 
 int Run(const Args& args) {
@@ -137,6 +150,37 @@ int Run(const Args& args) {
   batch_opts.max_batch = static_cast<size_t>(args.GetInt("batch", 32));
   batch_opts.max_wait_micros = args.GetInt("batch-wait-us", 200);
   serve::QueryService service(model, &db, batch_opts, durable.get());
+
+  std::unique_ptr<retrieval::IvfBackend> ivf;
+  const std::string mode = args.Get("retrieval", "exact");
+  if (mode == "ivf") {
+    if (db.empty()) {
+      throw std::runtime_error(
+          "--retrieval ivf requires a non-empty corpus at startup "
+          "(seed one with --data/--db or recover via --data-dir)");
+    }
+    retrieval::IvfIndex::Options ivf_opts;
+    ivf_opts.nlist = static_cast<size_t>(args.GetInt("ivf-nlist", 64));
+    ivf_opts.default_nprobe =
+        static_cast<size_t>(args.GetInt("ivf-nprobe", 8));
+    ivf_opts.seed = static_cast<uint64_t>(args.GetInt("ivf-seed", 42));
+    // Built here — after any --data-dir recovery — so a restarted server
+    // deterministically reproduces the index of a fresh build over the
+    // recovered corpus (pinned by tests/retrieval_recovery_test.cc).
+    ivf = std::make_unique<retrieval::IvfBackend>(&db, ivf_opts);
+    Stopwatch ivf_sw;
+    ivf->Build(threads);
+    std::printf("ivf index built in %.2fs: %zu cells over %zu rows "
+                "(nprobe=%zu, seed=%llu, int8 kernel=%s)\n",
+                ivf_sw.ElapsedSeconds(), ivf->index().nlist(),
+                ivf->index().size(), ivf_opts.default_nprobe,
+                static_cast<unsigned long long>(ivf_opts.seed),
+                retrieval::QuantizedKernelName());
+    service.set_retrieval_backend(ivf.get());
+  } else if (mode != "exact") {
+    throw std::runtime_error("unknown --retrieval mode: " + mode +
+                             " (expected exact or ivf)");
+  }
 
   serve::ServerOptions server_opts;
   server_opts.host = args.Get("host", "127.0.0.1");
