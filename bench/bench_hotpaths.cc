@@ -15,6 +15,14 @@
 // gated at <= 2%; builds with -DNEUTRAJ_OBS_NOTRACE remove the spans at the
 // preprocessor level, so their compiled-out cost is exactly zero by
 // construction and needs no measurement.
+//
+// The request-tracing section measures the per-request span-tree cost at
+// the micro-batcher level (the hot serving path): blocking Encode calls
+// with no RequestTrace attached versus a live trace on EVERY request —
+// two clock reads plus two lock-free slot claims per request (queue_wait
+// + encode spans), the worst case the 1-in-N sampler ever pays. Gated at
+// <= 2% even for this always-sampled ceiling; the serving-level gates
+// (off vs baseline, 1-in-64) live in bench_serving.
 
 #include <algorithm>
 #include <cstdio>
@@ -228,6 +236,69 @@ ObsTiming BenchObservability() {
   return t;
 }
 
+struct ReqTraceTiming {
+  double off_s = 0.0;     ///< Batcher encodes, no RequestTrace attached.
+  double traced_s = 0.0;  ///< A live RequestTrace on every request.
+  double overhead = 0.0;  ///< traced_s / off_s - 1.
+};
+
+/// Measures the span-tree recording cost on the micro-batcher encode path:
+/// every request traced (the ceiling — 1-in-N sampling pays 1/N of this).
+ReqTraceTiming BenchReqTrace() {
+  GeneratorConfig gen = PortoLikeConfig(0.1);
+  gen.num_trajectories = 400;
+  gen.seed = 778;
+  const TrajectoryDataset data = GeneratePortoLike(gen);
+  std::vector<Trajectory> seeds(data.trajectories.begin(),
+                                data.trajectories.begin() +
+                                    std::min<size_t>(40, data.trajectories.size()));
+  const DistanceMatrix dists =
+      ComputePairwiseDistances(seeds, Measure::kFrechet);
+  BoundingBox region = BoundingBox::Empty();
+  for (const Trajectory& t : data.trajectories) region.Extend(t.Bounds());
+  const Grid grid(region.Inflated(10.0), 100.0);
+
+  NeuTrajConfig cfg = NeuTrajConfig::NeuTraj();
+  cfg.embedding_dim = 32;
+  cfg.epochs = 1;
+  Trainer trainer(cfg, grid, seeds, dists);
+  trainer.Train();
+  const NeuTrajModel model = trainer.TakeModel();
+
+  serve::MicroBatcher::Options opts;
+  opts.threads = 2;
+  opts.max_batch = 1;
+  opts.max_wait_micros = 0;  // A blocking caller never has stragglers to
+                             // wait for; a window would just add idle time.
+  serve::MicroBatcher batcher(model, opts);
+
+  constexpr int kRounds = 5;
+  auto best_of = [&](bool traced) {
+    double best = 1e300;
+    for (int r = 0; r < kRounds; ++r) {
+      Stopwatch sw;
+      uint64_t id = 1;
+      for (const Trajectory& t : data.trajectories) {
+        if (traced) {
+          obs::RequestTrace trace({id++, /*sampled=*/true}, "encode");
+          batcher.Encode(t, &trace);
+        } else {
+          batcher.Encode(t, nullptr);
+        }
+      }
+      best = std::min(best, sw.ElapsedSeconds());
+    }
+    return best;
+  };
+
+  best_of(false);  // Warm-up round set.
+  ReqTraceTiming t;
+  t.off_s = best_of(false);
+  t.traced_s = best_of(true);
+  t.overhead = t.traced_s / t.off_s - 1.0;
+  return t;
+}
+
 }  // namespace
 
 int main() {
@@ -235,7 +306,7 @@ int main() {
   std::printf("hardware_concurrency: %u\n",
               std::thread::hardware_concurrency());
 
-  std::printf("\n[1/3] dense kernels (blocked vs naive)\n");
+  std::printf("\n[1/4] dense kernels (blocked vs naive)\n");
   const auto kernels = BenchKernels();
   for (const KernelTiming& k : kernels) {
     std::printf("  %-16s %4zux%-4zu  naive %8.1f ns  blocked %8.1f ns  (%.2fx)\n",
@@ -243,10 +314,10 @@ int main() {
                 k.naive_ns / k.blocked_ns);
   }
 
-  std::printf("\n[2/3] training epoch + corpus encoding by thread count\n");
+  std::printf("\n[2/4] training epoch + corpus encoding by thread count\n");
   const auto threads = BenchTraining();
 
-  std::printf("\n[3/3] trace-span overhead on the encode path\n");
+  std::printf("\n[3/4] trace-span overhead on the encode path\n");
   const ObsTiming obs_t = BenchObservability();
   std::printf("  tracing off %.4fs  coarse %.4fs  overhead %+.2f%%\n",
               obs_t.off_s, obs_t.coarse_s, obs_t.overhead * 100.0);
@@ -254,6 +325,19 @@ int main() {
     std::fprintf(stderr,
                  "FATAL: enabled trace spans cost %.2f%% > 2%% budget\n",
                  obs_t.overhead * 100.0);
+    return 1;
+  }
+
+  std::printf("\n[4/4] request-trace span recording on the batcher path\n");
+  const ReqTraceTiming rt = BenchReqTrace();
+  std::printf("  untraced %.4fs  every-request traced %.4fs  "
+              "overhead %+.2f%%\n",
+              rt.off_s, rt.traced_s, rt.overhead * 100.0);
+  if (rt.overhead > 0.02) {
+    std::fprintf(stderr,
+                 "FATAL: request-trace spans cost %.2f%% > 2%% budget even "
+                 "fully sampled\n",
+                 rt.overhead * 100.0);
     return 1;
   }
 
@@ -292,8 +376,13 @@ int main() {
                "  \"observability\": {\"encode_trace_off_seconds\": %.4f, "
                "\"encode_trace_coarse_seconds\": %.4f, "
                "\"enabled_span_overhead\": %.4f, "
-               "\"compiled_out_overhead\": 0.0}\n",
+               "\"compiled_out_overhead\": 0.0},\n",
                obs_t.off_s, obs_t.coarse_s, obs_t.overhead);
+  std::fprintf(f,
+               "  \"reqtrace\": {\"batcher_untraced_seconds\": %.4f, "
+               "\"batcher_traced_seconds\": %.4f, "
+               "\"fully_sampled_overhead\": %.4f}\n",
+               rt.off_s, rt.traced_s, rt.overhead);
   std::fprintf(f, "}\n");
   std::fclose(f);
   std::printf("\nwrote BENCH_hotpaths.json\n");

@@ -35,9 +35,19 @@
 // path, and records the knobs (shards, nlist, nprobe, rerank, seed, kernel)
 // next to the numbers in BENCH_serving.json.
 //
+// Phase 5 is the request-tracing overhead gate: the batched phase re-run
+// with the tracer configured off and again with 1-in-64 head sampling.
+// Tracing off must cost <= 1% against the phase-2 baseline (the same
+// configuration — this bounds the sampler's fast path, one branch per
+// request, at the measurement noise floor) and 1-in-64 sampling <= 2%.
+// The phase also pins that served bytes are bit-identical with a sampled
+// trace context attached versus none: the serialized replies to the same
+// query must match byte for byte.
+//
 // Exit status is the acceptance gate: batched >= 2x unbatched, the sharded
-// scan bit-identical to exact, and IVF+int8 >= 10x exact-scan qps at
-// recall@10 >= 0.95.
+// scan bit-identical to exact, IVF+int8 >= 10x exact-scan qps at
+// recall@10 >= 0.95, tracing overhead within budget, and traced/untraced
+// served bytes identical.
 
 #include <algorithm>
 #include <cmath>
@@ -127,8 +137,14 @@ PhaseResult RunPhase(const std::string& name, const NeuTrajModel& model,
                      EmbeddingDatabase* db,
                      const std::vector<Trajectory>& corpus, size_t clients,
                      bool pipelined,
-                     const serve::MicroBatcher::Options& batch_opts) {
+                     const serve::MicroBatcher::Options& batch_opts,
+                     uint32_t trace_sample_every = 0) {
   serve::QueryService service(model, db, batch_opts);
+  if (trace_sample_every > 0) {
+    obs::ReqTraceOptions topts;
+    topts.sample_every = trace_sample_every;
+    service.ConfigureTracing(topts);
+  }
   serve::Server server(&service, serve::ServerOptions{});
   server.Start();
   const uint16_t port = server.port();
@@ -410,7 +426,7 @@ int main() {
   std::printf("corpus: %zu trajectories (mean length %.1f, d=%zu)\n\n",
               data.size(), data.MeanLength(), db.dim());
 
-  std::printf("[1/4] unbatched baseline (batch=1, 1 sequential client)\n");
+  std::printf("[1/5] unbatched baseline (batch=1, 1 sequential client)\n");
   serve::MicroBatcher::Options unbatched;
   unbatched.threads = kServerThreads;
   unbatched.max_batch = 1;
@@ -419,7 +435,7 @@ int main() {
       RunPhase("unbatched", model, &db, data.trajectories, 1,
                /*pipelined=*/false, unbatched);
 
-  std::printf("[2/4] micro-batched (batch=%zu, wait=200us, %zu pipelined "
+  std::printf("[2/5] micro-batched (batch=%zu, wait=200us, %zu pipelined "
               "clients)\n",
               kBurstSize, kConcurrentClients);
   serve::MicroBatcher::Options batched;
@@ -430,13 +446,61 @@ int main() {
       RunPhase("batched", model, &db, data.trajectories, kConcurrentClients,
                /*pipelined=*/true, batched);
 
-  std::printf("[3/4] durable-ack insert overhead (WAL fsync before ack)\n");
+  std::printf("[3/5] durable-ack insert overhead (WAL fsync before ack)\n");
   const InsertResult ins = RunInsertPhase(db);
 
-  std::printf("[4/4] million-scale retrieval (%zu rows, d=%zu, %zu queries, "
+  std::printf("[4/5] million-scale retrieval (%zu rows, d=%zu, %zu queries, "
               "k=%zu)\n",
               kRetrievalCorpus, kEmbeddingDim, kRetrievalQueries, kRetrievalK);
   const RetrievalResult ret = RunRetrievalPhase();
+
+  std::printf("[5/5] request-tracing overhead (batched phase re-run)\n");
+  const PhaseResult trace_off =
+      RunPhase("trace-off", model, &db, data.trajectories,
+               kConcurrentClients, /*pipelined=*/true, batched);
+  const PhaseResult trace_sampled =
+      RunPhase("trace-1/64", model, &db, data.trajectories,
+               kConcurrentClients, /*pipelined=*/true, batched,
+               /*trace_sample_every=*/64);
+  // Overheads are clamped at zero: a re-run beating its baseline is noise,
+  // not a negative cost.
+  const double off_overhead = std::max(0.0, fast.qps / trace_off.qps - 1.0);
+  const double sampled_overhead =
+      std::max(0.0, trace_off.qps / trace_sampled.qps - 1.0);
+
+  // Served-bytes identity: the same query answered with a sampled trace
+  // context and with none must serialize to the same reply bytes.
+  bool served_identical = true;
+  {
+    serve::QueryService service(model, &db, batched);
+    obs::ReqTraceOptions topts;
+    topts.sample_every = 1;
+    service.ConfigureTracing(topts);
+    serve::Server server(&service, serve::ServerOptions{});
+    server.Start();
+    serve::Client plain;
+    serve::Client traced;
+    plain.Connect("127.0.0.1", server.port());
+    traced.Connect("127.0.0.1", server.port());
+    traced.set_trace_context({0x5eed1234, /*sampled=*/true});
+    for (size_t i = 0; i < 32; ++i) {
+      const Trajectory& t = data.trajectories[i % data.trajectories.size()];
+      const std::string a =
+          serve::SerializeEncodeResponse({plain.Encode(t)});
+      const std::string b =
+          serve::SerializeEncodeResponse({traced.Encode(t)});
+      if (a != b) served_identical = false;
+    }
+    plain.Close();
+    traced.Close();
+    server.Stop();
+  }
+  std::printf("  trace-off  %8.1f qps  (%.2f%% vs batched baseline)\n",
+              trace_off.qps, off_overhead * 100.0);
+  std::printf("  trace-1/64 %8.1f qps  (%.2f%% vs trace-off)  "
+              "served bytes identical: %s\n",
+              trace_sampled.qps, sampled_overhead * 100.0,
+              served_identical ? "yes" : "NO");
 
   const double speedup = fast.qps / base.qps;
   std::printf("\nbatched/unbatched throughput: %.2fx\n", speedup);
@@ -468,6 +532,12 @@ int main() {
                  i == 0 ? "," : "");
   }
   std::fprintf(f, "  ],\n  \"speedup\": %.3f,\n", speedup);
+  std::fprintf(f,
+               "  \"tracing\": {\"off_qps\": %.1f, \"sampled64_qps\": %.1f, "
+               "\"off_overhead\": %.4f, \"sampled64_overhead\": %.4f, "
+               "\"served_bytes_identical\": %s},\n",
+               trace_off.qps, trace_sampled.qps, off_overhead,
+               sampled_overhead, served_identical ? "true" : "false");
   std::fprintf(f,
                "  \"durable_inserts\": %zu,\n  \"insert_plain_qps\": %.1f,\n"
                "  \"insert_durable_qps\": %.1f,\n"
@@ -503,14 +573,20 @@ int main() {
   std::fclose(f);
   std::printf("wrote BENCH_serving.json\n");
 
+  const bool trace_ok = off_overhead <= 0.01 && sampled_overhead <= 0.02 &&
+                        served_identical;
   const bool ok = speedup >= 2.0 && ret.sharded_identical &&
-                  ret.ivf_speedup >= 10.0 && ret.recall >= 0.95;
+                  ret.ivf_speedup >= 10.0 && ret.recall >= 0.95 && trace_ok;
   if (!ok) {
     std::fprintf(stderr,
                  "GATE FAILED: batched %.2fx (need >= 2), sharded identical "
-                 "%d, ivf %.2fx (need >= 10) at recall %.4f (need >= 0.95)\n",
+                 "%d, ivf %.2fx (need >= 10) at recall %.4f (need >= 0.95), "
+                 "trace off %.2f%% (need <= 1%%), trace 1/64 %.2f%% (need "
+                 "<= 2%%), served bytes identical %d\n",
                  speedup, static_cast<int>(ret.sharded_identical),
-                 ret.ivf_speedup, ret.recall);
+                 ret.ivf_speedup, ret.recall, off_overhead * 100.0,
+                 sampled_overhead * 100.0,
+                 static_cast<int>(served_identical));
   }
   return ok ? 0 : 1;
 }

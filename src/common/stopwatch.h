@@ -4,6 +4,8 @@
 #define NEUTRAJ_COMMON_STOPWATCH_H_
 
 #include <chrono>
+#include <cstdint>
+#include <thread>
 
 namespace neutraj {
 
@@ -21,10 +23,29 @@ class Stopwatch {
   /// Milliseconds elapsed since construction or the last Restart().
   double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
 
+  /// Microseconds elapsed since construction or the last Restart().
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
  private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
 };
+
+/// An absolute steady-clock deadline `micros` from now, for
+/// CondVar::WaitUntil. This (plus Stopwatch) is the sanctioned way to
+/// handle time outside src/obs/ — tools/lint.sh rule 5 bans ad-hoc
+/// std::chrono timing in the serving and retrieval layers.
+inline std::chrono::steady_clock::time_point DeadlineAfterMicros(
+    int64_t micros) {
+  return std::chrono::steady_clock::now() + std::chrono::microseconds(micros);
+}
+
+/// Blocking sleep for backoff loops (e.g. the client's connect retries) —
+/// the sanctioned wrapper that keeps raw std::chrono durations out of the
+/// serving layer (tools/lint.sh rule 5).
+inline void SleepForMillis(uint64_t ms) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
 
 }  // namespace neutraj
 

@@ -35,6 +35,7 @@
 //     35  retrieval::IvfIndex mu_             lock_rank::kRetrieval
 //     36  retrieval shard locks (all shards)  lock_rank::kDbShard
 //     40  EmbeddingDatabase mu_               lock_rank::kDb
+//     49  obs::RequestTracer mu_              lock_rank::kReqTrace
 //     50  obs::MetricsRegistry mu_            lock_rank::kObs
 //     51  obs::JsonlSink mu_                  lock_rank::kObsSink
 //     60  ThreadPool mu_                      lock_rank::kThreadPool
@@ -154,6 +155,11 @@ inline constexpr int kRetrieval = 35;   ///< retrieval::IvfIndex mu_.
 inline constexpr int kDbShard = 36;     ///< Every ShardedEmbeddingDatabase
                                         ///< shard (one-at-a-time discipline).
 inline constexpr int kDb = 40;          ///< EmbeddingDatabase mu_.
+inline constexpr int kReqTrace = 49;    ///< obs::RequestTracer mu_ (may
+                                        ///< resolve registry metrics and
+                                        ///< write its slow-query sink while
+                                        ///< held, so it sits just below
+                                        ///< kObs/kObsSink).
 inline constexpr int kObs = 50;         ///< obs::MetricsRegistry mu_.
 inline constexpr int kObsSink = 51;     ///< obs::JsonlSink mu_.
 inline constexpr int kThreadPool = 60;  ///< ThreadPool mu_ (leaf).

@@ -37,10 +37,26 @@ double LatencyHistogram::PercentileMicros(double p) const {
   const double target = std::clamp(p, 0.0, 1.0) * static_cast<double>(count_);
   uint64_t seen = 0;
   for (size_t b = 0; b < kNumBuckets; ++b) {
+    if (buckets_[b] == 0) continue;
+    const double before = static_cast<double>(seen);
     seen += buckets_[b];
-    if (static_cast<double>(seen) >= target) return BucketUpperMicros(b);
+    if (static_cast<double>(seen) < target) continue;
+    // Linear interpolation inside the winning bucket (the Prometheus
+    // histogram_quantile rule): without it every percentile snaps to the
+    // bucket's upper power of two, and a log2 layout reports p50 == p99
+    // whenever one bucket holds both — exactly the p50 == p99 == 8192 µs
+    // artifact BENCH_serving.json used to show on the batched phase.
+    const double lower = b == 0 ? 0.0 : BucketUpperMicros(b - 1);
+    const double upper = BucketUpperMicros(b);
+    const double frac =
+        std::clamp((target - before) / static_cast<double>(buckets_[b]),
+                   0.0, 1.0);
+    // No sample exceeds the tracked max, so no percentile should either —
+    // this also makes single-sample histograms report the sample itself and
+    // keeps the open-ended overflow bucket honest.
+    return std::min(lower + frac * (upper - lower), max_);
   }
-  return BucketUpperMicros(kNumBuckets - 1);
+  return std::min(BucketUpperMicros(kNumBuckets - 1), max_);
 }
 
 void ConcurrentHistogram::Record(double micros) {

@@ -59,9 +59,12 @@ class LatencyHistogram {
   double max_micros() const { return max_; }
   double sum_micros() const { return sum_; }
 
-  /// Latency below which fraction `p` (in [0, 1]) of samples fall; reported
-  /// as the upper bound of the containing bucket (so 1.0 for bucket 0's
-  /// [0, 1] µs range). 0 with no samples.
+  /// Latency below which fraction `p` (in [0, 1]) of samples fall,
+  /// linearly interpolated within the containing bucket (the Prometheus
+  /// histogram_quantile rule) and capped at the tracked max — so two
+  /// percentiles landing in one log2 bucket still report distinct values
+  /// instead of both snapping to the bucket's upper power of two. 0 with
+  /// no samples.
   double PercentileMicros(double p) const;
 
   const std::array<uint64_t, kNumBuckets>& buckets() const { return buckets_; }

@@ -30,6 +30,7 @@
 #include "core/search.h"
 #include "nn/matrix.h"
 #include "obs/metrics.h"
+#include "obs/reqtrace.h"
 #include "retrieval/ivf_index.h"
 
 namespace neutraj::retrieval {
@@ -44,9 +45,12 @@ class RetrievalBackend {
 
   /// Top-k for `query`; `exclude` as in EmbeddingDatabase::TopK. `nprobe`
   /// is the ANN breadth knob (0 = backend default); exact backends ignore
-  /// it.
-  virtual SearchResult TopK(const nn::Vector& query, size_t k,
-                            int64_t exclude, size_t nprobe) = 0;
+  /// it. `trace` (nullable) receives per-stage spans ("probe"/"rerank" for
+  /// IVF, "scan" for exact) when the request is sampled; results are
+  /// identical either way.
+  virtual SearchResult TopK(const nn::Vector& query, size_t k, int64_t exclude,
+                            size_t nprobe,
+                            obs::RequestTrace* trace = nullptr) = 0;
 
   /// Called after row `id` has landed in the primary database (and WAL).
   virtual void NotifyInsert(size_t id, const nn::Vector& embedding) = 0;
@@ -64,7 +68,7 @@ class ExactBackend final : public RetrievalBackend {
 
   const char* name() const override { return "exact"; }
   SearchResult TopK(const nn::Vector& query, size_t k, int64_t exclude,
-                    size_t nprobe) override;
+                    size_t nprobe, obs::RequestTrace* trace = nullptr) override;
   void NotifyInsert(size_t /*id*/, const nn::Vector& /*embedding*/) override {
   }
   void AttachMetrics(obs::MetricsRegistry* /*registry*/) override {}
@@ -89,7 +93,7 @@ class IvfBackend final : public RetrievalBackend {
 
   const char* name() const override { return "ivf"; }
   SearchResult TopK(const nn::Vector& query, size_t k, int64_t exclude,
-                    size_t nprobe) override;
+                    size_t nprobe, obs::RequestTrace* trace = nullptr) override;
   void NotifyInsert(size_t id, const nn::Vector& embedding) override;
   void AttachMetrics(obs::MetricsRegistry* registry) override;
 

@@ -1,10 +1,8 @@
 #include "retrieval/kernels.h"
 
+#include <atomic>
 #include <cmath>
-
-#if defined(__AVX2__)
-#include <immintrin.h>
-#endif
+#include <stdexcept>
 
 namespace neutraj::retrieval {
 
@@ -24,13 +22,13 @@ double ExactL2(const double* a, const double* b, size_t dim) {
   return std::sqrt(ExactSquaredL2(a, b, dim));
 }
 
-namespace {
+namespace internal {
 
-/// Portable integer kernel: 4-way unrolled so the compiler's auto-vectorizer
-/// has independent accumulation chains; every product is exact integer math,
-/// so the unroll cannot change the result.
-[[maybe_unused]] int64_t WeightedPortable(const int8_t* a, const int8_t* b,
-                                          const int32_t* w, size_t dim) {
+int64_t WeightedCodeSquaredL2Portable(const int8_t* a, const int8_t* b,
+                                      const int32_t* w, size_t dim) {
+  // 4-way unrolled so the compiler's auto-vectorizer has independent
+  // accumulation chains; every product is exact integer math, so the
+  // unroll cannot change the result.
   int64_t acc0 = 0, acc1 = 0, acc2 = 0, acc3 = 0;
   size_t d = 0;
   for (; d + 4 <= dim; d += 4) {
@@ -51,52 +49,66 @@ namespace {
   return acc;
 }
 
-#if defined(__AVX2__)
-/// AVX2 kernel: widen int8 lanes to i32, diff², multiply by the i32 weights,
-/// accumulate in four i64 lanes. Integer end to end — bit-identical to the
-/// portable kernel by construction.
-int64_t WeightedAvx2(const int8_t* a, const int8_t* b, const int32_t* w,
-                     size_t dim) {
-  __m256i acc = _mm256_setzero_si256();
-  size_t d = 0;
-  for (; d + 8 <= dim; d += 8) {
-    const __m128i a8 = _mm_loadl_epi64(
-        reinterpret_cast<const __m128i*>(a + d));
-    const __m128i b8 = _mm_loadl_epi64(
-        reinterpret_cast<const __m128i*>(b + d));
-    const __m256i ai = _mm256_cvtepi8_epi32(a8);
-    const __m256i bi = _mm256_cvtepi8_epi32(b8);
-    const __m256i diff = _mm256_sub_epi32(ai, bi);
-    const __m256i sq = _mm256_mullo_epi32(diff, diff);
-    const __m256i wi = _mm256_loadu_si256(
-        reinterpret_cast<const __m256i*>(w + d));
-    const __m256i prod = _mm256_mullo_epi32(sq, wi);
-    // Widen the 8 i32 products to i64 in two halves and accumulate.
-    const __m256i lo = _mm256_cvtepi32_epi64(_mm256_castsi256_si128(prod));
-    const __m256i hi =
-        _mm256_cvtepi32_epi64(_mm256_extracti128_si256(prod, 1));
-    acc = _mm256_add_epi64(acc, _mm256_add_epi64(lo, hi));
-  }
-  alignas(32) int64_t lanes[4];
-  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc);
-  int64_t total = lanes[0] + lanes[1] + lanes[2] + lanes[3];
-  for (; d < dim; ++d) {
-    const int32_t diff = static_cast<int32_t>(a[d]) - b[d];
-    total += w[d] * (diff * diff);
-  }
-  return total;
+bool QuantizedAvx2Available() {
+#if defined(__x86_64__) || defined(__i386__)
+  return QuantizedAvx2CompiledIn() && __builtin_cpu_supports("avx2");
+#else
+  return false;
+#endif
 }
-#endif  // __AVX2__
+
+}  // namespace internal
+
+namespace {
+
+using WeightedFn = int64_t (*)(const int8_t*, const int8_t*, const int32_t*,
+                               size_t);
+
+/// The dispatch slot. Null until first use; resolved lazily (not at static
+/// init) so SetQuantizedKernel in a test harness and the cpuid probe
+/// cannot race static construction order.
+std::atomic<WeightedFn> g_weighted{nullptr};
+
+WeightedFn ResolveAuto() {
+  return internal::QuantizedAvx2Available()
+             ? &internal::WeightedCodeSquaredL2Avx2
+             : &internal::WeightedCodeSquaredL2Portable;
+}
+
+WeightedFn ActiveWeighted() {
+  WeightedFn fn = g_weighted.load(std::memory_order_relaxed);
+  if (fn == nullptr) {
+    fn = ResolveAuto();
+    g_weighted.store(fn, std::memory_order_relaxed);
+  }
+  return fn;
+}
 
 }  // namespace
 
+void SetQuantizedKernel(QuantizedKernel choice) {
+  switch (choice) {
+    case QuantizedKernel::kAuto:
+      g_weighted.store(ResolveAuto(), std::memory_order_relaxed);
+      return;
+    case QuantizedKernel::kPortable:
+      g_weighted.store(&internal::WeightedCodeSquaredL2Portable,
+                       std::memory_order_relaxed);
+      return;
+    case QuantizedKernel::kAvx2:
+      if (!internal::QuantizedAvx2Available()) {
+        throw std::runtime_error(
+            "SetQuantizedKernel: AVX2 kernel unavailable on this machine");
+      }
+      g_weighted.store(&internal::WeightedCodeSquaredL2Avx2,
+                       std::memory_order_relaxed);
+      return;
+  }
+}
+
 int64_t WeightedCodeSquaredL2(const int8_t* a, const int8_t* b,
                               const int32_t* w, size_t dim) {
-#if defined(__AVX2__)
-  return WeightedAvx2(a, b, w, dim);
-#else
-  return WeightedPortable(a, b, w, dim);
-#endif
+  return ActiveWeighted()(a, b, w, dim);
 }
 
 int64_t CodeSquaredL2(const int8_t* a, const int8_t* b, size_t dim) {
@@ -109,11 +121,8 @@ int64_t CodeSquaredL2(const int8_t* a, const int8_t* b, size_t dim) {
 }
 
 const char* QuantizedKernelName() {
-#if defined(__AVX2__)
-  return "avx2";
-#else
-  return "portable";
-#endif
+  return ActiveWeighted() == &internal::WeightedCodeSquaredL2Avx2 ? "avx2"
+                                                                  : "portable";
 }
 
 }  // namespace neutraj::retrieval

@@ -164,8 +164,8 @@ std::vector<std::pair<double, size_t>> ShardedEmbeddingDatabase::ScanShard(
 }
 
 SearchResult ShardedEmbeddingDatabase::TopK(const nn::Vector& query, size_t k,
-                                            int64_t exclude,
-                                            ThreadPool* pool) const {
+                                            int64_t exclude, ThreadPool* pool,
+                                            obs::RequestTrace* trace) const {
   const size_t expected = dim_.load(std::memory_order_acquire);
   if (expected != 0 && query.size() != expected) {
     throw std::invalid_argument(
@@ -178,13 +178,18 @@ SearchResult ShardedEmbeddingDatabase::TopK(const nn::Vector& query, size_t k,
   std::vector<std::vector<std::pair<double, size_t>>> per_shard(n);
   if (pool != nullptr && n > 1) {
     for (size_t s = 0; s < n; ++s) {
-      pool->Submit([this, s, &query, k, exclude, &per_shard] {
+      pool->Submit([this, s, &query, k, exclude, &per_shard, trace] {
+        // Recorded from the worker, so the span's tid shows the fan-out;
+        // pool->Wait() below orders every Record before the caller can
+        // finish the trace.
+        obs::StageSpan span(trace, "shard_scan");
         per_shard[s] = ScanShard(s, query, k, exclude);
       });
     }
     pool->Wait();
   } else {
     for (size_t s = 0; s < n; ++s) {
+      obs::StageSpan span(trace, "shard_scan");
       per_shard[s] = ScanShard(s, query, k, exclude);
     }
   }

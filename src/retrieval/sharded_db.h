@@ -43,6 +43,7 @@
 #include "core/search.h"
 #include "nn/matrix.h"
 #include "obs/metrics.h"
+#include "obs/reqtrace.h"
 
 namespace neutraj::retrieval {
 
@@ -85,8 +86,12 @@ class ShardedEmbeddingDatabase {
   /// bit-identical to EmbeddingDatabase::TopK over the same rows for every
   /// shard count. `exclude` (if >= 0) removes one id. The per-shard scans
   /// run on `pool` when given (one task per shard), inline otherwise.
+  /// `trace` (nullable) records one "shard_scan" span per shard, from
+  /// whichever thread ran the scan — the scatter-gather fan-out made
+  /// visible in a request's span tree.
   SearchResult TopK(const nn::Vector& query, size_t k, int64_t exclude = -1,
-                    ThreadPool* pool = nullptr) const;
+                    ThreadPool* pool = nullptr,
+                    obs::RequestTrace* trace = nullptr) const;
 
   /// Re-points telemetry (retrieval/sharded_insert_us, _topk_us histograms;
   /// retrieval/shard<i>/rows gauges) at `registry`; same contract as

@@ -10,12 +10,11 @@
 
 #include <algorithm>
 #include <cerrno>
-#include <chrono>
-#include <thread>
 #include <utility>
 
 #include "common/framing.h"
 #include "common/random.h"
+#include "common/stopwatch.h"
 #include "common/string_util.h"
 
 namespace neutraj::serve {
@@ -82,7 +81,8 @@ Client::Client(Client&& other) noexcept
       max_frame_payload_(other.max_frame_payload_),
       connect_timeout_ms_(other.connect_timeout_ms_),
       io_timeout_ms_(other.io_timeout_ms_),
-      retry_(other.retry_) {}
+      retry_(other.retry_),
+      trace_(other.trace_) {}
 
 Client& Client::operator=(Client&& other) noexcept {
   if (this != &other) {
@@ -94,6 +94,7 @@ Client& Client::operator=(Client&& other) noexcept {
     connect_timeout_ms_ = other.connect_timeout_ms_;
     io_timeout_ms_ = other.io_timeout_ms_;
     retry_ = other.retry_;
+    trace_ = other.trace_;
   }
   return *this;
 }
@@ -190,7 +191,7 @@ void Client::Connect(const std::string& host, uint16_t port) {
     const uint64_t delay_ms =
         capped + static_cast<uint64_t>(jitter.Uniform(0.0, 1.0) *
                                        static_cast<double>(capped));
-    std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+    SleepForMillis(delay_ms);
   }
 }
 
@@ -256,8 +257,11 @@ void Client::ExpectType(const WireFrame& reply, MsgType expected) {
 }
 
 nn::Vector Client::Encode(const Trajectory& traj) {
+  EncodeRequest req;
+  req.traj = traj;
+  req.trace = trace_;
   const WireFrame reply =
-      RoundTrip(MsgType::kEncodeRequest, SerializeEncodeRequest({traj}));
+      RoundTrip(MsgType::kEncodeRequest, SerializeEncodeRequest(req));
   ExpectType(reply, MsgType::kEncodeResponse);
   EncodeResponse resp;
   if (!ParseEncodeResponse(reply.payload, &resp)) {
@@ -271,8 +275,11 @@ std::vector<nn::Vector> Client::EncodeMany(
   if (fd_ < 0) throw std::runtime_error("Client: not connected");
   std::string out;
   for (const Trajectory& traj : trajs) {
+    EncodeRequest req;
+    req.traj = traj;
+    req.trace = trace_;
     out += EncodeWireFrame(static_cast<uint16_t>(MsgType::kEncodeRequest),
-                           SerializeEncodeRequest({traj}), max_frame_payload_);
+                           SerializeEncodeRequest(req), max_frame_payload_);
   }
   SendAllOrThrow(fd_, out);
 
@@ -296,8 +303,12 @@ std::vector<nn::Vector> Client::EncodeMany(
 }
 
 PairSimResponse Client::PairSim(const Trajectory& a, const Trajectory& b) {
+  PairSimRequest req;
+  req.a = a;
+  req.b = b;
+  req.trace = trace_;
   const WireFrame reply =
-      RoundTrip(MsgType::kPairSimRequest, SerializePairSimRequest({a, b}));
+      RoundTrip(MsgType::kPairSimRequest, SerializePairSimRequest(req));
   ExpectType(reply, MsgType::kPairSimResponse);
   PairSimResponse resp;
   if (!ParsePairSimResponse(reply.payload, &resp)) {
@@ -313,6 +324,7 @@ TopKResponse Client::TopK(const Trajectory& query, uint32_t k,
   req.k = k;
   req.exclude = exclude;
   req.nprobe = nprobe;
+  req.trace = trace_;
   const WireFrame reply =
       RoundTrip(MsgType::kTopKRequest, SerializeTopKRequest(req));
   ExpectType(reply, MsgType::kTopKResponse);
@@ -324,8 +336,11 @@ TopKResponse Client::TopK(const Trajectory& query, uint32_t k,
 }
 
 InsertResponse Client::Insert(const Trajectory& traj) {
+  InsertRequest req;
+  req.traj = traj;
+  req.trace = trace_;
   const WireFrame reply =
-      RoundTrip(MsgType::kInsertRequest, SerializeInsertRequest({traj}));
+      RoundTrip(MsgType::kInsertRequest, SerializeInsertRequest(req));
   ExpectType(reply, MsgType::kInsertResponse);
   InsertResponse resp;
   if (!ParseInsertResponse(reply.payload, &resp)) {
@@ -350,6 +365,17 @@ HealthResponse Client::Health() {
   HealthResponse resp;
   if (!ParseHealthResponse(reply.payload, &resp)) {
     throw std::runtime_error("Client: malformed health response");
+  }
+  return resp;
+}
+
+TraceDumpResponse Client::TraceDump(uint32_t max_traces) {
+  const WireFrame reply = RoundTrip(MsgType::kTraceDumpRequest,
+                                    SerializeTraceDumpRequest({max_traces}));
+  ExpectType(reply, MsgType::kTraceDumpResponse);
+  TraceDumpResponse resp;
+  if (!ParseTraceDumpResponse(reply.payload, &resp)) {
+    throw std::runtime_error("Client: malformed tracedump response");
   }
   return resp;
 }

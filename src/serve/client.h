@@ -100,6 +100,15 @@ class Client {
   void set_retry_policy(const RetryPolicy& policy) { retry_ = policy; }
   const RetryPolicy& retry_policy() const { return retry_; }
 
+  /// Attaches a trace context to every subsequent request (Encode,
+  /// EncodeMany, PairSim, TopK, Insert) as the optional trailing wire
+  /// field. A valid context with `sampled` set forces the server to trace
+  /// those requests regardless of its sampling rate — this is how
+  /// `neutraj_client --trace-id` lights up one request end to end. Pass a
+  /// default-constructed context to detach. Survives Connect()/Close().
+  void set_trace_context(const obs::TraceContext& ctx) { trace_ = ctx; }
+  const obs::TraceContext& trace_context() const { return trace_; }
+
   /// Embeds one trajectory server-side.
   nn::Vector Encode(const Trajectory& traj);
 
@@ -128,6 +137,11 @@ class Client {
   StatsSnapshot Stats();
   HealthResponse Health();
 
+  /// Pulls the server's most recent sampled span trees (oldest first).
+  /// `max_traces` = 0 asks for the server's default window. Feed the result
+  /// to obs::RenderChromeTrace for a chrome://tracing-loadable file.
+  TraceDumpResponse TraceDump(uint32_t max_traces = 0);
+
  private:
   /// Sends one request frame and reads exactly one response frame.
   WireFrame RoundTrip(MsgType type, const std::string& payload);
@@ -150,6 +164,7 @@ class Client {
   uint32_t connect_timeout_ms_ = 0;
   uint32_t io_timeout_ms_ = 0;
   RetryPolicy retry_;
+  obs::TraceContext trace_;  ///< Applied to every request when valid().
 };
 
 }  // namespace neutraj::serve

@@ -1,8 +1,9 @@
 #include "serve/micro_batcher.h"
 
 #include <algorithm>
-#include <chrono>
 #include <stdexcept>
+
+#include "common/stopwatch.h"
 
 namespace neutraj::serve {
 
@@ -32,10 +33,18 @@ MicroBatcher::MicroBatcher(const NeuTrajModel& model, const Options& opts)
 MicroBatcher::~MicroBatcher() { Shutdown(); }
 
 std::future<MicroBatcher::BatchResult> MicroBatcher::SubmitBatch(
-    std::vector<Trajectory> trajs) {
+    std::vector<Trajectory> trajs, std::vector<obs::RequestTrace*> traces) {
   auto group = std::make_shared<Group>();
   group->trajs = std::move(trajs);
   const size_t n = group->trajs.size();
+  group->traces = std::move(traces);
+  group->traces.resize(n, nullptr);
+  group->submit_us.resize(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    if (group->traces[i] != nullptr) {
+      group->submit_us[i] = group->traces[i]->ElapsedMicros();
+    }
+  }
   group->result.embeddings.resize(n);
   group->result.errors.resize(n);
   group->result.bad_input.resize(n, 0);
@@ -58,10 +67,11 @@ std::future<MicroBatcher::BatchResult> MicroBatcher::SubmitBatch(
   return fut;
 }
 
-nn::Vector MicroBatcher::Encode(const Trajectory& traj) {
+nn::Vector MicroBatcher::Encode(const Trajectory& traj,
+                                obs::RequestTrace* trace) {
   std::vector<Trajectory> one;
   one.push_back(traj);
-  BatchResult r = SubmitBatch(std::move(one)).get();
+  BatchResult r = SubmitBatch(std::move(one), {trace}).get();
   if (!r.errors[0].empty()) {
     if (r.bad_input[0] != 0) throw std::invalid_argument(r.errors[0]);
     throw std::runtime_error(r.errors[0]);
@@ -100,16 +110,12 @@ void MicroBatcher::BatcherLoop() {
       // never waits, and skipped entirely during shutdown (drain fast).
       if (opts_.max_wait_micros > 0 && !shutdown_ &&
           queue_.size() < opts_.max_batch) {
-        const auto wait_start = std::chrono::steady_clock::now();
-        const auto deadline =
-            wait_start + std::chrono::microseconds(opts_.max_wait_micros);
+        const Stopwatch wait_sw;
+        const auto deadline = DeadlineAfterMicros(opts_.max_wait_micros);
         while (queue_.size() < opts_.max_batch && !shutdown_) {
           if (!work_ready_.WaitUntil(mu_, deadline)) break;
         }
-        waited_us = std::chrono::duration_cast<
-                        std::chrono::duration<double, std::micro>>(
-                        std::chrono::steady_clock::now() - wait_start)
-                        .count();
+        waited_us = wait_sw.ElapsedMicros();
       }
 
       take = std::min(queue_.size(), opts_.max_batch);
@@ -137,6 +143,14 @@ void MicroBatcher::RunBatch(std::vector<Item>* batch) {
   auto run_item = [this](Item* item, nn::CellWorkspace* ws) {
     Group& g = *item->group;
     const size_t i = item->index;
+    obs::RequestTrace* trace = g.traces[i];
+    if (trace != nullptr) {
+      // queue_wait = submit → the moment a worker picks the item up. The
+      // span is recorded from this worker, so its tid names who dequeued.
+      trace->Record("queue_wait", g.submit_us[i],
+                    trace->ElapsedMicros() - g.submit_us[i]);
+    }
+    obs::StageSpan encode_span(trace, "encode");
     try {
       g.result.embeddings[i] = model_.Embed(g.trajs[i], ws);
     } catch (const std::invalid_argument& e) {
@@ -145,6 +159,10 @@ void MicroBatcher::RunBatch(std::vector<Item>* batch) {
     } catch (const std::exception& e) {
       g.result.errors[i] = e.what();
     }
+    // The span must close BEFORE the promise can fire: once set_value runs,
+    // the submitter may wake and hand the trace to RequestTracer::Finish,
+    // and a late Record would race the finalize read.
+    encode_span.Stop();
     if (g.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
       g.promise.set_value(std::move(g.result));
     }

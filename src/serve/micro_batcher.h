@@ -35,6 +35,7 @@
 #include "core/model.h"
 #include "nn/workspace.h"
 #include "obs/metrics.h"
+#include "obs/reqtrace.h"
 
 namespace neutraj::serve {
 
@@ -89,12 +90,20 @@ class MicroBatcher {
   /// group may be split across batches (and coalesced with other groups)
   /// freely. Per-item failures land in BatchResult::errors, never as a
   /// future exception. Throws std::runtime_error after Shutdown().
-  std::future<BatchResult> SubmitBatch(std::vector<Trajectory> trajs)
-      NEUTRAJ_EXCLUDES(mu_);
+  ///
+  /// `traces` (optional) carries one obs::RequestTrace* per trajectory
+  /// (nullptr entries fine, shorter vectors padded): sampled items get
+  /// "queue_wait" and "encode" spans recorded from the worker threads. The
+  /// pointed-to traces must stay alive until the future resolves — the
+  /// caller holds them across .get(), so raw pointers are safe here.
+  std::future<BatchResult> SubmitBatch(
+      std::vector<Trajectory> trajs,
+      std::vector<obs::RequestTrace*> traces = {}) NEUTRAJ_EXCLUDES(mu_);
 
   /// Submit-one + wait: the blocking form used by simple handlers. Per-item
   /// failure is rethrown (std::invalid_argument for bad input).
-  nn::Vector Encode(const Trajectory& traj) NEUTRAJ_EXCLUDES(mu_);
+  nn::Vector Encode(const Trajectory& traj,
+                    obs::RequestTrace* trace = nullptr) NEUTRAJ_EXCLUDES(mu_);
 
   /// Stops accepting work, finishes everything queued, joins the batcher
   /// thread. Idempotent; also run by the destructor.
@@ -107,6 +116,11 @@ class MicroBatcher {
   /// fulfilled) by whichever worker finishes the last item.
   struct Group {
     std::vector<Trajectory> trajs;
+    /// Parallel to trajs; nullptr = item not traced. Borrowed from the
+    /// submitter, valid until the promise fires.
+    std::vector<obs::RequestTrace*> traces;
+    /// Trace-relative submit time per item — the "queue_wait" span start.
+    std::vector<double> submit_us;
     BatchResult result;
     std::atomic<size_t> remaining{0};
     std::promise<BatchResult> promise;

@@ -115,6 +115,11 @@ class PayloadReader {
   /// True iff every read succeeded and the payload had no trailing bytes.
   bool Done() const { return ok_ && pos_ == in_.size(); }
 
+  /// Bytes not yet consumed; 0 once a read has failed (sticky-fail). Lets
+  /// parsers with MULTIPLE optional trailing sections (TopK: nprobe then
+  /// trace) pick the layout by length before committing to reads.
+  size_t Remaining() const { return ok_ ? in_.size() - pos_ : 0; }
+
  private:
   bool Need(size_t n) {
     if (!ok_ || in_.size() - pos_ < n) {
@@ -128,6 +133,29 @@ class PayloadReader {
   size_t pos_ = 0;
   bool ok_ = true;
 };
+
+// -- Optional trailing trace section ----------------------------------------
+// 9 bytes: u64 trace id + u8 flags (bit 0 = sampled). Written only when the
+// id is non-zero so untraced payloads stay byte-identical to the pre-tracing
+// format; on the read side the section must be the LAST thing in the
+// payload, its id must be non-zero (a zero id with the section present is
+// an encoder bug, not "no trace"), and unknown flag bits are rejected so a
+// future flag cannot be silently dropped by an old server.
+
+void WriteTrace(PayloadWriter& w, const obs::TraceContext& t) {
+  w.U64(t.trace_id);
+  w.U8(t.sampled ? 1 : 0);
+}
+
+bool ParseTrailingTrace(PayloadReader& r, obs::TraceContext* out) {
+  uint64_t id = 0;
+  uint8_t flags = 0;
+  if (!r.U64(&id) || !r.U8(&flags) || !r.Done()) return false;
+  if (id == 0 || (flags & ~static_cast<uint8_t>(1)) != 0) return false;
+  out->trace_id = id;
+  out->sampled = (flags & 1) != 0;
+  return true;
+}
 
 }  // namespace
 
@@ -162,12 +190,16 @@ bool ParseError(const std::string& in, ErrorReply* out) {
 std::string SerializeEncodeRequest(const EncodeRequest& m) {
   PayloadWriter w;
   w.Traj(m.traj);
+  if (m.trace.valid()) WriteTrace(w, m.trace);
   return w.Take();
 }
 
 bool ParseEncodeRequest(const std::string& in, EncodeRequest* out) {
   PayloadReader r(in);
-  return r.Traj(&out->traj) && r.Done();
+  if (!r.Traj(&out->traj)) return false;
+  out->trace = obs::TraceContext{};
+  if (r.Done()) return true;  // Pre-tracing payload: valid, no context.
+  return ParseTrailingTrace(r, &out->trace);
 }
 
 std::string SerializeEncodeResponse(const EncodeResponse& m) {
@@ -185,12 +217,16 @@ std::string SerializePairSimRequest(const PairSimRequest& m) {
   PayloadWriter w;
   w.Traj(m.a);
   w.Traj(m.b);
+  if (m.trace.valid()) WriteTrace(w, m.trace);
   return w.Take();
 }
 
 bool ParsePairSimRequest(const std::string& in, PairSimRequest* out) {
   PayloadReader r(in);
-  return r.Traj(&out->a) && r.Traj(&out->b) && r.Done();
+  if (!r.Traj(&out->a) || !r.Traj(&out->b)) return false;
+  out->trace = obs::TraceContext{};
+  if (r.Done()) return true;  // Pre-tracing payload: valid, no context.
+  return ParseTrailingTrace(r, &out->trace);
 }
 
 std::string SerializePairSimResponse(const PairSimResponse& m) {
@@ -210,9 +246,13 @@ std::string SerializeTopKRequest(const TopKRequest& m) {
   w.Traj(m.query);
   w.U32(m.k);
   w.I64(m.exclude);
-  // Optional trailing section: omitted when nprobe is 0 (the default), so
-  // default-knob payloads are byte-identical to the pre-nprobe format.
-  if (m.nprobe != 0) w.U32(m.nprobe);
+  // Optional trailing sections: nprobe (4 bytes), then trace (9 bytes).
+  // Each is omitted at its default so default-knob payloads stay
+  // byte-identical to older formats — but a present trace forces nprobe
+  // onto the wire even when 0, keeping the four trailing lengths
+  // (0 / 4 / 9 / 13) unambiguous.
+  if (m.nprobe != 0 || m.trace.valid()) w.U32(m.nprobe);
+  if (m.trace.valid()) WriteTrace(w, m.trace);
   return w.Take();
 }
 
@@ -222,8 +262,14 @@ bool ParseTopKRequest(const std::string& in, TopKRequest* out) {
     return false;
   }
   out->nprobe = 0;
-  if (r.Done()) return true;  // Pre-nprobe payload: valid, default breadth.
-  return r.U32(&out->nprobe) && r.Done();
+  out->trace = obs::TraceContext{};
+  if (r.Done()) return true;  // Pre-nprobe payload: valid, all defaults.
+  const size_t rem = r.Remaining();
+  if (rem == 4 || rem == 13) {
+    if (!r.U32(&out->nprobe)) return false;
+    if (r.Done()) return true;  // nprobe only, no trace.
+  }
+  return ParseTrailingTrace(r, &out->trace);
 }
 
 std::string SerializeTopKResponse(const TopKResponse& m) {
@@ -255,12 +301,16 @@ bool ParseTopKResponse(const std::string& in, TopKResponse* out) {
 std::string SerializeInsertRequest(const InsertRequest& m) {
   PayloadWriter w;
   w.Traj(m.traj);
+  if (m.trace.valid()) WriteTrace(w, m.trace);
   return w.Take();
 }
 
 bool ParseInsertRequest(const std::string& in, InsertRequest* out) {
   PayloadReader r(in);
-  return r.Traj(&out->traj) && r.Done();
+  if (!r.Traj(&out->traj)) return false;
+  out->trace = obs::TraceContext{};
+  if (r.Done()) return true;  // Pre-tracing payload: valid, no context.
+  return ParseTrailingTrace(r, &out->trace);
 }
 
 std::string SerializeInsertResponse(const InsertResponse& m) {
@@ -360,6 +410,61 @@ bool ParseHealthResponse(const std::string& in, HealthResponse* out) {
   }
   out->ok = ok != 0;
   return true;
+}
+
+std::string SerializeTraceDumpRequest(const TraceDumpRequest& m) {
+  PayloadWriter w;
+  w.U32(m.max_traces);
+  return w.Take();
+}
+
+bool ParseTraceDumpRequest(const std::string& in, TraceDumpRequest* out) {
+  PayloadReader r(in);
+  return r.U32(&out->max_traces) && r.Done();
+}
+
+std::string SerializeTraceDumpResponse(const TraceDumpResponse& m) {
+  PayloadWriter w;
+  w.U32(static_cast<uint32_t>(m.traces.size()));
+  for (const obs::FinishedTrace& t : m.traces) {
+    w.U64(t.trace_id);
+    w.Str(t.endpoint);
+    w.F64(t.total_us);
+    w.U64(t.spans_dropped);
+    w.U32(static_cast<uint32_t>(t.spans.size()));
+    for (const obs::FinishedSpan& s : t.spans) {
+      w.Str(s.stage);
+      w.F64(s.start_us);
+      w.F64(s.dur_us);
+      w.U32(s.tid);
+    }
+  }
+  return w.Take();
+}
+
+bool ParseTraceDumpResponse(const std::string& in, TraceDumpResponse* out) {
+  PayloadReader r(in);
+  uint32_t n = 0;
+  if (!r.U32(&n)) return false;
+  out->traces.clear();
+  for (uint32_t i = 0; i < n; ++i) {
+    obs::FinishedTrace t;
+    uint32_t nspans = 0;
+    if (!r.U64(&t.trace_id) || !r.Str(&t.endpoint) || !r.F64(&t.total_us) ||
+        !r.U64(&t.spans_dropped) || !r.U32(&nspans)) {
+      return false;
+    }
+    for (uint32_t s = 0; s < nspans; ++s) {
+      obs::FinishedSpan span;
+      if (!r.Str(&span.stage) || !r.F64(&span.start_us) ||
+          !r.F64(&span.dur_us) || !r.U32(&span.tid)) {
+        return false;
+      }
+      t.spans.push_back(std::move(span));
+    }
+    out->traces.push_back(std::move(t));
+  }
+  return r.Done();
 }
 
 }  // namespace neutraj::serve

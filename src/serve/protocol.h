@@ -17,6 +17,15 @@
 //   kInsertRequest   → kInsertResponse     append to the live corpus
 //   kStatsRequest    → kStatsResponse      per-endpoint latency/QPS counters
 //   kHealthRequest   → kHealthResponse     liveness + corpus shape
+//   kTraceDumpRequest→ kTraceDumpResponse  recently finished request traces
+//
+// Request tracing: Encode/PairSim/TopK/Insert requests may carry an
+// OPTIONAL trailing trace section (u64 trace id + u8 flags, bit 0 =
+// sampled) following the same compat pattern as TopK's trailing nprobe —
+// serialized only when the id is non-zero, so pre-tracing payloads are
+// byte-identical and still parse. A present section with a zero id or
+// unknown flag bits fails the parse (kBadRequest; the connection stays
+// open).
 
 #ifndef NEUTRAJ_SERVE_PROTOCOL_H_
 #define NEUTRAJ_SERVE_PROTOCOL_H_
@@ -28,6 +37,7 @@
 #include "common/framing.h"
 #include "geo/trajectory.h"
 #include "nn/matrix.h"
+#include "obs/reqtrace.h"
 #include "serve/stats.h"
 
 namespace neutraj::serve {
@@ -48,6 +58,8 @@ enum class MsgType : uint16_t {
   kStatsResponse = 10,
   kHealthRequest = 11,
   kHealthResponse = 12,
+  kTraceDumpRequest = 13,
+  kTraceDumpResponse = 14,
 };
 
 /// Error codes carried by kError replies.
@@ -74,6 +86,9 @@ struct ErrorReply {
 
 struct EncodeRequest {
   Trajectory traj;
+  /// Optional client-supplied trace context (trailing wire section, present
+  /// only when trace_id != 0). When absent the server decides sampling.
+  obs::TraceContext trace = {};
 };
 struct EncodeResponse {
   nn::Vector embedding;
@@ -81,6 +96,7 @@ struct EncodeResponse {
 
 struct PairSimRequest {
   Trajectory a, b;
+  obs::TraceContext trace = {};  ///< Optional trailing section; see EncodeRequest.
 };
 struct PairSimResponse {
   double distance = 0.0;    ///< ||E(a) - E(b)||.
@@ -98,6 +114,11 @@ struct TopKRequest {
   /// old clients' payloads still parse and old servers reject new payloads
   /// cleanly rather than misreading them.
   uint32_t nprobe = 0;
+  /// Optional trace context, a second trailing section AFTER nprobe. The
+  /// remaining-byte count disambiguates the four layouts (0 = neither,
+  /// 4 = nprobe, 9 = trace, 13 = both); a non-default trace forces nprobe
+  /// onto the wire even at its default so the layouts stay distinct.
+  obs::TraceContext trace = {};
 };
 struct TopKResponse {
   std::vector<uint64_t> ids;
@@ -114,6 +135,7 @@ inline constexpr uint32_t kMaxTopKResults = static_cast<uint32_t>(
 
 struct InsertRequest {
   Trajectory traj;
+  obs::TraceContext trace = {};  ///< Optional trailing section; see EncodeRequest.
 };
 struct InsertResponse {
   uint64_t id = 0;           ///< Assigned corpus id (dense, insert order).
@@ -131,6 +153,16 @@ struct HealthResponse {
   uint64_t corpus_size = 0;
   uint32_t dim = 0;
   std::string status;  ///< "serving" or "draining".
+};
+
+struct TraceDumpRequest {
+  /// Max traces to return, newest kept. 0 = server default (a reply-size
+  /// conscious cap); the server additionally clamps to what its ring holds.
+  uint32_t max_traces = 0;
+};
+
+struct TraceDumpResponse {
+  std::vector<obs::FinishedTrace> traces;  ///< Oldest first.
 };
 
 // -- Serialization -----------------------------------------------------------
@@ -165,6 +197,11 @@ bool ParseStatsResponse(const std::string& in, StatsResponse* out);
 
 std::string SerializeHealthResponse(const HealthResponse& m);
 bool ParseHealthResponse(const std::string& in, HealthResponse* out);
+
+std::string SerializeTraceDumpRequest(const TraceDumpRequest& m);
+bool ParseTraceDumpRequest(const std::string& in, TraceDumpRequest* out);
+std::string SerializeTraceDumpResponse(const TraceDumpResponse& m);
+bool ParseTraceDumpResponse(const std::string& in, TraceDumpResponse* out);
 
 }  // namespace neutraj::serve
 

@@ -74,6 +74,12 @@ Server::Server(QueryService* service, const ServerOptions& opts)
   if (opts_.max_frame_payload > kWireMaxPayload) {
     opts_.max_frame_payload = kWireMaxPayload;
   }
+  // Forward tracing knobs only when the caller set any: a default-options
+  // server leaves the service's tracer alone (tests may have configured it
+  // directly), and client-forced traces work without any configuration.
+  if (opts_.trace.sample_every != 0 || !opts_.trace.slow_log_path.empty()) {
+    service_->ConfigureTracing(opts_.trace);
+  }
 }
 
 Server::~Server() {
@@ -242,9 +248,14 @@ void Server::ConnectionLoop(int fd) {
       bool is_encode = false;
       size_t encode_index = 0;  ///< Into the group, when is_encode.
       WireFrame request;        ///< Deferred to Handle(), when !is_encode.
+      /// Live trace of a sampled request; the reply span and Finish happen
+      /// here, after the socket write.
+      std::shared_ptr<obs::RequestTrace> trace;
+      double reply_start_us = 0.0;
     };
     std::vector<Slot> burst;
     std::vector<Trajectory> group;
+    std::vector<std::shared_ptr<obs::RequestTrace>> group_traces;
     FrameStatus stream_status = FrameStatus::kIncomplete;
     while (true) {
       WireFrame request;
@@ -252,7 +263,7 @@ void Server::ConnectionLoop(int fd) {
           DecodeWireFrame(buf, &offset, &request, opts_.max_frame_payload);
       if (stream_status != FrameStatus::kOk) break;
       Slot slot;
-      if (service_->CollectEncode(request, &group)) {
+      if (service_->CollectEncode(request, &group, &group_traces)) {
         slot.is_encode = true;
         slot.encode_index = group.size() - 1;
       } else {
@@ -263,17 +274,28 @@ void Server::ConnectionLoop(int fd) {
     // Dispatch the encode group first: other handlers in the burst (TopK,
     // Insert, PairSim) block on their own embeddings and would otherwise
     // delay the group past the straggler window.
-    auto pending = service_->BeginEncodes(std::move(group));
+    auto pending =
+        service_->BeginEncodes(std::move(group), std::move(group_traces));
     std::string out;
     std::vector<WireFrame> encode_replies;
+    std::vector<std::shared_ptr<obs::RequestTrace>> encode_traces;
     if (pending.has_value()) {
+      // Traces outlive FinishEncodes (which consumes the PendingEncodes):
+      // the batcher has already recorded into them by the time the future
+      // resolves, and the reply span is still to come.
+      encode_traces = std::move(pending->traces);
       encode_replies = service_->FinishEncodes(std::move(*pending));
+    }
+    for (Slot& slot : burst) {
+      if (slot.is_encode) {
+        slot.trace = std::move(encode_traces[slot.encode_index]);
+      }
     }
     bool oversize = false;
     for (Slot& slot : burst) {
       const WireFrame reply = slot.is_encode
                                   ? std::move(encode_replies[slot.encode_index])
-                                  : service_->Handle(slot.request);
+                                  : service_->Handle(slot.request, &slot.trace);
       out += EncodeReplyFrame(reply, &oversize);
       // Dropping the rest of the burst is fine: the connection is closed
       // below, so the peer sees the error frame and then EOF.
@@ -286,7 +308,20 @@ void Server::ConnectionLoop(int fd) {
       const WireFrame reply = QueryService::FrameErrorReply(stream_status);
       out += EncodeReplyFrame(reply, &oversize);
     }
+    // Reply spans bracket the burst's single socket write. Start marks are
+    // per trace (each trace's clock began at its own Begin).
+    for (Slot& slot : burst) {
+      if (slot.trace != nullptr) {
+        slot.reply_start_us = slot.trace->ElapsedMicros();
+      }
+    }
     if (!out.empty() && !SendAll(fd, out)) open = false;
+    for (Slot& slot : burst) {
+      if (slot.trace == nullptr) continue;
+      slot.trace->Record("reply", slot.reply_start_us,
+                         slot.trace->ElapsedMicros() - slot.reply_start_us);
+      service_->tracer().Finish(slot.trace);
+    }
     if (hard_error || oversize || !open) break;
     if (offset > 0) {
       buf.erase(0, offset);

@@ -69,8 +69,9 @@ WireFrame QueryService::FrameErrorReply(FrameStatus status) {
   return ErrorFrame(code, std::string("frame error: ") + FrameStatusName(status));
 }
 
-bool QueryService::CollectEncode(const WireFrame& request,
-                                 std::vector<Trajectory>* group) const {
+bool QueryService::CollectEncode(
+    const WireFrame& request, std::vector<Trajectory>* group,
+    std::vector<std::shared_ptr<obs::RequestTrace>>* traces) {
   if (static_cast<MsgType>(request.type) != MsgType::kEncodeRequest ||
       draining_.load()) {
     return false;
@@ -80,15 +81,24 @@ bool QueryService::CollectEncode(const WireFrame& request,
     return false;  // Handle() will build the precise error reply.
   }
   group->push_back(std::move(req.traj));
+  if (traces != nullptr) {
+    traces->push_back(tracer_.Begin(req.trace, "encode"));
+  }
   return true;
 }
 
 std::optional<QueryService::PendingEncodes> QueryService::BeginEncodes(
-    std::vector<Trajectory> group) {
+    std::vector<Trajectory> group,
+    std::vector<std::shared_ptr<obs::RequestTrace>> traces) {
   if (group.empty()) return std::nullopt;
   PendingEncodes pending;
   pending.count = group.size();
-  pending.fut = batcher_.SubmitBatch(std::move(group));
+  traces.resize(pending.count);
+  std::vector<obs::RequestTrace*> raw;
+  raw.reserve(pending.count);
+  for (const auto& t : traces) raw.push_back(t.get());
+  pending.traces = std::move(traces);
+  pending.fut = batcher_.SubmitBatch(std::move(group), std::move(raw));
   return pending;
 }
 
@@ -135,12 +145,14 @@ StatsSnapshot QueryService::Snapshot() const {
   return snap;
 }
 
-WireFrame QueryService::Handle(const WireFrame& request) {
+WireFrame QueryService::Handle(const WireFrame& request,
+                               std::shared_ptr<obs::RequestTrace>* trace_out) {
   Stopwatch sw;
   Endpoint endpoint = Endpoint::kCount;
+  std::shared_ptr<obs::RequestTrace> trace;
   WireFrame reply;
   try {
-    reply = Dispatch(request, &endpoint);
+    reply = Dispatch(request, &endpoint, &trace);
   } catch (const std::invalid_argument& e) {
     reply = ErrorFrame(ErrorCode::kBadRequest, e.what());
   } catch (const std::exception& e) {
@@ -151,10 +163,16 @@ WireFrame QueryService::Handle(const WireFrame& request) {
         reply.type == static_cast<uint16_t>(MsgType::kError);
     stats_.Record(endpoint, sw.ElapsedMillis() * 1e3, is_error);
   }
+  if (trace_out != nullptr) {
+    *trace_out = std::move(trace);  // Transport adds the reply span.
+  } else {
+    tracer_.Finish(trace);  // Socketless caller: finalize without one.
+  }
   return reply;
 }
 
-WireFrame QueryService::Dispatch(const WireFrame& request, Endpoint* endpoint) {
+WireFrame QueryService::Dispatch(const WireFrame& request, Endpoint* endpoint,
+                                 std::shared_ptr<obs::RequestTrace>* trace) {
   const auto type = static_cast<MsgType>(request.type);
   switch (type) {
     case MsgType::kHealthRequest: {
@@ -186,9 +204,10 @@ WireFrame QueryService::Dispatch(const WireFrame& request, Endpoint* endpoint) {
       if (!ParseEncodeRequest(request.payload, &req)) {
         return ErrorFrame(ErrorCode::kBadRequest, "malformed encode request");
       }
+      *trace = tracer_.Begin(req.trace, "encode");
       CheckTrajectory(req.traj, "trajectory");
       EncodeResponse resp;
-      resp.embedding = batcher_.Encode(req.traj);
+      resp.embedding = batcher_.Encode(req.traj, trace->get());
       return Reply(MsgType::kEncodeResponse, SerializeEncodeResponse(resp));
     }
 
@@ -201,15 +220,20 @@ WireFrame QueryService::Dispatch(const WireFrame& request, Endpoint* endpoint) {
       if (!ParsePairSimRequest(request.payload, &req)) {
         return ErrorFrame(ErrorCode::kBadRequest, "malformed pairsim request");
       }
+      *trace = tracer_.Begin(req.trace, "pairsim");
       CheckTrajectory(req.a, "trajectory a");
       CheckTrajectory(req.b, "trajectory b");
       // One two-item group: both trajectories share a batch (and one
-      // future) instead of paying two straggler windows.
+      // future) instead of paying two straggler windows. Both items record
+      // into the one request trace (two encode spans, possibly two threads).
       std::vector<Trajectory> pair;
       pair.reserve(2);
       pair.push_back(std::move(req.a));
       pair.push_back(std::move(req.b));
-      MicroBatcher::BatchResult r = batcher_.SubmitBatch(std::move(pair)).get();
+      MicroBatcher::BatchResult r =
+          batcher_
+              .SubmitBatch(std::move(pair), {trace->get(), trace->get()})
+              .get();
       for (size_t i = 0; i < 2; ++i) {
         if (r.errors[i].empty()) continue;
         if (r.bad_input[i] != 0) throw std::invalid_argument(r.errors[i]);
@@ -230,18 +254,23 @@ WireFrame QueryService::Dispatch(const WireFrame& request, Endpoint* endpoint) {
       if (!ParseTopKRequest(request.payload, &req)) {
         return ErrorFrame(ErrorCode::kBadRequest, "malformed topk request");
       }
+      *trace = tracer_.Begin(req.trace, "topk");
+      obs::RequestTrace* t = trace->get();
       CheckTrajectory(req.query, "query trajectory");
       if (req.k == 0) {
         return ErrorFrame(ErrorCode::kBadRequest, "k must be >= 1");
       }
       if (req.k > kMaxTopKResults) req.k = kMaxTopKResults;
-      const nn::Vector query = batcher_.Encode(req.query);
+      const nn::Vector query = batcher_.Encode(req.query, t);
       // The backend (when configured) owns the scan strategy; its exact
       // re-rank keeps scores bit-identical to the direct db_ path.
-      const SearchResult r =
-          backend_ != nullptr
-              ? backend_->TopK(query, req.k, req.exclude, req.nprobe)
-              : db_->TopK(query, req.k, req.exclude);
+      SearchResult r;
+      if (backend_ != nullptr) {
+        r = backend_->TopK(query, req.k, req.exclude, req.nprobe, t);
+      } else {
+        obs::StageSpan scan_span(t, "scan");
+        r = db_->TopK(query, req.k, req.exclude);
+      }
       TopKResponse resp;
       resp.ids.assign(r.ids.begin(), r.ids.end());
       resp.dists = r.dists;
@@ -257,19 +286,21 @@ WireFrame QueryService::Dispatch(const WireFrame& request, Endpoint* endpoint) {
       if (!ParseInsertRequest(request.payload, &req)) {
         return ErrorFrame(ErrorCode::kBadRequest, "malformed insert request");
       }
+      *trace = tracer_.Begin(req.trace, "insert");
+      obs::RequestTrace* t = trace->get();
       CheckTrajectory(req.traj, "trajectory");
       // A degraded store refuses before the (expensive) encode, not after.
       if (store_ != nullptr && store_->read_only()) {
         return ErrorFrame(ErrorCode::kDegraded,
                           "store is read-only: " + store_->degraded_reason());
       }
-      const nn::Vector embedding = batcher_.Encode(req.traj);
+      const nn::Vector embedding = batcher_.Encode(req.traj, t);
       InsertResponse resp;
       if (store_ != nullptr) {
         try {
           // Durable ack: the WAL record is on stable storage before this
           // returns, so the reply below is a promise recovery can keep.
-          resp.id = store_->Insert(embedding);
+          resp.id = store_->Insert(embedding, t);
         } catch (const store::StoreError& e) {
           return ErrorFrame(ErrorCode::kDegraded, e.what());
         }
@@ -286,6 +317,26 @@ WireFrame QueryService::Dispatch(const WireFrame& request, Endpoint* endpoint) {
       return Reply(MsgType::kInsertResponse, SerializeInsertResponse(resp));
     }
 
+    case MsgType::kTraceDumpRequest: {
+      *endpoint = Endpoint::kTraceDump;
+      // Read-only diagnostics, allowed while draining (like Stats/Health):
+      // a drain is exactly when the last traces are most interesting.
+      TraceDumpRequest req;
+      if (!ParseTraceDumpRequest(request.payload, &req)) {
+        return ErrorFrame(ErrorCode::kBadRequest,
+                          "malformed tracedump request");
+      }
+      // Cap the reply: at kMaxSpans spans of ~40 bytes a trace serializes
+      // to ~2 KB, so 512 traces stay far below kWireMaxPayload.
+      constexpr uint32_t kDefaultDump = 32;
+      constexpr uint32_t kMaxDump = 512;
+      const uint32_t want = req.max_traces == 0 ? kDefaultDump : req.max_traces;
+      TraceDumpResponse resp;
+      resp.traces = tracer_.Dump(std::min(want, kMaxDump));
+      return Reply(MsgType::kTraceDumpResponse,
+                   SerializeTraceDumpResponse(resp));
+    }
+
     case MsgType::kError:
     case MsgType::kEncodeResponse:
     case MsgType::kPairSimResponse:
@@ -293,6 +344,7 @@ WireFrame QueryService::Dispatch(const WireFrame& request, Endpoint* endpoint) {
     case MsgType::kInsertResponse:
     case MsgType::kStatsResponse:
     case MsgType::kHealthResponse:
+    case MsgType::kTraceDumpResponse:
       break;
   }
   return ErrorFrame(ErrorCode::kUnknownType,

@@ -25,6 +25,7 @@
 #include "core/embedding_db.h"
 #include "core/model.h"
 #include "obs/metrics.h"
+#include "obs/reqtrace.h"
 #include "retrieval/backend.h"
 #include "serve/micro_batcher.h"
 #include "serve/protocol.h"
@@ -51,7 +52,14 @@ class QueryService {
   /// Maps one request frame to its response frame. Never throws: parse
   /// failures, unknown types, and handler exceptions all become kError
   /// replies. Thread-safe — called concurrently from connection handlers.
-  WireFrame Handle(const WireFrame& request);
+  ///
+  /// When this request is sampled for tracing, `trace_out` (if non-null)
+  /// receives the live trace so the transport can record the "reply" span
+  /// around the socket write and then call tracer().Finish(). With a null
+  /// `trace_out` (tests, socketless callers) the service finishes the trace
+  /// itself — no reply span, everything else identical.
+  WireFrame Handle(const WireFrame& request,
+                   std::shared_ptr<obs::RequestTrace>* trace_out = nullptr);
 
   /// Convenience for frame-level failures discovered by the transport:
   /// builds the kError reply matching a FrameStatus.
@@ -63,21 +71,31 @@ class QueryService {
     std::future<MicroBatcher::BatchResult> fut;
     Stopwatch sw;  ///< Started at dispatch; FinishEncodes records latency.
     size_t count = 0;
+    /// Parallel to the group (nullptr = unsampled). Keeps the traces alive
+    /// while batcher workers record into them; the transport moves these
+    /// out before FinishEncodes to add reply spans and finish them.
+    std::vector<std::shared_ptr<obs::RequestTrace>> traces;
   };
 
   /// Pipelining fast path, step 1: if `request` is a well-formed Encode
   /// request and the service is accepting work, appends its trajectory to
   /// *group and returns true. Returns false for every other frame (and
   /// for malformed/draining cases, where Handle() produces the precise
-  /// error reply).
-  bool CollectEncode(const WireFrame& request,
-                     std::vector<Trajectory>* group) const;
+  /// error reply). `traces` (if non-null) gets one entry per collected
+  /// item — the sampling decision for that request, nullptr when unsampled
+  /// — so it stays index-aligned with *group.
+  bool CollectEncode(
+      const WireFrame& request, std::vector<Trajectory>* group,
+      std::vector<std::shared_ptr<obs::RequestTrace>>* traces = nullptr);
 
   /// Step 2: dispatches a collected group to the batcher as one unit —
   /// one future for the whole burst, so a pipelined connection fills a
   /// batch by itself at per-group (not per-request) synchronization cost.
-  /// Returns nullopt for an empty group.
-  std::optional<PendingEncodes> BeginEncodes(std::vector<Trajectory> group);
+  /// Returns nullopt for an empty group. `traces` must be empty or
+  /// index-aligned with `group` (CollectEncode's output).
+  std::optional<PendingEncodes> BeginEncodes(
+      std::vector<Trajectory> group,
+      std::vector<std::shared_ptr<obs::RequestTrace>> traces = {});
 
   /// Step 3: waits for a dispatched group and builds one reply frame per
   /// item, in submission order (kError on per-item failure). Never
@@ -102,6 +120,14 @@ class QueryService {
   }
   retrieval::RetrievalBackend* retrieval_backend() { return backend_; }
 
+  /// Applies tracing knobs (sampling rate, ring size, slow-query log) to
+  /// this service's tracer. Not thread-safe against in-flight requests —
+  /// call before serving.
+  void ConfigureTracing(const obs::ReqTraceOptions& opts) {
+    tracer_.Configure(opts);
+  }
+  obs::RequestTracer& tracer() { return tracer_; }
+
   /// Endpoint counters plus corpus/batcher gauges and the flattened
   /// registry metrics, ready to serialize.
   StatsSnapshot Snapshot() const;
@@ -113,7 +139,8 @@ class QueryService {
   store::DurableStore* durable_store() { return store_; }
 
  private:
-  WireFrame Dispatch(const WireFrame& request, Endpoint* endpoint);
+  WireFrame Dispatch(const WireFrame& request, Endpoint* endpoint,
+                     std::shared_ptr<obs::RequestTrace>* trace);
 
   const NeuTrajModel& model_;
   EmbeddingDatabase* db_;
@@ -124,6 +151,9 @@ class QueryService {
   /// it): two services in one process — routine in tests — never share
   /// counters, and a stats snapshot covers exactly this server's traffic.
   obs::MetricsRegistry registry_;
+  /// Request tracing (sampling gate, trace ring, slow-query log). Declared
+  /// after registry_ — its rollup metrics register there.
+  obs::RequestTracer tracer_{&registry_};
   MicroBatcher batcher_;
   ServerStats stats_;
   std::atomic<bool> draining_{false};

@@ -15,6 +15,7 @@ const char* EndpointName(Endpoint e) {
     case Endpoint::kInsert: return "insert";
     case Endpoint::kStats: return "stats";
     case Endpoint::kHealth: return "health";
+    case Endpoint::kTraceDump: return "tracedump";
     case Endpoint::kCount: break;
   }
   return "unknown";

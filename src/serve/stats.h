@@ -41,6 +41,7 @@ enum class Endpoint : size_t {
   kInsert,
   kStats,
   kHealth,
+  kTraceDump,
   kCount,  ///< Sentinel; not an endpoint.
 };
 

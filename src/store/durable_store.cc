@@ -127,7 +127,8 @@ DurableStore::RecoveryInfo DurableStore::Open() {
   return info;
 }
 
-size_t DurableStore::Insert(const nn::Vector& embedding) {
+size_t DurableStore::Insert(const nn::Vector& embedding,
+                            obs::RequestTrace* trace) {
   Stopwatch sw;
   MutexLock lock(mu_);
   if (!opened_) throw StoreError("DurableStore: Insert before Open");
@@ -138,6 +139,7 @@ size_t DurableStore::Insert(const nn::Vector& embedding) {
   // All corpus mutations are serialized through mu_, so the id the
   // database will assign is its current size.
   const uint64_t seq = db_->size();
+  obs::StageSpan wal_span(trace, "wal");
   try {
     wal_->Append({seq, embedding});
   } catch (const StoreError& e) {
@@ -145,6 +147,7 @@ size_t DurableStore::Insert(const nn::Vector& embedding) {
     DegradeLocked(e.what());
     throw;
   }
+  wal_span.Stop();
   const size_t id = db_->Insert(embedding);
   NEUTRAJ_ASSERT_MSG(id == seq, "DurableStore: WAL seq diverged from corpus id");
   ++wal_records_;

@@ -42,6 +42,7 @@
 #include "common/sync.h"
 #include "core/embedding_db.h"
 #include "obs/metrics.h"
+#include "obs/reqtrace.h"
 #include "store/file.h"
 #include "store/wal.h"
 
@@ -88,7 +89,10 @@ class DurableStore {
   /// append fails — an insert that was not logged is never acknowledged.
   /// WAL-then-db ordering is enforced under mu_: the record is appended and
   /// synced before EmbeddingDatabase::Insert runs (store rank < db rank).
-  size_t Insert(const nn::Vector& embedding) NEUTRAJ_EXCLUDES(mu_);
+  /// `trace` (nullable) gets a "wal" span around the append + sync —
+  /// recording is lock-free, so it is safe under mu_.
+  size_t Insert(const nn::Vector& embedding,
+                obs::RequestTrace* trace = nullptr) NEUTRAJ_EXCLUDES(mu_);
 
   /// Snapshots the corpus and truncates the WAL. Throws StoreError.
   void Compact() NEUTRAJ_EXCLUDES(mu_);

@@ -41,13 +41,17 @@ TEST(LatencyHistogramTest, BucketZeroIsZeroToOneMicrosInclusive) {
   h.Record(1.0);
   EXPECT_EQ(h.buckets()[0], 3u);
   EXPECT_EQ(h.buckets()[1], 0u);
-  EXPECT_EQ(h.PercentileMicros(0.5), 1.0);
+  // Interpolated within bucket 0: the median of {0, 0.5, 1.0} reads as the
+  // halfway point of [0, 1], and p100 as the bucket's (== the max's) top.
+  EXPECT_EQ(h.PercentileMicros(0.5), 0.5);
   EXPECT_EQ(h.PercentileMicros(1.0), 1.0);
   EXPECT_EQ(LatencyHistogram::BucketUpperMicros(0), 1.0);
 
   h.Record(1.5);
   EXPECT_EQ(h.buckets()[1], 1u);
-  EXPECT_EQ(h.PercentileMicros(1.0), 2.0);
+  // p100 interpolates to bucket 1's top (2.0) but is capped at the tracked
+  // max — no percentile ever exceeds an actually observed latency.
+  EXPECT_EQ(h.PercentileMicros(1.0), 1.5);
 }
 
 TEST(LatencyHistogramTest, NegativeSamplesClampToBucketZero) {
@@ -62,10 +66,33 @@ TEST(LatencyHistogramTest, OverflowSamplesLandInTheLastBucket) {
   LatencyHistogram h;
   h.Record(1e12);  // Far beyond the ~134 s top bound.
   EXPECT_EQ(h.buckets()[LatencyHistogram::kNumBuckets - 1], 1u);
-  EXPECT_EQ(h.PercentileMicros(0.5),
-            LatencyHistogram::BucketUpperMicros(LatencyHistogram::kNumBuckets -
-                                                1));
+  // Interpolation puts the lone sample's p50 at the open-ended last
+  // bucket's midpoint (capped at max, which is far above it here).
+  const double lower =
+      LatencyHistogram::BucketUpperMicros(LatencyHistogram::kNumBuckets - 2);
+  const double upper =
+      LatencyHistogram::BucketUpperMicros(LatencyHistogram::kNumBuckets - 1);
+  EXPECT_EQ(h.PercentileMicros(0.5), 0.5 * (lower + upper));
   EXPECT_EQ(h.max_micros(), 1e12);
+}
+
+TEST(LatencyHistogramTest, PercentilesInterpolateInsteadOfSnappingToBucketTop) {
+  // Regression pin for the p50 == p99 == 8192 µs artifact: when one log2
+  // bucket holds most of the mass, upper-bound snapping made every
+  // percentile identical. Interpolation must keep p50 < p99 even though
+  // both land in the same (2, 4] bucket.
+  LatencyHistogram h;
+  for (int i = 1; i <= 100; ++i) h.Record(2.0 + 0.02 * i);  // (2.02 .. 4.0].
+  EXPECT_EQ(h.buckets()[2], 100u);
+  EXPECT_DOUBLE_EQ(h.PercentileMicros(0.5), 3.0);    // 2 + 0.50 * 2.
+  EXPECT_DOUBLE_EQ(h.PercentileMicros(0.99), 3.98);  // 2 + 0.99 * 2.
+  EXPECT_LT(h.PercentileMicros(0.5), h.PercentileMicros(0.99));
+  // A single-sample histogram reports the sample itself, not its bucket's
+  // power-of-two ceiling.
+  LatencyHistogram one;
+  one.Record(3.0);
+  EXPECT_DOUBLE_EQ(one.PercentileMicros(0.5), 3.0);
+  EXPECT_DOUBLE_EQ(one.PercentileMicros(0.99), 3.0);
 }
 
 TEST(ConcurrentHistogramTest, SnapshotMatchesPlainHistogram) {
@@ -135,10 +162,12 @@ TEST(MetricsSnapshotTest, FlattenExpandsHistogramsAndSorts) {
   reg.GetCounter("c").Add(7);
   reg.GetGauge("g").Set(2.5);
   const auto flat = reg.Snapshot().Flatten();
+  // Single-sample percentiles report the sample (interpolation + max cap),
+  // not the bucket's 4.0 upper bound.
   const std::vector<std::pair<std::string, double>> expected = {
       {"c", 7.0},        {"g", 2.5},         {"h/count", 1.0},
-      {"h/max_us", 3.0}, {"h/mean_us", 3.0}, {"h/p50_us", 4.0},
-      {"h/p99_us", 4.0},
+      {"h/max_us", 3.0}, {"h/mean_us", 3.0}, {"h/p50_us", 3.0},
+      {"h/p99_us", 3.0},
   };
   EXPECT_EQ(flat, expected);
 }

@@ -15,6 +15,8 @@
 #include <cmath>
 #include <cstdint>
 #include <set>
+#include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -110,6 +112,53 @@ TEST(KernelsTest, WeightedKernelMatchesNaiveReferenceAtEveryDim) {
       plain += diff * diff;
     }
     EXPECT_EQ(CodeSquaredL2(a.data(), b.data(), dim), plain);
+  }
+}
+
+TEST(KernelsTest, ForcedPortableAndAvx2DispatchAreBitIdentical) {
+  // The runtime-dispatched AVX2 kernel (kernels_avx2.cc, cpuid-gated) must
+  // agree with the portable reference on every accumulator bit at every
+  // dim — including the masked tail lanes — so the kernel choice can never
+  // change which candidates survive to the exact re-rank. Forcing each
+  // implementation through SetQuantizedKernel runs both on one machine;
+  // on a CPU without AVX2 only the portable/auto agreement is pinned.
+  Rng rng(13);
+  for (size_t dim = 1; dim <= 70; ++dim) {
+    std::vector<int8_t> a(dim), b(dim);
+    std::vector<int32_t> w(dim);
+    for (size_t d = 0; d < dim; ++d) {
+      a[d] = static_cast<int8_t>(rng.UniformInt(-127, 127));
+      b[d] = static_cast<int8_t>(rng.UniformInt(-127, 127));
+      w[d] = static_cast<int32_t>(rng.UniformInt(1, 256));
+    }
+
+    SetQuantizedKernel(QuantizedKernel::kPortable);
+    const int64_t portable =
+        WeightedCodeSquaredL2(a.data(), b.data(), w.data(), dim);
+    EXPECT_EQ(std::string(QuantizedKernelName()), "portable");
+    EXPECT_EQ(portable,
+              internal::WeightedCodeSquaredL2Portable(a.data(), b.data(),
+                                                      w.data(), dim));
+
+    if (internal::QuantizedAvx2Available()) {
+      SetQuantizedKernel(QuantizedKernel::kAvx2);
+      EXPECT_EQ(std::string(QuantizedKernelName()), "avx2");
+      EXPECT_EQ(WeightedCodeSquaredL2(a.data(), b.data(), w.data(), dim),
+                portable)
+          << "dim " << dim;
+      EXPECT_EQ(internal::WeightedCodeSquaredL2Avx2(a.data(), b.data(),
+                                                    w.data(), dim),
+                portable)
+          << "dim " << dim;
+    } else {
+      EXPECT_THROW(SetQuantizedKernel(QuantizedKernel::kAvx2),
+                   std::runtime_error);
+    }
+
+    SetQuantizedKernel(QuantizedKernel::kAuto);
+    EXPECT_EQ(WeightedCodeSquaredL2(a.data(), b.data(), w.data(), dim),
+              portable)
+        << "dim " << dim;
   }
 }
 

@@ -360,6 +360,248 @@ TEST(ProtocolTest, TopKRequestNprobeSectionIsBackwardCompatible) {
   EXPECT_EQ(SerializeTopKRequest(req), old_bytes);
 }
 
+// -- Trace context wire section ----------------------------------------------
+
+TEST(ProtocolTest, TraceSectionRoundTripsOnEveryRequestType) {
+  Rng rng(83);
+  const obs::TraceContext ctx{0xfeedfacecafebeefULL, true};
+  const Trajectory t = RandomTrajectory(5, 100.0, &rng);
+
+  EncodeRequest enc;
+  enc.traj = t;
+  enc.trace = ctx;
+  EncodeRequest enc_out;
+  ASSERT_TRUE(ParseEncodeRequest(SerializeEncodeRequest(enc), &enc_out));
+  EXPECT_EQ(enc_out.trace.trace_id, ctx.trace_id);
+  EXPECT_TRUE(enc_out.trace.sampled);
+
+  PairSimRequest pair;
+  pair.a = t;
+  pair.b = t;
+  pair.trace = ctx;
+  pair.trace.sampled = false;  // The unsampled flag must survive too.
+  PairSimRequest pair_out;
+  ASSERT_TRUE(ParsePairSimRequest(SerializePairSimRequest(pair), &pair_out));
+  EXPECT_EQ(pair_out.trace.trace_id, ctx.trace_id);
+  EXPECT_FALSE(pair_out.trace.sampled);
+
+  InsertRequest ins;
+  ins.traj = t;
+  ins.trace = ctx;
+  InsertRequest ins_out;
+  ASSERT_TRUE(ParseInsertRequest(SerializeInsertRequest(ins), &ins_out));
+  EXPECT_EQ(ins_out.trace.trace_id, ctx.trace_id);
+  EXPECT_TRUE(ins_out.trace.sampled);
+
+  TopKRequest topk;
+  topk.query = t;
+  topk.k = 3;
+  topk.nprobe = 11;
+  topk.trace = ctx;
+  TopKRequest topk_out;
+  ASSERT_TRUE(ParseTopKRequest(SerializeTopKRequest(topk), &topk_out));
+  EXPECT_EQ(topk_out.trace.trace_id, ctx.trace_id);
+  EXPECT_TRUE(topk_out.trace.sampled);
+  EXPECT_EQ(topk_out.nprobe, 11u);
+}
+
+TEST(ProtocolTest, TraceSectionIsBackwardCompatible) {
+  // The pre-tracing compat contract, both directions, for all four request
+  // types: a default (invalid) trace serializes to the byte-identical
+  // legacy payload, and legacy bytes parse with no trace attached.
+  Rng rng(84);
+  const Trajectory t = RandomTrajectory(6, 100.0, &rng);
+
+  EncodeRequest enc;
+  enc.traj = t;
+  const std::string enc_legacy = SerializeEncodeRequest(enc);
+  enc.trace = {0x1234, true};
+  const std::string enc_traced = SerializeEncodeRequest(enc);
+  ASSERT_EQ(enc_traced.size(), enc_legacy.size() + 9);  // u64 id + u8 flags.
+  EXPECT_EQ(enc_traced.substr(0, enc_legacy.size()), enc_legacy);
+  EncodeRequest enc_out;
+  ASSERT_TRUE(ParseEncodeRequest(enc_legacy, &enc_out));
+  EXPECT_FALSE(enc_out.trace.valid());
+
+  PairSimRequest pair;
+  pair.a = t;
+  pair.b = t;
+  const std::string pair_legacy = SerializePairSimRequest(pair);
+  pair.trace = {0x1234, true};
+  EXPECT_EQ(SerializePairSimRequest(pair).size(), pair_legacy.size() + 9);
+  PairSimRequest pair_out;
+  ASSERT_TRUE(ParsePairSimRequest(pair_legacy, &pair_out));
+  EXPECT_FALSE(pair_out.trace.valid());
+
+  InsertRequest ins;
+  ins.traj = t;
+  const std::string ins_legacy = SerializeInsertRequest(ins);
+  ins.trace = {0x1234, true};
+  EXPECT_EQ(SerializeInsertRequest(ins).size(), ins_legacy.size() + 9);
+  InsertRequest ins_out;
+  ASSERT_TRUE(ParseInsertRequest(ins_legacy, &ins_out));
+  EXPECT_FALSE(ins_out.trace.valid());
+
+  TopKRequest topk;
+  topk.query = t;
+  const std::string topk_legacy = SerializeTopKRequest(topk);
+  TopKRequest topk_out;
+  ASSERT_TRUE(ParseTopKRequest(topk_legacy, &topk_out));
+  EXPECT_FALSE(topk_out.trace.valid());
+  EXPECT_EQ(topk_out.nprobe, 0u);
+}
+
+TEST(ProtocolTest, TopKTrailingLayoutsDisambiguateByLength) {
+  // The four TopK trailing layouts: 0 bytes (neither), 4 (nprobe), 9
+  // (trace only, accepted on parse), 13 (both — what the serializer emits
+  // for any valid trace, forcing nprobe onto the wire to keep lengths
+  // distinct).
+  Rng rng(85);
+  TopKRequest req;
+  req.query = RandomTrajectory(4, 100.0, &rng);
+  const std::string base = SerializeTopKRequest(req);  // Layout 0.
+
+  req.trace = {0xabcd, true};
+  const std::string traced = SerializeTopKRequest(req);
+  ASSERT_EQ(traced.size(), base.size() + 13);  // nprobe forced on the wire.
+  TopKRequest out;
+  ASSERT_TRUE(ParseTopKRequest(traced, &out));
+  EXPECT_EQ(out.nprobe, 0u);
+  EXPECT_EQ(out.trace.trace_id, 0xabcdu);
+
+  // Layout 9 — a trace section with no nprobe — is never emitted by this
+  // serializer but must parse (a future serializer may drop the padding).
+  const std::string trace_only = base + traced.substr(base.size() + 4);
+  ASSERT_EQ(trace_only.size(), base.size() + 9);
+  TopKRequest out9;
+  ASSERT_TRUE(ParseTopKRequest(trace_only, &out9));
+  EXPECT_EQ(out9.nprobe, 0u);
+  EXPECT_EQ(out9.trace.trace_id, 0xabcdu);
+  EXPECT_TRUE(out9.trace.sampled);
+}
+
+TEST(ProtocolTest, TraceSectionRejectsZeroIdAndUnknownFlags) {
+  Rng rng(86);
+  EncodeRequest req;
+  req.traj = RandomTrajectory(4, 100.0, &rng);
+  req.trace = {0x77, true};
+  const std::string traced = SerializeEncodeRequest(req);
+  const size_t base_len = traced.size() - 9;
+
+  // Zero id with the section present: the sentinel may not travel.
+  std::string zero_id = traced;
+  for (size_t i = 0; i < 8; ++i) zero_id[base_len + i] = '\0';
+  EncodeRequest out;
+  EXPECT_FALSE(ParseEncodeRequest(zero_id, &out));
+
+  // Unknown flag bits: reserved for future semantics, reject today.
+  for (uint8_t bit = 1; bit < 8; ++bit) {
+    std::string bad_flags = traced;
+    bad_flags[base_len + 8] = static_cast<char>(1u | (1u << bit));
+    EXPECT_FALSE(ParseEncodeRequest(bad_flags, &out))
+        << "flag bit " << static_cast<int>(bit) << " accepted";
+  }
+}
+
+TEST(ProtocolTest, FuzzedTrailingBytesNeverCrashOrMisparse) {
+  // Append 1..16 trailing bytes of varied fill to each request's legacy
+  // payload: parsers must never crash, and must reject everything except
+  // the layouts the protocol actually defines (for TopK, a 4-byte tail is
+  // a legitimate nprobe section whatever its value).
+  Rng rng(87);
+  const Trajectory t = RandomTrajectory(5, 100.0, &rng);
+  EncodeRequest enc;
+  enc.traj = t;
+  PairSimRequest pair;
+  pair.a = t;
+  pair.b = t;
+  InsertRequest ins;
+  ins.traj = t;
+  TopKRequest topk;
+  topk.query = t;
+
+  // Every fill yields an invalid trace section at length 9/13: all-zero is
+  // the banned zero id, 0xff and 0x80 carry unknown flag bits. (Valid
+  // sections are covered by the round-trip tests above.)
+  const std::string fills = std::string("\x00\xff\x80", 3);
+  for (const char fill : fills) {
+    for (size_t extra = 1; extra <= 16; ++extra) {
+      const std::string tail(extra, fill);
+      EncodeRequest enc_out;
+      EXPECT_FALSE(
+          ParseEncodeRequest(SerializeEncodeRequest(enc) + tail, &enc_out));
+      PairSimRequest pair_out;
+      EXPECT_FALSE(
+          ParsePairSimRequest(SerializePairSimRequest(pair) + tail, &pair_out));
+      InsertRequest ins_out;
+      EXPECT_FALSE(
+          ParseInsertRequest(SerializeInsertRequest(ins) + tail, &ins_out));
+
+      TopKRequest topk_out;
+      const bool ok =
+          ParseTopKRequest(SerializeTopKRequest(topk) + tail, &topk_out);
+      if (extra == 4) {
+        // A legitimate nprobe section: any u32 value parses.
+        EXPECT_TRUE(ok);
+      } else {
+        EXPECT_FALSE(ok) << "tail of " << extra << " bytes of "
+                         << static_cast<int>(fill) << " accepted";
+      }
+    }
+  }
+
+  // An oversized "trace" field (e.g. a corrupted length claim) is just
+  // trailing garbage — rejected without any allocation or crash.
+  EncodeRequest big_out;
+  EXPECT_FALSE(ParseEncodeRequest(
+      SerializeEncodeRequest(enc) + std::string(1 << 16, '\x5a'), &big_out));
+}
+
+TEST(ProtocolTest, TraceDumpMessagesRoundTrip) {
+  TraceDumpRequest req;
+  req.max_traces = 42;
+  TraceDumpRequest req_out;
+  ASSERT_TRUE(ParseTraceDumpRequest(SerializeTraceDumpRequest(req), &req_out));
+  EXPECT_EQ(req_out.max_traces, 42u);
+
+  TraceDumpResponse resp;
+  obs::FinishedTrace ft;
+  ft.trace_id = 0x123456789abcdef0ULL;
+  ft.endpoint = "topk";
+  ft.total_us = 1234.5;
+  ft.spans_dropped = 2;
+  ft.spans.push_back({"queue_wait", 0.0, 10.5, 1});
+  ft.spans.push_back({"probe", 10.5, 800.0, 3});
+  resp.traces.push_back(ft);
+  obs::FinishedTrace empty_ft;
+  empty_ft.trace_id = 7;
+  empty_ft.endpoint = "encode";
+  resp.traces.push_back(empty_ft);  // A trace with no spans round-trips too.
+
+  TraceDumpResponse out;
+  ASSERT_TRUE(ParseTraceDumpResponse(SerializeTraceDumpResponse(resp), &out));
+  ASSERT_EQ(out.traces.size(), 2u);
+  EXPECT_EQ(out.traces[0].trace_id, ft.trace_id);
+  EXPECT_EQ(out.traces[0].endpoint, "topk");
+  EXPECT_EQ(out.traces[0].total_us, 1234.5);
+  EXPECT_EQ(out.traces[0].spans_dropped, 2u);
+  ASSERT_EQ(out.traces[0].spans.size(), 2u);
+  EXPECT_EQ(out.traces[0].spans[1].stage, "probe");
+  EXPECT_EQ(out.traces[0].spans[1].start_us, 10.5);
+  EXPECT_EQ(out.traces[0].spans[1].dur_us, 800.0);
+  EXPECT_EQ(out.traces[0].spans[1].tid, 3u);
+  EXPECT_TRUE(out.traces[1].spans.empty());
+
+  // Truncations and trailing garbage fail cleanly.
+  const std::string bytes = SerializeTraceDumpResponse(resp);
+  for (size_t cut = 0; cut < bytes.size(); cut += 7) {
+    TraceDumpResponse trunc;
+    EXPECT_FALSE(ParseTraceDumpResponse(bytes.substr(0, cut), &trunc));
+  }
+  TraceDumpResponse junk;
+  EXPECT_FALSE(ParseTraceDumpResponse(bytes + "x", &junk));
+}
+
 TEST(ProtocolTest, MaxTopKResultsSaturatesTheFrameLimit) {
   // kMaxTopKResults is derived from the serialized layout: a uint32 count
   // prefix plus 16 bytes per (id, dist) pair. Pin the layout so a codec
@@ -1021,10 +1263,13 @@ TEST(LatencyHistogramTest, BucketsMeanMaxAndPercentiles) {
   EXPECT_EQ(h.count(), 100u);
   EXPECT_DOUBLE_EQ(h.mean_micros(), (90 * 3.0 + 10 * 100.0) / 100.0);
   EXPECT_EQ(h.max_micros(), 100.0);
-  // Percentiles report the containing bucket's upper bound.
-  EXPECT_EQ(h.PercentileMicros(0.5), 4.0);
-  EXPECT_EQ(h.PercentileMicros(0.9), 4.0);
-  EXPECT_EQ(h.PercentileMicros(0.99), 128.0);
+  // Percentiles interpolate within the containing bucket and are capped at
+  // the tracked max: p50 sits halfway into (2, 4] by rank, p90 exhausts the
+  // bucket, and p99 would interpolate to 121.6 in (64, 128] but no sample
+  // exceeded 100 µs.
+  EXPECT_DOUBLE_EQ(h.PercentileMicros(0.5), 2.0 + 2.0 * (50.0 / 90.0));
+  EXPECT_DOUBLE_EQ(h.PercentileMicros(0.9), 4.0);
+  EXPECT_DOUBLE_EQ(h.PercentileMicros(0.99), 100.0);
 }
 
 TEST(ServerStatsTest, SnapshotFreezesPerEndpointCounters) {

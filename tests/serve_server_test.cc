@@ -17,6 +17,7 @@
 #include <filesystem>
 #include <limits>
 #include <mutex>
+#include <set>
 #include <stdexcept>
 #include <string>
 #include <thread>
@@ -620,6 +621,206 @@ TEST_F(ServerTest, DegradedStoreRefusesInsertsButKeepsServingQueries) {
   client.Close();
   server.Stop();
   std::filesystem::remove_all(data_dir);
+}
+
+// -- Request tracing over the wire --------------------------------------------
+
+/// Reads exactly one wire frame from a raw socket (blocking).
+WireFrame ReadOneFrame(int fd) {
+  std::string rx;
+  size_t offset = 0;
+  WireFrame frame;
+  while (true) {
+    const FrameStatus st = DecodeWireFrame(rx, &offset, &frame);
+    if (st == FrameStatus::kOk) return frame;
+    EXPECT_EQ(st, FrameStatus::kIncomplete) << "unsyncable reply stream";
+    char chunk[4096];
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) {
+      ADD_FAILURE() << "peer hung up mid-frame";
+      return frame;
+    }
+    rx.append(chunk, static_cast<size_t>(n));
+  }
+}
+
+TEST_F(ServerTest, TracedTopKOverSocketBuildsTheFullSpanTree) {
+  // The tentpole's end-to-end claim: a client-forced trace context on a
+  // real-socket TopK against an IVF backend yields one span tree whose
+  // stages cover the whole request path — batcher queue wait, encode on a
+  // batcher worker, IVF probe, exact re-rank, and the transport's reply
+  // write — with every span inside the request's total.
+  retrieval::IvfIndex::Options iopts;
+  iopts.nlist = 4;
+  iopts.train_sample = 64;
+  iopts.kmeans_iters = 4;
+  iopts.rerank = db_.size();
+  retrieval::IvfBackend backend(&db_, iopts);
+  backend.Build();
+  svc_.set_retrieval_backend(&backend);
+
+  Server server(&svc_, ServerOptions{});
+  server.Start();
+  Client client = Connect(server);
+  constexpr uint64_t kForcedId = 0xfeedfacecafe01ULL;
+  client.set_trace_context({kForcedId, /*sampled=*/true});
+
+  const TopKResponse got = client.TopK(
+      corpus_[0], 3, -1, /*nprobe=*/static_cast<uint32_t>(iopts.nlist));
+  EXPECT_EQ(got.ids.size(), 3u);
+
+  // Same connection, so the server finished the trace before it read this
+  // next request. The dump travels the kTraceDump endpoint itself.
+  const TraceDumpResponse dump = client.TraceDump();
+  ASSERT_EQ(dump.traces.size(), 1u);
+  const obs::FinishedTrace& t = dump.traces.front();
+  EXPECT_EQ(t.trace_id, kForcedId);
+  EXPECT_EQ(t.endpoint, "topk");
+  EXPECT_EQ(t.spans_dropped, 0u);
+  EXPECT_GT(t.total_us, 0.0);
+
+  std::set<std::string> stages;
+  for (const obs::FinishedSpan& s : t.spans) {
+    stages.insert(s.stage);
+    EXPECT_GE(s.start_us, 0.0) << s.stage;
+    EXPECT_GE(s.dur_us, 0.0) << s.stage;
+    EXPECT_LE(s.start_us + s.dur_us, t.total_us) << s.stage;
+    EXPECT_GT(s.tid, 0u) << s.stage;
+  }
+  for (const char* required :
+       {"queue_wait", "encode", "probe", "rerank", "reply"}) {
+    EXPECT_TRUE(stages.count(required)) << "missing stage " << required;
+  }
+  // The required stages are strictly sequential phases of one request, so
+  // their summed durations cannot exceed the measured total.
+  double sequential_us = 0.0;
+  for (const char* required :
+       {"queue_wait", "encode", "probe", "rerank", "reply"}) {
+    for (const obs::FinishedSpan& s : t.spans) {
+      if (s.stage == required) sequential_us += s.dur_us;
+    }
+  }
+  EXPECT_LE(sequential_us, t.total_us);
+
+  client.Close();
+  server.Stop();
+  svc_.set_retrieval_backend(nullptr);
+}
+
+TEST_F(ServerTest, HeadSamplingTracesServerSideAndDumpClampsToNewest) {
+  // 1-in-1 head sampling: even contextless requests get server-generated
+  // trace ids. TraceDump's max_traces keeps the NEWEST trees and returns
+  // them oldest-first.
+  obs::ReqTraceOptions topts;
+  topts.sample_every = 1;
+  topts.ring_capacity = 8;
+  svc_.ConfigureTracing(topts);
+  Server server(&svc_, ServerOptions{});
+  server.Start();
+  Client client = Connect(server);
+
+  Rng rng(501);
+  for (int i = 0; i < 3; ++i) {
+    client.Encode(RandomTrajectory(5, 100.0, &rng));
+  }
+  const TraceDumpResponse all = client.TraceDump();
+  ASSERT_EQ(all.traces.size(), 3u);
+  for (const obs::FinishedTrace& t : all.traces) {
+    EXPECT_EQ(t.endpoint, "encode");
+    EXPECT_NE(t.trace_id, 0u);  // Server-generated, never zero.
+  }
+  const TraceDumpResponse newest = client.TraceDump(/*max_traces=*/2);
+  ASSERT_EQ(newest.traces.size(), 2u);
+  EXPECT_EQ(newest.traces[0].trace_id, all.traces[1].trace_id);
+  EXPECT_EQ(newest.traces[1].trace_id, all.traces[2].trace_id);
+
+  client.Close();
+  server.Stop();
+  svc_.ConfigureTracing({});  // Back to off for the shared fixture service.
+}
+
+TEST_F(ServerTest, MalformedTraceSectionIsBadRequestNotDisconnect) {
+  // An invalid trailing trace section (all-zero id) must fail the payload
+  // parse — a typed kBadRequest — while the connection stays open and in
+  // protocol sync, exactly like any other bad payload.
+  Server server(&svc_, ServerOptions{});
+  server.Start();
+
+  Rng rng(601);
+  std::string payload = SerializeEncodeRequest({RandomTrajectory(5, 100.0,
+                                                                 &rng)});
+  payload.append(9, '\0');  // Trace section with trace_id == 0: invalid.
+  const int fd = RawConnect(server.port());
+  const std::string frame = EncodeWireFrame(
+      static_cast<uint16_t>(MsgType::kEncodeRequest), payload);
+  ASSERT_EQ(::send(fd, frame.data(), frame.size(), 0),
+            static_cast<ssize_t>(frame.size()));
+  const WireFrame err_frame = ReadOneFrame(fd);
+  EXPECT_EQ(err_frame.type, static_cast<uint16_t>(MsgType::kError));
+  ErrorReply err;
+  ASSERT_TRUE(ParseError(err_frame.payload, &err));
+  EXPECT_EQ(err.code, ErrorCode::kBadRequest);
+
+  // The same connection still serves.
+  const std::string health = EncodeWireFrame(
+      static_cast<uint16_t>(MsgType::kHealthRequest), "");
+  ASSERT_EQ(::send(fd, health.data(), health.size(), 0),
+            static_cast<ssize_t>(health.size()));
+  const WireFrame health_frame = ReadOneFrame(fd);
+  EXPECT_EQ(health_frame.type,
+            static_cast<uint16_t>(MsgType::kHealthResponse));
+  HealthResponse hr;
+  ASSERT_TRUE(ParseHealthResponse(health_frame.payload, &hr));
+  EXPECT_TRUE(hr.ok);
+  ::close(fd);
+  server.Stop();
+}
+
+TEST_F(ServerTest, ServedBytesAreBitIdenticalWithTracingOnAndOff) {
+  // Tracing observes, never participates: the TopK reply payload for the
+  // same query must be byte-for-byte identical whether the request rides
+  // with a sampled trace context or with none at all. Raw frames, so the
+  // comparison is on the actual served bytes, not parsed structs.
+  Server server(&svc_, ServerOptions{});
+  server.Start();
+
+  TopKRequest req;
+  req.query = corpus_[1];
+  req.k = 5;
+  const std::string plain_payload = SerializeTopKRequest(req);
+  req.trace = {0xabcdef123456ULL, /*sampled=*/true};
+  const std::string traced_payload = SerializeTopKRequest(req);
+  ASSERT_NE(plain_payload, traced_payload);  // The requests DO differ...
+
+  std::string replies[2];
+  const std::string* payloads[2] = {&plain_payload, &traced_payload};
+  for (int i = 0; i < 2; ++i) {
+    const int fd = RawConnect(server.port());
+    const std::string frame = EncodeWireFrame(
+        static_cast<uint16_t>(MsgType::kTopKRequest), *payloads[i]);
+    ASSERT_EQ(::send(fd, frame.data(), frame.size(), 0),
+              static_cast<ssize_t>(frame.size()));
+    const WireFrame reply = ReadOneFrame(fd);
+    EXPECT_EQ(reply.type, static_cast<uint16_t>(MsgType::kTopKResponse));
+    replies[i] = reply.payload;
+    // A second request on the same connection: the handler only reads it
+    // after it finished the previous request's trace, so the Dump below
+    // cannot race the traced request's Finish.
+    const std::string health = EncodeWireFrame(
+        static_cast<uint16_t>(MsgType::kHealthRequest), "");
+    ASSERT_EQ(::send(fd, health.data(), health.size(), 0),
+              static_cast<ssize_t>(health.size()));
+    EXPECT_EQ(ReadOneFrame(fd).type,
+              static_cast<uint16_t>(MsgType::kHealthResponse));
+    ::close(fd);
+  }
+  EXPECT_EQ(replies[0], replies[1]);  // ...but the served bytes do not.
+
+  // And the traced request really was traced.
+  const std::vector<obs::FinishedTrace> traces = svc_.tracer().Dump();
+  ASSERT_EQ(traces.size(), 1u);
+  EXPECT_EQ(traces.front().trace_id, 0xabcdef123456ULL);
+  server.Stop();
 }
 
 }  // namespace

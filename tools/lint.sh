@@ -19,7 +19,12 @@
 #      printf debugging does not survive review. Telemetry flows through
 #      src/obs/ (metrics registry, trace spans, JSONL sink); the only
 #      sanctioned stderr paths are common/check.cc's contract-failure
-#      reporting and the flight recorder's crash dump.
+#      reporting and the flight recorder's crash dump. The same rule bans
+#      ad-hoc std::chrono timing in src/serve and src/retrieval: request
+#      timing flows through Stopwatch / DeadlineAfterMicros / SleepForMillis
+#      (common/stopwatch.h) and the obs span types, so every measurement a
+#      request sees also lands in its trace — a raw steady_clock::now() pair
+#      is latency the span tree cannot attribute.
 #   6. No raw POSIX I/O in src/store outside store/file.cc: every durability
 #      write must flow through the File/FileFactory seam so the fault
 #      harness can intercept it and so short writes / EINTR are handled in
@@ -96,6 +101,15 @@ hits=$(grep -rnE 'std::cerr|std::cout|\bprintf\(|\bfprintf\(' \
     | grep -vE '^[^:]*:[0-9]+: *//' || true)
 if [[ -n "$hits" ]]; then
   report "raw stderr/stdout telemetry in src/core|nn|serve (use src/obs/)" "$hits"
+fi
+# Ad-hoc std::chrono timing in the serving/retrieval layers: all request
+# timing goes through common/stopwatch.h (Stopwatch, DeadlineAfterMicros,
+# SleepForMillis) or the obs span types so the trace spans see it too.
+hits=$(grep -rnE 'std::chrono|steady_clock|high_resolution_clock' \
+    src/serve/ src/retrieval/ --include='*.cc' --include='*.h' \
+    | grep -vE '^[^:]*:[0-9]+: *(//|\*)' || true)
+if [[ -n "$hits" ]]; then
+  report "ad-hoc std::chrono timing in src/serve|retrieval (use common/stopwatch.h)" "$hits"
 fi
 
 # -- Rule 6: raw POSIX I/O in src/store outside the File seam ----------------

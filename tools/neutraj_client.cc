@@ -8,6 +8,9 @@
 //   pairsim  --a "..." --b "..."              distance + similarity
 //   topk     --traj "..." [--k K] [--exclude I] [--nprobe N]
 //   insert   --traj "..."                     append to the live corpus
+//   trace    [--out trace.json] [--max N]     pull the server's recent
+//                                             sampled span trees as a
+//                                             chrome://tracing JSON file
 //
 // Trajectories can come inline via --traj/--a/--b (the corpus CSV line
 // format) or from a file: --data corpus.csv --id N picks line N.
@@ -19,11 +22,16 @@
 //                             attempts with exponential backoff (default 1,
 //                             i.e. no retry) — lets scripts start the client
 //                             before the server has bound its port.
+//   --trace-id N              attach trace id N (nonzero, decimal or 0x hex)
+//                             to each request sent by this invocation and
+//                             force it to be traced server-side; pull the
+//                             span tree afterwards with the trace command.
 
 #include <cstdio>
 #include <map>
 #include <string>
 
+#include "common/file_util.h"
 #include "neutraj.h"
 
 namespace {
@@ -81,7 +89,9 @@ void PrintUsage() {
       "  encode  --traj \"x,y;x,y;...\" | --data F --id N\n"
       "  pairsim --a \"...\" --b \"...\"\n"
       "  topk    --traj \"...\" [--k K] [--exclude I] [--nprobe N]\n"
-      "  insert  --traj \"...\"\n");
+      "  insert  --traj \"...\"\n"
+      "  trace   [--out trace.json] [--max N]\n"
+      "  (any request command also takes --trace-id N to force tracing)\n");
 }
 
 /// Resolves a trajectory argument: inline CSV under `key`, or --data + --id.
@@ -114,6 +124,13 @@ serve::Client Connect(const Args& args) {
   serve::RetryPolicy retry;
   retry.max_attempts = static_cast<uint32_t>(args.GetInt("retries", 1));
   client.set_retry_policy(retry);
+  if (args.Has("trace-id")) {
+    // std::stoull with base 0 accepts decimal and 0x-prefixed hex — handy
+    // for pasting ids back out of the slow-query log.
+    const uint64_t id = std::stoull(args.Get("trace-id"), nullptr, 0);
+    if (id == 0) throw std::runtime_error("--trace-id must be nonzero");
+    client.set_trace_context({id, /*sampled=*/true});
+  }
   client.Connect(args.Get("host", "127.0.0.1"),
                  static_cast<uint16_t>(args.GetInt("port", 0)));
   return client;
@@ -169,6 +186,19 @@ int Run(const Args& args) {
     std::printf("inserted as id %llu (corpus size %llu)\n",
                 static_cast<unsigned long long>(r.id),
                 static_cast<unsigned long long>(r.corpus_size));
+    return 0;
+  }
+  if (args.command == "trace") {
+    const serve::TraceDumpResponse r =
+        client.TraceDump(static_cast<uint32_t>(args.GetInt("max", 0)));
+    const std::string json = obs::RenderChromeTrace(r.traces);
+    if (args.Has("out")) {
+      WriteFileAtomic(args.Get("out"), json);
+      std::printf("wrote %zu trace(s) to %s — open in chrome://tracing\n",
+                  r.traces.size(), args.Get("out").c_str());
+    } else {
+      std::printf("%s\n", json.c_str());
+    }
     return 0;
   }
   std::fprintf(stderr, "unknown command: %s\n\n", args.command.c_str());

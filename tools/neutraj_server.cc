@@ -15,6 +15,8 @@
 //                  [--idle-timeout-ms MS]
 //                  [--retrieval exact|ivf] [--ivf-nlist N] [--ivf-nprobe N]
 //                  [--ivf-seed S]
+//                  [--trace-sample-every N] [--slow-query-log F]
+//                  [--slow-query-threshold-us U]
 //
 // --port 0 (default) picks an ephemeral port; --port-file writes the bound
 // port for scripts (see tools/serve_smoke_test.sh). --save-db persists the
@@ -36,6 +38,12 @@
 // resume a prior corpus; seeding flags are only for the first run, when the
 // directory is empty. A corrupt snapshot aborts startup with the corrupt
 // section and offset; a torn WAL tail is truncated and reported.
+//
+// --trace-sample-every N traces 1 request in N with a per-stage span tree
+// (pull recent trees with `neutraj_client trace`); --slow-query-log F
+// appends a JSONL line with the per-stage breakdown for every traced
+// request slower than --slow-query-threshold-us (default 10000). Client
+// requests carrying --trace-id are traced regardless of the sampling rate.
 
 #include <cstdio>
 #include <map>
@@ -97,7 +105,9 @@ void PrintUsage() {
       "               [--save-db F] [--data-dir D] [--compact-every N]\n"
       "               [--idle-timeout-ms MS]\n"
       "               [--retrieval exact|ivf] [--ivf-nlist N]\n"
-      "               [--ivf-nprobe N] [--ivf-seed S]\n");
+      "               [--ivf-nprobe N] [--ivf-seed S]\n"
+      "               [--trace-sample-every N] [--slow-query-log F]\n"
+      "               [--slow-query-threshold-us U]\n");
 }
 
 int Run(const Args& args) {
@@ -187,6 +197,19 @@ int Run(const Args& args) {
   server_opts.port = static_cast<uint16_t>(args.GetInt("port", 0));
   server_opts.idle_timeout_ms =
       static_cast<uint32_t>(args.GetInt("idle-timeout-ms", 0));
+  server_opts.trace.sample_every =
+      static_cast<uint32_t>(args.GetInt("trace-sample-every", 0));
+  server_opts.trace.slow_log_path = args.Get("slow-query-log");
+  server_opts.trace.slow_threshold_us =
+      static_cast<double>(args.GetInt("slow-query-threshold-us", 10000));
+  if (server_opts.trace.sample_every != 0 ||
+      !server_opts.trace.slow_log_path.empty()) {
+    std::printf("request tracing: sample 1-in-%u%s%s\n",
+                server_opts.trace.sample_every,
+                server_opts.trace.slow_log_path.empty() ? ""
+                                                        : ", slow-query log ",
+                server_opts.trace.slow_log_path.c_str());
+  }
   serve::Server server(&service, server_opts);
   server.Start();
   serve::InstallStopSignalHandlers(&server);
